@@ -1,0 +1,48 @@
+//===- bench/BenchUtil.h - Shared benchmark harness helpers ----*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-table benchmark binaries: default scales, row
+/// formatting, and repeated-run timing (minimum of K runs, to de-noise the
+/// overhead factors).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_BENCH_BENCHUTIL_H
+#define LUD_BENCH_BENCHUTIL_H
+
+#include "workloads/DaCapo.h"
+#include "workloads/Driver.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lud {
+namespace bench {
+
+/// Workload scale for the table reproductions; override with LUD_SCALE.
+inline int64_t tableScale() {
+  if (const char *E = std::getenv("LUD_SCALE"))
+    return std::strtoll(E, nullptr, 10);
+  return 2000;
+}
+
+/// Minimum wall time over \p Reps baseline runs (de-noised).
+inline double baselineSeconds(const Module &M, int Reps = 3) {
+  double Best = 1e100;
+  for (int I = 0; I != Reps; ++I) {
+    TimedRun R = runBaseline(M);
+    if (R.Seconds < Best)
+      Best = R.Seconds;
+  }
+  return Best;
+}
+
+} // namespace bench
+} // namespace lud
+
+#endif // LUD_BENCH_BENCHUTIL_H

@@ -1,0 +1,95 @@
+//===- bench/overhead_phases_bench.cpp - Section 4.1 phase tracking --------===//
+//
+// Reproduces the selective-tracking experiment of Section 4.1: for the two
+// transaction applications (tradebeans, tradesoap), whole-program tracking
+// is compared against tracking only the load (steady-state) phase, skipping
+// server startup and shutdown. The paper reports a 5-10x overhead
+// reduction; the shape to check is that load-only tracking costs a small
+// fraction of whole-program tracking while producing the same graph for the
+// phase of interest.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lud;
+using namespace lud::bench;
+
+namespace {
+
+const char *kApps[] = {"tradebeans", "tradesoap"};
+
+void printTable() {
+  const int64_t S = tableScale();
+  std::printf("=== Section 4.1: selective phase tracking (scale %lld) ===\n",
+              (long long)S);
+  std::printf("%-12s %10s %10s %10s %10s %10s %12s\n", "program", "base(ms)",
+              "full(ms)", "load(ms)", "full-O(x)", "load-O(x)", "reduction");
+  for (const char *Name : kApps) {
+    Workload W = buildWorkload(Name, S);
+    double Base = baselineSeconds(*W.M, 5);
+
+    SlicingConfig Full;
+    SlicingConfig LoadOnly;
+    LoadOnly.TrackedPhaseMask = 1ull << 1;
+
+    // Min-of-3 for the instrumented runs too.
+    double TFull = 1e100, TLoad = 1e100;
+    uint64_t FullFreq = 0, LoadFreq = 0;
+    for (int I = 0; I != 3; ++I) {
+      ProfiledRun PF = runProfiled(*W.M, Full);
+      ProfiledRun PL = runProfiled(*W.M, LoadOnly);
+      TFull = std::min(TFull, PF.Seconds);
+      TLoad = std::min(TLoad, PL.Seconds);
+      FullFreq = PF.Prof->graph().totalFreq();
+      LoadFreq = PL.Prof->graph().totalFreq();
+    }
+    double OFull = TFull / Base;
+    double OLoad = TLoad / Base;
+    std::printf("%-12s %10.2f %10.2f %10.2f %10.1f %10.1f %11.1fx\n", Name,
+                Base * 1e3, TFull * 1e3, TLoad * 1e3, OFull, OLoad,
+                (TFull - Base) / (TLoad - Base));
+    std::printf("%-12s tracked instruction instances: full=%llu load-only=%llu"
+                " (%.0f%% of run skipped)\n",
+                "", (unsigned long long)FullFreq,
+                (unsigned long long)LoadFreq,
+                100.0 * (1.0 - double(LoadFreq) / double(FullFreq)));
+  }
+  std::printf("(paper: 5-10x overhead reduction tracking only the load "
+              "runs)\n\n");
+}
+
+void BM_FullTracking(benchmark::State &State) {
+  Workload W = buildWorkload(kApps[State.range(0)], tableScale() / 2);
+  for (auto _ : State) {
+    ProfiledRun P = runProfiled(*W.M);
+    benchmark::DoNotOptimize(P.Prof->graph().totalFreq());
+  }
+  State.SetLabel(std::string(kApps[State.range(0)]) + "/full");
+}
+
+void BM_LoadOnlyTracking(benchmark::State &State) {
+  Workload W = buildWorkload(kApps[State.range(0)], tableScale() / 2);
+  SlicingConfig Cfg;
+  Cfg.TrackedPhaseMask = 1ull << 1;
+  for (auto _ : State) {
+    ProfiledRun P = runProfiled(*W.M, Cfg);
+    benchmark::DoNotOptimize(P.Prof->graph().totalFreq());
+  }
+  State.SetLabel(std::string(kApps[State.range(0)]) + "/load-only");
+}
+
+} // namespace
+
+BENCHMARK(BM_FullTracking)->DenseRange(0, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LoadOnlyTracking)->DenseRange(0, 1)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

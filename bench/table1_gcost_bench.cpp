@@ -1,0 +1,85 @@
+//===- bench/table1_gcost_bench.cpp - Table 1 (a)/(b): Gcost ---------------===//
+//
+// Reproduces Table 1 parts (a) and (b): per-benchmark Gcost characteristics
+// for s = 8 and s = 16 context slots — node count N, edge count E, retained
+// graph memory M, whole-program tracking overhead O (instrumented time over
+// uninstrumented time on the same engine), and the context conflict ratio
+// CR. The paper's absolute values belong to J9 + real DaCapo; the shape to
+// check: N and E are bounded by code size (not run length), M is small, O
+// is a large constant factor, CR is near zero and shrinks as s grows.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lud;
+using namespace lud::bench;
+
+namespace {
+
+void printTable() {
+  const int64_t S = tableScale();
+  std::printf("=== Table 1 (a)/(b): Gcost characteristics (scale %lld) ===\n",
+              (long long)S);
+  std::printf("%-12s | %8s %8s %9s %6s %6s | %8s %8s %9s %6s %6s\n",
+              "program", "N(s=8)", "E(s=8)", "M(KB)", "O(x)", "CR",
+              "N(s=16)", "E(s=16)", "M(KB)", "O(x)", "CR");
+  for (const std::string &Name : dacapoNames()) {
+    Workload W = buildWorkload(Name, S);
+    double Base = baselineSeconds(*W.M);
+    std::printf("%-12s |", Name.c_str());
+    for (uint32_t Slots : {8u, 16u}) {
+      SlicingConfig Cfg;
+      Cfg.ContextSlots = Slots;
+      ProfiledRun P = runProfiled(*W.M, Cfg);
+      const DepGraph &G = P.Prof->graph();
+      double MemKB = double(G.memoryFootprint().total()) / 1024.0;
+      double Overhead = Base > 0 ? P.Seconds / Base : 0;
+      std::printf(" %8zu %8zu %9.1f %6.1f %6.3f %s", G.numNodes(),
+                  G.numEdges(), MemKB, Overhead, P.Prof->averageCR(),
+                  Slots == 8 ? "|" : "");
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+/// Timing aspect: profiled execution per workload at s = 16.
+void BM_ProfiledRun(benchmark::State &State) {
+  const std::string &Name = dacapoNames()[State.range(0)];
+  Workload W = buildWorkload(Name, tableScale() / 4);
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    ProfiledRun P = runProfiled(*W.M);
+    Instrs = P.Run.ExecutedInstrs;
+    benchmark::DoNotOptimize(P.Prof->graph().numNodes());
+  }
+  State.SetLabel(Name);
+  State.counters["instrs"] = double(Instrs);
+  State.SetItemsProcessed(State.iterations() * int64_t(Instrs));
+}
+
+void BM_BaselineRun(benchmark::State &State) {
+  const std::string &Name = dacapoNames()[State.range(0)];
+  Workload W = buildWorkload(Name, tableScale() / 4);
+  for (auto _ : State) {
+    TimedRun R = runBaseline(*W.M);
+    benchmark::DoNotOptimize(R.Run.SinkHash);
+  }
+  State.SetLabel(Name);
+}
+
+} // namespace
+
+BENCHMARK(BM_BaselineRun)->DenseRange(0, 17)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProfiledRun)->DenseRange(0, 17)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,93 @@
+//===- examples/null_propagation.cpp - Figure 2(a) client ------------------===//
+//
+// Demonstrates abstract dynamic thin slicing over the {null, not-null}
+// domain (Section 2.1, Figure 2(a)): when the program traps on a null
+// dereference, the recorded graph yields not just the origin of the null
+// value but the whole propagation flow — through fields, locals and calls —
+// to the faulting instruction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Printer.h"
+#include "profiling/NullnessProfiler.h"
+#include "runtime/Interpreter.h"
+#include "support/OutStream.h"
+
+using namespace lud;
+
+int main() {
+  OutStream &OS = outs();
+
+  // A null is produced in `makeWidget` (the "not found" path), stored into
+  // a registry, fetched much later, passed through a helper, and finally
+  // dereferenced in `render`.
+  Module M;
+  ClassDecl *Widget = M.addClass("Widget");
+  Widget->addField("size", Type::makeInt());
+  ClassDecl *Registry = M.addClass("Registry");
+  Registry->addField("cached", Type::makeRef(Widget->getId()));
+
+  IRBuilder B(M);
+
+  B.beginFunction("makeWidget", 1); // (found) -> Widget or null
+  Reg OneC = B.iconst(1);
+  BasicBlock *Found = B.newBlock();
+  BasicBlock *Missing = B.newBlock();
+  B.condBr(CmpOp::Eq, 0, OneC, Found, Missing);
+  B.setBlock(Found);
+  Reg W = B.alloc(Widget->getId());
+  B.ret(W);
+  B.setBlock(Missing);
+  Reg Null = B.nullconst();
+  B.ret(Null);
+  B.endFunction();
+
+  B.beginFunction("fetch", 1); // (registry) -> Widget
+  Reg Cached = B.loadField(0, Registry->getId(), "cached");
+  B.ret(Cached);
+  B.endFunction();
+
+  B.beginFunction("render", 1); // (widget) -> int
+  Reg Size = B.loadField(0, Widget->getId(), "size"); // NPE here.
+  B.ret(Size);
+  B.endFunction();
+
+  B.beginFunction("main", 0);
+  Reg Zero = B.iconst(0);
+  Reg Wd = B.call("makeWidget", {Zero}); // "not found" -> null
+  Reg Rg = B.alloc(Registry->getId());
+  B.storeField(Rg, Registry->getId(), "cached", Wd);
+  Reg Got = B.call("fetch", {Rg});
+  Reg Res = B.call("render", {Got});
+  B.ret(Res);
+  B.endFunction();
+  M.finalize();
+
+  NullnessProfiler P;
+  RunResult R = runModule(M, P);
+  if (R.Status != RunStatus::Trapped) {
+    OS << "expected a null-dereference trap\n";
+    return 1;
+  }
+  OS << "trap: " << trapKindName(R.Trap) << " at instruction "
+     << uint64_t(R.TrapInstr) << " ("
+     << instToString(M, *M.getInstr(R.TrapInstr)) << " in "
+     << M.getInstrFunction(R.TrapInstr)->getName() << ")\n\n";
+
+  NullTrace T = traceNullOrigin(P);
+  if (!T.found()) {
+    OS << "no trace recorded\n";
+    return 1;
+  }
+  OS << "the null value was created at: "
+     << instToString(M, *M.getInstr(T.Origin)) << " in "
+     << M.getInstrFunction(T.Origin)->getName() << "\n\n";
+  OS << "propagation flow (origin -> dereference):\n";
+  for (InstrId I : T.Flow)
+    OS << "  " << M.getInstrFunction(I)->getName() << ": "
+       << instToString(M, *M.getInstr(I)) << "\n";
+  OS << "\nOrigin-only trackers stop at the first line; the flow shows the\n"
+        "store into Registry.cached and the fetch that resurrected it.\n";
+  return 0;
+}

@@ -1,0 +1,159 @@
+//===- analysis/Clients.cpp - Section 3.2's auxiliary clients --------------===//
+
+#include "analysis/Clients.h"
+
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "support/OutStream.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace lud;
+
+std::vector<OverwriteRow> lud::rankOverwrites(const SlicingProfiler &P,
+                                              const Module &M,
+                                              uint64_t MinWrites) {
+  const DepGraph &G = P.graph();
+  // Aggregate per (site-or-global, slot) over context-annotated tags.
+  std::map<std::pair<uint64_t, FieldSlot>, OverwriteRow> Agg;
+  for (const auto &[Loc, Act] : P.locationActivity()) {
+    uint64_t Key;
+    OverwriteRow Proto;
+    if (DepGraph::isStaticTag(Loc.Tag)) {
+      Proto.Global = GlobalId(Loc.Tag - kStaticTagBase);
+      Proto.Description = "static @" + M.globals()[Proto.Global].Name;
+      Key = Loc.Tag;
+    } else {
+      Proto.Site = G.tagSite(Loc.Tag);
+      const Instruction *AI = M.getAllocSite(Proto.Site);
+      ClassId Cls = kNoClass;
+      if (const auto *A = dyn_cast<AllocInst>(AI))
+        Cls = A->Class;
+      std::string FieldName;
+      if (Loc.Slot == kElemSlot)
+        FieldName = "ELM";
+      else if (Loc.Slot == kLenSlot)
+        FieldName = "length";
+      else if (Cls != kNoClass)
+        FieldName = M.fieldName(Cls, Loc.Slot);
+      else
+        FieldName = "<slot" + std::to_string(Loc.Slot) + ">";
+      Proto.Description =
+          M.describeAllocSite(Proto.Site) + " ." + FieldName;
+      Key = Proto.Site;
+    }
+    Proto.Slot = Loc.Slot;
+    OverwriteRow &Row = Agg.try_emplace({Key, Loc.Slot}, Proto).first->second;
+    Row.Writes += Act.Writes;
+    Row.Reads += Act.Reads;
+    Row.Overwrites += Act.Overwrites;
+  }
+
+  std::vector<OverwriteRow> Rows;
+  for (auto &[Key, Row] : Agg) {
+    if (Row.Writes < MinWrites)
+      continue;
+    Row.WasteRatio = Row.Writes ? double(Row.Overwrites) / double(Row.Writes)
+                                : 0;
+    Rows.push_back(std::move(Row));
+  }
+  std::sort(Rows.begin(), Rows.end(),
+            [](const OverwriteRow &A, const OverwriteRow &B) {
+              if (A.Overwrites != B.Overwrites)
+                return A.Overwrites > B.Overwrites;
+              if (A.WasteRatio != B.WasteRatio)
+                return A.WasteRatio > B.WasteRatio;
+              return A.Description < B.Description;
+            });
+  return Rows;
+}
+
+int lud::overwriteRankOf(const std::vector<OverwriteRow> &Rows,
+                         AllocSiteId Site) {
+  for (size_t I = 0; I != Rows.size(); ++I)
+    if (Rows[I].Site == Site)
+      return int(I);
+  return -1;
+}
+
+void lud::printOverwrites(const std::vector<OverwriteRow> &Rows,
+                          OutStream &OS, size_t TopK) {
+  OS << "rank  overwrites     writes      reads  waste  location\n";
+  size_t Limit = std::min(TopK, Rows.size());
+  for (size_t I = 0; I != Limit; ++I) {
+    const OverwriteRow &R = Rows[I];
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf), "%4zu  %10llu %10llu %10llu  %4.0f%%",
+                  I + 1, (unsigned long long)R.Overwrites,
+                  (unsigned long long)R.Writes, (unsigned long long)R.Reads,
+                  100.0 * R.WasteRatio);
+    OS << Buf << "  " << R.Description << "\n";
+  }
+}
+
+std::vector<MethodCostRow> lud::computeMethodCosts(const CostModel &CM,
+                                                   const Module &M) {
+  const DepGraph &G = CM.graph();
+  std::map<FuncId, MethodCostRow> Agg;
+  std::map<FuncId, uint64_t> RetHracSum;
+  for (NodeId N = 0; N != NodeId(G.numNodes()); ++N) {
+    const DepGraph::Node &Node = G.node(N);
+    const Instruction *I = M.getInstr(Node.Instr);
+    FuncId F = M.getInstrFunction(Node.Instr)->getId();
+    MethodCostRow &Row = Agg[F];
+    if (Row.Func == kNoFunc) {
+      Row.Func = F;
+      Row.Name = M.getFunction(F)->getName();
+    }
+    Row.OwnFreq += Node.Freq;
+    if (isa<ReturnInst>(I)) {
+      RetHracSum[F] += CM.hrac(N);
+      ++Row.ReturnNodes;
+    }
+  }
+  std::vector<MethodCostRow> Rows;
+  for (auto &[F, Row] : Agg) {
+    if (Row.ReturnNodes)
+      Row.ReturnCost = double(RetHracSum[F]) / double(Row.ReturnNodes);
+    Rows.push_back(std::move(Row));
+  }
+  std::sort(Rows.begin(), Rows.end(),
+            [](const MethodCostRow &A, const MethodCostRow &B) {
+              if (A.ReturnCost != B.ReturnCost)
+                return A.ReturnCost > B.ReturnCost;
+              return A.OwnFreq > B.OwnFreq;
+            });
+  return Rows;
+}
+
+std::vector<ConstantPredicateRow>
+lud::findConstantPredicates(const SlicingProfiler &P, const CostModel &CM,
+                            const Module &M, uint64_t MinCount) {
+  std::vector<ConstantPredicateRow> Rows;
+  for (const auto &[Node, Outcome] : P.predicateOutcomes()) {
+    uint64_t Total = Outcome.TakenCount + Outcome.NotTakenCount;
+    if (Total < MinCount)
+      continue;
+    if (Outcome.TakenCount != 0 && Outcome.NotTakenCount != 0)
+      continue;
+    ConstantPredicateRow Row;
+    Row.Node = Node;
+    Row.Instr = P.graph().node(Node).Instr;
+    Row.Executions = Total;
+    Row.AlwaysTrue = Outcome.TakenCount != 0;
+    Row.OperandCost = CM.hrac(Node);
+    Row.Text = instToString(M, *M.getInstr(Row.Instr)) + " @ " +
+               M.getInstrFunction(Row.Instr)->getName();
+    Rows.push_back(std::move(Row));
+  }
+  std::sort(Rows.begin(), Rows.end(),
+            [](const ConstantPredicateRow &A, const ConstantPredicateRow &B) {
+              double WA = double(A.OperandCost) * double(A.Executions);
+              double WB = double(B.OperandCost) * double(B.Executions);
+              if (WA != WB)
+                return WA > WB;
+              return A.Instr < B.Instr;
+            });
+  return Rows;
+}

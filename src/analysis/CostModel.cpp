@@ -1,0 +1,194 @@
+//===- analysis/CostModel.cpp - Relative abstract costs/benefits -----------===//
+
+#include "analysis/CostModel.h"
+
+#include <algorithm>
+
+using namespace lud;
+
+CostModel::CostModel(const DepGraph &G) : G(G) {
+  auto Note = [&](const HeapLoc &L) {
+    std::vector<FieldSlot> &Slots = FieldsByTag[L.Tag];
+    if (std::find(Slots.begin(), Slots.end(), L.Slot) == Slots.end())
+      Slots.push_back(L.Slot);
+  };
+  for (const auto &[Loc, Writers] : G.writers())
+    Note(Loc);
+  for (const auto &[Loc, Readers] : G.readers())
+    Note(Loc);
+  for (auto &[Tag, Slots] : FieldsByTag)
+    std::sort(Slots.begin(), Slots.end());
+}
+
+namespace {
+
+/// Shared BFS worker. Follows Out edges when Forward, else In edges.
+/// Neighbors for which \p Blocked returns true are neither counted nor
+/// expanded. Returns the frequency sum over visited nodes (start included)
+/// and invokes \p OnVisit for each visited node.
+template <typename BlockedFn, typename VisitFn>
+uint64_t closureFreq(const DepGraph &G, NodeId Start, bool Forward,
+                     BlockedFn Blocked, VisitFn OnVisit) {
+  std::vector<NodeId> Work;
+  std::unordered_map<NodeId, bool> Visited;
+  Work.push_back(Start);
+  Visited[Start] = true;
+  uint64_t Sum = 0;
+  while (!Work.empty()) {
+    NodeId N = Work.back();
+    Work.pop_back();
+    const DepGraph::Node &Node = G.node(N);
+    Sum += Node.Freq;
+    OnVisit(Node);
+    const std::vector<NodeId> &Next = Forward ? Node.Out : Node.In;
+    for (NodeId M : Next) {
+      if (Visited.count(M))
+        continue;
+      Visited[M] = true;
+      if (Blocked(G.node(M)))
+        continue;
+      Work.push_back(M);
+    }
+  }
+  return Sum;
+}
+
+} // namespace
+
+uint64_t CostModel::abstractCost(NodeId N) const {
+  return closureFreq(
+      G, N, /*Forward=*/false, [](const DepGraph::Node &) { return false; },
+      [](const DepGraph::Node &) {});
+}
+
+uint64_t CostModel::hrac(NodeId N) const {
+  auto It = HracCache.find(N);
+  if (It != HracCache.end())
+    return It->second;
+  // Definition 5: no node on the path may read from a static or object
+  // field, so heap-reading predecessors are not entered (and not counted).
+  uint64_t Cost = closureFreq(
+      G, N, /*Forward=*/false,
+      [](const DepGraph::Node &M) { return M.ReadsHeap; },
+      [](const DepGraph::Node &) {});
+  HracCache.emplace(N, Cost);
+  return Cost;
+}
+
+const BenefitInfo &CostModel::hrab(NodeId N) const {
+  auto It = HrabCache.find(N);
+  if (It != HrabCache.end())
+    return It->second;
+  BenefitInfo Info;
+  Info.Benefit = closureFreq(
+      G, N, /*Forward=*/true,
+      [](const DepGraph::Node &M) { return M.WritesHeap; },
+      [&Info](const DepGraph::Node &M) {
+        if (M.Consumer == ConsumerKind::Predicate)
+          Info.ReachesPredicate = true;
+        else if (M.Consumer == ConsumerKind::Native)
+          Info.ReachesNative = true;
+      });
+  return HrabCache.emplace(N, Info).first->second;
+}
+
+LocCostBenefit CostModel::locCostBenefit(const HeapLoc &L) const {
+  LocCostBenefit CB;
+  auto WIt = G.writers().find(L);
+  if (WIt != G.writers().end() && !WIt->second.empty()) {
+    uint64_t Sum = 0;
+    for (NodeId W : WIt->second)
+      Sum += hrac(W);
+    CB.NumWriters = WIt->second.size();
+    CB.Rac = double(Sum) / double(CB.NumWriters);
+  }
+  auto RIt = G.readers().find(L);
+  if (RIt != G.readers().end() && !RIt->second.empty()) {
+    uint64_t Sum = 0;
+    for (NodeId R : RIt->second) {
+      const BenefitInfo &B = hrab(R);
+      Sum += B.Benefit;
+      CB.ReachesPredicate |= B.ReachesPredicate;
+      CB.ReachesNative |= B.ReachesNative;
+    }
+    CB.NumReaders = RIt->second.size();
+    CB.Rab = double(Sum) / double(CB.NumReaders);
+  }
+  return CB;
+}
+
+const std::vector<FieldSlot> &CostModel::fieldsOf(uint64_t Tag) const {
+  static const std::vector<FieldSlot> Empty;
+  auto It = FieldsByTag.find(Tag);
+  return It == FieldsByTag.end() ? Empty : It->second;
+}
+
+std::vector<uint64_t> CostModel::allTags() const {
+  std::vector<uint64_t> Tags;
+  Tags.reserve(G.allocNodes().size());
+  for (const auto &[Tag, Node] : G.allocNodes())
+    Tags.push_back(Tag);
+  std::sort(Tags.begin(), Tags.end());
+  return Tags;
+}
+
+ObjectCostBenefit CostModel::objectCostBenefit(uint64_t RootTag,
+                                               unsigned Depth) const {
+  ObjectCostBenefit Out;
+  // Definition 7: breadth-first reference tree of height Depth, cycles and
+  // nodes deeper than Depth removed.
+  std::unordered_map<uint64_t, unsigned> DepthOf;
+  std::vector<uint64_t> Order;
+  DepthOf[RootTag] = 0;
+  Order.push_back(RootTag);
+  for (size_t Head = 0; Head != Order.size(); ++Head) {
+    uint64_t Tag = Order[Head];
+    unsigned D = DepthOf[Tag];
+    if (D >= Depth)
+      continue;
+    for (FieldSlot Slot : fieldsOf(Tag)) {
+      auto It = G.refChildren().find(HeapLoc{Tag, Slot});
+      if (It == G.refChildren().end())
+        continue;
+      for (uint64_t Child : It->second) {
+        if (DepthOf.count(Child))
+          continue; // Cycle / diamond: keep the first (shallowest) depth.
+        DepthOf[Child] = D + 1;
+        Order.push_back(Child);
+      }
+    }
+  }
+  Out.TreeObjects = Order.size();
+
+  // Fields of objects at depth < n count (scalar fields always, reference
+  // fields when a pointed-to object is inside the tree). 1-RAC is thus the
+  // object's own fields; each extra level adds one ring of the structure.
+  for (uint64_t Tag : Order) {
+    if (DepthOf[Tag] >= Depth)
+      continue;
+    for (FieldSlot Slot : fieldsOf(Tag)) {
+      HeapLoc L{Tag, Slot};
+      // Reference fields count only when a pointed-to object is in the
+      // tree as well (Definition 7); scalar fields always count.
+      auto RC = G.refChildren().find(L);
+      if (RC != G.refChildren().end()) {
+        bool AnyChildInTree = false;
+        for (uint64_t Child : RC->second) {
+          if (DepthOf.count(Child)) {
+            AnyChildInTree = true;
+            break;
+          }
+        }
+        if (!AnyChildInTree)
+          continue;
+      }
+      LocCostBenefit CB = locCostBenefit(L);
+      Out.NRac += CB.Rac;
+      Out.NRab += CB.Rab;
+      Out.ReachesPredicate |= CB.ReachesPredicate;
+      Out.ReachesNative |= CB.ReachesNative;
+      ++Out.FieldsCounted;
+    }
+  }
+  return Out;
+}

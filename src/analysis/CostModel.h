@@ -1,0 +1,104 @@
+//===- analysis/CostModel.h - Relative abstract costs/benefits -*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cost side of the paper (Section 2.2 and 3.1):
+///   - abstract cost (Definition 4): total frequency of the backward slice;
+///   - HRAC (Definition 5): single-hop heap-relative abstract cost — the
+///     stack work since the last heap reads;
+///   - HRAB (Definition 6): the forward dual — the stack work done with the
+///     value before it is written back into the heap;
+///   - RAC/RAB per abstract heap location (mean over its writers/readers);
+///   - n-RAC / n-RAB (Definition 7): aggregation over an object reference
+///     tree of bounded height (default n = 4, the HashSet chain length).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_ANALYSIS_COSTMODEL_H
+#define LUD_ANALYSIS_COSTMODEL_H
+
+#include "profiling/DepGraph.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace lud {
+
+/// HRAB plus consumption flags (Section 3.1's "special treatment" inputs).
+struct BenefitInfo {
+  uint64_t Benefit = 0;
+  /// The value can flow into a branch condition.
+  bool ReachesPredicate = false;
+  /// The value can flow into a native call (program output).
+  bool ReachesNative = false;
+};
+
+/// Per-abstract-location relative cost/benefit (Definitions 5/6 averaged
+/// over the location's writer/reader nodes).
+struct LocCostBenefit {
+  double Rac = 0;
+  double Rab = 0;
+  uint64_t NumWriters = 0;
+  uint64_t NumReaders = 0;
+  bool ReachesPredicate = false;
+  bool ReachesNative = false;
+};
+
+/// Definition 7 aggregates over the reference tree.
+struct ObjectCostBenefit {
+  double NRac = 0;
+  double NRab = 0;
+  uint64_t FieldsCounted = 0;
+  uint64_t TreeObjects = 0;
+  bool ReachesPredicate = false;
+  bool ReachesNative = false;
+};
+
+/// Query object over a finished Gcost. All traversal results are memoized;
+/// the graph must not change afterwards.
+class CostModel {
+public:
+  explicit CostModel(const DepGraph &G);
+
+  const DepGraph &graph() const { return G; }
+
+  /// Definition 4: sum of frequencies of all nodes that reach \p N
+  /// (including N itself).
+  uint64_t abstractCost(NodeId N) const;
+
+  /// Definition 5: like abstractCost but traversal refuses to enter
+  /// heap-reading nodes — one heap-to-heap hop of stack work.
+  uint64_t hrac(NodeId N) const;
+
+  /// Definition 6: forward dual of hrac; traversal refuses to enter
+  /// heap-writing nodes. Also reports consumer reachability.
+  const BenefitInfo &hrab(NodeId N) const;
+
+  /// RAC/RAB for one abstract heap location.
+  LocCostBenefit locCostBenefit(const HeapLoc &L) const;
+
+  /// n-RAC and n-RAB for the object(s) tagged \p RootTag, aggregating field
+  /// RAC/RABs over the reference tree of height \p Depth (cycles cut).
+  ObjectCostBenefit objectCostBenefit(uint64_t RootTag, unsigned Depth) const;
+
+  /// All field slots observed (written or read) on objects tagged \p Tag.
+  const std::vector<FieldSlot> &fieldsOf(uint64_t Tag) const;
+
+  /// Tags whose allocations the graph recorded, in deterministic order.
+  std::vector<uint64_t> allTags() const;
+
+private:
+  const DepGraph &G;
+  /// tag -> observed field slots (sorted).
+  std::unordered_map<uint64_t, std::vector<FieldSlot>> FieldsByTag;
+  mutable std::unordered_map<NodeId, uint64_t> HracCache;
+  mutable std::unordered_map<NodeId, BenefitInfo> HrabCache;
+};
+
+} // namespace lud
+
+#endif // LUD_ANALYSIS_COSTMODEL_H

@@ -1,0 +1,106 @@
+//===- analysis/MultiHop.cpp - Multi-hop relative costs --------------------===//
+
+#include "analysis/MultiHop.h"
+
+#include <unordered_map>
+#include <vector>
+
+using namespace lud;
+
+namespace {
+
+/// Budgeted closure: from Start, follow In (backward) or Out (forward)
+/// edges; entering a boundary node (heap read backward / heap write
+/// forward) costs one hop of budget and boundary nodes are counted.
+/// Revisits are allowed when they carry a larger remaining budget.
+template <typename BoundaryFn, typename VisitFn>
+uint64_t budgetedClosure(const DepGraph &G, NodeId Start, bool Forward,
+                         unsigned Budget, BoundaryFn IsBoundary,
+                         VisitFn OnVisit) {
+  std::unordered_map<NodeId, unsigned> BestBudget;
+  std::vector<std::pair<NodeId, unsigned>> Work;
+  BestBudget[Start] = Budget;
+  Work.push_back({Start, Budget});
+  uint64_t Sum = G.node(Start).Freq;
+  OnVisit(G.node(Start));
+
+  while (!Work.empty()) {
+    auto [N, H] = Work.back();
+    Work.pop_back();
+    if (BestBudget[N] > H)
+      continue; // A better path already processed this node.
+    const std::vector<NodeId> &Next =
+        Forward ? G.node(N).Out : G.node(N).In;
+    for (NodeId M : Next) {
+      unsigned NextBudget = H;
+      if (IsBoundary(G.node(M))) {
+        if (H == 0)
+          continue;
+        NextBudget = H - 1;
+      }
+      auto It = BestBudget.find(M);
+      if (It != BestBudget.end() && It->second >= NextBudget)
+        continue;
+      if (It == BestBudget.end()) {
+        Sum += G.node(M).Freq;
+        OnVisit(G.node(M));
+        BestBudget.emplace(M, NextBudget);
+      } else {
+        It->second = NextBudget;
+      }
+      Work.push_back({M, NextBudget});
+    }
+  }
+  return Sum;
+}
+
+} // namespace
+
+uint64_t lud::multiHopCost(const DepGraph &G, NodeId N, unsigned Hops) {
+  unsigned Budget = Hops == 0 ? 0 : Hops - 1;
+  return budgetedClosure(
+      G, N, /*Forward=*/false, Budget,
+      [](const DepGraph::Node &M) { return M.ReadsHeap; },
+      [](const DepGraph::Node &) {});
+}
+
+BenefitInfo lud::multiHopBenefit(const DepGraph &G, NodeId N, unsigned Hops) {
+  unsigned Budget = Hops == 0 ? 0 : Hops - 1;
+  BenefitInfo Info;
+  Info.Benefit = budgetedClosure(
+      G, N, /*Forward=*/true, Budget,
+      [](const DepGraph::Node &M) { return M.WritesHeap; },
+      [&Info](const DepGraph::Node &M) {
+        if (M.Consumer == ConsumerKind::Predicate)
+          Info.ReachesPredicate = true;
+        else if (M.Consumer == ConsumerKind::Native)
+          Info.ReachesNative = true;
+      });
+  return Info;
+}
+
+LocCostBenefit lud::multiHopLocCostBenefit(const DepGraph &G,
+                                           const HeapLoc &L, unsigned Hops) {
+  LocCostBenefit CB;
+  auto WIt = G.writers().find(L);
+  if (WIt != G.writers().end() && !WIt->second.empty()) {
+    uint64_t Sum = 0;
+    for (NodeId W : WIt->second)
+      Sum += multiHopCost(G, W, Hops);
+    CB.NumWriters = WIt->second.size();
+    CB.Rac = double(Sum) / double(CB.NumWriters);
+  }
+  auto RIt = G.readers().find(L);
+  if (RIt != G.readers().end() && !RIt->second.empty()) {
+    uint64_t Sum = 0;
+    for (NodeId R : RIt->second) {
+      BenefitInfo B = multiHopBenefit(G, R, Hops);
+      Sum += B.Benefit;
+      CB.ReachesPredicate |= B.ReachesPredicate;
+      CB.ReachesNative |= B.ReachesNative;
+    }
+    CB.NumReaders = RIt->second.size();
+    CB.Rab = double(Sum) / double(CB.NumReaders);
+  }
+  return CB;
+}

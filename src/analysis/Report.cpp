@@ -1,0 +1,126 @@
+//===- analysis/Report.cpp - Low-utility data structure ranking ------------===//
+
+#include "analysis/Report.h"
+
+#include "ir/Module.h"
+#include "support/OutStream.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace lud;
+
+LowUtilityReport::LowUtilityReport(const CostModel &CM, const Module &M,
+                                   ReportOptions Opts)
+    : Opts(Opts) {
+  const DepGraph &G = CM.graph();
+
+  // Aggregate tag-level cost/benefit per allocation site.
+  std::map<AllocSiteId, SiteScore> BySite;
+  for (uint64_t Tag : CM.allTags()) {
+    if (DepGraph::isStaticTag(Tag))
+      continue;
+    ObjectCostBenefit CB = CM.objectCostBenefit(Tag, Opts.Depth);
+    AllocSiteId Site = G.tagSite(Tag);
+    SiteScore &S = BySite[Site];
+    S.Site = Site;
+    if (S.Description.empty())
+      S.Description = M.describeAllocSite(Site);
+    S.NRac += CB.NRac;
+    S.NRab += CB.NRab;
+    S.ReachesPredicate |= CB.ReachesPredicate;
+    S.ReachesNative |= CB.ReachesNative;
+    ++S.NumContexts;
+    // Raw activity for the report columns.
+    for (FieldSlot Slot : CM.fieldsOf(Tag)) {
+      auto WIt = G.writers().find(HeapLoc{Tag, Slot});
+      if (WIt != G.writers().end())
+        for (NodeId W : WIt->second)
+          S.Writes += G.node(W).Freq;
+      auto RIt = G.readers().find(HeapLoc{Tag, Slot});
+      if (RIt != G.readers().end())
+        for (NodeId R : RIt->second)
+          S.Reads += G.node(R).Freq;
+    }
+  }
+
+  for (auto &[Site, S] : BySite) {
+    if (S.NRac < Opts.MinCost)
+      continue;
+    double Benefit = S.NRab;
+    bool Infinite = false;
+    auto Apply = [&](bool Reaches, ConsumerWeight W) {
+      if (!Reaches)
+        return;
+      switch (W) {
+      case ConsumerWeight::Zero:
+        break;
+      case ConsumerWeight::Large:
+        Benefit += Opts.LargeBenefit;
+        break;
+      case ConsumerWeight::Infinite:
+        Infinite = true;
+        break;
+      }
+    };
+    Apply(S.ReachesPredicate, Opts.PredicateWeight);
+    Apply(S.ReachesNative, Opts.NativeWeight);
+    if (Infinite)
+      S.Ratio = 0;
+    else
+      S.Ratio = S.NRac / std::max(Benefit, 1e-9);
+    Sites.push_back(S);
+  }
+
+  std::sort(Sites.begin(), Sites.end(),
+            [](const SiteScore &A, const SiteScore &B) {
+              if (A.Ratio != B.Ratio)
+                return A.Ratio > B.Ratio;
+              if (A.NRac != B.NRac)
+                return A.NRac > B.NRac;
+              return A.Site < B.Site;
+            });
+}
+
+int LowUtilityReport::rankOf(AllocSiteId Site) const {
+  for (size_t I = 0; I != Sites.size(); ++I)
+    if (Sites[I].Site == Site)
+      return int(I);
+  return -1;
+}
+
+void LowUtilityReport::print(OutStream &OS, size_t TopK) const {
+  OS << "rank  ratio        n-RAC        n-RAB   writes    reads  ctxs  "
+        "flags  allocation site\n";
+  size_t Limit = std::min(TopK, Sites.size());
+  for (size_t I = 0; I != Limit; ++I) {
+    const SiteScore &S = Sites[I];
+    char Ratio[16];
+    if (S.Ratio > 1e9) // Benefit is zero: the structure is never read.
+      std::snprintf(Ratio, sizeof(Ratio), "%s", "dead");
+    else
+      std::snprintf(Ratio, sizeof(Ratio), "%.1f", S.Ratio);
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf), "%4zu  %9s %12.1f %12.1f %8llu %8llu %5u",
+                  I + 1, Ratio, S.NRac, S.NRab,
+                  (unsigned long long)S.Writes, (unsigned long long)S.Reads,
+                  S.NumContexts);
+    OS << Buf << "  " << (S.ReachesNative ? 'N' : '-')
+       << (S.ReachesPredicate ? 'P' : '-') << "    " << S.Description << "\n";
+  }
+}
+
+std::vector<SiteScore>
+LowUtilityReport::filterByClass(const Module &M,
+                                const std::vector<ClassId> &Classes) const {
+  std::vector<SiteScore> Out;
+  for (const SiteScore &S : Sites) {
+    const Instruction *I = M.getAllocSite(S.Site);
+    const auto *A = dyn_cast<AllocInst>(I);
+    if (!A)
+      continue;
+    if (std::find(Classes.begin(), Classes.end(), A->Class) != Classes.end())
+      Out.push_back(S);
+  }
+  return Out;
+}

@@ -1,0 +1,92 @@
+//===- ir/ClassDecl.h - Class declarations and layouts ---------*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classes with single inheritance, named/typed fields, and virtual method
+/// tables. Object layouts place superclass fields first; a class's first
+/// slot is computed lazily the first time one of its fields is resolved,
+/// which freezes the superclass's field list.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_IR_CLASSDECL_H
+#define LUD_IR_CLASSDECL_H
+
+#include "ir/Ids.h"
+#include "ir/Type.h"
+
+#include <cassert>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lud {
+
+/// A field declared directly on a class (not inherited).
+struct FieldDecl {
+  std::string Name;
+  Type Ty;
+};
+
+/// A class declaration. Use Module::resolveField to obtain layout slots;
+/// Module::finalize() flattens vtables.
+class ClassDecl {
+public:
+  ClassDecl(ClassId Id, std::string Name, ClassId Super)
+      : Id(Id), Name(std::move(Name)), Super(Super) {}
+
+  /// Declares a field on this class; returns its index among own fields.
+  /// The layout slot is FirstSlot + index, available via Module.
+  uint32_t addField(std::string Name, Type Ty) {
+    assert(!LayoutFrozen &&
+           "cannot add fields after a subclass layout was computed");
+    OwnFields.push_back({std::move(Name), Ty});
+    return OwnFields.size() - 1;
+  }
+
+  /// Registers \p Func as the implementation of virtual method \p Method on
+  /// this class (overrides any inherited binding after finalize).
+  void addMethod(MethodNameId Method, FuncId Func) { OwnMethods[Method] = Func; }
+
+  ClassId getId() const { return Id; }
+  const std::string &getName() const { return Name; }
+  ClassId getSuper() const { return Super; }
+  const std::vector<FieldDecl> &ownFields() const { return OwnFields; }
+  const std::unordered_map<MethodNameId, FuncId> &ownMethods() const {
+    return OwnMethods;
+  }
+
+  /// Flattened method table (inherited + own, own wins); valid after
+  /// Module::finalize().
+  std::unordered_map<MethodNameId, FuncId> Vtable;
+  /// Total layout slots including inherited fields; valid after finalize.
+  uint32_t NumSlots = 0;
+
+private:
+  friend class Module;
+
+  ClassId Id;
+  std::string Name;
+  ClassId Super;
+  std::vector<FieldDecl> OwnFields;
+  std::unordered_map<MethodNameId, FuncId> OwnMethods;
+
+  // Lazy layout cache, maintained by Module::classFirstSlot.
+  mutable FieldSlot FirstSlot = 0;
+  mutable bool FirstSlotKnown = false;
+  mutable bool LayoutFrozen = false;
+};
+
+/// A module-level static variable (the paper's A.f statics).
+struct GlobalDecl {
+  std::string Name;
+  Type Ty;
+};
+
+} // namespace lud
+
+#endif // LUD_IR_CLASSDECL_H

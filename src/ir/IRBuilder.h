@@ -1,0 +1,199 @@
+//===- ir/IRBuilder.h - Convenience IR construction ------------*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A stateful builder that appends instructions to a current block, with
+/// automatic register allocation. Used by workload generators, tests and
+/// examples; the textual parser builds IR through Module directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_IR_IRBUILDER_H
+#define LUD_IR_IRBUILDER_H
+
+#include "ir/Module.h"
+#include "support/ErrorHandling.h"
+
+namespace lud {
+
+class IRBuilder {
+public:
+  explicit IRBuilder(Module &M) : M(M) {}
+
+  Module &module() { return M; }
+
+  //===--------------------------------------------------------------------===
+  // Function scaffolding.
+  //===--------------------------------------------------------------------===
+
+  /// Starts a new function with an entry block; parameters occupy registers
+  /// [0, NumParams). Call endFunction() when all blocks are emitted.
+  Function *beginFunction(const std::string &Name, unsigned NumParams,
+                          ClassId Owner = kNoClass) {
+    assert(!F && "previous function not ended");
+    F = M.addFunction(Name, NumParams, NumParams, Owner);
+    NextReg = NumParams;
+    BB = F->addBlock();
+    return F;
+  }
+
+  /// Starts an instance method and registers it in the owner's vtable under
+  /// \p Name's unqualified method name. `this` is parameter 0.
+  Function *beginMethod(ClassId Owner, const std::string &MethodName,
+                        unsigned NumParams) {
+    const std::string FullName = M.getClass(Owner)->getName() + "." +
+                                 MethodName;
+    Function *Fn = beginFunction(FullName, NumParams, Owner);
+    M.getClass(Owner)->addMethod(M.internMethodName(MethodName), Fn->getId());
+    return Fn;
+  }
+
+  /// Finalizes the current function's register count.
+  void endFunction() {
+    assert(F && "no function in progress");
+    F->setNumRegs(NextReg);
+    F = nullptr;
+    BB = nullptr;
+  }
+
+  /// Creates a new block in the current function (does not switch to it).
+  BasicBlock *newBlock() {
+    assert(F && "no function in progress");
+    return F->addBlock();
+  }
+
+  /// Redirects subsequent emission into \p B.
+  void setBlock(BasicBlock *B) { BB = B; }
+  BasicBlock *block() const { return BB; }
+  Function *function() const { return F; }
+
+  /// Allocates a fresh virtual register.
+  Reg newReg() {
+    if (NextReg == kNoReg)
+      lud_unreachable("virtual register space exhausted");
+    return NextReg++;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Instruction emission. Value-producing emitters return the dst register.
+  //===--------------------------------------------------------------------===
+
+  Reg iconst(int64_t V) { return dstOf(ConstInst::makeInt(newReg(), V)); }
+  Reg fconst(double V) { return dstOf(ConstInst::makeFloat(newReg(), V)); }
+  Reg nullconst() { return dstOf(ConstInst::makeNull(newReg())); }
+  /// Emits an integer constant directly into \p Dst.
+  void iconstInto(Reg Dst, int64_t V) { append(ConstInst::makeInt(Dst, V)); }
+
+  Reg move(Reg Src) { return dstOf(new AssignInst(newReg(), Src)); }
+  void moveInto(Reg Dst, Reg Src) { append(new AssignInst(Dst, Src)); }
+
+  Reg bin(BinOp Op, Reg L, Reg R) {
+    return dstOf(new BinInst(Op, newReg(), L, R));
+  }
+  void binInto(Reg Dst, BinOp Op, Reg L, Reg R) {
+    append(new BinInst(Op, Dst, L, R));
+  }
+  Reg add(Reg L, Reg R) { return bin(BinOp::Add, L, R); }
+  Reg sub(Reg L, Reg R) { return bin(BinOp::Sub, L, R); }
+  Reg mul(Reg L, Reg R) { return bin(BinOp::Mul, L, R); }
+
+  Reg un(UnOp Op, Reg S) { return dstOf(new UnInst(Op, newReg(), S)); }
+
+  Reg alloc(ClassId C) { return dstOf(new AllocInst(newReg(), C)); }
+  Reg allocArray(TypeKind Elem, Reg Len) {
+    return dstOf(new AllocArrayInst(newReg(), Elem, Len));
+  }
+
+  Reg loadField(Reg Base, ClassId C, const std::string &Field) {
+    FieldSlot Slot;
+    if (!M.resolveField(C, Field, Slot))
+      lud_unreachable("loadField: unknown field");
+    return dstOf(new LoadFieldInst(newReg(), Base, C, Slot));
+  }
+  void storeField(Reg Base, ClassId C, const std::string &Field, Reg Src) {
+    FieldSlot Slot;
+    if (!M.resolveField(C, Field, Slot))
+      lud_unreachable("storeField: unknown field");
+    append(new StoreFieldInst(Base, C, Slot, Src));
+  }
+
+  Reg loadStatic(GlobalId G) { return dstOf(new LoadStaticInst(newReg(), G)); }
+  void storeStatic(GlobalId G, Reg Src) {
+    append(new StoreStaticInst(G, Src));
+  }
+
+  Reg loadElem(Reg Base, Reg Index) {
+    return dstOf(new LoadElemInst(newReg(), Base, Index));
+  }
+  void storeElem(Reg Base, Reg Index, Reg Src) {
+    append(new StoreElemInst(Base, Index, Src));
+  }
+  Reg arrayLen(Reg Base) { return dstOf(new ArrayLenInst(newReg(), Base)); }
+
+  /// Direct call to the function named \p Callee (must already exist).
+  Reg call(const std::string &Callee, std::vector<Reg> Args) {
+    FuncId Id = M.findFunction(Callee);
+    if (Id == kNoFunc)
+      lud_unreachable("call: unknown function");
+    return dstOf(CallInst::makeDirect(newReg(), Id, std::move(Args)));
+  }
+  Reg call(FuncId Callee, std::vector<Reg> Args) {
+    return dstOf(CallInst::makeDirect(newReg(), Callee, std::move(Args)));
+  }
+  /// Direct call whose result is discarded.
+  void callVoid(const std::string &Callee, std::vector<Reg> Args) {
+    FuncId Id = M.findFunction(Callee);
+    if (Id == kNoFunc)
+      lud_unreachable("callVoid: unknown function");
+    append(CallInst::makeDirect(kNoReg, Id, std::move(Args)));
+  }
+  /// Virtual call; Args[0] is the receiver.
+  Reg vcall(const std::string &Method, std::vector<Reg> Args) {
+    return dstOf(CallInst::makeVirtual(newReg(), M.internMethodName(Method),
+                                       std::move(Args)));
+  }
+  void vcallVoid(const std::string &Method, std::vector<Reg> Args) {
+    append(CallInst::makeVirtual(kNoReg, M.internMethodName(Method),
+                                 std::move(Args)));
+  }
+
+  Reg ncall(const std::string &Native, std::vector<Reg> Args) {
+    return dstOf(new NativeCallInst(newReg(), M.internNativeName(Native),
+                                    std::move(Args)));
+  }
+  void ncallVoid(const std::string &Native, std::vector<Reg> Args) {
+    append(new NativeCallInst(kNoReg, M.internNativeName(Native),
+                              std::move(Args)));
+  }
+
+  void br(BasicBlock *Target) { append(new BrInst(Target->getId())); }
+  void condBr(CmpOp Cmp, Reg L, Reg R, BasicBlock *TrueB, BasicBlock *FalseB) {
+    append(new CondBrInst(Cmp, L, R, TrueB->getId(), FalseB->getId()));
+  }
+  void ret(Reg Src = kNoReg) { append(new ReturnInst(Src)); }
+
+  /// Appends an already-constructed instruction (takes ownership).
+  Instruction *append(Instruction *I) {
+    assert(BB && "no insertion block");
+    return BB->append(I);
+  }
+
+private:
+  template <typename InstT> Reg dstOf(InstT *I) {
+    append(I);
+    return I->Dst;
+  }
+
+  Module &M;
+  Function *F = nullptr;
+  BasicBlock *BB = nullptr;
+  Reg NextReg = 0;
+};
+
+} // namespace lud
+
+#endif // LUD_IR_IRBUILDER_H

@@ -1,0 +1,51 @@
+//===- ir/Ids.h - Common identifier types and sentinels --------*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense integer identifiers used across the IR, runtime and profiler, with
+/// their "absent" sentinels. Everything is index-based so the profiler can
+/// use flat vectors keyed by these ids.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_IR_IDS_H
+#define LUD_IR_IDS_H
+
+#include <cstdint>
+
+namespace lud {
+
+/// Virtual register index within a function frame.
+using Reg = uint16_t;
+/// Index into Module's class table.
+using ClassId = uint32_t;
+/// Index into Module's function table.
+using FuncId = uint32_t;
+/// Index into Module's global (static) table.
+using GlobalId = uint32_t;
+/// Index into the runtime native registry.
+using NativeId = uint32_t;
+/// Globally dense instruction number, assigned by Module::finalize().
+using InstrId = uint32_t;
+/// Dense id of an allocation instruction, assigned by Module::finalize().
+using AllocSiteId = uint32_t;
+/// Interned virtual-method name.
+using MethodNameId = uint32_t;
+/// Field slot index within an object layout (superclass fields first).
+using FieldSlot = uint32_t;
+
+inline constexpr Reg kNoReg = 0xFFFF;
+inline constexpr ClassId kNoClass = 0xFFFFFFFF;
+inline constexpr FuncId kNoFunc = 0xFFFFFFFF;
+inline constexpr GlobalId kNoGlobal = 0xFFFFFFFF;
+inline constexpr InstrId kNoInstr = 0xFFFFFFFF;
+inline constexpr AllocSiteId kNoAllocSite = 0xFFFFFFFF;
+inline constexpr MethodNameId kNoMethodName = 0xFFFFFFFF;
+
+} // namespace lud
+
+#endif // LUD_IR_IDS_H

@@ -1,0 +1,985 @@
+//===- ir/Parser.cpp - Textual IR parser -----------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace lud;
+
+namespace {
+
+enum class Tok : uint8_t {
+  Ident,
+  IntLit,
+  FloatLit,
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Colon,
+  ColonColon,
+  Semi,
+  Comma,
+  Eq,
+  EqEq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  At,
+  Dot,
+  End,
+};
+
+struct Token {
+  Tok Kind;
+  std::string_view Text;
+  unsigned Line;
+};
+
+/// Tokenizes the whole input up front; the parser then works on the token
+/// vector in two passes (declarations, then bodies).
+class Lexer {
+public:
+  Lexer(std::string_view Text, std::vector<std::string> &Errors)
+      : Text(Text), Errors(Errors) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Out;
+    while (true) {
+      Token T = next();
+      Out.push_back(T);
+      if (T.Kind == Tok::End)
+        break;
+    }
+    return Out;
+  }
+
+private:
+  Token make(Tok K, size_t Start) {
+    return {K, Text.substr(Start, Pos - Start), Line};
+  }
+
+  Token next() {
+    // Skip whitespace and comments.
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+      } else if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == '#') {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+    if (Pos >= Text.size())
+      return {Tok::End, {}, Line};
+
+    size_t Start = Pos;
+    char C = Text[Pos];
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      while (Pos < Text.size() &&
+             (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+              Text[Pos] == '_'))
+        ++Pos;
+      return make(Tok::Ident, Start);
+    }
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '-' && Pos + 1 < Text.size() &&
+         std::isdigit(static_cast<unsigned char>(Text[Pos + 1])))) {
+      ++Pos;
+      bool IsFloat = false;
+      while (Pos < Text.size()) {
+        char D = Text[Pos];
+        if (std::isdigit(static_cast<unsigned char>(D))) {
+          ++Pos;
+        } else if (D == '.' && Pos + 1 < Text.size() &&
+                   std::isdigit(static_cast<unsigned char>(Text[Pos + 1]))) {
+          IsFloat = true;
+          ++Pos;
+        } else if (D == 'e' || D == 'E') {
+          IsFloat = true;
+          ++Pos;
+          if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+            ++Pos;
+        } else {
+          break;
+        }
+      }
+      return make(IsFloat ? Tok::FloatLit : Tok::IntLit, Start);
+    }
+
+    ++Pos;
+    switch (C) {
+    case '{':
+      return make(Tok::LBrace, Start);
+    case '}':
+      return make(Tok::RBrace, Start);
+    case '(':
+      return make(Tok::LParen, Start);
+    case ')':
+      return make(Tok::RParen, Start);
+    case '[':
+      return make(Tok::LBracket, Start);
+    case ']':
+      return make(Tok::RBracket, Start);
+    case ';':
+      return make(Tok::Semi, Start);
+    case ',':
+      return make(Tok::Comma, Start);
+    case '@':
+      return make(Tok::At, Start);
+    case '.':
+      return make(Tok::Dot, Start);
+    case ':':
+      if (Pos < Text.size() && Text[Pos] == ':') {
+        ++Pos;
+        return make(Tok::ColonColon, Start);
+      }
+      return make(Tok::Colon, Start);
+    case '=':
+      if (Pos < Text.size() && Text[Pos] == '=') {
+        ++Pos;
+        return make(Tok::EqEq, Start);
+      }
+      return make(Tok::Eq, Start);
+    case '!':
+      if (Pos < Text.size() && Text[Pos] == '=') {
+        ++Pos;
+        return make(Tok::Ne, Start);
+      }
+      break;
+    case '<':
+      if (Pos < Text.size() && Text[Pos] == '=') {
+        ++Pos;
+        return make(Tok::Le, Start);
+      }
+      return make(Tok::Lt, Start);
+    case '>':
+      if (Pos < Text.size() && Text[Pos] == '=') {
+        ++Pos;
+        return make(Tok::Ge, Start);
+      }
+      return make(Tok::Gt, Start);
+    default:
+      break;
+    }
+    Errors.push_back("line " + std::to_string(Line) +
+                     ": unexpected character '" + std::string(1, C) + "'");
+    return next();
+  }
+
+  std::string_view Text;
+  std::vector<std::string> &Errors;
+  size_t Pos = 0;
+  unsigned Line = 1;
+};
+
+/// Recursive-descent parser over the token vector. Pass 1 registers
+/// classes, globals and function signatures so bodies can reference
+/// declarations that appear later in the file; pass 2 parses fields and
+/// bodies.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, std::vector<std::string> &Errors)
+      : Tokens(std::move(Tokens)), Errors(Errors) {}
+
+  std::unique_ptr<Module> run() {
+    M = std::make_unique<Module>();
+    declPass();
+    if (!Errors.empty())
+      return nullptr;
+    Idx = 0;
+    bodyPass();
+    if (!Errors.empty())
+      return nullptr;
+    M->finalize();
+    if (!verifyModule(*M, Errors))
+      return nullptr;
+    return std::move(M);
+  }
+
+private:
+  //===--------------------------------------------------------------------===
+  // Token plumbing.
+  //===--------------------------------------------------------------------===
+
+  const Token &peek() const { return Tokens[Idx]; }
+  const Token &get() { return Tokens[Idx == Tokens.size() - 1 ? Idx : Idx++]; }
+  bool at(Tok K) const { return peek().Kind == K; }
+  bool atIdent(std::string_view S) const {
+    return at(Tok::Ident) && peek().Text == S;
+  }
+  bool accept(Tok K) {
+    if (!at(K))
+      return false;
+    get();
+    return true;
+  }
+  bool acceptIdent(std::string_view S) {
+    if (!atIdent(S))
+      return false;
+    get();
+    return true;
+  }
+  void error(const std::string &Msg) {
+    Errors.push_back("line " + std::to_string(peek().Line) + ": " + Msg);
+  }
+  bool expect(Tok K, const char *What) {
+    if (accept(K))
+      return true;
+    error(std::string("expected ") + What);
+    return false;
+  }
+  /// Skips tokens until (and including) one of the given kinds, for error
+  /// recovery at statement granularity.
+  void skipPastLineOf(Tok K) {
+    while (!at(Tok::End) && !accept(K))
+      get();
+  }
+
+  //===--------------------------------------------------------------------===
+  // Small parsers shared by both passes.
+  //===--------------------------------------------------------------------===
+
+  /// Parses a dotted identifier like "A.getVal" or "lud.input".
+  bool parseDottedName(std::string &Out) {
+    if (!at(Tok::Ident)) {
+      error("expected identifier");
+      return false;
+    }
+    Out = std::string(get().Text);
+    while (accept(Tok::Dot)) {
+      if (!at(Tok::Ident)) {
+        error("expected identifier after '.'");
+        return false;
+      }
+      Out += ".";
+      Out += get().Text;
+    }
+    return true;
+  }
+
+  /// Parses "rN" into a register index.
+  bool parseReg(Reg &Out) {
+    if (!at(Tok::Ident) || peek().Text.size() < 2 || peek().Text[0] != 'r') {
+      error("expected register (rN)");
+      return false;
+    }
+    std::string_view Digits = peek().Text.substr(1);
+    for (char C : Digits) {
+      if (!std::isdigit(static_cast<unsigned char>(C))) {
+        error("expected register (rN)");
+        return false;
+      }
+    }
+    unsigned long V = std::strtoul(std::string(Digits).c_str(), nullptr, 10);
+    if (V >= kNoReg) {
+      error("register index too large");
+      return false;
+    }
+    get();
+    Out = Reg(V);
+    return true;
+  }
+
+  /// Parses "bbN" into a block index.
+  bool parseBlockRef(uint32_t &Out) {
+    if (!at(Tok::Ident) || peek().Text.substr(0, 2) != "bb") {
+      error("expected block label (bbN)");
+      return false;
+    }
+    std::string Digits(peek().Text.substr(2));
+    if (Digits.empty()) {
+      error("expected block label (bbN)");
+      return false;
+    }
+    get();
+    Out = std::strtoul(Digits.c_str(), nullptr, 10);
+    return true;
+  }
+
+  bool parseType(Type &Out) {
+    if (!at(Tok::Ident)) {
+      error("expected type");
+      return false;
+    }
+    std::string Name(get().Text);
+    TypeKind Base;
+    if (Name == "int") {
+      Base = TypeKind::Int;
+    } else if (Name == "float") {
+      Base = TypeKind::Float;
+    } else if (Name == "ref") {
+      Base = TypeKind::Ref;
+    } else {
+      ClassId C = M->findClass(Name);
+      if (C == kNoClass) {
+        error("unknown type '" + Name + "'");
+        return false;
+      }
+      Out = Type::makeRef(C);
+      if (accept(Tok::LBracket)) {
+        expect(Tok::RBracket, "']'");
+        Out = Type::makeArray(TypeKind::Ref, C);
+      }
+      return true;
+    }
+    if (accept(Tok::LBracket)) {
+      expect(Tok::RBracket, "']'");
+      Out = Type::makeArray(Base);
+      return true;
+    }
+    switch (Base) {
+    case TypeKind::Int:
+      Out = Type::makeInt();
+      break;
+    case TypeKind::Float:
+      Out = Type::makeFloat();
+      break;
+    default:
+      Out = Type::makeRef();
+      break;
+    }
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Pass 1: declarations.
+  //===--------------------------------------------------------------------===
+
+  void declPass() {
+    while (!at(Tok::End)) {
+      if (acceptIdent("class")) {
+        declClass();
+      } else if (acceptIdent("global")) {
+        declGlobal();
+      } else if (atIdent("func") || atIdent("method")) {
+        declFunc();
+      } else {
+        error("expected top-level declaration");
+        get();
+      }
+      if (!Errors.empty())
+        return;
+    }
+  }
+
+  void declClass() {
+    if (!at(Tok::Ident)) {
+      error("expected class name");
+      return;
+    }
+    std::string Name(get().Text);
+    ClassId Super = kNoClass;
+    if (acceptIdent("extends")) {
+      if (!at(Tok::Ident)) {
+        error("expected superclass name");
+        return;
+      }
+      std::string SuperName(get().Text);
+      Super = M->findClass(SuperName);
+      if (Super == kNoClass) {
+        error("superclass '" + SuperName +
+              "' not declared (supers must precede subclasses)");
+        return;
+      }
+    }
+    if (M->findClass(Name) != kNoClass) {
+      error("duplicate class '" + Name + "'");
+      return;
+    }
+    M->addClass(Name, Super);
+    if (!expect(Tok::LBrace, "'{'"))
+      return;
+    // Skip the body; fields are parsed in pass 2.
+    unsigned Depth = 1;
+    while (Depth && !at(Tok::End)) {
+      if (at(Tok::LBrace))
+        ++Depth;
+      if (at(Tok::RBrace))
+        --Depth;
+      get();
+    }
+  }
+
+  void declGlobal() {
+    if (!at(Tok::Ident)) {
+      error("expected global name");
+      return;
+    }
+    std::string Name(get().Text);
+    if (!expect(Tok::Colon, "':'"))
+      return;
+    // The type may reference classes declared later; record a placeholder
+    // and fix it in pass 2 (globals are re-scanned there).
+    Type Ty = Type::makeInt();
+    if (at(Tok::Ident))
+      get();
+    if (accept(Tok::LBracket))
+      expect(Tok::RBracket, "']'");
+    if (M->findGlobal(Name) != kNoGlobal) {
+      error("duplicate global '" + Name + "'");
+      return;
+    }
+    M->addGlobal(Name, Ty);
+  }
+
+  void declFunc() {
+    bool IsMethod = peek().Text == "method";
+    get();
+    std::string Name;
+    if (!parseDottedName(Name))
+      return;
+    ClassId Owner = kNoClass;
+    if (IsMethod) {
+      size_t DotPos = Name.rfind('.');
+      if (DotPos == std::string::npos) {
+        error("method name must be Class.name");
+        return;
+      }
+      Owner = M->findClass(Name.substr(0, DotPos));
+      if (Owner == kNoClass) {
+        error("method on unknown class in '" + Name + "'");
+        return;
+      }
+    }
+    if (!expect(Tok::LParen, "'('"))
+      return;
+    unsigned NumParams = 0;
+    if (!at(Tok::RParen)) {
+      do {
+        Reg R;
+        if (!parseReg(R))
+          return;
+        if (R != NumParams) {
+          error("parameters must be r0, r1, ... in order");
+          return;
+        }
+        ++NumParams;
+      } while (accept(Tok::Comma));
+    }
+    if (!expect(Tok::RParen, "')'"))
+      return;
+    unsigned NumRegs = NumParams;
+    if (acceptIdent("regs")) {
+      if (!at(Tok::IntLit)) {
+        error("expected register count");
+        return;
+      }
+      NumRegs = std::strtoul(std::string(get().Text).c_str(), nullptr, 10);
+    }
+    if (M->findFunction(Name) != kNoFunc) {
+      error("duplicate function '" + Name + "'");
+      return;
+    }
+    Function *F = M->addFunction(Name, NumParams, NumRegs, Owner);
+    if (IsMethod) {
+      size_t DotPos = Name.rfind('.');
+      M->getClass(Owner)->addMethod(
+          M->internMethodName(Name.substr(DotPos + 1)), F->getId());
+    }
+    if (!expect(Tok::LBrace, "'{'"))
+      return;
+    unsigned Depth = 1;
+    while (Depth && !at(Tok::End)) {
+      if (at(Tok::LBrace))
+        ++Depth;
+      if (at(Tok::RBrace))
+        --Depth;
+      get();
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Pass 2: class fields, global types, function bodies.
+  //===--------------------------------------------------------------------===
+
+  void bodyPass() {
+    while (!at(Tok::End) && Errors.empty()) {
+      if (acceptIdent("class")) {
+        bodyClass();
+      } else if (acceptIdent("global")) {
+        bodyGlobal();
+      } else if (atIdent("func") || atIdent("method")) {
+        bodyFunc();
+      } else {
+        error("expected top-level declaration");
+        return;
+      }
+    }
+  }
+
+  void bodyClass() {
+    std::string Name(get().Text); // class name (validated in pass 1)
+    ClassDecl *C = M->getClass(M->findClass(Name));
+    if (acceptIdent("extends"))
+      get(); // superclass name
+    expect(Tok::LBrace, "'{'");
+    while (!at(Tok::RBrace) && !at(Tok::End)) {
+      if (!at(Tok::Ident)) {
+        error("expected field name");
+        return;
+      }
+      std::string FieldName(get().Text);
+      if (!expect(Tok::Colon, "':'"))
+        return;
+      Type Ty;
+      if (!parseType(Ty))
+        return;
+      expect(Tok::Semi, "';'");
+      C->addField(FieldName, Ty);
+    }
+    expect(Tok::RBrace, "'}'");
+  }
+
+  void bodyGlobal() {
+    std::string Name(get().Text);
+    GlobalId G = M->findGlobal(Name);
+    expect(Tok::Colon, "':'");
+    Type Ty;
+    if (!parseType(Ty))
+      return;
+    // Patch the placeholder type recorded in pass 1.
+    const_cast<GlobalDecl &>(M->globals()[G]).Ty = Ty;
+  }
+
+  void bodyFunc() {
+    get(); // func / method
+    std::string Name;
+    parseDottedName(Name);
+    F = M->getFunction(M->findFunction(Name));
+    // Re-skip the header (validated in pass 1).
+    while (!at(Tok::LBrace) && !at(Tok::End))
+      get();
+    expect(Tok::LBrace, "'{'");
+    CurBlock = nullptr;
+    while (!at(Tok::RBrace) && !at(Tok::End) && Errors.empty())
+      parseStatement();
+    expect(Tok::RBrace, "'}'");
+    F = nullptr;
+  }
+
+  /// Block with index \p Id, created on demand (forward branches).
+  BasicBlock *ensureBlock(uint32_t Id) {
+    while (F->blocks().size() <= Id)
+      F->addBlock();
+    return F->getBlock(Id);
+  }
+
+  void emit(Instruction *I) {
+    if (!CurBlock) {
+      error("statement before first block label");
+      delete I;
+      return;
+    }
+    CurBlock->append(I);
+  }
+
+  bool parseCmpOp(CmpOp &Out) {
+    switch (peek().Kind) {
+    case Tok::EqEq:
+      Out = CmpOp::Eq;
+      break;
+    case Tok::Ne:
+      Out = CmpOp::Ne;
+      break;
+    case Tok::Lt:
+      Out = CmpOp::Lt;
+      break;
+    case Tok::Le:
+      Out = CmpOp::Le;
+      break;
+    case Tok::Gt:
+      Out = CmpOp::Gt;
+      break;
+    case Tok::Ge:
+      Out = CmpOp::Ge;
+      break;
+    default:
+      error("expected comparison operator");
+      return false;
+    }
+    get();
+    return true;
+  }
+
+  bool parseArgs(std::vector<Reg> &Args) {
+    if (!expect(Tok::LParen, "'('"))
+      return false;
+    if (!at(Tok::RParen)) {
+      do {
+        Reg R;
+        if (!parseReg(R))
+          return false;
+        Args.push_back(R);
+      } while (accept(Tok::Comma));
+    }
+    return expect(Tok::RParen, "')'");
+  }
+
+  /// Parses "call f(..)" / "vcall m(..)" / "ncall n(..)" after the keyword
+  /// has been identified; \p Dst is kNoReg for statement position.
+  void parseCallTail(const std::string &Kind, Reg Dst) {
+    std::string Name;
+    if (!parseDottedName(Name))
+      return;
+    std::vector<Reg> Args;
+    if (!parseArgs(Args))
+      return;
+    if (Kind == "call") {
+      FuncId Callee = M->findFunction(Name);
+      if (Callee == kNoFunc) {
+        error("call to unknown function '" + Name + "'");
+        return;
+      }
+      emit(CallInst::makeDirect(Dst, Callee, std::move(Args)));
+    } else if (Kind == "vcall") {
+      if (Args.empty()) {
+        error("vcall needs a receiver argument");
+        return;
+      }
+      emit(CallInst::makeVirtual(Dst, M->internMethodName(Name),
+                                 std::move(Args)));
+    } else {
+      emit(new NativeCallInst(Dst, M->internNativeName(Name),
+                              std::move(Args)));
+    }
+  }
+
+  /// Field access suffix after "rBase." — either "Class::field" or a
+  /// module-unique "field".
+  bool parseFieldSuffix(ClassId &ClassOut, FieldSlot &SlotOut) {
+    if (!at(Tok::Ident)) {
+      error("expected field or class name after '.'");
+      return false;
+    }
+    std::string First(get().Text);
+    if (accept(Tok::ColonColon)) {
+      ClassId C = M->findClass(First);
+      if (C == kNoClass) {
+        error("unknown class '" + First + "' in field access");
+        return false;
+      }
+      if (!at(Tok::Ident)) {
+        error("expected field name after '::'");
+        return false;
+      }
+      std::string FieldName(get().Text);
+      if (!M->resolveField(C, FieldName, SlotOut)) {
+        error("class " + First + " has no field '" + FieldName + "'");
+        return false;
+      }
+      ClassOut = C;
+      return true;
+    }
+    if (!M->resolveFieldUnqualified(First, ClassOut, SlotOut)) {
+      error("field '" + First +
+            "' is unknown or ambiguous; qualify as Class::field");
+      return false;
+    }
+    return true;
+  }
+
+  void parseStatement() {
+    // Block label?
+    if (at(Tok::Ident) && peek().Text.substr(0, 2) == "bb" &&
+        Tokens[Idx + 1].Kind == Tok::Colon) {
+      uint32_t Id;
+      parseBlockRef(Id);
+      get(); // ':'
+      CurBlock = ensureBlock(Id);
+      return;
+    }
+
+    if (acceptIdent("goto")) {
+      uint32_t T;
+      if (!parseBlockRef(T))
+        return;
+      ensureBlock(T);
+      emit(new BrInst(T));
+      return;
+    }
+
+    if (acceptIdent("if")) {
+      Reg L, R;
+      CmpOp Cmp;
+      uint32_t TB, FB;
+      if (!parseReg(L) || !parseCmpOp(Cmp) || !parseReg(R))
+        return;
+      if (!acceptIdent("goto")) {
+        error("expected 'goto'");
+        return;
+      }
+      if (!parseBlockRef(TB))
+        return;
+      if (!acceptIdent("else")) {
+        error("expected 'else'");
+        return;
+      }
+      if (!parseBlockRef(FB))
+        return;
+      ensureBlock(TB);
+      ensureBlock(FB);
+      emit(new CondBrInst(Cmp, L, R, TB, FB));
+      return;
+    }
+
+    if (acceptIdent("ret")) {
+      Reg S = kNoReg;
+      if (at(Tok::Ident) && peek().Text[0] == 'r' && peek().Text.size() > 1 &&
+          std::isdigit(static_cast<unsigned char>(peek().Text[1])))
+        parseReg(S);
+      emit(new ReturnInst(S));
+      return;
+    }
+
+    if (atIdent("call") || atIdent("vcall") || atIdent("ncall")) {
+      std::string Kind(get().Text);
+      parseCallTail(Kind, kNoReg);
+      return;
+    }
+
+    // "@G = rS": static store.
+    if (accept(Tok::At)) {
+      if (!at(Tok::Ident)) {
+        error("expected global name");
+        return;
+      }
+      std::string Name(get().Text);
+      GlobalId G = M->findGlobal(Name);
+      if (G == kNoGlobal) {
+        error("unknown global '" + Name + "'");
+        return;
+      }
+      Reg S;
+      if (!expect(Tok::Eq, "'='") || !parseReg(S))
+        return;
+      emit(new StoreStaticInst(G, S));
+      return;
+    }
+
+    // Everything else starts with a register.
+    Reg R0;
+    if (!parseReg(R0))
+      return;
+
+    // "rA[rI] = rS": element store.
+    if (accept(Tok::LBracket)) {
+      Reg I, S;
+      if (!parseReg(I) || !expect(Tok::RBracket, "']'") ||
+          !expect(Tok::Eq, "'='") || !parseReg(S))
+        return;
+      emit(new StoreElemInst(R0, I, S));
+      return;
+    }
+
+    // "rA.f = rS": field store.
+    if (accept(Tok::Dot)) {
+      ClassId C;
+      FieldSlot Slot;
+      if (!parseFieldSuffix(C, Slot))
+        return;
+      Reg S;
+      if (!expect(Tok::Eq, "'='") || !parseReg(S))
+        return;
+      emit(new StoreFieldInst(R0, C, Slot, S));
+      return;
+    }
+
+    if (!expect(Tok::Eq, "'='"))
+      return;
+    parseRhs(R0);
+  }
+
+  /// Parses the right-hand side of "rD = ...".
+  void parseRhs(Reg Dst) {
+    if (accept(Tok::At)) { // rD = @G
+      if (!at(Tok::Ident)) {
+        error("expected global name");
+        return;
+      }
+      std::string Name(get().Text);
+      GlobalId G = M->findGlobal(Name);
+      if (G == kNoGlobal) {
+        error("unknown global '" + Name + "'");
+        return;
+      }
+      emit(new LoadStaticInst(Dst, G));
+      return;
+    }
+
+    if (!at(Tok::Ident)) {
+      error("expected right-hand side");
+      return;
+    }
+    std::string Head(peek().Text);
+
+    // Register-led RHS: copy, element load, field load.
+    if (Head.size() > 1 && Head[0] == 'r' &&
+        std::isdigit(static_cast<unsigned char>(Head[1]))) {
+      Reg Src;
+      if (!parseReg(Src))
+        return;
+      if (accept(Tok::LBracket)) { // rD = rB[rI]
+        Reg I;
+        if (!parseReg(I) || !expect(Tok::RBracket, "']'"))
+          return;
+        emit(new LoadElemInst(Dst, Src, I));
+        return;
+      }
+      if (accept(Tok::Dot)) { // rD = rB.f
+        ClassId C;
+        FieldSlot Slot;
+        if (!parseFieldSuffix(C, Slot))
+          return;
+        emit(new LoadFieldInst(Dst, Src, C, Slot));
+        return;
+      }
+      emit(new AssignInst(Dst, Src));
+      return;
+    }
+
+    get(); // consume Head
+
+    if (Head == "iconst") {
+      bool Neg = false;
+      if (!at(Tok::IntLit)) {
+        error("expected integer literal");
+        return;
+      }
+      std::string Lit(get().Text);
+      int64_t V = std::strtoll(Lit.c_str(), nullptr, 10);
+      emit(ConstInst::makeInt(Dst, Neg ? -V : V));
+      return;
+    }
+    if (Head == "fconst") {
+      if (!at(Tok::FloatLit) && !at(Tok::IntLit)) {
+        error("expected float literal");
+        return;
+      }
+      std::string Lit(get().Text);
+      emit(ConstInst::makeFloat(Dst, std::strtod(Lit.c_str(), nullptr)));
+      return;
+    }
+    if (Head == "null") {
+      emit(ConstInst::makeNull(Dst));
+      return;
+    }
+    if (Head == "new") {
+      if (!at(Tok::Ident)) {
+        error("expected class name");
+        return;
+      }
+      std::string Name(get().Text);
+      ClassId C = M->findClass(Name);
+      if (C == kNoClass) {
+        error("new of unknown class '" + Name + "'");
+        return;
+      }
+      emit(new AllocInst(Dst, C));
+      return;
+    }
+    if (Head == "newarray") {
+      if (!at(Tok::Ident)) {
+        error("expected element kind");
+        return;
+      }
+      std::string KindName(get().Text);
+      TypeKind Elem;
+      if (KindName == "int")
+        Elem = TypeKind::Int;
+      else if (KindName == "float")
+        Elem = TypeKind::Float;
+      else if (KindName == "ref" || M->findClass(KindName) != kNoClass)
+        Elem = TypeKind::Ref;
+      else {
+        error("unknown array element kind '" + KindName + "'");
+        return;
+      }
+      Reg Len;
+      if (!expect(Tok::Comma, "','") || !parseReg(Len))
+        return;
+      emit(new AllocArrayInst(Dst, Elem, Len));
+      return;
+    }
+    if (Head == "len") {
+      Reg B;
+      if (!parseReg(B))
+        return;
+      emit(new ArrayLenInst(Dst, B));
+      return;
+    }
+    if (Head == "call" || Head == "vcall" || Head == "ncall") {
+      parseCallTail(Head, Dst);
+      return;
+    }
+
+    // Unary ops.
+    static const std::unordered_map<std::string, UnOp> UnOps = {
+        {"neg", UnOp::Neg},     {"not", UnOp::Not},   {"i2f", UnOp::I2F},
+        {"f2i", UnOp::F2I},     {"fbits", UnOp::FBits},
+        {"bitsf", UnOp::BitsF},
+    };
+    auto UIt = UnOps.find(Head);
+    if (UIt != UnOps.end()) {
+      Reg S;
+      if (!parseReg(S))
+        return;
+      emit(new UnInst(UIt->second, Dst, S));
+      return;
+    }
+
+    // Binary ops.
+    static const std::unordered_map<std::string, BinOp> BinOps = {
+        {"add", BinOp::Add},     {"sub", BinOp::Sub},
+        {"mul", BinOp::Mul},     {"div", BinOp::Div},
+        {"rem", BinOp::Rem},     {"shl", BinOp::Shl},
+        {"shr", BinOp::Shr},     {"and", BinOp::And},
+        {"or", BinOp::Or},       {"xor", BinOp::Xor},
+        {"cmpeq", BinOp::CmpEq}, {"cmpne", BinOp::CmpNe},
+        {"cmplt", BinOp::CmpLt}, {"cmple", BinOp::CmpLe},
+        {"cmpgt", BinOp::CmpGt}, {"cmpge", BinOp::CmpGe},
+    };
+    auto BIt = BinOps.find(Head);
+    if (BIt != BinOps.end()) {
+      Reg L, R;
+      if (!parseReg(L) || !expect(Tok::Comma, "','") || !parseReg(R))
+        return;
+      emit(new BinInst(BIt->second, Dst, L, R));
+      return;
+    }
+
+    error("unknown statement head '" + Head + "'");
+  }
+
+  std::vector<Token> Tokens;
+  std::vector<std::string> &Errors;
+  size_t Idx = 0;
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+  BasicBlock *CurBlock = nullptr;
+};
+
+} // namespace
+
+std::unique_ptr<Module> lud::parseModule(std::string_view Text,
+                                         std::vector<std::string> &Errors) {
+  Lexer Lex(Text, Errors);
+  std::vector<Token> Tokens = Lex.run();
+  if (!Errors.empty())
+    return nullptr;
+  return Parser(std::move(Tokens), Errors).run();
+}

@@ -1,0 +1,42 @@
+//===- ir/Parser.h - Textual IR parser -------------------------*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual .lud format produced by ir/Printer.h. Grammar sketch:
+///
+/// \code
+///   class Name [extends Super] { field: type; ... }
+///   global Name: type
+///   func Name(r0, r1) regs N { bb0: ... }
+///   method Class.Name(r0, ...) regs N { ... }   // r0 is `this`
+/// \endcode
+///
+/// Statements are the one-line forms of instToString. Superclasses must be
+/// declared before subclasses. '#' starts a comment to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_IR_PARSER_H
+#define LUD_IR_PARSER_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lud {
+
+class Module;
+
+/// Parses \p Text into a finalized module. On failure returns null and
+/// appends one message per diagnostic to \p Errors.
+std::unique_ptr<Module> parseModule(std::string_view Text,
+                                    std::vector<std::string> &Errors);
+
+} // namespace lud
+
+#endif // LUD_IR_PARSER_H

@@ -1,0 +1,181 @@
+//===- ir/Printer.cpp - Textual IR output ----------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "ir/Module.h"
+#include "support/ErrorHandling.h"
+#include "support/OutStream.h"
+
+#include <cstdio>
+
+using namespace lud;
+
+namespace {
+
+std::string regName(Reg R) { return "r" + std::to_string(R); }
+
+std::string typeName(const Module &M, Type Ty) {
+  if (Ty.Kind == TypeKind::Ref && Ty.Class != kNoClass)
+    return M.getClass(Ty.Class)->getName();
+  return typeKindName(Ty.Kind);
+}
+
+std::string floatLit(double D) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+  std::string S(Buf);
+  // Make the literal recognizably a float for the parser.
+  if (S.find_first_of(".eEnN") == std::string::npos)
+    S += ".0";
+  return S;
+}
+
+std::string fieldRef(const Module &M, Reg Base, ClassId C, FieldSlot Slot) {
+  return regName(Base) + "." + M.getClass(C)->getName() +
+         "::" + M.fieldName(C, Slot);
+}
+
+std::string argList(const std::vector<Reg> &Args) {
+  std::string S = "(";
+  for (size_t I = 0; I != Args.size(); ++I) {
+    if (I)
+      S += ", ";
+    S += regName(Args[I]);
+  }
+  return S + ")";
+}
+
+} // namespace
+
+std::string lud::instToString(const Module &M, const Instruction &I) {
+  switch (I.getKind()) {
+  case Instruction::Kind::Const: {
+    const auto *C = cast<ConstInst>(&I);
+    switch (C->Lit) {
+    case ConstInst::LitKind::Int:
+      return regName(C->Dst) + " = iconst " + std::to_string(C->IntVal);
+    case ConstInst::LitKind::Float:
+      return regName(C->Dst) + " = fconst " + floatLit(C->FloatVal);
+    case ConstInst::LitKind::Null:
+      return regName(C->Dst) + " = null";
+    }
+    lud_unreachable("unknown literal kind");
+  }
+  case Instruction::Kind::Assign: {
+    const auto *A = cast<AssignInst>(&I);
+    return regName(A->Dst) + " = " + regName(A->Src);
+  }
+  case Instruction::Kind::Bin: {
+    const auto *B = cast<BinInst>(&I);
+    return regName(B->Dst) + " = " + binOpName(B->Op) + " " +
+           regName(B->Lhs) + ", " + regName(B->Rhs);
+  }
+  case Instruction::Kind::Un: {
+    const auto *U = cast<UnInst>(&I);
+    return regName(U->Dst) + " = " + unOpName(U->Op) + " " + regName(U->Src);
+  }
+  case Instruction::Kind::Alloc: {
+    const auto *A = cast<AllocInst>(&I);
+    return regName(A->Dst) + " = new " + M.getClass(A->Class)->getName();
+  }
+  case Instruction::Kind::AllocArray: {
+    const auto *A = cast<AllocArrayInst>(&I);
+    return regName(A->Dst) + " = newarray " + typeKindName(A->Elem) + ", " +
+           regName(A->Len);
+  }
+  case Instruction::Kind::LoadField: {
+    const auto *L = cast<LoadFieldInst>(&I);
+    return regName(L->Dst) + " = " + fieldRef(M, L->Base, L->Class, L->Slot);
+  }
+  case Instruction::Kind::StoreField: {
+    const auto *S = cast<StoreFieldInst>(&I);
+    return fieldRef(M, S->Base, S->Class, S->Slot) + " = " + regName(S->Src);
+  }
+  case Instruction::Kind::LoadStatic: {
+    const auto *L = cast<LoadStaticInst>(&I);
+    return regName(L->Dst) + " = @" + M.globals()[L->Global].Name;
+  }
+  case Instruction::Kind::StoreStatic: {
+    const auto *S = cast<StoreStaticInst>(&I);
+    return "@" + M.globals()[S->Global].Name + " = " + regName(S->Src);
+  }
+  case Instruction::Kind::LoadElem: {
+    const auto *L = cast<LoadElemInst>(&I);
+    return regName(L->Dst) + " = " + regName(L->Base) + "[" +
+           regName(L->Index) + "]";
+  }
+  case Instruction::Kind::StoreElem: {
+    const auto *S = cast<StoreElemInst>(&I);
+    return regName(S->Base) + "[" + regName(S->Index) + "] = " +
+           regName(S->Src);
+  }
+  case Instruction::Kind::ArrayLen: {
+    const auto *A = cast<ArrayLenInst>(&I);
+    return regName(A->Dst) + " = len " + regName(A->Base);
+  }
+  case Instruction::Kind::Call: {
+    const auto *C = cast<CallInst>(&I);
+    std::string S;
+    if (C->Dst != kNoReg)
+      S = regName(C->Dst) + " = ";
+    if (C->isVirtual())
+      S += "vcall " + M.methodNames()[C->Method];
+    else
+      S += "call " + M.getFunction(C->Callee)->getName();
+    return S + argList(C->Args);
+  }
+  case Instruction::Kind::NativeCall: {
+    const auto *N = cast<NativeCallInst>(&I);
+    std::string S;
+    if (N->Dst != kNoReg)
+      S = regName(N->Dst) + " = ";
+    return S + "ncall " + M.nativeNames()[N->Native] + argList(N->Args);
+  }
+  case Instruction::Kind::Br:
+    return "goto bb" + std::to_string(cast<BrInst>(&I)->Target);
+  case Instruction::Kind::CondBr: {
+    const auto *C = cast<CondBrInst>(&I);
+    return std::string("if ") + regName(C->Lhs) + " " + cmpOpName(C->Cmp) +
+           " " + regName(C->Rhs) + " goto bb" + std::to_string(C->TrueBlock) +
+           " else bb" + std::to_string(C->FalseBlock);
+  }
+  case Instruction::Kind::Return: {
+    const auto *R = cast<ReturnInst>(&I);
+    return R->Src == kNoReg ? "ret" : "ret " + regName(R->Src);
+  }
+  }
+  lud_unreachable("unknown instruction kind");
+}
+
+void lud::printModule(const Module &M, OutStream &OS) {
+  for (const auto &C : M.classes()) {
+    OS << "class " << C->getName();
+    if (C->getSuper() != kNoClass)
+      OS << " extends " << M.getClass(C->getSuper())->getName();
+    OS << " {\n";
+    for (const auto &F : C->ownFields())
+      OS << "  " << F.Name << ": " << typeName(M, F.Ty) << ";\n";
+    OS << "}\n\n";
+  }
+
+  for (const auto &G : M.globals())
+    OS << "global " << G.Name << ": " << typeName(M, G.Ty) << "\n";
+  if (!M.globals().empty())
+    OS << "\n";
+
+  for (const auto &F : M.functions()) {
+    OS << (F->isMethod() ? "method " : "func ") << F->getName() << "(";
+    for (unsigned I = 0; I != F->getNumParams(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << "r" << uint32_t(I);
+    }
+    OS << ") regs " << uint32_t(F->getNumRegs()) << " {\n";
+    for (const auto &BB : F->blocks()) {
+      OS << "bb" << BB->getId() << ":\n";
+      for (const auto &I : BB->insts())
+        OS << "  " << instToString(M, *I) << "\n";
+    }
+    OS << "}\n\n";
+  }
+}

@@ -1,0 +1,30 @@
+//===- ir/Verifier.h - Structural IR validation ----------------*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural checks run after Module::finalize(): register/block/field/
+/// callee indices are in range, blocks end in exactly one terminator, the
+/// entry point exists. Dynamic typing is intentionally not checked.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_IR_VERIFIER_H
+#define LUD_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace lud {
+
+class Module;
+
+/// Appends one message per defect to \p Errors. Returns true when clean.
+bool verifyModule(const Module &M, std::vector<std::string> &Errors);
+
+} // namespace lud
+
+#endif // LUD_IR_VERIFIER_H

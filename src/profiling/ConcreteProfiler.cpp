@@ -1,0 +1,238 @@
+//===- profiling/ConcreteProfiler.cpp - Definition 1 graphs ----------------===//
+
+#include "profiling/ConcreteProfiler.h"
+
+#include "ir/Module.h"
+
+using namespace lud;
+
+CNodeId ConcreteProfiler::fresh(const Instruction &I, uint32_t AbsDomain) {
+  if (Nodes.size() >= MaxNodes) {
+    Overflowed = true;
+    return kNoCNode;
+  }
+  CNodeId N = CNodeId(Nodes.size());
+  Nodes.emplace_back();
+  Nodes.back().Instr = I.getId();
+  Nodes.back().Occurrence = ++OccurrenceCount[I.getId()];
+  Nodes.back().AbsDomain = AbsDomain;
+  return N;
+}
+
+std::vector<CNodeId> &ConcreteProfiler::objShadow(ObjId O) {
+  if (HeapShadow.size() <= O) {
+    HeapShadow.resize(H->idBound());
+    LenShadow.resize(H->idBound(), kNoCNode);
+    SiteOf.resize(H->idBound(), kNoAllocSite);
+  }
+  std::vector<CNodeId> &S = HeapShadow[O];
+  size_t Need = H->obj(O).Slots.size();
+  if (S.size() < Need)
+    S.resize(Need, kNoCNode);
+  return S;
+}
+
+void ConcreteProfiler::onRunStart(const Module &Mod, Heap &Heap_) {
+  H = &Heap_;
+  OccurrenceCount.assign(Mod.getNumInstrs(), 0);
+  StaticShadow.assign(Mod.globals().size(), kNoCNode);
+}
+
+void ConcreteProfiler::onEntryFrame(const Function &F) {
+  Ctx.reset();
+  RegShadow.clear();
+  RegShadow.emplace_back(F.getNumRegs(), kNoCNode);
+}
+
+void ConcreteProfiler::onConst(const ConstInst &I) {
+  regs()[I.Dst] = fresh(I, Ctx.slot());
+}
+
+void ConcreteProfiler::onAssign(const AssignInst &I) {
+  CNodeId N = fresh(I, Ctx.slot());
+  if (N == kNoCNode)
+    return;
+  edgeFrom(regs()[I.Src], N);
+  regs()[I.Dst] = N;
+}
+
+void ConcreteProfiler::onBin(const BinInst &I) {
+  CNodeId N = fresh(I, Ctx.slot());
+  if (N == kNoCNode)
+    return;
+  edgeFrom(regs()[I.Lhs], N);
+  edgeFrom(regs()[I.Rhs], N);
+  regs()[I.Dst] = N;
+}
+
+void ConcreteProfiler::onUn(const UnInst &I) {
+  CNodeId N = fresh(I, Ctx.slot());
+  if (N == kNoCNode)
+    return;
+  edgeFrom(regs()[I.Src], N);
+  regs()[I.Dst] = N;
+}
+
+void ConcreteProfiler::onAlloc(const AllocInst &I, ObjId O) {
+  CNodeId N = fresh(I, Ctx.slot());
+  regs()[I.Dst] = N;
+  objShadow(O);
+  SiteOf[O] = I.Site;
+}
+
+void ConcreteProfiler::onAllocArray(const AllocArrayInst &I, ObjId O) {
+  CNodeId N = fresh(I, Ctx.slot());
+  if (N == kNoCNode)
+    return;
+  edgeFrom(regs()[I.Len], N);
+  regs()[I.Dst] = N;
+  objShadow(O);
+  LenShadow[O] = N;
+  SiteOf[O] = I.Site;
+}
+
+void ConcreteProfiler::onLoadField(const LoadFieldInst &I, ObjId Base,
+                                   const Value &) {
+  CNodeId N = fresh(I, Ctx.slot());
+  if (N == kNoCNode)
+    return;
+  edgeFrom(objShadow(Base)[I.Slot], N);
+  regs()[I.Dst] = N;
+}
+
+void ConcreteProfiler::onStoreField(const StoreFieldInst &I, ObjId Base,
+                                    const Value &) {
+  CNodeId N = fresh(I, Ctx.slot());
+  if (N == kNoCNode)
+    return;
+  edgeFrom(regs()[I.Src], N);
+  objShadow(Base)[I.Slot] = N;
+}
+
+void ConcreteProfiler::onLoadStatic(const LoadStaticInst &I, const Value &) {
+  CNodeId N = fresh(I, Ctx.slot());
+  if (N == kNoCNode)
+    return;
+  edgeFrom(StaticShadow[I.Global], N);
+  regs()[I.Dst] = N;
+}
+
+void ConcreteProfiler::onStoreStatic(const StoreStaticInst &I,
+                                     const Value &) {
+  CNodeId N = fresh(I, Ctx.slot());
+  if (N == kNoCNode)
+    return;
+  edgeFrom(regs()[I.Src], N);
+  StaticShadow[I.Global] = N;
+}
+
+void ConcreteProfiler::onLoadElem(const LoadElemInst &I, ObjId Base,
+                                  uint32_t Index, const Value &) {
+  CNodeId N = fresh(I, Ctx.slot());
+  if (N == kNoCNode)
+    return;
+  edgeFrom(objShadow(Base)[Index], N);
+  edgeFrom(regs()[I.Index], N);
+  regs()[I.Dst] = N;
+}
+
+void ConcreteProfiler::onStoreElem(const StoreElemInst &I, ObjId Base,
+                                   uint32_t Index, const Value &) {
+  CNodeId N = fresh(I, Ctx.slot());
+  if (N == kNoCNode)
+    return;
+  edgeFrom(regs()[I.Src], N);
+  edgeFrom(regs()[I.Index], N);
+  objShadow(Base)[Index] = N;
+}
+
+void ConcreteProfiler::onArrayLen(const ArrayLenInst &I, ObjId Base) {
+  CNodeId N = fresh(I, Ctx.slot());
+  if (N == kNoCNode)
+    return;
+  // The length behaves like a field the allocation wrote.
+  objShadow(Base);
+  edgeFrom(LenShadow[Base], N);
+  regs()[I.Dst] = N;
+}
+
+void ConcreteProfiler::onPredicate(const CondBrInst &I, bool) {
+  CNodeId N = fresh(I, kNoDomain);
+  if (N == kNoCNode)
+    return;
+  edgeFrom(regs()[I.Lhs], N);
+  edgeFrom(regs()[I.Rhs], N);
+}
+
+void ConcreteProfiler::onNativeCall(const NativeCallInst &I) {
+  CNodeId N = fresh(I, kNoDomain);
+  if (N == kNoCNode)
+    return;
+  for (Reg A : I.Args)
+    edgeFrom(regs()[A], N);
+  if (I.Dst != kNoReg)
+    regs()[I.Dst] = N;
+}
+
+void ConcreteProfiler::onCallEnter(const CallInst &I, const Function &Callee,
+                                   ObjId Receiver) {
+  bool Extends = Callee.isMethod() && Receiver != kNullObj;
+  AllocSiteId Site = 0;
+  if (Extends) {
+    objShadow(Receiver);
+    Site = SiteOf[Receiver] == kNoAllocSite ? 0 : SiteOf[Receiver];
+  }
+  Ctx.pushCall(Extends, Site);
+  std::vector<CNodeId> Params(Callee.getNumRegs(), kNoCNode);
+  const std::vector<CNodeId> &Caller = regs();
+  for (size_t A = 0, E = I.Args.size(); A != E; ++A)
+    Params[A] = Caller[I.Args[A]];
+  RegShadow.push_back(std::move(Params));
+}
+
+void ConcreteProfiler::onReturn(const ReturnInst &I) {
+  PendingRet = kNoCNode;
+  if (I.Src != kNoReg) {
+    CNodeId N = fresh(I, Ctx.slot());
+    if (N != kNoCNode) {
+      edgeFrom(regs()[I.Src], N);
+      PendingRet = N;
+    }
+  }
+  if (RegShadow.size() > 1) {
+    RegShadow.pop_back();
+    Ctx.popCall();
+  }
+}
+
+void ConcreteProfiler::onReturnBound(Reg Dst) {
+  if (Dst != kNoReg)
+    regs()[Dst] = PendingRet;
+  PendingRet = kNoCNode;
+}
+
+uint64_t ConcreteProfiler::absoluteCost(CNodeId N) const {
+  std::vector<bool> Seen(Nodes.size(), false);
+  std::vector<CNodeId> Work{N};
+  Seen[N] = true;
+  uint64_t Count = 0;
+  while (!Work.empty()) {
+    CNodeId X = Work.back();
+    Work.pop_back();
+    ++Count;
+    for (CNodeId P : Nodes[X].In)
+      if (!Seen[P]) {
+        Seen[P] = true;
+        Work.push_back(P);
+      }
+  }
+  return Count;
+}
+
+std::vector<CNodeId> ConcreteProfiler::instancesOf(InstrId I) const {
+  std::vector<CNodeId> Out;
+  for (CNodeId N = 0; N != CNodeId(Nodes.size()); ++N)
+    if (Nodes[N].Instr == I)
+      Out.push_back(N);
+  return Out;
+}

@@ -1,0 +1,75 @@
+//===- profiling/Context.h - Object-sensitive dynamic contexts -*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dynamic calling contexts for Gcost (Section 2.2): the chain of receiver
+/// allocation sites on the call stack, encoded probabilistically with the
+/// Bond-McKinley recurrence g_i = 3*g_{i-1} + o_i and mapped into s slots
+/// with a mod. The full encoded value g is kept per frame so the conflict
+/// ratio CR can be measured afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_PROFILING_CONTEXT_H
+#define LUD_PROFILING_CONTEXT_H
+
+#include "ir/Ids.h"
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lud {
+
+class ContextEncoder {
+public:
+  explicit ContextEncoder(uint32_t Slots) : Slots(Slots) {
+    assert(Slots > 0 && "need at least one context slot");
+  }
+
+  /// Starts a run: the entry frame has the empty chain.
+  void reset() {
+    Stack.clear();
+    Stack.push_back(0);
+  }
+
+  /// Enters a callee. Instance methods extend the chain with the receiver's
+  /// allocation site; static calls keep the caller's chain (Figure 4,
+  /// METHOD ENTRY: the empty string is concatenated). Allocation sites are
+  /// offset by one so the empty chain (g = 0) is distinguishable from a
+  /// chain of site 0.
+  void pushCall(bool ExtendsChain, AllocSiteId ReceiverSite) {
+    uint64_t G = Stack.back();
+    if (ExtendsChain)
+      G = 3 * G + uint64_t(ReceiverSite) + 1;
+    Stack.push_back(G);
+  }
+
+  void popCall() {
+    assert(Stack.size() > 1 && "context stack underflow");
+    Stack.pop_back();
+  }
+
+  /// Encoded context value g of the current frame.
+  uint64_t current() const { return Stack.back(); }
+  /// h(c): the bounded-domain element, i.e. g mod s.
+  uint32_t slot() const { return uint32_t(Stack.back() % Slots); }
+  uint32_t numSlots() const { return Slots; }
+  size_t depth() const { return Stack.size(); }
+
+  /// Slot for an arbitrary encoded value (CR reporting).
+  uint32_t slotOf(uint64_t G) const { return uint32_t(G % Slots); }
+
+private:
+  uint32_t Slots;
+  std::vector<uint64_t> Stack;
+};
+
+} // namespace lud
+
+#endif // LUD_PROFILING_CONTEXT_H

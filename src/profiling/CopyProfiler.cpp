@@ -1,0 +1,232 @@
+//===- profiling/CopyProfiler.cpp - Extended copy profiling ----------------===//
+
+#include "profiling/CopyProfiler.h"
+
+#include "ir/Module.h"
+
+using namespace lud;
+
+OriginId CopyProfiler::intern(const HeapLoc &L) {
+  uint64_t Key = L.Tag * 4096 + L.Slot % 4096;
+  auto [It, Inserted] = OriginIds.try_emplace(Key, OriginId(0));
+  if (Inserted) {
+    OriginTable.push_back(L);
+    It->second = OriginId(OriginTable.size()); // 1-based; 0 is bottom.
+  }
+  return It->second;
+}
+
+NodeId CopyProfiler::hit(const Instruction &I, OriginId Origin) {
+  NodeId N = G.getOrCreate(I.getId(), Origin);
+  ++G.node(N).Freq;
+  return N;
+}
+
+std::vector<CopyProfiler::ShadowVal> &CopyProfiler::objShadow(ObjId O) {
+  if (HeapShadow.size() <= O) {
+    HeapShadow.resize(H->idBound());
+    Sites.resize(H->idBound(), kNoAllocSite);
+  }
+  std::vector<ShadowVal> &S = HeapShadow[O];
+  size_t Need = H->obj(O).Slots.size();
+  if (S.size() < Need)
+    S.resize(Need);
+  return S;
+}
+
+void CopyProfiler::onRunStart(const Module &Mod, Heap &Heap_) {
+  H = &Heap_;
+  StaticShadow.assign(Mod.globals().size(), ShadowVal());
+}
+
+void CopyProfiler::onEntryFrame(const Function &F) {
+  RegShadow.clear();
+  RegShadow.emplace_back(F.getNumRegs());
+}
+
+void CopyProfiler::onConst(const ConstInst &I) {
+  regs()[I.Dst] = {hit(I, kBottomOrigin), kBottomOrigin};
+}
+
+void CopyProfiler::onAssign(const AssignInst &I) {
+  // A register copy keeps the origin alive: this is an intermediate stack
+  // hop of a copy chain.
+  ShadowVal Src = regs()[I.Src];
+  NodeId N = hit(I, Src.Origin);
+  edgeFrom(Src, N);
+  regs()[I.Dst] = {N, Src.Origin};
+  if (Src.Origin != kBottomOrigin)
+    ++CopyCount;
+}
+
+void CopyProfiler::onBin(const BinInst &I) { compute(I, I.Dst, I.Lhs, I.Rhs); }
+
+void CopyProfiler::onUn(const UnInst &I) { compute(I, I.Dst, I.Src); }
+
+void CopyProfiler::onAlloc(const AllocInst &I, ObjId O) {
+  regs()[I.Dst] = {hit(I, kBottomOrigin), kBottomOrigin};
+  objShadow(O);
+  Sites[O] = I.Site;
+}
+
+void CopyProfiler::onAllocArray(const AllocArrayInst &I, ObjId O) {
+  NodeId N = hit(I, kBottomOrigin);
+  edgeFrom(regs()[I.Len], N);
+  regs()[I.Dst] = {N, kBottomOrigin};
+  objShadow(O);
+  Sites[O] = I.Site;
+}
+
+void CopyProfiler::onLoadField(const LoadFieldInst &I, ObjId Base,
+                               const Value &) {
+  // The loaded value originates from this field: a chain starts here.
+  OriginId Origin = siteOf(Base) == kNoAllocSite
+                        ? kBottomOrigin
+                        : intern(HeapLoc{siteOf(Base), I.Slot});
+  NodeId N = hit(I, Origin);
+  edgeFrom(objShadow(Base)[I.Slot], N);
+  regs()[I.Dst] = {N, Origin};
+  if (Origin != kBottomOrigin)
+    ++CopyCount;
+}
+
+void CopyProfiler::onStoreField(const StoreFieldInst &I, ObjId Base,
+                                const Value &) {
+  ShadowVal Src = regs()[I.Src];
+  NodeId N = hit(I, Src.Origin);
+  edgeFrom(Src, N);
+  objShadow(Base)[I.Slot] = {N, Src.Origin};
+  if (Src.Origin != kBottomOrigin && siteOf(Base) != kNoAllocSite) {
+    ++CopyCount;
+    recordChain(Src.Origin, HeapLoc{siteOf(Base), I.Slot}, N);
+  }
+}
+
+void CopyProfiler::onLoadStatic(const LoadStaticInst &I, const Value &) {
+  OriginId Origin = intern(HeapLoc{kStaticTagBase + I.Global, 0});
+  NodeId N = hit(I, Origin);
+  edgeFrom(StaticShadow[I.Global], N);
+  regs()[I.Dst] = {N, Origin};
+  ++CopyCount;
+}
+
+void CopyProfiler::onStoreStatic(const StoreStaticInst &I, const Value &) {
+  ShadowVal Src = regs()[I.Src];
+  NodeId N = hit(I, Src.Origin);
+  edgeFrom(Src, N);
+  StaticShadow[I.Global] = {N, Src.Origin};
+  if (Src.Origin != kBottomOrigin) {
+    ++CopyCount;
+    recordChain(Src.Origin, HeapLoc{kStaticTagBase + I.Global, 0}, N);
+  }
+}
+
+void CopyProfiler::onLoadElem(const LoadElemInst &I, ObjId Base, uint32_t Index,
+                              const Value &) {
+  OriginId Origin = siteOf(Base) == kNoAllocSite
+                        ? kBottomOrigin
+                        : intern(HeapLoc{siteOf(Base), kElemSlot});
+  NodeId N = hit(I, Origin);
+  edgeFrom(objShadow(Base)[Index], N);
+  regs()[I.Dst] = {N, Origin};
+  if (Origin != kBottomOrigin)
+    ++CopyCount;
+}
+
+void CopyProfiler::onStoreElem(const StoreElemInst &I, ObjId Base,
+                               uint32_t Index, const Value &) {
+  ShadowVal Src = regs()[I.Src];
+  NodeId N = hit(I, Src.Origin);
+  edgeFrom(Src, N);
+  objShadow(Base)[Index] = {N, Src.Origin};
+  if (Src.Origin != kBottomOrigin && siteOf(Base) != kNoAllocSite) {
+    ++CopyCount;
+    recordChain(Src.Origin, HeapLoc{siteOf(Base), kElemSlot}, N);
+  }
+}
+
+void CopyProfiler::onArrayLen(const ArrayLenInst &I, ObjId) {
+  regs()[I.Dst] = {hit(I, kBottomOrigin), kBottomOrigin};
+}
+
+void CopyProfiler::onPredicate(const CondBrInst &I, bool) {
+  NodeId N = G.getOrCreate(I.getId(), kNoDomain);
+  DepGraph::Node &Node = G.node(N);
+  Node.Consumer = ConsumerKind::Predicate;
+  ++Node.Freq;
+  edgeFrom(regs()[I.Lhs], N);
+  edgeFrom(regs()[I.Rhs], N);
+}
+
+void CopyProfiler::onNativeCall(const NativeCallInst &I) {
+  NodeId N = G.getOrCreate(I.getId(), kNoDomain);
+  DepGraph::Node &Node = G.node(N);
+  Node.Consumer = ConsumerKind::Native;
+  ++Node.Freq;
+  for (Reg A : I.Args)
+    edgeFrom(regs()[A], N);
+  if (I.Dst != kNoReg)
+    regs()[I.Dst] = {N, kBottomOrigin};
+}
+
+void CopyProfiler::onCallEnter(const CallInst &I, const Function &Callee,
+                               ObjId) {
+  std::vector<ShadowVal> Params(Callee.getNumRegs());
+  const std::vector<ShadowVal> &Caller = regs();
+  for (size_t A = 0, E = I.Args.size(); A != E; ++A)
+    Params[A] = Caller[I.Args[A]];
+  RegShadow.push_back(std::move(Params));
+}
+
+void CopyProfiler::onReturn(const ReturnInst &I) {
+  PendingRet = ShadowVal();
+  if (I.Src != kNoReg) {
+    ShadowVal Src = regs()[I.Src];
+    NodeId N = hit(I, Src.Origin);
+    edgeFrom(Src, N);
+    PendingRet = {N, Src.Origin};
+    if (Src.Origin != kBottomOrigin)
+      ++CopyCount;
+  }
+  if (RegShadow.size() > 1)
+    RegShadow.pop_back();
+}
+
+void CopyProfiler::onReturnBound(Reg Dst) {
+  if (Dst != kNoReg)
+    regs()[Dst] = PendingRet;
+  PendingRet = ShadowVal();
+}
+
+void CopyProfiler::recordChain(OriginId From, const HeapLoc &To,
+                               NodeId Store) {
+  const HeapLoc &FromLoc = originLoc(From);
+  uint64_t Key = (FromLoc.Tag * 4096 + FromLoc.Slot % 4096) * 2654435761ULL ^
+                 (To.Tag * 4096 + To.Slot % 4096);
+  auto [It, Inserted] = ChainIndex.try_emplace(Key, Chains.size());
+  if (Inserted)
+    Chains.push_back({FromLoc, To, 0, Store});
+  ++Chains[It->second].Count;
+}
+
+std::vector<InstrId> CopyProfiler::stackHops(const CopyChain &Chain) const {
+  std::vector<InstrId> Hops;
+  // Follow same-origin predecessors from the final store back to the load
+  // that started the chain.
+  OriginId Origin = G.node(Chain.StoreNode).Domain;
+  NodeId N = Chain.StoreNode;
+  std::vector<bool> Seen(G.numNodes(), false);
+  while (N != kNoNode && !Seen[N]) {
+    Seen[N] = true;
+    Hops.push_back(G.node(N).Instr);
+    NodeId Next = kNoNode;
+    for (NodeId P : G.node(N).In) {
+      if (G.node(P).Domain == Origin) {
+        Next = P;
+        break;
+      }
+    }
+    N = Next;
+  }
+  return Hops;
+}

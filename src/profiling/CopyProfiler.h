@@ -1,0 +1,144 @@
+//===- profiling/CopyProfiler.h - Extended copy profiling ------*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The extended copy profiling client of Section 2.1 / Figure 2(c):
+/// abstract slicing over the domain O x P (allocation site x field) plus a
+/// bottom element for values that did not originate from a field. Copy
+/// instructions are annotated with the field their value came from, so a
+/// chain O1.f -> stack copies -> O3.f can be recovered *including* the
+/// intermediate stack hops (unlike the flat copy-graph of prior work).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_PROFILING_COPYPROFILER_H
+#define LUD_PROFILING_COPYPROFILER_H
+
+#include "profiling/DepGraph.h"
+#include "runtime/Heap.h"
+#include "runtime/ProfilerConcept.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace lud {
+
+class Module;
+
+/// Interned origin: the ⊥ element is 0 ("not from any field").
+using OriginId = uint32_t;
+inline constexpr OriginId kBottomOrigin = 0;
+
+class CopyProfiler {
+public:
+  DepGraph &graph() { return G; }
+  const DepGraph &graph() const { return G; }
+
+  /// A completed heap-to-heap copy: data read from From was stored,
+  /// unmodified, into To. Count is the number of such element copies.
+  struct CopyChain {
+    HeapLoc From;
+    HeapLoc To;
+    uint64_t Count = 0;
+    /// Node performing the final store (entry point for walking the
+    /// intermediate stack hops backward).
+    NodeId StoreNode = kNoNode;
+  };
+  const std::vector<CopyChain> &chains() const { return Chains; }
+
+  /// Total executed copy-instruction instances (assigns + loads + stores
+  /// moving field-originated data without computation).
+  uint64_t copyInstances() const { return CopyCount; }
+
+  /// Abstract location for the origin id (inverse of interning);
+  /// kBottomOrigin maps to a zero location.
+  HeapLoc originLoc(OriginId O) const {
+    return O == kBottomOrigin ? HeapLoc{0, 0} : OriginTable[O - 1];
+  }
+
+  /// Walks backward from a chain's store node through nodes with the same
+  /// origin annotation, returning the intermediate copy instructions
+  /// (store first, the load that started the chain last).
+  std::vector<InstrId> stackHops(const CopyChain &Chain) const;
+
+  // Profiler hooks.
+  void onRunStart(const Module &Mod, Heap &H);
+  void onRunEnd() {}
+  void onEntryFrame(const Function &F);
+  void onPhase(int64_t) {}
+  void onConst(const ConstInst &I);
+  void onAssign(const AssignInst &I);
+  void onBin(const BinInst &I);
+  void onUn(const UnInst &I);
+  void onAlloc(const AllocInst &I, ObjId O);
+  void onAllocArray(const AllocArrayInst &I, ObjId O);
+  void onLoadField(const LoadFieldInst &I, ObjId Base, const Value &Loaded);
+  void onStoreField(const StoreFieldInst &I, ObjId Base, const Value &Stored);
+  void onLoadStatic(const LoadStaticInst &I, const Value &Loaded);
+  void onStoreStatic(const StoreStaticInst &I, const Value &Stored);
+  void onLoadElem(const LoadElemInst &I, ObjId Base, uint32_t Index,
+                  const Value &Loaded);
+  void onStoreElem(const StoreElemInst &I, ObjId Base, uint32_t Index,
+                   const Value &Stored);
+  void onArrayLen(const ArrayLenInst &I, ObjId Base);
+  void onPredicate(const CondBrInst &I, bool Taken);
+  void onNativeCall(const NativeCallInst &I);
+  void onCallEnter(const CallInst &I, const Function &Callee, ObjId Receiver);
+  void onReturn(const ReturnInst &I);
+  void onReturnBound(Reg Dst);
+  void onTrap(const Instruction &, TrapKind, Reg) {}
+
+private:
+  /// Shadow payload: the copy-graph node that produced the location's
+  /// value plus the field the value originated from.
+  struct ShadowVal {
+    NodeId N = kNoNode;
+    OriginId Origin = kBottomOrigin;
+  };
+
+  std::vector<ShadowVal> &regs() { return RegShadow.back(); }
+  std::vector<ShadowVal> &objShadow(ObjId O);
+
+  OriginId intern(const HeapLoc &L);
+  NodeId hit(const Instruction &I, OriginId Origin);
+  void edgeFrom(const ShadowVal &Src, NodeId To) {
+    if (Src.N != kNoNode)
+      G.addEdge(Src.N, To);
+  }
+  /// Produces a non-copy (bottom) value into Dst, consuming Srcs.
+  template <typename... Srcs>
+  void compute(const Instruction &I, Reg Dst, Srcs... Ss) {
+    NodeId N = hit(I, kBottomOrigin);
+    (edgeFrom(regs()[Ss], N), ...);
+    regs()[Dst] = {N, kBottomOrigin};
+  }
+
+  /// Site of the object's allocation, tracked independently of Gcost tags.
+  AllocSiteId siteOf(ObjId O) const {
+    return O < Sites.size() ? Sites[O] : kNoAllocSite;
+  }
+
+  void recordChain(OriginId From, const HeapLoc &To, NodeId Store);
+
+  DepGraph G;
+  Heap *H = nullptr;
+  std::vector<std::vector<ShadowVal>> RegShadow;
+  std::vector<std::vector<ShadowVal>> HeapShadow;
+  std::vector<ShadowVal> StaticShadow;
+  std::vector<AllocSiteId> Sites; // per ObjId
+  ShadowVal PendingRet;
+  uint64_t CopyCount = 0;
+
+  std::vector<HeapLoc> OriginTable;
+  std::unordered_map<uint64_t, OriginId> OriginIds;
+  std::vector<CopyChain> Chains;
+  std::unordered_map<uint64_t, size_t> ChainIndex;
+};
+
+} // namespace lud
+
+#endif // LUD_PROFILING_COPYPROFILER_H

@@ -1,0 +1,27 @@
+//===- profiling/DepGraph.cpp - Abstract thin data dependence graph --------===//
+
+#include "profiling/DepGraph.h"
+
+using namespace lud;
+
+DepGraph::MemoryFootprint DepGraph::memoryFootprint() const {
+  MemoryFootprint F;
+  F.NodeBytes = Nodes.capacity() * sizeof(Node);
+  for (const Node &N : Nodes)
+    F.NodeBytes += (N.In.capacity() + N.Out.capacity()) * sizeof(NodeId);
+  // Key map + dedup sets: estimate with typical per-entry bucket overheads.
+  F.NodeBytes += NodeByKey.size() * (sizeof(uint64_t) + sizeof(NodeId) + 16);
+  F.EdgeBytes = EdgeSet.size() * (sizeof(uint64_t) + 16) +
+                RefEdgeSet.size() * (sizeof(uint64_t) + 16) +
+                RefEdges.capacity() * sizeof(std::pair<NodeId, NodeId>);
+  size_t LocEntries = 0;
+  for (const auto &[L, V] : Writers)
+    LocEntries += 1 + V.capacity();
+  for (const auto &[L, V] : Readers)
+    LocEntries += 1 + V.capacity();
+  for (const auto &[L, V] : RefChildren)
+    LocEntries += 1 + V.capacity();
+  F.LocMapBytes = LocEntries * (sizeof(HeapLoc) + 16) +
+                  AllocNodeByTag.size() * (sizeof(uint64_t) + 16);
+  return F;
+}

@@ -1,0 +1,242 @@
+//===- profiling/DepGraph.h - Abstract thin data dependence graph *- C++ -*===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract thin data dependence graph of Definition 2: nodes are
+/// (static instruction, abstract domain element) pairs; an edge a->b means
+/// an instance of a wrote a location that an instance of b then used. The
+/// domain element is a context slot for Gcost, a client-specific id for the
+/// other abstractions (nullness, typestate, copy chains), or kNoDomain for
+/// the paper's context-free predicate and native consumer nodes.
+///
+/// The graph also carries the Gcost decorations of Section 2.2: execution
+/// frequencies, heap-effect triples (U/B/C), reference edges, and the
+/// per-abstract-heap-location writer/reader/points-to maps the relative
+/// cost-benefit analysis aggregates over.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_PROFILING_DEPGRAPH_H
+#define LUD_PROFILING_DEPGRAPH_H
+
+#include "ir/Ids.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace lud {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kNoNode = 0xFFFFFFFF;
+
+/// Domain element for context-free nodes (predicates, natives).
+inline constexpr uint32_t kNoDomain = 0xFFFFFFFF;
+
+/// Abstract heap location: a context-annotated allocation-site tag plus a
+/// field slot (kElemSlot / kLenSlot for arrays, or a static pseudo-tag).
+struct HeapLoc {
+  uint64_t Tag = 0;
+  FieldSlot Slot = 0;
+
+  bool operator==(const HeapLoc &O) const {
+    return Tag == O.Tag && Slot == O.Slot;
+  }
+};
+
+struct HeapLocHash {
+  size_t operator()(const HeapLoc &L) const {
+    uint64_t H = L.Tag * 0x9E3779B97F4A7C15ULL + L.Slot;
+    H ^= H >> 29;
+    return size_t(H * 0xBF58476D1CE4E5B9ULL);
+  }
+};
+
+/// The paper's heap-effect kinds: 'U' (underlined, allocation), 'B' (boxed,
+/// heap store), 'C' (circled, heap load).
+enum class EffectKind : uint8_t { None, Alloc, Store, Load };
+
+enum class ConsumerKind : uint8_t { None, Predicate, Native };
+
+/// Static-location pseudo-tags live above this base so they can share the
+/// HeapLoc machinery with object fields.
+inline constexpr uint64_t kStaticTagBase = uint64_t(1) << 62;
+
+class DepGraph {
+public:
+  struct Node {
+    InstrId Instr = kNoInstr;
+    uint32_t Domain = kNoDomain;
+    uint64_t Freq = 0;
+    ConsumerKind Consumer = ConsumerKind::None;
+    EffectKind Effect = EffectKind::None;
+    /// Most recent heap effect location (last-writer-wins, as in the
+    /// paper's H environment; the multimaps below keep the full history).
+    HeapLoc EffectLoc;
+    // Node classification mirrored from the instruction, so traversals do
+    // not need the Module.
+    bool ReadsHeap = false;
+    bool WritesHeap = false;
+    bool IsAlloc = false;
+    /// A heap store that (at least once) stored a reference: it builds
+    /// data-structure spine, which thin slicing deliberately keeps out of
+    /// value flow — consumers of this fact: the optimizer must not treat
+    /// such stores as removable dead values.
+    bool StoredRef = false;
+    std::vector<NodeId> In;
+    std::vector<NodeId> Out;
+  };
+
+  /// Returns the node for (Instr, Domain), creating it on first use.
+  NodeId getOrCreate(InstrId Instr, uint32_t Domain) {
+    uint64_t Key = (uint64_t(Instr) << 32) | Domain;
+    auto [It, Inserted] = NodeByKey.try_emplace(Key, NodeId(Nodes.size()));
+    if (Inserted) {
+      Nodes.emplace_back();
+      Nodes.back().Instr = Instr;
+      Nodes.back().Domain = Domain;
+    }
+    return It->second;
+  }
+
+  /// Returns the node for (Instr, Domain) or kNoNode.
+  NodeId lookup(InstrId Instr, uint32_t Domain) const {
+    auto It = NodeByKey.find((uint64_t(Instr) << 32) | Domain);
+    return It == NodeByKey.end() ? kNoNode : It->second;
+  }
+
+  Node &node(NodeId N) { return Nodes[N]; }
+  const Node &node(NodeId N) const { return Nodes[N]; }
+  size_t numNodes() const { return Nodes.size(); }
+  size_t numEdges() const { return EdgeSet.size(); }
+  size_t numRefEdges() const { return RefEdgeSet.size(); }
+
+  /// Records a def-use edge From -> To (dedup'd).
+  void addEdge(NodeId From, NodeId To) {
+    if (From == To)
+      return;
+    if (!EdgeSet.insert(edgeKey(From, To)).second)
+      return;
+    Nodes[From].Out.push_back(To);
+    Nodes[To].In.push_back(From);
+  }
+
+  /// Records a reference edge: heap-store node -> allocation node of the
+  /// object whose field was written (Figure 3's dashed arrows).
+  void addRefEdge(NodeId Store, NodeId Alloc) {
+    if (RefEdgeSet.insert(edgeKey(Store, Alloc)).second)
+      RefEdges.emplace_back(Store, Alloc);
+  }
+  const std::vector<std::pair<NodeId, NodeId>> &refEdges() const {
+    return RefEdges;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Abstract heap location bookkeeping (drives Definitions 5-7).
+  //===--------------------------------------------------------------------===
+
+  /// Allocation node that created objects with \p Tag.
+  void noteAlloc(uint64_t Tag, NodeId N) { AllocNodeByTag[Tag] = N; }
+  NodeId allocNodeFor(uint64_t Tag) const {
+    auto It = AllocNodeByTag.find(Tag);
+    return It == AllocNodeByTag.end() ? kNoNode : It->second;
+  }
+  const std::unordered_map<uint64_t, NodeId> &allocNodes() const {
+    return AllocNodeByTag;
+  }
+
+  /// Store node \p N wrote abstract location \p L.
+  void noteWriter(const HeapLoc &L, NodeId N) { insertUnique(Writers[L], N); }
+  /// Load node \p N read abstract location \p L.
+  void noteReader(const HeapLoc &L, NodeId N) { insertUnique(Readers[L], N); }
+  /// A store into \p L put a reference to an object tagged \p ChildTag
+  /// there (object reference tree edges of Definition 7).
+  void noteRefChild(const HeapLoc &L, uint64_t ChildTag) {
+    insertUnique(RefChildren[L], ChildTag);
+  }
+
+  const std::unordered_map<HeapLoc, std::vector<NodeId>, HeapLocHash> &
+  writers() const {
+    return Writers;
+  }
+  const std::unordered_map<HeapLoc, std::vector<NodeId>, HeapLocHash> &
+  readers() const {
+    return Readers;
+  }
+  const std::unordered_map<HeapLoc, std::vector<uint64_t>, HeapLocHash> &
+  refChildren() const {
+    return RefChildren;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Tag codec. Object tags are (allocation site, context slot) pairs; the
+  // encoder needs the slot count used during profiling.
+  //===--------------------------------------------------------------------===
+
+  void setContextSlots(uint32_t S) { ContextSlots = S; }
+  uint32_t contextSlots() const { return ContextSlots; }
+
+  uint64_t makeTag(AllocSiteId Site, uint32_t Slot) const {
+    return uint64_t(Site) * ContextSlots + Slot;
+  }
+  static uint64_t makeStaticTag(GlobalId G) { return kStaticTagBase + G; }
+  static bool isStaticTag(uint64_t Tag) { return Tag >= kStaticTagBase; }
+  AllocSiteId tagSite(uint64_t Tag) const {
+    return AllocSiteId(Tag / ContextSlots);
+  }
+  uint32_t tagSlot(uint64_t Tag) const {
+    return uint32_t(Tag % ContextSlots);
+  }
+
+  /// Sum of node frequencies: the instruction instances the graph covers.
+  uint64_t totalFreq() const {
+    uint64_t Sum = 0;
+    for (const Node &N : Nodes)
+      Sum += N.Freq;
+    return Sum;
+  }
+
+  /// Approximate resident bytes of the retained graph (Table 1's M column:
+  /// nodes, edges, location maps; excludes the shadow heap, as the paper's
+  /// M column does).
+  struct MemoryFootprint {
+    size_t NodeBytes = 0;
+    size_t EdgeBytes = 0;
+    size_t LocMapBytes = 0;
+    size_t total() const { return NodeBytes + EdgeBytes + LocMapBytes; }
+  };
+  MemoryFootprint memoryFootprint() const;
+
+private:
+  static uint64_t edgeKey(NodeId A, NodeId B) {
+    return (uint64_t(A) << 32) | B;
+  }
+  template <typename T>
+  static void insertUnique(std::vector<T> &V, const T &X) {
+    for (const T &E : V)
+      if (E == X)
+        return;
+    V.push_back(X);
+  }
+
+  std::vector<Node> Nodes;
+  std::unordered_map<uint64_t, NodeId> NodeByKey;
+  std::unordered_set<uint64_t> EdgeSet;
+  std::unordered_set<uint64_t> RefEdgeSet;
+  std::vector<std::pair<NodeId, NodeId>> RefEdges;
+  std::unordered_map<uint64_t, NodeId> AllocNodeByTag;
+  std::unordered_map<HeapLoc, std::vector<NodeId>, HeapLocHash> Writers;
+  std::unordered_map<HeapLoc, std::vector<NodeId>, HeapLocHash> Readers;
+  std::unordered_map<HeapLoc, std::vector<uint64_t>, HeapLocHash> RefChildren;
+  uint32_t ContextSlots = 1;
+};
+
+} // namespace lud
+
+#endif // LUD_PROFILING_DEPGRAPH_H

@@ -1,0 +1,80 @@
+//===- profiling/FlatProfiler.cpp - Lightweight method profiler ------------===//
+
+#include "profiling/FlatProfiler.h"
+
+#include "ir/Module.h"
+
+#include <algorithm>
+
+using namespace lud;
+
+namespace {
+constexpr size_t kPhaseBuckets = 64;
+} // namespace
+
+void FlatProfiler::onRunStart(const Module &Mod, Heap &) {
+  InstrCounts.assign(Mod.functions().size(), 0);
+  InvokeCounts.assign(Mod.functions().size(), 0);
+  AllocCounts.assign(Mod.getNumAllocSites(), 0);
+  PhaseCounts.assign(kPhaseBuckets, 0);
+  CurPhase = 0;
+}
+
+void FlatProfiler::onEntryFrame(const Function &F) {
+  FuncStack.assign(1, F.getId());
+  ++InvokeCounts[F.getId()];
+}
+
+void FlatProfiler::onPhase(int64_t Phase) {
+  CurPhase = Phase < 0 ? 0
+                       : std::min(size_t(Phase), kPhaseBuckets - 1);
+}
+
+void FlatProfiler::onCallEnter(const CallInst &, const Function &Callee,
+                               ObjId) {
+  // The call instruction itself is charged to the caller.
+  bump();
+  FuncStack.push_back(Callee.getId());
+  ++InvokeCounts[Callee.getId()];
+}
+
+void FlatProfiler::onReturn(const ReturnInst &) {
+  bump();
+  if (FuncStack.size() > 1)
+    FuncStack.pop_back();
+}
+
+std::vector<FlatProfiler::MethodRow>
+FlatProfiler::hotMethods(const Module &M) const {
+  std::vector<MethodRow> Rows;
+  for (FuncId F = 0; F != FuncId(InstrCounts.size()); ++F) {
+    if (InvokeCounts[F] == 0)
+      continue;
+    Rows.push_back({F, M.getFunction(F)->getName(), InvokeCounts[F],
+                    InstrCounts[F]});
+  }
+  std::sort(Rows.begin(), Rows.end(),
+            [](const MethodRow &A, const MethodRow &B) {
+              if (A.OwnInstrs != B.OwnInstrs)
+                return A.OwnInstrs > B.OwnInstrs;
+              return A.Func < B.Func;
+            });
+  return Rows;
+}
+
+std::vector<FlatProfiler::AllocRow>
+FlatProfiler::hotAllocSites(const Module &M) const {
+  std::vector<AllocRow> Rows;
+  for (AllocSiteId S = 0; S != AllocSiteId(AllocCounts.size()); ++S) {
+    if (AllocCounts[S] == 0)
+      continue;
+    Rows.push_back({S, M.describeAllocSite(S), AllocCounts[S]});
+  }
+  std::sort(Rows.begin(), Rows.end(),
+            [](const AllocRow &A, const AllocRow &B) {
+              if (A.Objects != B.Objects)
+                return A.Objects > B.Objects;
+              return A.Site < B.Site;
+            });
+  return Rows;
+}

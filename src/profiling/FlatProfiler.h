@@ -1,0 +1,109 @@
+//===- profiling/FlatProfiler.h - Lightweight method profiler --*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lightweight first-stage profiler of Section 4.1's tuning workflow
+/// ("it is possible for a programmer to identify suspicious program
+/// components using lightweight profiling tools such as a method execution
+/// time profiler or an object allocation profiler, and run our tool on the
+/// selected components"): per-method invocation and instruction counts plus
+/// per-site allocation counts, at a small fraction of the slicing
+/// profiler's cost. Its output picks the phases/components worth deep
+/// cost-benefit tracking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_PROFILING_FLATPROFILER_H
+#define LUD_PROFILING_FLATPROFILER_H
+
+#include "runtime/Heap.h"
+#include "runtime/ProfilerConcept.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lud {
+
+class Module;
+
+class FlatProfiler : public NoopProfiler {
+public:
+  struct MethodRow {
+    FuncId Func = kNoFunc;
+    std::string Name;
+    uint64_t Invocations = 0;
+    /// Instructions executed in the method's own frames (callees
+    /// excluded).
+    uint64_t OwnInstrs = 0;
+  };
+  struct AllocRow {
+    AllocSiteId Site = kNoAllocSite;
+    std::string Description;
+    uint64_t Objects = 0;
+  };
+
+  /// Methods sorted by own instruction count, descending.
+  std::vector<MethodRow> hotMethods(const Module &M) const;
+  /// Allocation sites sorted by object count, descending.
+  std::vector<AllocRow> hotAllocSites(const Module &M) const;
+  /// Per-phase executed instruction counts (index = phase id; phases >= 64
+  /// are clamped into the last bucket).
+  const std::vector<uint64_t> &phaseInstrs() const { return PhaseCounts; }
+
+  // Hook overrides: one counter bump per event; everything else stays a
+  // no-op from NoopProfiler. The per-instruction hooks below cover every
+  // instruction kind that produces or moves a value; control flow is
+  // charged through onPredicate.
+  void onRunStart(const Module &Mod, Heap &H);
+  void onEntryFrame(const Function &F);
+  void onPhase(int64_t Phase);
+  void onConst(const ConstInst &) { bump(); }
+  void onAssign(const AssignInst &) { bump(); }
+  void onBin(const BinInst &) { bump(); }
+  void onUn(const UnInst &) { bump(); }
+  void onAlloc(const AllocInst &I, ObjId) {
+    bump();
+    ++AllocCounts[I.Site];
+  }
+  void onAllocArray(const AllocArrayInst &I, ObjId) {
+    bump();
+    ++AllocCounts[I.Site];
+  }
+  void onLoadField(const LoadFieldInst &, ObjId, const Value &) { bump(); }
+  void onStoreField(const StoreFieldInst &, ObjId, const Value &) { bump(); }
+  void onLoadStatic(const LoadStaticInst &, const Value &) { bump(); }
+  void onStoreStatic(const StoreStaticInst &, const Value &) { bump(); }
+  void onLoadElem(const LoadElemInst &, ObjId, uint32_t, const Value &) {
+    bump();
+  }
+  void onStoreElem(const StoreElemInst &, ObjId, uint32_t, const Value &) {
+    bump();
+  }
+  void onArrayLen(const ArrayLenInst &, ObjId) { bump(); }
+  void onPredicate(const CondBrInst &, bool) { bump(); }
+  void onNativeCall(const NativeCallInst &) { bump(); }
+  void onCallEnter(const CallInst &, const Function &Callee, ObjId);
+  void onReturn(const ReturnInst &);
+
+private:
+  void bump() {
+    ++InstrCounts[FuncStack.back()];
+    ++PhaseCounts[CurPhase];
+  }
+
+  std::vector<uint64_t> InstrCounts; // per FuncId
+  std::vector<uint64_t> InvokeCounts;
+  std::vector<uint64_t> AllocCounts; // per AllocSiteId
+  std::vector<uint64_t> PhaseCounts;
+  std::vector<FuncId> FuncStack;
+  size_t CurPhase = 0;
+};
+
+} // namespace lud
+
+#endif // LUD_PROFILING_FLATPROFILER_H

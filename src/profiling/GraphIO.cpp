@@ -1,0 +1,144 @@
+//===- profiling/GraphIO.cpp - Gcost serialization --------------------------===//
+
+#include "profiling/GraphIO.h"
+
+#include "profiling/DepGraph.h"
+#include "support/OutStream.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+using namespace lud;
+
+void lud::writeGraph(const DepGraph &G, OutStream &OS) {
+  OS << "ludgraph 1\n";
+  OS << "slots " << uint64_t(G.contextSlots()) << "\n";
+  for (NodeId N = 0; N != NodeId(G.numNodes()); ++N) {
+    const DepGraph::Node &Node = G.node(N);
+    char Buf[192];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "node %u %u %u %" PRIu64 " %u %u %" PRIu64 " %u %d %d %d %d\n", N,
+        Node.Instr, Node.Domain, Node.Freq, unsigned(Node.Consumer),
+        unsigned(Node.Effect), Node.EffectLoc.Tag, Node.EffectLoc.Slot,
+        int(Node.ReadsHeap), int(Node.WritesHeap), int(Node.IsAlloc),
+        int(Node.StoredRef));
+    OS << Buf;
+  }
+  for (NodeId N = 0; N != NodeId(G.numNodes()); ++N)
+    for (NodeId S : G.node(N).Out)
+      OS << "edge " << uint64_t(N) << " " << uint64_t(S) << "\n";
+  for (auto [Store, Alloc] : G.refEdges())
+    OS << "refedge " << uint64_t(Store) << " " << uint64_t(Alloc) << "\n";
+  for (const auto &[Tag, N] : G.allocNodes())
+    OS << "allocnode " << Tag << " " << uint64_t(N) << "\n";
+  auto WriteLocMap = [&](const char *Kind, const auto &Map) {
+    for (const auto &[Loc, Items] : Map) {
+      OS << Kind << " " << Loc.Tag << " " << uint64_t(Loc.Slot);
+      for (const auto &Item : Items)
+        OS << " " << uint64_t(Item);
+      OS << "\n";
+    }
+  };
+  WriteLocMap("writer", G.writers());
+  WriteLocMap("reader", G.readers());
+  WriteLocMap("refchild", G.refChildren());
+  OS << "end\n";
+}
+
+std::unique_ptr<DepGraph> lud::readGraph(std::string_view Text,
+                                         std::vector<std::string> &Errors) {
+  auto Fail = [&](unsigned Line, const std::string &Msg) {
+    Errors.push_back("graph line " + std::to_string(Line) + ": " + Msg);
+    return nullptr;
+  };
+
+  auto G = std::make_unique<DepGraph>();
+  std::istringstream In{std::string(Text)};
+  std::string LineStr;
+  unsigned LineNo = 0;
+  bool SawHeader = false, SawEnd = false;
+  while (std::getline(In, LineStr)) {
+    ++LineNo;
+    if (LineStr.empty())
+      continue;
+    std::istringstream L(LineStr);
+    std::string Kind;
+    L >> Kind;
+    if (!SawHeader) {
+      unsigned Version = 0;
+      if (Kind != "ludgraph" || !(L >> Version) || Version != 1)
+        return Fail(LineNo, "expected 'ludgraph 1' header");
+      SawHeader = true;
+      continue;
+    }
+    if (Kind == "slots") {
+      uint32_t S = 0;
+      if (!(L >> S) || S == 0)
+        return Fail(LineNo, "bad slot count");
+      G->setContextSlots(S);
+    } else if (Kind == "node") {
+      uint64_t Id, Instr, Domain, Freq, Consumer, Effect, Tag, Slot;
+      int Reads, Writes, Alloc, StoredRef;
+      if (!(L >> Id >> Instr >> Domain >> Freq >> Consumer >> Effect >>
+            Tag >> Slot >> Reads >> Writes >> Alloc >> StoredRef))
+        return Fail(LineNo, "malformed node");
+      NodeId N = G->getOrCreate(InstrId(Instr), uint32_t(Domain));
+      if (N != NodeId(Id))
+        return Fail(LineNo, "node ids out of order");
+      DepGraph::Node &Node = G->node(N);
+      Node.Freq = Freq;
+      Node.Consumer = ConsumerKind(Consumer);
+      Node.Effect = EffectKind(Effect);
+      Node.EffectLoc = {Tag, FieldSlot(Slot)};
+      Node.ReadsHeap = Reads;
+      Node.WritesHeap = Writes;
+      Node.IsAlloc = Alloc;
+      Node.StoredRef = StoredRef;
+    } else if (Kind == "edge" || Kind == "refedge") {
+      uint64_t From, To;
+      if (!(L >> From >> To) || From >= G->numNodes() || To >= G->numNodes())
+        return Fail(LineNo, "malformed edge");
+      if (Kind == "edge")
+        G->addEdge(NodeId(From), NodeId(To));
+      else
+        G->addRefEdge(NodeId(From), NodeId(To));
+    } else if (Kind == "allocnode") {
+      uint64_t Tag, N;
+      if (!(L >> Tag >> N) || N >= G->numNodes())
+        return Fail(LineNo, "malformed allocnode");
+      G->noteAlloc(Tag, NodeId(N));
+    } else if (Kind == "writer" || Kind == "reader") {
+      uint64_t Tag, Slot, N;
+      if (!(L >> Tag >> Slot))
+        return Fail(LineNo, "malformed location");
+      HeapLoc Loc{Tag, FieldSlot(Slot)};
+      while (L >> N) {
+        if (N >= G->numNodes())
+          return Fail(LineNo, "bad node in location map");
+        if (Kind == "writer")
+          G->noteWriter(Loc, NodeId(N));
+        else
+          G->noteReader(Loc, NodeId(N));
+      }
+    } else if (Kind == "refchild") {
+      uint64_t Tag, Slot, Child;
+      if (!(L >> Tag >> Slot))
+        return Fail(LineNo, "malformed refchild");
+      HeapLoc Loc{Tag, FieldSlot(Slot)};
+      while (L >> Child)
+        G->noteRefChild(Loc, Child);
+    } else if (Kind == "end") {
+      SawEnd = true;
+      break;
+    } else {
+      return Fail(LineNo, "unknown record '" + Kind + "'");
+    }
+  }
+  if (!SawHeader)
+    return Fail(LineNo, "missing header");
+  if (!SawEnd)
+    return Fail(LineNo, "missing 'end' record");
+  return G;
+}

@@ -1,0 +1,213 @@
+//===- profiling/NullnessProfiler.cpp - Null propagation client ------------===//
+
+#include "profiling/NullnessProfiler.h"
+
+#include "ir/Module.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace lud;
+
+NodeId NullnessProfiler::hit(const Instruction &I, bool IsNull) {
+  NodeId N = G.getOrCreate(I.getId(), IsNull ? kNullDom : kNotNullDom);
+  ++G.node(N).Freq;
+  return N;
+}
+
+std::vector<NodeId> &NullnessProfiler::objShadow(ObjId O) {
+  if (HeapShadow.size() <= O)
+    HeapShadow.resize(H->idBound());
+  std::vector<NodeId> &S = HeapShadow[O];
+  size_t Need = H->obj(O).Slots.size();
+  if (S.size() < Need)
+    S.resize(Need, kNoNode);
+  return S;
+}
+
+void NullnessProfiler::onRunStart(const Module &Mod, Heap &Heap_) {
+  H = &Heap_;
+  StaticShadow.assign(Mod.globals().size(), kNoNode);
+}
+
+void NullnessProfiler::onEntryFrame(const Function &F) {
+  RegShadow.clear();
+  RegShadow.emplace_back(F.getNumRegs(), kNoNode);
+}
+
+void NullnessProfiler::onConst(const ConstInst &I) {
+  regs()[I.Dst] = hit(I, I.Lit == ConstInst::LitKind::Null);
+}
+
+void NullnessProfiler::onAssign(const AssignInst &I) {
+  NodeId Src = regs()[I.Src];
+  bool IsNull = Src != kNoNode && G.node(Src).Domain == kNullDom;
+  NodeId N = hit(I, IsNull);
+  edgeFrom(Src, N);
+  regs()[I.Dst] = N;
+}
+
+void NullnessProfiler::onBin(const BinInst &I) {
+  NodeId N = hit(I, /*IsNull=*/false);
+  edgeFrom(regs()[I.Lhs], N);
+  edgeFrom(regs()[I.Rhs], N);
+  regs()[I.Dst] = N;
+}
+
+void NullnessProfiler::onUn(const UnInst &I) {
+  NodeId N = hit(I, /*IsNull=*/false);
+  edgeFrom(regs()[I.Src], N);
+  regs()[I.Dst] = N;
+}
+
+void NullnessProfiler::onAlloc(const AllocInst &I, ObjId O) {
+  regs()[I.Dst] = hit(I, /*IsNull=*/false);
+  objShadow(O);
+}
+
+void NullnessProfiler::onAllocArray(const AllocArrayInst &I, ObjId O) {
+  NodeId N = hit(I, /*IsNull=*/false);
+  edgeFrom(regs()[I.Len], N);
+  regs()[I.Dst] = N;
+  objShadow(O);
+}
+
+void NullnessProfiler::onLoadField(const LoadFieldInst &I, ObjId Base,
+                                   const Value &Loaded) {
+  NodeId N = hit(I, Loaded.isNullRef());
+  edgeFrom(objShadow(Base)[I.Slot], N);
+  regs()[I.Dst] = N;
+}
+
+void NullnessProfiler::onStoreField(const StoreFieldInst &I, ObjId Base,
+                                    const Value &Stored) {
+  NodeId N = hit(I, Stored.isNullRef());
+  edgeFrom(regs()[I.Src], N);
+  objShadow(Base)[I.Slot] = N;
+}
+
+void NullnessProfiler::onLoadStatic(const LoadStaticInst &I,
+                                    const Value &Loaded) {
+  NodeId N = hit(I, Loaded.isNullRef());
+  edgeFrom(StaticShadow[I.Global], N);
+  regs()[I.Dst] = N;
+}
+
+void NullnessProfiler::onStoreStatic(const StoreStaticInst &I,
+                                     const Value &Stored) {
+  NodeId N = hit(I, Stored.isNullRef());
+  edgeFrom(regs()[I.Src], N);
+  StaticShadow[I.Global] = N;
+}
+
+void NullnessProfiler::onLoadElem(const LoadElemInst &I, ObjId Base,
+                                  uint32_t Index, const Value &Loaded) {
+  NodeId N = hit(I, Loaded.isNullRef());
+  edgeFrom(objShadow(Base)[Index], N);
+  edgeFrom(regs()[I.Index], N);
+  regs()[I.Dst] = N;
+}
+
+void NullnessProfiler::onStoreElem(const StoreElemInst &I, ObjId Base,
+                                   uint32_t Index, const Value &Stored) {
+  NodeId N = hit(I, Stored.isNullRef());
+  edgeFrom(regs()[I.Src], N);
+  edgeFrom(regs()[I.Index], N);
+  objShadow(Base)[Index] = N;
+}
+
+void NullnessProfiler::onArrayLen(const ArrayLenInst &I, ObjId) {
+  regs()[I.Dst] = hit(I, /*IsNull=*/false);
+}
+
+void NullnessProfiler::onPredicate(const CondBrInst &I, bool) {
+  NodeId N = G.getOrCreate(I.getId(), kNoDomain);
+  DepGraph::Node &Node = G.node(N);
+  Node.Consumer = ConsumerKind::Predicate;
+  ++Node.Freq;
+  edgeFrom(regs()[I.Lhs], N);
+  edgeFrom(regs()[I.Rhs], N);
+}
+
+void NullnessProfiler::onNativeCall(const NativeCallInst &I) {
+  NodeId N = G.getOrCreate(I.getId(), kNoDomain);
+  DepGraph::Node &Node = G.node(N);
+  Node.Consumer = ConsumerKind::Native;
+  ++Node.Freq;
+  for (Reg A : I.Args)
+    edgeFrom(regs()[A], N);
+  if (I.Dst != kNoReg)
+    regs()[I.Dst] = N;
+}
+
+void NullnessProfiler::onCallEnter(const CallInst &I, const Function &Callee,
+                                   ObjId) {
+  std::vector<NodeId> Params(Callee.getNumRegs(), kNoNode);
+  const std::vector<NodeId> &Caller = regs();
+  for (size_t A = 0, E = I.Args.size(); A != E; ++A)
+    Params[A] = Caller[I.Args[A]];
+  RegShadow.push_back(std::move(Params));
+}
+
+void NullnessProfiler::onReturn(const ReturnInst &I) {
+  PendingRet = kNoNode;
+  if (I.Src != kNoReg) {
+    NodeId Src = regs()[I.Src];
+    bool IsNull = Src != kNoNode && G.node(Src).Domain == kNullDom;
+    NodeId N = hit(I, IsNull);
+    edgeFrom(Src, N);
+    PendingRet = N;
+  }
+  if (RegShadow.size() > 1)
+    RegShadow.pop_back();
+}
+
+void NullnessProfiler::onReturnBound(Reg Dst) {
+  if (Dst != kNoReg)
+    regs()[Dst] = PendingRet;
+  PendingRet = kNoNode;
+}
+
+void NullnessProfiler::onTrap(const Instruction &I, TrapKind K, Reg FaultReg) {
+  if (K != TrapKind::NullDeref || FaultReg == kNoReg)
+    return;
+  Fault = regs()[FaultReg];
+  FaultInstr = I.getId();
+}
+
+NullTrace lud::traceNullOrigin(const NullnessProfiler &P) {
+  NullTrace Trace;
+  const DepGraph &G = P.graph();
+  NodeId Fault = P.faultNode();
+  if (Fault == kNoNode || G.node(Fault).Domain != kNullDom)
+    return Trace;
+
+  // Backward BFS restricted to null-annotated nodes, recording parents so
+  // a shortest propagation path can be reconstructed.
+  std::unordered_map<NodeId, NodeId> Parent;
+  std::vector<NodeId> Queue{Fault};
+  Parent[Fault] = kNoNode;
+  NodeId Origin = kNoNode;
+  for (size_t Head = 0; Head != Queue.size(); ++Head) {
+    NodeId N = Queue[Head];
+    bool HasNullPred = false;
+    for (NodeId M : G.node(N).In) {
+      if (G.node(M).Domain != kNullDom)
+        continue;
+      HasNullPred = true;
+      if (!Parent.count(M)) {
+        Parent[M] = N;
+        Queue.push_back(M);
+      }
+    }
+    if (!HasNullPred && Origin == kNoNode)
+      Origin = N; // First (closest) node with no null predecessor.
+  }
+  if (Origin == kNoNode)
+    return Trace;
+
+  Trace.Origin = G.node(Origin).Instr;
+  for (NodeId N = Origin; N != kNoNode; N = Parent[N])
+    Trace.Flow.push_back(G.node(N).Instr);
+  return Trace;
+}

@@ -1,0 +1,110 @@
+//===- profiling/NullnessProfiler.h - Null propagation client --*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The null-value propagation client of Section 2.1 / Figure 2(a): abstract
+/// dynamic thin slicing over the two-element domain {null, not-null}. When
+/// a NullPointerException-style trap fires, the recorded graph shows where
+/// the null value was created and every hop it took to the dereference —
+/// more than origin-only tracking gives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_PROFILING_NULLNESSPROFILER_H
+#define LUD_PROFILING_NULLNESSPROFILER_H
+
+#include "profiling/DepGraph.h"
+#include "runtime/Heap.h"
+#include "runtime/ProfilerConcept.h"
+
+#include <vector>
+
+namespace lud {
+
+class Module;
+
+/// Domain elements for the nullness abstraction.
+inline constexpr uint32_t kNullDom = 0;
+inline constexpr uint32_t kNotNullDom = 1;
+
+class NullnessProfiler {
+public:
+  DepGraph &graph() { return G; }
+  const DepGraph &graph() const { return G; }
+
+  /// Node whose value was dereferenced when the trap fired (kNoNode if no
+  /// trap happened or the value was untracked).
+  NodeId faultNode() const { return Fault; }
+  InstrId faultInstr() const { return FaultInstr; }
+
+  // Profiler hooks.
+  void onRunStart(const Module &Mod, Heap &H);
+  void onRunEnd() {}
+  void onEntryFrame(const Function &F);
+  void onPhase(int64_t) {}
+  void onConst(const ConstInst &I);
+  void onAssign(const AssignInst &I);
+  void onBin(const BinInst &I);
+  void onUn(const UnInst &I);
+  void onAlloc(const AllocInst &I, ObjId O);
+  void onAllocArray(const AllocArrayInst &I, ObjId O);
+  void onLoadField(const LoadFieldInst &I, ObjId Base, const Value &Loaded);
+  void onStoreField(const StoreFieldInst &I, ObjId Base, const Value &Stored);
+  void onLoadStatic(const LoadStaticInst &I, const Value &Loaded);
+  void onStoreStatic(const StoreStaticInst &I, const Value &Stored);
+  void onLoadElem(const LoadElemInst &I, ObjId Base, uint32_t Index,
+                  const Value &Loaded);
+  void onStoreElem(const StoreElemInst &I, ObjId Base, uint32_t Index,
+                   const Value &Stored);
+  void onArrayLen(const ArrayLenInst &I, ObjId Base);
+  void onPredicate(const CondBrInst &I, bool Taken);
+  void onNativeCall(const NativeCallInst &I);
+  void onCallEnter(const CallInst &I, const Function &Callee, ObjId Receiver);
+  void onReturn(const ReturnInst &I);
+  void onReturnBound(Reg Dst);
+  void onTrap(const Instruction &I, TrapKind K, Reg FaultReg);
+
+private:
+  std::vector<NodeId> &regs() { return RegShadow.back(); }
+
+  /// Creates/bumps the node for (I, null or not-null) and returns it.
+  NodeId hit(const Instruction &I, bool IsNull);
+
+  void edgeFrom(NodeId Src, NodeId To) {
+    if (Src != kNoNode)
+      G.addEdge(Src, To);
+  }
+
+  DepGraph G;
+  Heap *H = nullptr;
+  std::vector<std::vector<NodeId>> RegShadow;
+  std::vector<std::vector<NodeId>> HeapShadow; // per object, per slot
+  std::vector<NodeId> StaticShadow;
+  NodeId PendingRet = kNoNode;
+  NodeId Fault = kNoNode;
+  InstrId FaultInstr = kNoInstr;
+
+  std::vector<NodeId> &objShadow(ObjId O);
+};
+
+/// Result of tracing a null dereference backwards (Figure 2(a)).
+struct NullTrace {
+  /// Instruction that created the null value originally.
+  InstrId Origin = kNoInstr;
+  /// The propagation flow, origin first, dereferenced value last (one
+  /// instruction per hop the null value took).
+  std::vector<InstrId> Flow;
+  bool found() const { return Origin != kNoInstr; }
+};
+
+/// Walks backward from the profiler's fault node through null-annotated
+/// nodes to the origin, reconstructing a shortest propagation path.
+NullTrace traceNullOrigin(const NullnessProfiler &P);
+
+} // namespace lud
+
+#endif // LUD_PROFILING_NULLNESSPROFILER_H

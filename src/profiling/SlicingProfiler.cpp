@@ -1,0 +1,414 @@
+//===- profiling/SlicingProfiler.cpp - Gcost construction ------------------===//
+
+#include "profiling/SlicingProfiler.h"
+
+#include "ir/Module.h"
+
+using namespace lud;
+
+SlicingProfiler::SlicingProfiler(SlicingConfig Cfg)
+    : Cfg(Cfg), Ctx(Cfg.ContextSlots) {
+  G.setContextSlots(Cfg.ContextSlots);
+  Ctx.reset();
+}
+
+NodeId SlicingProfiler::hit(const Instruction &I, uint32_t Domain) {
+  NodeId Id = G.getOrCreate(I.getId(), Domain);
+  DepGraph::Node &N = G.node(Id);
+  if (N.Freq == 0) {
+    N.ReadsHeap = I.readsHeap();
+    N.WritesHeap = I.writesHeap();
+    N.IsAlloc = I.isAlloc();
+  }
+  ++N.Freq;
+  return Id;
+}
+
+SlicingProfiler::ShadowObject &SlicingProfiler::ensureShadow(ObjId O) {
+  if (HeapShadow.size() <= O)
+    HeapShadow.resize(H->idBound());
+  ShadowObject &SO = HeapShadow[O];
+  size_t Need = H->obj(O).Slots.size();
+  if (SO.Slots.size() < Need) {
+    SO.Slots.resize(Need, kNoNode);
+    SO.States.resize(Need, Virgin);
+  }
+  return SO;
+}
+
+void SlicingProfiler::onRunStart(const Module &Mod, Heap &Heap_) {
+  M = &Mod;
+  H = &Heap_;
+  StaticShadow.assign(Mod.globals().size(), kNoNode);
+  StaticStates.assign(Mod.globals().size(), Virgin);
+  Enabled = (Cfg.TrackedPhaseMask & 1) != 0;
+}
+
+void SlicingProfiler::onRunEnd() {}
+
+void SlicingProfiler::onEntryFrame(const Function &F) {
+  Ctx.reset();
+  RegShadow.clear();
+  RegShadow.emplace_back(F.getNumRegs(), kNoNode);
+  FuncStack.assign(1, F.getId());
+  if (Enabled && Cfg.TrackCR)
+    SeenContexts[F.getId()].insert(Ctx.current());
+}
+
+void SlicingProfiler::onPhase(int64_t Phase) {
+  if (Phase < 0 || Phase >= 64) {
+    Enabled = true;
+    return;
+  }
+  Enabled = (Cfg.TrackedPhaseMask >> Phase) & 1;
+}
+
+void SlicingProfiler::onConst(const ConstInst &I) {
+  if (!Enabled) {
+    regs()[I.Dst] = kNoNode;
+    return;
+  }
+  regs()[I.Dst] = hit(I, dom());
+}
+
+void SlicingProfiler::onAssign(const AssignInst &I) {
+  if (!Enabled) {
+    regs()[I.Dst] = kNoNode;
+    return;
+  }
+  NodeId N = hit(I, dom());
+  edgeFrom(regs()[I.Src], N);
+  regs()[I.Dst] = N;
+}
+
+void SlicingProfiler::onBin(const BinInst &I) {
+  if (!Enabled) {
+    regs()[I.Dst] = kNoNode;
+    return;
+  }
+  NodeId N = hit(I, dom());
+  edgeFrom(regs()[I.Lhs], N);
+  edgeFrom(regs()[I.Rhs], N);
+  regs()[I.Dst] = N;
+}
+
+void SlicingProfiler::onUn(const UnInst &I) {
+  if (!Enabled) {
+    regs()[I.Dst] = kNoNode;
+    return;
+  }
+  NodeId N = hit(I, dom());
+  edgeFrom(regs()[I.Src], N);
+  regs()[I.Dst] = N;
+}
+
+void SlicingProfiler::onAlloc(const AllocInst &I, ObjId O) {
+  if (!Enabled) {
+    regs()[I.Dst] = kNoNode;
+    return;
+  }
+  NodeId N = hit(I, dom());
+  uint64_t Tag = G.makeTag(I.Site, dom());
+  H->obj(O).Tag = Tag;
+  G.noteAlloc(Tag, N);
+  DepGraph::Node &Node = G.node(N);
+  Node.Effect = EffectKind::Alloc;
+  Node.EffectLoc = {Tag, 0};
+  ensureShadow(O);
+  regs()[I.Dst] = N;
+}
+
+void SlicingProfiler::onAllocArray(const AllocArrayInst &I, ObjId O) {
+  if (!Enabled) {
+    regs()[I.Dst] = kNoNode;
+    return;
+  }
+  NodeId N = hit(I, dom());
+  edgeFrom(regs()[I.Len], N);
+  uint64_t Tag = G.makeTag(I.Site, dom());
+  H->obj(O).Tag = Tag;
+  G.noteAlloc(Tag, N);
+  DepGraph::Node &Node = G.node(N);
+  Node.Effect = EffectKind::Alloc;
+  Node.EffectLoc = {Tag, 0};
+  ShadowObject &SO = ensureShadow(O);
+  SO.Len = N;
+  G.noteWriter({Tag, kLenSlot}, N);
+  regs()[I.Dst] = N;
+}
+
+void SlicingProfiler::onLoadField(const LoadFieldInst &I, ObjId Base,
+                                  const Value &) {
+  if (!Enabled) {
+    regs()[I.Dst] = kNoNode;
+    return;
+  }
+  NodeId N = hit(I, dom());
+  ShadowObject &SO = ensureShadow(Base);
+  edgeFrom(SO.Slots[I.Slot], N);
+  if (!Cfg.ThinSlicing)
+    edgeFrom(regs()[I.Base], N);
+  if (SO.States[I.Slot] == WrittenUnread)
+    SO.States[I.Slot] = WrittenRead;
+  regs()[I.Dst] = N;
+  uint64_t Tag = H->obj(Base).Tag;
+  if (Tag == kNoTag)
+    return;
+  DepGraph::Node &Node = G.node(N);
+  Node.Effect = EffectKind::Load;
+  Node.EffectLoc = {Tag, I.Slot};
+  G.noteReader(Node.EffectLoc, N);
+  ++Activity[Node.EffectLoc].Reads;
+}
+
+void SlicingProfiler::onStoreField(const StoreFieldInst &I, ObjId Base,
+                                   const Value &Stored) {
+  if (!Enabled) {
+    ensureShadow(Base).Slots[I.Slot] = kNoNode;
+    return;
+  }
+  NodeId N = hit(I, dom());
+  edgeFrom(regs()[I.Src], N);
+  if (!Cfg.ThinSlicing)
+    edgeFrom(regs()[I.Base], N);
+  ShadowObject &SO = ensureShadow(Base);
+  if (SO.States[I.Slot] == WrittenUnread) {
+    uint64_t Tag = H->obj(Base).Tag;
+    if (Tag != kNoTag)
+      ++Activity[HeapLoc{Tag, I.Slot}].Overwrites;
+  }
+  SO.Slots[I.Slot] = N;
+  SO.States[I.Slot] = WrittenUnread;
+  noteStore(N, H->obj(Base).Tag, I.Slot, Stored);
+}
+
+void SlicingProfiler::noteStore(NodeId N, uint64_t Tag, FieldSlot Slot,
+                                const Value &Stored) {
+  if (Tag == kNoTag)
+    return;
+  DepGraph::Node &Node = G.node(N);
+  Node.Effect = EffectKind::Store;
+  Node.EffectLoc = {Tag, Slot};
+  G.noteWriter(Node.EffectLoc, N);
+  ++Activity[Node.EffectLoc].Writes;
+  if (!DepGraph::isStaticTag(Tag)) {
+    NodeId Alloc = G.allocNodeFor(Tag);
+    if (Alloc != kNoNode)
+      G.addRefEdge(N, Alloc);
+  }
+  if (Stored.isRef()) {
+    Node.StoredRef = true;
+    if (!Stored.isNullRef()) {
+      uint64_t ChildTag = H->obj(Stored.R).Tag;
+      if (ChildTag != kNoTag)
+        G.noteRefChild(Node.EffectLoc, ChildTag);
+    }
+  }
+}
+
+void SlicingProfiler::onLoadStatic(const LoadStaticInst &I, const Value &) {
+  if (!Enabled) {
+    regs()[I.Dst] = kNoNode;
+    return;
+  }
+  NodeId N = hit(I, dom());
+  edgeFrom(StaticShadow[I.Global], N);
+  if (StaticStates[I.Global] == WrittenUnread)
+    StaticStates[I.Global] = WrittenRead;
+  regs()[I.Dst] = N;
+  DepGraph::Node &Node = G.node(N);
+  Node.Effect = EffectKind::Load;
+  Node.EffectLoc = {DepGraph::makeStaticTag(I.Global), 0};
+  G.noteReader(Node.EffectLoc, N);
+  ++Activity[Node.EffectLoc].Reads;
+}
+
+void SlicingProfiler::onStoreStatic(const StoreStaticInst &I,
+                                    const Value &Stored) {
+  if (!Enabled) {
+    StaticShadow[I.Global] = kNoNode;
+    return;
+  }
+  NodeId N = hit(I, dom());
+  edgeFrom(regs()[I.Src], N);
+  if (StaticStates[I.Global] == WrittenUnread)
+    ++Activity[HeapLoc{DepGraph::makeStaticTag(I.Global), 0}].Overwrites;
+  StaticShadow[I.Global] = N;
+  StaticStates[I.Global] = WrittenUnread;
+  noteStore(N, DepGraph::makeStaticTag(I.Global), 0, Stored);
+}
+
+void SlicingProfiler::onLoadElem(const LoadElemInst &I, ObjId Base,
+                                 uint32_t Index, const Value &) {
+  if (!Enabled) {
+    regs()[I.Dst] = kNoNode;
+    return;
+  }
+  NodeId N = hit(I, dom());
+  ShadowObject &SO = ensureShadow(Base);
+  edgeFrom(SO.Slots[Index], N);
+  // The element index is a use even under thin slicing (Section 2.1).
+  edgeFrom(regs()[I.Index], N);
+  if (!Cfg.ThinSlicing)
+    edgeFrom(regs()[I.Base], N);
+  if (SO.States[Index] == WrittenUnread)
+    SO.States[Index] = WrittenRead;
+  regs()[I.Dst] = N;
+  uint64_t Tag = H->obj(Base).Tag;
+  if (Tag == kNoTag)
+    return;
+  DepGraph::Node &Node = G.node(N);
+  Node.Effect = EffectKind::Load;
+  Node.EffectLoc = {Tag, kElemSlot};
+  G.noteReader(Node.EffectLoc, N);
+  ++Activity[Node.EffectLoc].Reads;
+}
+
+void SlicingProfiler::onStoreElem(const StoreElemInst &I, ObjId Base,
+                                  uint32_t Index, const Value &Stored) {
+  if (!Enabled) {
+    ensureShadow(Base).Slots[Index] = kNoNode;
+    return;
+  }
+  NodeId N = hit(I, dom());
+  edgeFrom(regs()[I.Src], N);
+  edgeFrom(regs()[I.Index], N);
+  if (!Cfg.ThinSlicing)
+    edgeFrom(regs()[I.Base], N);
+  ShadowObject &SO = ensureShadow(Base);
+  if (SO.States[Index] == WrittenUnread) {
+    uint64_t Tag = H->obj(Base).Tag;
+    if (Tag != kNoTag)
+      ++Activity[HeapLoc{Tag, kElemSlot}].Overwrites;
+  }
+  SO.Slots[Index] = N;
+  SO.States[Index] = WrittenUnread;
+  noteStore(N, H->obj(Base).Tag, kElemSlot, Stored);
+}
+
+void SlicingProfiler::onArrayLen(const ArrayLenInst &I, ObjId Base) {
+  if (!Enabled) {
+    regs()[I.Dst] = kNoNode;
+    return;
+  }
+  NodeId N = hit(I, dom());
+  ShadowObject &SO = ensureShadow(Base);
+  edgeFrom(SO.Len, N);
+  if (!Cfg.ThinSlicing)
+    edgeFrom(regs()[I.Base], N);
+  regs()[I.Dst] = N;
+  uint64_t Tag = H->obj(Base).Tag;
+  if (Tag == kNoTag)
+    return;
+  DepGraph::Node &Node = G.node(N);
+  Node.Effect = EffectKind::Load;
+  Node.EffectLoc = {Tag, kLenSlot};
+  G.noteReader(Node.EffectLoc, N);
+  ++Activity[Node.EffectLoc].Reads;
+}
+
+void SlicingProfiler::onPredicate(const CondBrInst &I, bool Taken) {
+  if (!Enabled)
+    return;
+  NodeId N = hit(I, kNoDomain);
+  G.node(N).Consumer = ConsumerKind::Predicate;
+  edgeFrom(regs()[I.Lhs], N);
+  edgeFrom(regs()[I.Rhs], N);
+  PredicateOutcome &O = PredOutcomes[N];
+  if (Taken)
+    ++O.TakenCount;
+  else
+    ++O.NotTakenCount;
+}
+
+void SlicingProfiler::onNativeCall(const NativeCallInst &I) {
+  if (!Enabled) {
+    if (I.Dst != kNoReg)
+      regs()[I.Dst] = kNoNode;
+    return;
+  }
+  NodeId N = hit(I, kNoDomain);
+  G.node(N).Consumer = ConsumerKind::Native;
+  for (Reg A : I.Args)
+    edgeFrom(regs()[A], N);
+  if (I.Dst != kNoReg)
+    regs()[I.Dst] = N;
+}
+
+void SlicingProfiler::onCallEnter(const CallInst &I, const Function &Callee,
+                                  ObjId Receiver) {
+  bool Extends = Callee.isMethod() && Receiver != kNullObj;
+  AllocSiteId Site = 0;
+  if (Extends) {
+    uint64_t Tag = H->obj(Receiver).Tag;
+    // ALLOCID strips the context annotation, leaving the allocation site.
+    Site = Tag == kNoTag ? 0 : G.tagSite(Tag);
+  }
+  Ctx.pushCall(Extends, Site);
+  // Tracking stack: formal parameters receive the actuals' shadows (rule
+  // METHOD ENTRY).
+  std::vector<NodeId> Params(Callee.getNumRegs(), kNoNode);
+  const std::vector<NodeId> &Caller = regs();
+  for (size_t A = 0, E = I.Args.size(); A != E; ++A)
+    Params[A] = Caller[I.Args[A]];
+  RegShadow.push_back(std::move(Params));
+  FuncStack.push_back(Callee.getId());
+  if (Enabled && Cfg.TrackCR)
+    SeenContexts[Callee.getId()].insert(Ctx.current());
+}
+
+void SlicingProfiler::onReturn(const ReturnInst &I) {
+  PendingRet = kNoNode;
+  if (Enabled && I.Src != kNoReg) {
+    NodeId N = hit(I, dom());
+    edgeFrom(regs()[I.Src], N);
+    PendingRet = N;
+  }
+  if (RegShadow.size() > 1) {
+    RegShadow.pop_back();
+    Ctx.popCall();
+    FuncStack.pop_back();
+  }
+}
+
+void SlicingProfiler::onReturnBound(Reg Dst) {
+  if (Dst != kNoReg)
+    regs()[Dst] = PendingRet;
+  PendingRet = kNoNode;
+}
+
+void SlicingProfiler::onTrap(const Instruction &, TrapKind, Reg) {}
+
+double SlicingProfiler::averageCR() const {
+  if (!M)
+    return 0;
+  // Distinct static instructions present in the graph, per function.
+  std::unordered_map<FuncId, std::unordered_set<InstrId>> InstrsByFunc;
+  for (NodeId N = 0, E = NodeId(G.numNodes()); N != E; ++N) {
+    InstrId I = G.node(N).Instr;
+    InstrsByFunc[M->getInstrFunction(I)->getId()].insert(I);
+  }
+  double WeightedSum = 0;
+  uint64_t TotalInstrs = 0;
+  for (const auto &[Func, Instrs] : InstrsByFunc) {
+    double CR = 0;
+    auto It = SeenContexts.find(Func);
+    if (It != SeenContexts.end() && It->second.size() > 1) {
+      std::unordered_set<uint32_t> UsedSlots;
+      for (uint64_t C : It->second)
+        UsedSlots.insert(Ctx.slotOf(C));
+      double NumCtx = double(It->second.size());
+      CR = (NumCtx - double(UsedSlots.size())) / (NumCtx - 1);
+    }
+    WeightedSum += CR * double(Instrs.size());
+    TotalInstrs += Instrs.size();
+  }
+  return TotalInstrs == 0 ? 0 : WeightedSum / double(TotalInstrs);
+}
+
+uint64_t SlicingProfiler::distinctContexts() const {
+  uint64_t Sum = 0;
+  for (const auto &[Func, Ctxs] : SeenContexts)
+    Sum += Ctxs.size();
+  return Sum;
+}

@@ -1,0 +1,177 @@
+//===- profiling/SlicingProfiler.h - Gcost construction --------*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The online profiler that builds Gcost: an implementation of every
+/// inference rule of Figure 4. Shadow locations map each runtime storage
+/// location (register, heap slot, static) to the graph node that last wrote
+/// it; a tracking stack passes shadows and receiver-object chains across
+/// calls; object tags (environment P) live in the heap object headers.
+///
+/// Phase markers (the `phase` pseudo-native) gate tracking so the paper's
+/// selective-phase overhead experiment (Section 4.1) can be reproduced:
+/// shadow stacks stay aligned while tracking is off, but no graph updates
+/// happen.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_PROFILING_SLICINGPROFILER_H
+#define LUD_PROFILING_SLICINGPROFILER_H
+
+#include "profiling/Context.h"
+#include "profiling/DepGraph.h"
+#include "runtime/Heap.h"
+#include "runtime/ProfilerConcept.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace lud {
+
+class Module;
+
+struct SlicingConfig {
+  /// The paper's s: number of context slots per instruction.
+  uint32_t ContextSlots = 16;
+  /// Bit i set => instructions executed in phase i are tracked. Phase 0 is
+  /// active from entry until the first `phase` marker.
+  uint64_t TrackedPhaseMask = ~uint64_t(0);
+  /// Thin slicing (Definition 2): base-pointer values are not uses. Setting
+  /// this false adds base-pointer edges, approximating traditional dynamic
+  /// slicing for the ablation benchmark.
+  bool ThinSlicing = true;
+  /// Object-sensitive contexts; false collapses the domain to one slot
+  /// (context-insensitive ablation).
+  bool ContextSensitive = true;
+  /// Record distinct encoded contexts per function for CR (Table 1).
+  bool TrackCR = true;
+};
+
+/// Write/read/overwrite counters per abstract heap location, feeding the
+/// "rewritten before read" client (Section 3.2, derby case study).
+struct LocationActivity {
+  uint64_t Writes = 0;
+  uint64_t Reads = 0;
+  /// Stores that clobbered a value no load ever observed.
+  uint64_t Overwrites = 0;
+};
+
+class SlicingProfiler {
+public:
+  explicit SlicingProfiler(SlicingConfig Cfg = {});
+
+  DepGraph &graph() { return G; }
+  const DepGraph &graph() const { return G; }
+  const SlicingConfig &config() const { return Cfg; }
+  const Module *module() const { return M; }
+
+  /// Per-predicate-node outcome counts (always-true detection).
+  struct PredicateOutcome {
+    uint64_t TakenCount = 0;
+    uint64_t NotTakenCount = 0;
+  };
+  const std::unordered_map<NodeId, PredicateOutcome> &
+  predicateOutcomes() const {
+    return PredOutcomes;
+  }
+
+  const std::unordered_map<HeapLoc, LocationActivity, HeapLocHash> &
+  locationActivity() const {
+    return Activity;
+  }
+
+  /// Instruction-weighted average context conflict ratio over the graph
+  /// (Table 1's CR column). Per function f with C distinct contexts hashed
+  /// into U occupied slots: CR(f) = 0 if C <= 1, else (C - U) / (C - 1);
+  /// each static instruction of f present in the graph contributes one
+  /// sample.
+  double averageCR() const;
+
+  /// Total distinct dynamic contexts observed (all functions).
+  uint64_t distinctContexts() const;
+
+  //===--------------------------------------------------------------------===
+  // Profiler hooks (see runtime/ProfilerConcept.h for the contract).
+  //===--------------------------------------------------------------------===
+
+  void onRunStart(const Module &Mod, Heap &H);
+  void onRunEnd();
+  void onEntryFrame(const Function &F);
+  void onPhase(int64_t Phase);
+
+  void onConst(const ConstInst &I);
+  void onAssign(const AssignInst &I);
+  void onBin(const BinInst &I);
+  void onUn(const UnInst &I);
+  void onAlloc(const AllocInst &I, ObjId O);
+  void onAllocArray(const AllocArrayInst &I, ObjId O);
+  void onLoadField(const LoadFieldInst &I, ObjId Base, const Value &Loaded);
+  void onStoreField(const StoreFieldInst &I, ObjId Base, const Value &Stored);
+  void onLoadStatic(const LoadStaticInst &I, const Value &Loaded);
+  void onStoreStatic(const StoreStaticInst &I, const Value &Stored);
+  void onLoadElem(const LoadElemInst &I, ObjId Base, uint32_t Index,
+                  const Value &Loaded);
+  void onStoreElem(const StoreElemInst &I, ObjId Base, uint32_t Index,
+                   const Value &Stored);
+  void onArrayLen(const ArrayLenInst &I, ObjId Base);
+  void onPredicate(const CondBrInst &I, bool Taken);
+  void onNativeCall(const NativeCallInst &I);
+  void onCallEnter(const CallInst &I, const Function &Callee, ObjId Receiver);
+  void onReturn(const ReturnInst &I);
+  void onReturnBound(Reg Dst);
+  void onTrap(const Instruction &I, TrapKind K, Reg FaultReg);
+
+private:
+  /// Per-slot write/read state for overwrite detection.
+  enum SlotState : uint8_t { Virgin = 0, WrittenUnread = 1, WrittenRead = 2 };
+
+  struct ShadowObject {
+    NodeId Len = kNoNode;
+    std::vector<NodeId> Slots;
+    std::vector<uint8_t> States;
+  };
+
+  std::vector<NodeId> &regs() { return RegShadow.back(); }
+
+  uint32_t dom() const { return Cfg.ContextSensitive ? Ctx.slot() : 0; }
+
+  /// Node for (I, Domain), with flags initialized and frequency bumped.
+  NodeId hit(const Instruction &I, uint32_t Domain);
+
+  void edgeFrom(NodeId Src, NodeId To) {
+    if (Src != kNoNode)
+      G.addEdge(Src, To);
+  }
+
+  ShadowObject &ensureShadow(ObjId O);
+
+  /// Store-side bookkeeping shared by field/elem/static stores: activity
+  /// counters, writer map, reference edges, reference-tree children.
+  void noteStore(NodeId N, uint64_t Tag, FieldSlot Slot, const Value &Stored);
+
+  SlicingConfig Cfg;
+  DepGraph G;
+  ContextEncoder Ctx;
+  const Module *M = nullptr;
+  Heap *H = nullptr;
+  bool Enabled = true;
+
+  std::vector<std::vector<NodeId>> RegShadow;
+  std::vector<ShadowObject> HeapShadow;
+  std::vector<NodeId> StaticShadow;
+  std::vector<uint8_t> StaticStates;
+  NodeId PendingRet = kNoNode;
+
+  std::vector<FuncId> FuncStack;
+  std::unordered_map<FuncId, std::unordered_set<uint64_t>> SeenContexts;
+  std::unordered_map<NodeId, PredicateOutcome> PredOutcomes;
+  std::unordered_map<HeapLoc, LocationActivity, HeapLocHash> Activity;
+};
+
+} // namespace lud
+
+#endif // LUD_PROFILING_SLICINGPROFILER_H

@@ -1,0 +1,86 @@
+//===- profiling/TypestateProfiler.cpp - Typestate history client ----------===//
+
+#include "profiling/TypestateProfiler.h"
+
+#include "ir/Module.h"
+
+using namespace lud;
+
+void TypestateProfiler::onRunStart(const Module &Mod, Heap &Heap_) {
+  M = &Mod;
+  H = &Heap_;
+}
+
+void TypestateProfiler::ensure(ObjId O) {
+  if (StateOf.size() <= O) {
+    StateOf.resize(H->idBound(), Spec.InitialState);
+    SiteOf.resize(H->idBound(), kNoAllocSite);
+    LastEvent.resize(H->idBound(), kNoNode);
+  }
+}
+
+void TypestateProfiler::onAlloc(const AllocInst &I, ObjId O) {
+  ensure(O);
+  if (!Spec.tracks(I.Class))
+    return;
+  SiteOf[O] = I.Site;
+  StateOf[O] = Spec.InitialState;
+}
+
+void TypestateProfiler::onCallEnter(const CallInst &I, const Function &,
+                                    ObjId Receiver) {
+  if (Receiver == kNullObj || !I.isVirtual())
+    return;
+  ensure(Receiver);
+  if (SiteOf[Receiver] == kNoAllocSite)
+    return;
+  // Only events in the protocol's alphabet are state-changing.
+  uint32_t State = StateOf[Receiver];
+  bool InAlphabet = false;
+  for (uint32_t S = 0; S != Spec.NumStates && !InAlphabet; ++S)
+    InAlphabet = Spec.Transitions.count(TypestateSpec::key(S, I.Method)) != 0;
+  if (!InAlphabet)
+    return;
+
+  NodeId N = G.getOrCreate(I.getId(), domainOf(SiteOf[Receiver], State));
+  ++G.node(N).Freq;
+  if (LastEvent[Receiver] != kNoNode &&
+      (Events.empty() || Events.back().From != LastEvent[Receiver] ||
+       Events.back().To != N || Events.back().Method != I.Method)) {
+    // Memorize the last event per object (Section 2.1); deduplicate the
+    // common repeat case cheaply, the full set below.
+    bool Seen = false;
+    for (const EventEdge &E : Events)
+      if (E.From == LastEvent[Receiver] && E.To == N &&
+          E.Method == I.Method) {
+        Seen = true;
+        break;
+      }
+    if (!Seen)
+      Events.push_back({LastEvent[Receiver], N, I.Method});
+  }
+  LastEvent[Receiver] = N;
+
+  auto It = Spec.Transitions.find(TypestateSpec::key(State, I.Method));
+  if (It == Spec.Transitions.end()) {
+    Violations.push_back({I.getId(), SiteOf[Receiver], State, I.Method});
+    return; // State unchanged after a violation.
+  }
+  StateOf[Receiver] = It->second;
+}
+
+std::string TypestateProfiler::describeHistory(const Module &Mod) const {
+  std::string Out;
+  for (const EventEdge &E : Events) {
+    const DepGraph::Node &From = G.node(E.From);
+    const DepGraph::Node &To = G.node(E.To);
+    auto Render = [&](const DepGraph::Node &N) {
+      AllocSiteId Site = N.Domain / Spec.NumStates;
+      uint32_t State = N.Domain % Spec.NumStates;
+      return Mod.describeAllocSite(Site) + ":s" + std::to_string(State);
+    };
+    Out += Render(From) + " -" + Mod.methodNames()[E.Method] + "-> " +
+           Render(To) + "\n";
+  }
+  return Out;
+}

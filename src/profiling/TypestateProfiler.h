@@ -1,0 +1,116 @@
+//===- profiling/TypestateProfiler.h - Typestate history client *- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The typestate-history client of Section 2.1 / Figure 2(b), modeled on
+/// QVM's summarized histories: abstract slicing over the domain
+/// O x S (allocation sites of tracked objects x typestates). Each virtual
+/// call that can change a tracked object's state becomes a node annotated
+/// with (allocation site, state before the call); "next event" edges link
+/// consecutive events on the same object. Protocol violations are recorded
+/// with the abstract node, so the merged history (a DFA-like graph) can be
+/// inspected afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_PROFILING_TYPESTATEPROFILER_H
+#define LUD_PROFILING_TYPESTATEPROFILER_H
+
+#include "profiling/DepGraph.h"
+#include "runtime/Heap.h"
+#include "runtime/ProfilerConcept.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lud {
+
+class Module;
+
+/// A typestate protocol: states are small integers, transitions are keyed
+/// by (state, method name). Missing transitions are protocol violations.
+struct TypestateSpec {
+  /// Classes whose instances are tracked.
+  std::vector<ClassId> TrackedClasses;
+  uint32_t NumStates = 0;
+  uint32_t InitialState = 0;
+  /// (state, interned method name) -> next state.
+  std::unordered_map<uint64_t, uint32_t> Transitions;
+
+  static uint64_t key(uint32_t State, MethodNameId Method) {
+    return (uint64_t(State) << 32) | Method;
+  }
+  void addTransition(uint32_t From, MethodNameId Method, uint32_t To) {
+    Transitions[key(From, Method)] = To;
+  }
+  bool tracks(ClassId C) const {
+    for (ClassId T : TrackedClasses)
+      if (T == C)
+        return true;
+    return false;
+  }
+};
+
+/// One protocol violation: the event that had no legal transition.
+struct TypestateViolation {
+  InstrId Instr = kNoInstr;
+  AllocSiteId Site = kNoAllocSite;
+  uint32_t StateBefore = 0;
+  MethodNameId Method = kNoMethodName;
+};
+
+class TypestateProfiler : public NoopProfiler {
+public:
+  explicit TypestateProfiler(TypestateSpec Spec) : Spec(std::move(Spec)) {}
+
+  DepGraph &graph() { return G; }
+  const DepGraph &graph() const { return G; }
+  const std::vector<TypestateViolation> &violations() const {
+    return Violations;
+  }
+
+  /// Next-event edges (the dashed arrows of Figure 2(b)): consecutive
+  /// events observed on the same object, labeled with the method invoked
+  /// at the target event.
+  struct EventEdge {
+    NodeId From;
+    NodeId To;
+    MethodNameId Method;
+  };
+  const std::vector<EventEdge> &eventEdges() const { return Events; }
+
+  /// Domain element for (site, state).
+  uint32_t domainOf(AllocSiteId Site, uint32_t State) const {
+    return Site * Spec.NumStates + State;
+  }
+
+  // Hook overrides (the rest stay no-ops).
+  void onRunStart(const Module &Mod, Heap &H);
+  void onAlloc(const AllocInst &I, ObjId O);
+  void onCallEnter(const CallInst &I, const Function &Callee, ObjId Receiver);
+
+  /// Renders the merged history as "site:state -method-> site:state" lines.
+  std::string describeHistory(const Module &M) const;
+
+private:
+  TypestateSpec Spec;
+  DepGraph G;
+  Heap *H = nullptr;
+  const Module *M = nullptr;
+  std::vector<uint32_t> StateOf;        // per ObjId
+  std::vector<AllocSiteId> SiteOf;      // per ObjId (kNoAllocSite untracked)
+  std::vector<NodeId> LastEvent;        // per ObjId
+  std::vector<TypestateViolation> Violations;
+  std::vector<EventEdge> Events;
+
+  void ensure(ObjId O);
+};
+
+} // namespace lud
+
+#endif // LUD_PROFILING_TYPESTATEPROFILER_H

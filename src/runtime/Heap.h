@@ -1,0 +1,93 @@
+//===- runtime/Heap.h - Object heap ----------------------------*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple arena heap of objects and arrays with dense ids. Objects carry a
+/// profiler-managed tag word: the context-annotated allocation site the
+/// paper stores in the shadow header (environment P of Figure 4). There is
+/// no garbage collection; DaCapo-style runs are bounded and the paper's
+/// analyses never require reclamation (see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_RUNTIME_HEAP_H
+#define LUD_RUNTIME_HEAP_H
+
+#include "ir/Ids.h"
+#include "ir/Type.h"
+#include "runtime/Value.h"
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace lud {
+
+/// No-tag sentinel for objects allocated before tracking was enabled.
+inline constexpr uint64_t kNoTag = ~uint64_t(0);
+
+/// One heap cell: a class instance or a one-dimensional array.
+struct HeapObject {
+  ClassId Class = kNoClass; // kNoClass for arrays.
+  TypeKind ElemKind = TypeKind::Int;
+  bool IsArray = false;
+  /// Context-annotated allocation site (environment P); written by the
+  /// profiler's ALLOC rule, kNoTag when allocated untracked.
+  uint64_t Tag = kNoTag;
+  std::vector<Value> Slots;
+};
+
+/// The object store. Ids are dense and start at 1 (0 is null).
+class Heap {
+public:
+  /// Allocates a class instance with \p NumSlots zeroed fields.
+  ObjId allocObject(ClassId Class, uint32_t NumSlots) {
+    Objects.emplace_back();
+    HeapObject &O = Objects.back();
+    O.Class = Class;
+    O.Slots.assign(NumSlots, Value());
+    return ObjId(Objects.size() - 1);
+  }
+
+  /// Allocates an array of \p Len zeroed elements.
+  ObjId allocArray(TypeKind Elem, uint32_t Len) {
+    Objects.emplace_back();
+    HeapObject &O = Objects.back();
+    O.IsArray = true;
+    O.ElemKind = Elem;
+    O.Slots.assign(Len, Elem == TypeKind::Ref ? Value::null() : Value());
+    return ObjId(Objects.size() - 1);
+  }
+
+  HeapObject &obj(ObjId Id) {
+    assert(Id != kNullObj && Id < Objects.size() && "bad object id");
+    return Objects[Id];
+  }
+  const HeapObject &obj(ObjId Id) const {
+    assert(Id != kNullObj && Id < Objects.size() && "bad object id");
+    return Objects[Id];
+  }
+
+  /// Number of objects ever allocated (the paper's object counts).
+  size_t numObjects() const { return Objects.size() - 1; }
+  /// Largest valid id + 1; useful for dense side tables.
+  size_t idBound() const { return Objects.size(); }
+
+  void reset() {
+    Objects.clear();
+    Objects.emplace_back(); // Slot 0: null.
+  }
+
+  Heap() { reset(); }
+
+private:
+  std::vector<HeapObject> Objects;
+};
+
+} // namespace lud
+
+#endif // LUD_RUNTIME_HEAP_H

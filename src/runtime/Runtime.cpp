@@ -1,0 +1,27 @@
+//===- runtime/Runtime.cpp - Misc runtime helpers --------------------------===//
+
+#include "runtime/ProfilerConcept.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace lud;
+
+const char *lud::trapKindName(TrapKind K) {
+  switch (K) {
+  case TrapKind::None:
+    return "none";
+  case TrapKind::NullDeref:
+    return "null dereference";
+  case TrapKind::OutOfBounds:
+    return "array index out of bounds";
+  case TrapKind::DivByZero:
+    return "division by zero";
+  case TrapKind::BadVirtualCall:
+    return "no matching virtual method";
+  case TrapKind::StackOverflow:
+    return "call stack overflow";
+  case TrapKind::UnknownNative:
+    return "unbound native method";
+  }
+  lud_unreachable("unknown TrapKind");
+}

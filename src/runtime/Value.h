@@ -1,0 +1,90 @@
+//===- runtime/Value.h - Dynamically typed runtime values ------*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime value universe: 64-bit integers, doubles, and object
+/// references. Object id 0 is the null reference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_RUNTIME_VALUE_H
+#define LUD_RUNTIME_VALUE_H
+
+#include <cstdint>
+
+namespace lud {
+
+/// Dense heap object identifier; 0 is null.
+using ObjId = uint32_t;
+inline constexpr ObjId kNullObj = 0;
+
+enum class ValueKind : uint8_t { Int, Float, Ref };
+
+/// A dynamically typed runtime value. Registers, fields, array elements and
+/// globals all hold Values; fresh locations are integer zero.
+struct Value {
+  ValueKind Kind = ValueKind::Int;
+  union {
+    int64_t I;
+    double F;
+    ObjId R;
+  };
+
+  Value() : I(0) {}
+
+  static Value makeInt(int64_t V) {
+    Value X;
+    X.Kind = ValueKind::Int;
+    X.I = V;
+    return X;
+  }
+  static Value makeFloat(double V) {
+    Value X;
+    X.Kind = ValueKind::Float;
+    X.F = V;
+    return X;
+  }
+  static Value makeRef(ObjId O) {
+    Value X;
+    X.Kind = ValueKind::Ref;
+    X.R = O;
+    return X;
+  }
+  static Value null() { return makeRef(kNullObj); }
+
+  bool isRef() const { return Kind == ValueKind::Ref; }
+  bool isNullRef() const { return Kind == ValueKind::Ref && R == kNullObj; }
+
+  /// Numeric view as double (refs read as their id).
+  double asFloat() const {
+    switch (Kind) {
+    case ValueKind::Float:
+      return F;
+    case ValueKind::Int:
+      return double(I);
+    case ValueKind::Ref:
+      return double(R);
+    }
+    return 0;
+  }
+  /// Numeric view as int64 (floats truncate, refs read as their id).
+  int64_t asInt() const {
+    switch (Kind) {
+    case ValueKind::Int:
+      return I;
+    case ValueKind::Float:
+      return int64_t(F);
+    case ValueKind::Ref:
+      return int64_t(R);
+    }
+    return 0;
+  }
+};
+
+} // namespace lud
+
+#endif // LUD_RUNTIME_VALUE_H

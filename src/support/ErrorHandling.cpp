@@ -1,0 +1,14 @@
+//===- support/ErrorHandling.cpp - Fatal error reporting ------------------===//
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace lud;
+
+void lud::reportFatalError(const char *Msg, const char *File, unsigned Line) {
+  std::fprintf(stderr, "lud fatal error: %s (at %s:%u)\n", Msg, File, Line);
+  std::fflush(stderr);
+  std::abort();
+}

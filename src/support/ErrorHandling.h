@@ -1,0 +1,30 @@
+//===- support/ErrorHandling.h - Fatal error reporting ---------*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal error reporting helpers used across the library in place of
+/// exceptions. Programmatic errors abort with a message and source location.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_SUPPORT_ERRORHANDLING_H
+#define LUD_SUPPORT_ERRORHANDLING_H
+
+namespace lud {
+
+/// Prints \p Msg with the source location to stderr and aborts. Used for
+/// invariant violations that must be diagnosed even in release builds.
+[[noreturn]] void reportFatalError(const char *Msg, const char *File,
+                                   unsigned Line);
+
+} // namespace lud
+
+/// Marks a point in code that should never be reached. Unlike assert, the
+/// check survives NDEBUG builds.
+#define lud_unreachable(MSG) ::lud::reportFatalError(MSG, __FILE__, __LINE__)
+
+#endif // LUD_SUPPORT_ERRORHANDLING_H

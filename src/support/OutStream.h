@@ -1,0 +1,98 @@
+//===- support/OutStream.h - Lightweight output streams --------*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A raw_ostream-style output abstraction so library code never includes
+/// <iostream> (which injects static constructors). Two concrete sinks are
+/// provided: an in-memory string stream and a FILE*-backed stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_SUPPORT_OUTSTREAM_H
+#define LUD_SUPPORT_OUTSTREAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace lud {
+
+/// Abstract byte sink with formatting operators for the types the library
+/// prints. Subclasses implement writeBytes.
+class OutStream {
+public:
+  virtual ~OutStream();
+
+  OutStream &operator<<(std::string_view Str) {
+    writeBytes(Str.data(), Str.size());
+    return *this;
+  }
+  OutStream &operator<<(const char *Str) {
+    return *this << std::string_view(Str);
+  }
+  OutStream &operator<<(const std::string &Str) {
+    return *this << std::string_view(Str);
+  }
+  OutStream &operator<<(char C) {
+    writeBytes(&C, 1);
+    return *this;
+  }
+  OutStream &operator<<(bool B) { return *this << (B ? "true" : "false"); }
+  OutStream &operator<<(int64_t N);
+  OutStream &operator<<(uint64_t N);
+  OutStream &operator<<(int32_t N) { return *this << int64_t(N); }
+  OutStream &operator<<(uint32_t N) { return *this << uint64_t(N); }
+  OutStream &operator<<(double D);
+
+  /// Writes \p D with \p Digits digits after the decimal point.
+  OutStream &printFixed(double D, unsigned Digits);
+
+  /// Writes \p Str left-padded with spaces to at least \p Width columns.
+  OutStream &padded(std::string_view Str, unsigned Width);
+
+private:
+  virtual void writeBytes(const char *Data, size_t Size) = 0;
+};
+
+/// OutStream that appends to an owned std::string.
+class StringOutStream : public OutStream {
+public:
+  const std::string &str() const { return Buffer; }
+  void clear() { Buffer.clear(); }
+
+private:
+  void writeBytes(const char *Data, size_t Size) override {
+    Buffer.append(Data, Size);
+  }
+
+  std::string Buffer;
+};
+
+/// OutStream over a borrowed FILE*. Does not close the file.
+class FileOutStream : public OutStream {
+public:
+  explicit FileOutStream(std::FILE *F) : File(F) {}
+
+private:
+  void writeBytes(const char *Data, size_t Size) override {
+    std::fwrite(Data, 1, Size, File);
+  }
+
+  std::FILE *File;
+};
+
+/// Returns a stream writing to stdout. Safe to call from tools and tests.
+OutStream &outs();
+
+/// Returns a stream writing to stderr.
+OutStream &errs();
+
+} // namespace lud
+
+#endif // LUD_SUPPORT_OUTSTREAM_H

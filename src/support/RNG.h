@@ -1,0 +1,55 @@
+//===- support/RNG.h - Deterministic random numbers ------------*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, seedable SplitMix64 generator. Workload generators use this so
+/// every run of a benchmark executes the identical instruction stream; the
+/// library core never draws randomness at all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_SUPPORT_RNG_H
+#define LUD_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace lud {
+
+/// SplitMix64: tiny, fast, and statistically adequate for workload shaping.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t next() {
+    State += 0x9E3779B97F4A7C15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow bound must be positive");
+    return next() % Bound;
+  }
+
+  /// Returns a value in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "nextInRange requires Lo <= Hi");
+    return Lo + int64_t(nextBelow(uint64_t(Hi - Lo) + 1));
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace lud
+
+#endif // LUD_SUPPORT_RNG_H

@@ -1,0 +1,114 @@
+//===- tools/lud-analyze.cpp - Offline graph analysis ----------*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The offline half of the Section 3.2 hand-off: given a program and a
+/// Gcost previously serialized by `lud-run --dump-graph`, re-runs the
+/// analyses without executing anything ("the JVM only needs to write Gcost
+/// to external storage").
+///
+///   lud-run --dump-graph prog.graph prog.lud
+///   lud-analyze prog.lud prog.graph [--depth N] [--top K]
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CacheCost.h"
+#include "analysis/DeadValues.h"
+#include "analysis/Report.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "profiling/GraphIO.h"
+#include "support/OutStream.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace lud;
+
+namespace {
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  std::fclose(F);
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string ProgPath, GraphPath;
+  unsigned Depth = 4;
+  size_t TopK = 15;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--depth" && I + 1 < argc) {
+      Depth = unsigned(std::strtoul(argv[++I], nullptr, 10));
+    } else if (A == "--top" && I + 1 < argc) {
+      TopK = size_t(std::strtoul(argv[++I], nullptr, 10));
+    } else if (!A.empty() && A[0] == '-') {
+      errs() << "unknown option '" << A << "'\n";
+      return 2;
+    } else if (ProgPath.empty()) {
+      ProgPath = A;
+    } else if (GraphPath.empty()) {
+      GraphPath = A;
+    }
+  }
+  if (ProgPath.empty() || GraphPath.empty()) {
+    errs() << "usage: lud-analyze <program.lud> <gcost.graph> "
+              "[--depth N] [--top K]\n";
+    return 2;
+  }
+
+  std::string ProgText, GraphText;
+  if (!readFile(ProgPath, ProgText) || !readFile(GraphPath, GraphText)) {
+    errs() << "cannot read inputs\n";
+    return 1;
+  }
+  std::vector<std::string> Errors;
+  std::unique_ptr<Module> M = parseModule(ProgText, Errors);
+  std::unique_ptr<DepGraph> G =
+      M ? readGraph(GraphText, Errors) : nullptr;
+  if (!M || !G) {
+    for (const std::string &E : Errors)
+      errs() << E << "\n";
+    return 1;
+  }
+
+  OutStream &OS = outs();
+  OS << "offline Gcost: " << uint64_t(G->numNodes()) << " nodes, "
+     << uint64_t(G->numEdges()) << " edges, covering " << G->totalFreq()
+     << " instruction instances\n";
+
+  CostModel CM(*G);
+  ReportOptions Opts;
+  Opts.Depth = Depth;
+  LowUtilityReport Report(CM, *M, Opts);
+  OS << "\n=== low-utility data structures ===\n";
+  Report.print(OS, TopK);
+
+  OS << "\n=== cache effectiveness (least effective first) ===\n";
+  printCacheScores(rankCacheEffectiveness(CM, *M), OS, TopK);
+
+  DeadValueAnalysis DV = computeDeadValues(*G, G->totalFreq());
+  OS << "\n=== bloat metrics (relative to covered instances) ===\nIPD ";
+  OS.printFixed(100.0 * DV.Metrics.ipd(), 1);
+  OS << "%   IPP ";
+  OS.printFixed(100.0 * DV.Metrics.ipp(), 1);
+  OS << "%   NLD ";
+  OS.printFixed(100.0 * DV.Metrics.nld(), 1);
+  OS << "%\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+//===- tools/lud-gen.cpp - Emit workloads as textual IR --------*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints one of the built-in programs as textual .lud IR on stdout, so it
+/// can be inspected, edited, and fed back through lud-run:
+///
+///   lud-gen chart 500 > chart.lud
+///   lud-gen --random 42 > fuzz.lud
+///   lud-run --report chart.lud
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+#include "support/OutStream.h"
+#include "workloads/DaCapo.h"
+#include "workloads/RandomProgram.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace lud;
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    errs() << "usage: lud-gen <workload|--random SEED> [scale] "
+              "[--optimized]\n  workloads:";
+    for (const std::string &N : dacapoNames())
+      errs() << " " << N;
+    errs() << "\n";
+    return 2;
+  }
+
+  if (std::strcmp(argv[1], "--random") == 0) {
+    RandomProgramOptions Opts;
+    if (argc > 2)
+      Opts.Seed = std::strtoull(argv[2], nullptr, 10);
+    std::unique_ptr<Module> M = generateRandomProgram(Opts);
+    printModule(*M, outs());
+    return 0;
+  }
+
+  std::string Name = argv[1];
+  bool Known = false;
+  for (const std::string &N : dacapoNames())
+    Known |= N == Name;
+  if (!Known) {
+    errs() << "unknown workload '" << Name << "'\n";
+    return 2;
+  }
+  int64_t Scale = argc > 2 ? std::strtoll(argv[2], nullptr, 10) : 500;
+  bool Optimized = false;
+  for (int I = 2; I < argc; ++I)
+    Optimized |= std::strcmp(argv[I], "--optimized") == 0;
+  if (Optimized && !hasOptimizedVariant(Name)) {
+    errs() << "'" << Name << "' has no optimized variant\n";
+    return 2;
+  }
+  Workload W = buildWorkload(Name, Scale, Optimized);
+  printModule(*W.M, outs());
+  return 0;
+}

@@ -1,0 +1,273 @@
+//===- tools/lud-run.cpp - Command-line driver -----------------*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The user-facing driver: loads a textual .lud program, executes it (with
+/// or without profiling), and prints the requested diagnoses.
+///
+///   lud-run program.lud                     # just run it
+///   lud-run --report program.lud            # low-utility ranking
+///   lud-run --all --slots 32 program.lud    # every client analysis
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CacheCost.h"
+#include "analysis/Optimizer.h"
+#include "analysis/Clients.h"
+#include "analysis/DeadValues.h"
+#include "analysis/Report.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "profiling/GraphIO.h"
+#include "support/OutStream.h"
+#include "workloads/Driver.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace lud;
+
+namespace {
+
+struct Options {
+  std::string File;
+  bool Report = false;
+  bool Dead = false;
+  bool Overwrites = false;
+  bool Predicates = false;
+  bool Methods = false;
+  bool Caches = false;
+  bool PrintIR = false;
+  bool Baseline = false;
+  uint32_t Slots = 16;
+  unsigned Depth = 4;
+  size_t TopK = 15;
+  std::string DumpGraph;
+  std::string OptimizeOut;
+};
+
+void usage() {
+  errs() << "usage: lud-run [options] <program.lud>\n"
+            "  --report        rank data structures by cost/benefit\n"
+            "  --dead          print IPD/IPP/NLD bloat metrics\n"
+            "  --overwrites    rank locations rewritten before read\n"
+            "  --predicates    list always-constant predicates\n"
+            "  --methods       rank methods by return-value cost\n"
+            "  --caches        rank structures by cache effectiveness\n"
+            "  --all           everything above\n"
+            "  --baseline      run without instrumentation (timing)\n"
+            "  --print-ir      echo the parsed program and exit\n"
+            "  --dump-graph F  serialize Gcost to file F (offline use)\n"
+            "  --optimize F    write a profile-optimized program to F\n"
+            "  --slots N       context slots s (default 16)\n"
+            "  --depth N       reference-tree height n (default 4)\n"
+            "  --top K         rows per report (default 15)\n";
+}
+
+bool parseArgs(int argc, char **argv, Options &O) {
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto NextInt = [&](int64_t &Out) {
+      if (I + 1 >= argc)
+        return false;
+      Out = std::strtoll(argv[++I], nullptr, 10);
+      return true;
+    };
+    int64_t V = 0;
+    if (A == "--report") {
+      O.Report = true;
+    } else if (A == "--dead") {
+      O.Dead = true;
+    } else if (A == "--overwrites") {
+      O.Overwrites = true;
+    } else if (A == "--predicates") {
+      O.Predicates = true;
+    } else if (A == "--methods") {
+      O.Methods = true;
+    } else if (A == "--caches") {
+      O.Caches = true;
+    } else if (A == "--all") {
+      O.Report = O.Dead = O.Overwrites = O.Predicates = O.Methods =
+          O.Caches = true;
+    } else if (A == "--baseline") {
+      O.Baseline = true;
+    } else if (A == "--print-ir") {
+      O.PrintIR = true;
+    } else if (A == "--dump-graph" && I + 1 < argc) {
+      O.DumpGraph = argv[++I];
+    } else if (A == "--optimize" && I + 1 < argc) {
+      O.OptimizeOut = argv[++I];
+    } else if (A == "--slots" && NextInt(V)) {
+      O.Slots = uint32_t(V);
+    } else if (A == "--depth" && NextInt(V)) {
+      O.Depth = unsigned(V);
+    } else if (A == "--top" && NextInt(V)) {
+      O.TopK = size_t(V);
+    } else if (!A.empty() && A[0] == '-') {
+      errs() << "unknown option '" << A << "'\n";
+      return false;
+    } else if (O.File.empty()) {
+      O.File = A;
+    } else {
+      errs() << "multiple input files\n";
+      return false;
+    }
+  }
+  return !O.File.empty();
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  std::fclose(F);
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options O;
+  if (!parseArgs(argc, argv, O)) {
+    usage();
+    return 2;
+  }
+
+  std::string Text;
+  if (!readFile(O.File, Text)) {
+    errs() << "cannot read '" << O.File << "'\n";
+    return 1;
+  }
+  std::vector<std::string> Errors;
+  std::unique_ptr<Module> M = parseModule(Text, Errors);
+  if (!M) {
+    for (const std::string &E : Errors)
+      errs() << O.File << ": " << E << "\n";
+    return 1;
+  }
+
+  OutStream &OS = outs();
+  if (O.PrintIR) {
+    printModule(*M, OS);
+    return 0;
+  }
+
+  RunConfig RCfg;
+  RCfg.PrintStream = &OS;
+
+  if (O.Baseline) {
+    TimedRun R = runBaseline(*M, RCfg);
+    OS << "status: "
+       << (R.Run.Status == RunStatus::Finished ? "finished"
+                                               : trapKindName(R.Run.Trap))
+       << ", " << R.Run.ExecutedInstrs << " instructions, ";
+    OS.printFixed(R.Seconds * 1e3, 2);
+    OS << " ms, result " << R.Run.ReturnValue.asInt() << "\n";
+    return R.Run.Status == RunStatus::Finished ? 0 : 1;
+  }
+
+  SlicingConfig SCfg;
+  SCfg.ContextSlots = O.Slots;
+  ProfiledRun P = runProfiled(*M, SCfg, RCfg);
+  OS << "status: "
+     << (P.Run.Status == RunStatus::Finished ? "finished"
+                                             : trapKindName(P.Run.Trap))
+     << ", " << P.Run.ExecutedInstrs << " instructions, result "
+     << P.Run.ReturnValue.asInt() << "\n";
+  const DepGraph &G = P.Prof->graph();
+  OS << "Gcost: " << uint64_t(G.numNodes()) << " nodes, "
+     << uint64_t(G.numEdges()) << " edges, ";
+  OS.printFixed(double(G.memoryFootprint().total()) / 1024.0, 1);
+  OS << " KB, CR ";
+  OS.printFixed(P.Prof->averageCR(), 3);
+  OS << "\n";
+
+  if (!O.DumpGraph.empty()) {
+    std::FILE *F = std::fopen(O.DumpGraph.c_str(), "wb");
+    if (!F) {
+      errs() << "cannot write '" << O.DumpGraph << "'\n";
+      return 1;
+    }
+    FileOutStream FOS(F);
+    writeGraph(G, FOS);
+    std::fclose(F);
+    OS << "Gcost written to " << O.DumpGraph << "\n";
+  }
+
+  CostModel CM(G);
+  if (O.Report) {
+    ReportOptions Opts;
+    Opts.Depth = O.Depth;
+    LowUtilityReport Report(CM, *M, Opts);
+    OS << "\n=== low-utility data structures ===\n";
+    Report.print(OS, O.TopK);
+  }
+  if (O.Overwrites) {
+    OS << "\n=== locations rewritten before read ===\n";
+    printOverwrites(rankOverwrites(*P.Prof, *M), OS, O.TopK);
+  }
+  if (O.Predicates) {
+    OS << "\n=== always-constant predicates ===\n";
+    std::vector<ConstantPredicateRow> Rows =
+        findConstantPredicates(*P.Prof, CM, *M);
+    for (size_t I = 0; I != Rows.size() && I != O.TopK; ++I)
+      OS << "  " << (Rows[I].AlwaysTrue ? "always-true " : "always-false")
+         << " x" << Rows[I].Executions << "  " << Rows[I].Text << "\n";
+    if (Rows.empty())
+      OS << "  (none)\n";
+  }
+  if (O.Methods) {
+    OS << "\n=== costliest method return values ===\n";
+    std::vector<MethodCostRow> Rows = computeMethodCosts(CM, *M);
+    for (size_t I = 0; I != Rows.size() && I != O.TopK; ++I) {
+      OS << "  ";
+      OS.printFixed(Rows[I].ReturnCost, 1);
+      OS << "  " << Rows[I].Name << "\n";
+    }
+  }
+  if (O.Caches) {
+    OS << "\n=== cache effectiveness (least effective first) ===\n";
+    printCacheScores(rankCacheEffectiveness(CM, *M), OS, O.TopK);
+  }
+  if (!O.OptimizeOut.empty()) {
+    DeadValueAnalysis DV = computeDeadValues(G, P.Run.ExecutedInstrs);
+    OptimizeResult R = removeProfiledDeadCode(*M, G, DV);
+    TimedRun Check = runBaseline(*R.M);
+    std::FILE *F = std::fopen(O.OptimizeOut.c_str(), "wb");
+    if (!F) {
+      errs() << "cannot write '" << O.OptimizeOut << "'\n";
+      return 1;
+    }
+    FileOutStream FOS(F);
+    printModule(*R.M, FOS);
+    std::fclose(F);
+    OS << "\noptimized program written to " << O.OptimizeOut << ": removed "
+       << uint64_t(R.Stats.RemovedStores) << " dead stores + "
+       << uint64_t(R.Stats.RemovedPure) << " feeding instructions ("
+       << P.Run.ExecutedInstrs << " -> " << Check.Run.ExecutedInstrs
+       << " executed instances; output "
+       << (Check.Run.SinkHash == P.Run.SinkHash ? "preserved" : "CHANGED")
+       << ")\n";
+  }
+  if (O.Dead) {
+    DeadValueAnalysis DV = computeDeadValues(G, P.Run.ExecutedInstrs);
+    OS << "\n=== bloat metrics ===\nIPD ";
+    OS.printFixed(100.0 * DV.Metrics.ipd(), 1);
+    OS << "%   IPP ";
+    OS.printFixed(100.0 * DV.Metrics.ipp(), 1);
+    OS << "%   NLD ";
+    OS.printFixed(100.0 * DV.Metrics.nld(), 1);
+    OS << "%\n";
+  }
+  return P.Run.Status == RunStatus::Finished ? 0 : 1;
+}

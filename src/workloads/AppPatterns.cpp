@@ -1,0 +1,435 @@
+//===- workloads/AppPatterns.cpp - Application-substance patterns ----------===//
+//
+// The "what the application actually does" layer of each DaCapo analogue:
+// scanners, ASTs, event queues, postings, page indexes, dispatch loops,
+// template tables, top-K selection. These are genuinely useful computations
+// (their results reach the sink), so the planted inefficiency patterns of
+// Patterns.cpp compete against realistic layered data flow — as they do in
+// the paper's real applications.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Patterns.h"
+
+#include "workloads/EmitUtil.h"
+
+using namespace lud;
+
+FuncId lud::emitTokenScanner(PatternContext &C, const std::string &P) {
+  IRBuilder &B = C.B;
+  Module &M = C.module();
+  ClassDecl *Token = M.addClass(P + "_Token");
+  Token->addField("kind", Type::makeInt());
+  Token->addField("start", Type::makeInt());
+
+  B.beginFunction(P + "_scan", 1); // (n chars) -> int
+  // DFA transition table: 4 states x 8 character classes.
+  Reg C32 = B.iconst(32);
+  Reg Table = B.allocArray(TypeKind::Int, C32);
+  Reg C4 = B.iconst(4);
+  Reg C8 = B.iconst(8);
+  Reg Mask7 = B.iconst(7);
+  Reg Zero = B.iconst(0);
+  Reg One = B.iconst(1);
+  // table[s*8 + c] = (s + c) % 4  — an arbitrary but fixed automaton.
+  emitCountedLoop(B, C4, [&](Reg S) {
+    emitCountedLoop(B, C8, [&](Reg Ch) {
+      Reg Idx0 = B.mul(S, C8);
+      Reg Idx = B.add(Idx0, Ch);
+      Reg Sum = B.add(S, Ch);
+      Reg Next = B.bin(BinOp::Rem, Sum, C4);
+      B.storeElem(Table, Idx, Next);
+    });
+  });
+  // Scan: state 0 is "token boundary"; each boundary emits a Token.
+  Reg State = B.iconst(0);
+  Reg Count = B.iconst(0);
+  Reg Check = B.iconst(0);
+  Reg C13 = B.iconst(13);
+  emitCountedLoop(B, 0, [&](Reg I) {
+    Reg Raw = B.mul(I, C13);
+    Reg Ch = B.bin(BinOp::And, Raw, Mask7);
+    Reg Idx0 = B.mul(State, C8);
+    Reg Idx = B.add(Idx0, Ch);
+    Reg Next = B.loadElem(Table, Idx);
+    B.moveInto(State, Next);
+    emitIf(B, CmpOp::Eq, State, Zero, [&] {
+      // Token recognized: box it, use it once, drop it.
+      Reg T = B.alloc(Token->getId());
+      B.storeField(T, Token->getId(), "kind", Ch);
+      B.storeField(T, Token->getId(), "start", I);
+      Reg K = B.loadField(T, Token->getId(), "kind");
+      Reg Mix = B.bin(BinOp::Xor, Check, K);
+      B.moveInto(Check, Mix);
+      B.binInto(Count, BinOp::Add, Count, One);
+    });
+  });
+  Reg Out = B.add(Count, Check);
+  B.ret(Out);
+  B.endFunction();
+  return M.findFunction(P + "_scan");
+}
+
+FuncId lud::emitAstBuildTraverse(PatternContext &C, const std::string &P) {
+  IRBuilder &B = C.B;
+  Module &M = C.module();
+  ClassDecl *Node = M.addClass(P + "_Ast");
+  Node->addField("val", Type::makeInt());
+  Node->addField("lhs", Type::makeRef(Node->getId()));
+  Node->addField("rhs", Type::makeRef(Node->getId()));
+
+  // build(depth, seed) -> Ast: a full binary tree.
+  B.beginFunction(P + "_build", 2);
+  Reg N = B.alloc(Node->getId());
+  Reg C31 = B.iconst(31);
+  Reg V0 = B.mul(1, C31);
+  Reg V = B.add(V0, 0);
+  B.storeField(N, Node->getId(), "val", V);
+  Reg Zero = B.iconst(0);
+  BasicBlock *Recurse = B.newBlock();
+  BasicBlock *Done = B.newBlock();
+  B.condBr(CmpOp::Gt, 0, Zero, Recurse, Done);
+  B.setBlock(Recurse);
+  Reg One = B.iconst(1);
+  Reg DM1 = B.sub(0, One);
+  Reg SL = B.add(1, One);
+  Reg L = B.call(P + "_build", {DM1, SL});
+  B.storeField(N, Node->getId(), "lhs", L);
+  Reg Two = B.iconst(2);
+  Reg SR = B.add(1, Two);
+  Reg R = B.call(P + "_build", {DM1, SR});
+  B.storeField(N, Node->getId(), "rhs", R);
+  B.br(Done);
+  B.setBlock(Done);
+  B.ret(N);
+  B.endFunction();
+
+  // Ast.fold(this) -> int: recursive sum (virtual, so receiver chains
+  // extend through the recursion).
+  B.beginMethod(Node->getId(), "fold", 1);
+  Reg Sum = B.loadField(0, Node->getId(), "val");
+  Reg Lhs = B.loadField(0, Node->getId(), "lhs");
+  Reg Null = B.nullconst();
+  BasicBlock *HasKids = B.newBlock();
+  BasicBlock *Leaf = B.newBlock();
+  B.condBr(CmpOp::Ne, Lhs, Null, HasKids, Leaf);
+  B.setBlock(HasKids);
+  Reg LV = B.vcall("fold", {Lhs});
+  B.binInto(Sum, BinOp::Add, Sum, LV);
+  Reg Rhs = B.loadField(0, Node->getId(), "rhs");
+  Reg RV = B.vcall("fold", {Rhs});
+  B.binInto(Sum, BinOp::Add, Sum, RV);
+  B.ret(Sum);
+  B.setBlock(Leaf);
+  B.ret(Sum);
+  B.endFunction();
+
+  B.beginFunction(P + "_ast", 1); // (n trees) -> int
+  Reg Acc = B.iconst(0);
+  Reg Depth = B.iconst(6); // 127 nodes per tree.
+  emitCountedLoop(B, 0, [&](Reg I) {
+    Reg Root = B.call(P + "_build", {Depth, I});
+    Reg V = B.vcall("fold", {Root});
+    B.binInto(Acc, BinOp::Add, Acc, V);
+  });
+  B.ret(Acc);
+  B.endFunction();
+  return M.findFunction(P + "_ast");
+}
+
+FuncId lud::emitEventRing(PatternContext &C, const std::string &P) {
+  IRBuilder &B = C.B;
+  Module &M = C.module();
+
+  B.beginFunction(P + "_events", 1); // (n events) -> int
+  Reg Cap = B.iconst(64);
+  Reg Times = B.allocArray(TypeKind::Int, Cap);
+  Reg Kinds = B.allocArray(TypeKind::Int, Cap);
+  Reg Head = B.iconst(0);
+  Reg Tail = B.iconst(0);
+  Reg Clock = B.iconst(0);
+  Reg Acc = B.iconst(0);
+  Reg One = B.iconst(1);
+  Reg Mask = B.iconst(63);
+  Reg C5 = B.iconst(5);
+  Reg C3 = B.iconst(3);
+  emitCountedLoop(B, 0, [&](Reg I) {
+    // Enqueue one event...
+    Reg Slot = B.bin(BinOp::And, Tail, Mask);
+    Reg T0 = B.mul(I, C5);
+    Reg T = B.add(T0, Clock);
+    B.storeElem(Times, Slot, T);
+    Reg K = B.bin(BinOp::And, I, C3);
+    B.storeElem(Kinds, Slot, K);
+    B.binInto(Tail, BinOp::Add, Tail, One);
+    // ...and drain one when the ring holds at least two.
+    Reg Fill = B.sub(Tail, Head);
+    emitIf(B, CmpOp::Gt, Fill, One, [&] {
+      Reg HSlot = B.bin(BinOp::And, Head, Mask);
+      Reg ET = B.loadElem(Times, HSlot);
+      Reg EK = B.loadElem(Kinds, HSlot);
+      B.moveInto(Clock, ET);
+      // Dispatch on kind.
+      Reg Zero = B.iconst(0);
+      emitIfElse(
+          B, CmpOp::Eq, EK, Zero,
+          [&] { B.binInto(Acc, BinOp::Add, Acc, ET); },
+          [&] { B.binInto(Acc, BinOp::Xor, Acc, ET); });
+      B.binInto(Head, BinOp::Add, Head, One);
+    });
+  });
+  B.ret(Acc);
+  B.endFunction();
+  return M.findFunction(P + "_events");
+}
+
+FuncId lud::emitPostings(PatternContext &C, const std::string &P) {
+  IRBuilder &B = C.B;
+  StdLib &L = C.L;
+  Module &M = C.module();
+
+  B.beginFunction(P + "_postings", 1); // (n docs) -> int
+  // 16 terms, postings as IntVecs held in a RefVec.
+  Reg NTerms = B.iconst(16);
+  Reg Lists = B.alloc(L.RefVec);
+  B.callVoid("RefVec.init", {Lists, NTerms});
+  Reg C4 = B.iconst(4);
+  emitCountedLoop(B, NTerms, [&](Reg) {
+    Reg PL = B.alloc(L.IntVec);
+    B.callVoid("IntVec.init", {PL, C4});
+    B.callVoid("RefVec.add", {Lists, PL});
+  });
+  // Index: each doc mentions 3 pseudo-random terms.
+  Reg C13 = B.iconst(13);
+  Reg Mask15 = B.iconst(15);
+  Reg C3 = B.iconst(3);
+  emitCountedLoop(B, 0, [&](Reg Doc) {
+    emitCountedLoop(B, C3, [&](Reg J) {
+      Reg T0 = B.mul(Doc, C13);
+      Reg T1 = B.add(T0, J);
+      Reg Term = B.bin(BinOp::And, T1, Mask15);
+      Reg PL = B.call(L.RefVecGet, {Lists, Term});
+      B.callVoid("IntVec.add", {PL, Doc});
+    });
+  });
+  // Query: total postings volume over all terms.
+  Reg Acc = B.iconst(0);
+  emitCountedLoop(B, NTerms, [&](Reg Term) {
+    Reg PL = B.call(L.RefVecGet, {Lists, Term});
+    Reg Sz = B.call(L.IntVecSize, {PL});
+    emitCountedLoop(B, Sz, [&](Reg K) {
+      Reg DocId = B.call(L.IntVecGet, {PL, K});
+      B.binInto(Acc, BinOp::Add, Acc, DocId);
+    });
+  });
+  B.ret(Acc);
+  B.endFunction();
+  return M.findFunction(P + "_postings");
+}
+
+FuncId lud::emitPageIndex(PatternContext &C, const std::string &P) {
+  IRBuilder &B = C.B;
+  Module &M = C.module();
+
+  B.beginFunction(P + "_pages", 1); // (n ops) -> int
+  Reg Cap = B.iconst(128);
+  Reg Keys = B.allocArray(TypeKind::Int, Cap);
+  Reg Size = B.iconst(0);
+  Reg One = B.iconst(1);
+  Reg C127 = B.iconst(127);
+  Reg C2654435761 = B.iconst(2654435761LL);
+  Reg Acc = B.iconst(0);
+  emitCountedLoop(B, 0, [&](Reg I) {
+    Reg H0 = B.mul(I, C2654435761);
+    Reg Key = B.bin(BinOp::And, H0, C127);
+    // Binary-ish search: linear scan to the insertion point (sorted array,
+    // bounded 128) — finds either the key or where it belongs.
+    Reg Pos = B.iconst(0);
+    BasicBlock *SH = B.newBlock();
+    BasicBlock *SB = B.newBlock();
+    BasicBlock *SX = B.newBlock();
+    B.br(SH);
+    B.setBlock(SH);
+    B.condBr(CmpOp::Lt, Pos, Size, SB, SX);
+    B.setBlock(SB);
+    Reg At = B.loadElem(Keys, Pos);
+    BasicBlock *Next = B.newBlock();
+    B.condBr(CmpOp::Lt, At, Key, Next, SX);
+    B.setBlock(Next);
+    B.binInto(Pos, BinOp::Add, Pos, One);
+    B.br(SH);
+    B.setBlock(SX);
+    // Insert if absent and not full: shift the tail right.
+    Reg Full = B.bin(BinOp::CmpGe, Size, C127);
+    Reg Zero = B.iconst(0);
+    emitIf(B, CmpOp::Eq, Full, Zero, [&] {
+      Reg J = B.move(Size);
+      BasicBlock *MH = B.newBlock();
+      BasicBlock *MB = B.newBlock();
+      BasicBlock *MX = B.newBlock();
+      B.br(MH);
+      B.setBlock(MH);
+      B.condBr(CmpOp::Gt, J, Pos, MB, MX);
+      B.setBlock(MB);
+      Reg JM1 = B.sub(J, One);
+      Reg V = B.loadElem(Keys, JM1);
+      B.storeElem(Keys, J, V);
+      B.moveInto(J, JM1);
+      B.br(MH);
+      B.setBlock(MX);
+      B.storeElem(Keys, Pos, Key);
+      B.binInto(Size, BinOp::Add, Size, One);
+    });
+    // Lookup the median page as the "current" page.
+    Reg Mid = B.bin(BinOp::Shr, Size, One);
+    Reg MidKey = B.loadElem(Keys, Mid);
+    B.binInto(Acc, BinOp::Add, Acc, MidKey);
+  });
+  B.ret(Acc);
+  B.endFunction();
+  return M.findFunction(P + "_pages");
+}
+
+FuncId lud::emitDispatchLoop(PatternContext &C, const std::string &P) {
+  IRBuilder &B = C.B;
+  StdLib &L = C.L;
+  Module &M = C.module();
+
+  B.beginFunction(P + "_dispatch2", 1); // (n ops) -> int
+  // Synthetic opcode stream and an operand stack.
+  Reg Stack = B.alloc(L.IntVec);
+  Reg C8 = B.iconst(8);
+  B.callVoid("IntVec.init", {Stack, C8});
+  Reg Top = B.iconst(0); // cached "stack top" value
+  Reg C7 = B.iconst(7);
+  Reg C3 = B.iconst(3);
+  Reg Zero = B.iconst(0);
+  Reg One = B.iconst(1);
+  Reg Two = B.iconst(2);
+  emitCountedLoop(B, 0, [&](Reg Pc) {
+    Reg Raw = B.mul(Pc, C7);
+    Reg Op = B.bin(BinOp::And, Raw, C3);
+    emitIfElse(
+        B, CmpOp::Eq, Op, Zero,
+        [&] { // PUSH pc
+          B.callVoid("IntVec.add", {Stack, Pc});
+          B.moveInto(Top, Pc);
+        },
+        [&] {
+          emitIfElse(
+              B, CmpOp::Eq, Op, One,
+              [&] { // ADD top, pc
+                Reg S = B.add(Top, Pc);
+                B.moveInto(Top, S);
+              },
+              [&] {
+                emitIfElse(
+                    B, CmpOp::Eq, Op, Two,
+                    [&] { // XOR
+                      Reg S = B.bin(BinOp::Xor, Top, Pc);
+                      B.moveInto(Top, S);
+                    },
+                    [&] { // DUP-ish: re-add the top
+                      B.callVoid("IntVec.add", {Stack, Top});
+                    });
+              });
+        });
+  });
+  Reg Sz = B.call(L.IntVecSize, {Stack});
+  Reg Out = B.add(Top, Sz);
+  B.ret(Out);
+  B.endFunction();
+  return M.findFunction(P + "_dispatch2");
+}
+
+FuncId lud::emitTemplateTable(PatternContext &C, const std::string &P) {
+  IRBuilder &B = C.B;
+  Module &M = C.module();
+  ClassDecl *Rule = M.addClass(P + "_Rule");
+  Rule->addField("match", Type::makeInt());
+  Rule->addField("action", Type::makeInt());
+
+  B.beginFunction(P + "_templates", 1); // (n nodes) -> int
+  // Eight template rules.
+  Reg C8 = B.iconst(8);
+  Reg Rules = B.allocArray(TypeKind::Ref, C8);
+  Reg C5 = B.iconst(5);
+  Reg Mask7 = B.iconst(7);
+  emitCountedLoop(B, C8, [&](Reg I) {
+    Reg R = B.alloc(Rule->getId());
+    B.storeField(R, Rule->getId(), "match", I);
+    Reg A0 = B.mul(I, C5);
+    Reg A = B.add(A0, I);
+    B.storeField(R, Rule->getId(), "action", A);
+    B.storeElem(Rules, I, R);
+  });
+  // Match each input node against the table (first hit fires).
+  Reg Acc = B.iconst(0);
+  Reg C11 = B.iconst(11);
+  emitCountedLoop(B, 0, [&](Reg NodeI) {
+    Reg Kind0 = B.mul(NodeI, C11);
+    Reg Kind = B.bin(BinOp::And, Kind0, Mask7);
+    emitCountedLoop(B, C8, [&](Reg RI) {
+      Reg R = B.loadElem(Rules, RI);
+      Reg Match = B.loadField(R, Rule->getId(), "match");
+      emitIf(B, CmpOp::Eq, Match, Kind, [&] {
+        Reg Act = B.loadField(R, Rule->getId(), "action");
+        B.binInto(Acc, BinOp::Add, Acc, Act);
+      });
+    });
+  });
+  B.ret(Acc);
+  B.endFunction();
+  return M.findFunction(P + "_templates");
+}
+
+FuncId lud::emitTopK(PatternContext &C, const std::string &P) {
+  IRBuilder &B = C.B;
+  Module &M = C.module();
+
+  B.beginFunction(P + "_topk", 1); // (n docs) -> int
+  Reg K = B.iconst(8);
+  Reg Best = B.allocArray(TypeKind::Int, K);
+  Reg C13 = B.iconst(13);
+  Reg C255 = B.iconst(255);
+  Reg One = B.iconst(1);
+  emitCountedLoop(B, 0, [&](Reg Doc) {
+    Reg S0 = B.mul(Doc, C13);
+    Reg S1 = B.bin(BinOp::Xor, S0, Doc);
+    Reg Score = B.bin(BinOp::And, S1, C255);
+    // Insertion into the sorted top-K array (ascending, slot 0 smallest).
+    Reg Min = B.loadElem(Best, B.iconst(0));
+    emitIf(B, CmpOp::Gt, Score, Min, [&] {
+      // Replace the minimum, then bubble it toward its position.
+      Reg Zero = B.iconst(0);
+      B.storeElem(Best, Zero, Score);
+      Reg J = B.iconst(0);
+      BasicBlock *BH = B.newBlock();
+      BasicBlock *BB = B.newBlock();
+      BasicBlock *BX = B.newBlock();
+      B.br(BH);
+      B.setBlock(BH);
+      Reg JP1 = B.add(J, One);
+      BasicBlock *Check = B.newBlock();
+      B.condBr(CmpOp::Lt, JP1, K, Check, BX);
+      B.setBlock(Check);
+      Reg A = B.loadElem(Best, J);
+      Reg Bv = B.loadElem(Best, JP1);
+      B.condBr(CmpOp::Gt, A, Bv, BB, BX);
+      B.setBlock(BB);
+      B.storeElem(Best, J, Bv);
+      B.storeElem(Best, JP1, A);
+      B.moveInto(J, JP1);
+      B.br(BH);
+      B.setBlock(BX);
+    });
+  });
+  Reg Acc = B.iconst(0);
+  emitCountedLoop(B, K, [&](Reg I) {
+    Reg V = B.loadElem(Best, I);
+    B.binInto(Acc, BinOp::Add, Acc, V);
+  });
+  B.ret(Acc);
+  B.endFunction();
+  return M.findFunction(P + "_topk");
+}

@@ -1,0 +1,57 @@
+//===- workloads/DaCapo.h - Synthetic DaCapo-style workloads ---*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Eighteen synthetic programs named after the DaCapo benchmarks of
+/// Table 1, each composed from the bloat patterns the paper attributes to
+/// that program (Section 4.2) plus useful-work ballast. The six case-study
+/// programs (bloat, eclipse, sunflow, derby, tomcat, tradebeans) also have
+/// an Optimized variant with the paper's fixes applied; the case-study
+/// benchmark measures the speedup and checks the tool ranks the planted
+/// structures. Every program runs in three phases (0 = startup, 1 = load,
+/// 2 = shutdown) so the selective-tracking experiment of Section 4.1 can
+/// be reproduced.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_WORKLOADS_DACAPO_H
+#define LUD_WORKLOADS_DACAPO_H
+
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lud {
+
+/// A generated program plus the metadata benchmarks need.
+struct Workload {
+  std::string Name;
+  int64_t Scale = 0;
+  bool Optimized = false;
+  std::unique_ptr<Module> M;
+  /// Allocation sites of the planted low-utility structures (empty for
+  /// workloads without a dominant planted structure).
+  std::vector<AllocSiteId> PlantedSites;
+};
+
+/// The 18 benchmark names, in Table 1 order (antlr .. tradesoap).
+const std::vector<std::string> &dacapoNames();
+
+/// True for the six case-study programs with an Optimized variant.
+bool hasOptimizedVariant(const std::string &Name);
+
+/// Builds the named workload. \p Scale is the paper's "large workload"
+/// knob; 1000 yields runs of roughly 1-20 M instructions. Asserts on
+/// unknown names (check dacapoNames()).
+Workload buildWorkload(const std::string &Name, int64_t Scale,
+                       bool Optimized = false);
+
+} // namespace lud
+
+#endif // LUD_WORKLOADS_DACAPO_H

@@ -1,0 +1,39 @@
+//===- workloads/Driver.cpp - Run workloads, collect metrics ---------------===//
+
+#include "workloads/Driver.h"
+
+#include <chrono>
+
+using namespace lud;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  auto T1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(T1 - T0).count();
+}
+
+} // namespace
+
+TimedRun lud::runBaseline(const Module &M, RunConfig Cfg) {
+  NoopProfiler P;
+  Heap H;
+  Interpreter<NoopProfiler> Interp(M, H, P, Cfg);
+  auto T0 = std::chrono::steady_clock::now();
+  TimedRun Out;
+  Out.Run = Interp.run();
+  Out.Seconds = secondsSince(T0);
+  return Out;
+}
+
+ProfiledRun lud::runProfiled(const Module &M, SlicingConfig SCfg,
+                             RunConfig Cfg) {
+  ProfiledRun Out;
+  Out.Prof = std::make_unique<SlicingProfiler>(SCfg);
+  Heap H;
+  Interpreter<SlicingProfiler> Interp(M, H, *Out.Prof, Cfg);
+  auto T0 = std::chrono::steady_clock::now();
+  Out.Run = Interp.run();
+  Out.Seconds = secondsSince(T0);
+  return Out;
+}

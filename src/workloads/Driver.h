@@ -1,0 +1,47 @@
+//===- workloads/Driver.h - Run workloads, collect metrics -----*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by benchmarks, tests and examples: execute a module under
+/// the uninstrumented baseline or under the slicing profiler, with wall
+/// time. The overhead factors of Table 1 are profiled-time / baseline-time
+/// on the identical engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_WORKLOADS_DRIVER_H
+#define LUD_WORKLOADS_DRIVER_H
+
+#include "profiling/SlicingProfiler.h"
+#include "runtime/Interpreter.h"
+
+#include <memory>
+
+namespace lud {
+
+/// Wall-clock seconds plus the run outcome.
+struct TimedRun {
+  RunResult Run;
+  double Seconds = 0;
+};
+
+/// Executes with NoopProfiler (the stock-JVM stand-in).
+TimedRun runBaseline(const Module &M, RunConfig Cfg = {});
+
+/// Executes under a SlicingProfiler; the profiler (holding Gcost) is
+/// returned for analysis.
+struct ProfiledRun {
+  RunResult Run;
+  double Seconds = 0;
+  std::unique_ptr<SlicingProfiler> Prof;
+};
+ProfiledRun runProfiled(const Module &M, SlicingConfig SCfg = {},
+                        RunConfig Cfg = {});
+
+} // namespace lud
+
+#endif // LUD_WORKLOADS_DRIVER_H

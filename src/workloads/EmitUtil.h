@@ -1,0 +1,74 @@
+//===- workloads/EmitUtil.h - Small IR emission helpers --------*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured-control-flow helpers over IRBuilder used by the stdlib and
+/// pattern emitters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_WORKLOADS_EMITUTIL_H
+#define LUD_WORKLOADS_EMITUTIL_H
+
+#include "ir/IRBuilder.h"
+
+#include <functional>
+
+namespace lud {
+
+/// Emits `for (i = 0; i < Bound; ++i) Body(i)`; leaves the builder in the
+/// exit block. \p Bound must not be written inside the body; the body may
+/// branch internally as long as it converges to the current block.
+inline void emitCountedLoop(IRBuilder &B, Reg Bound,
+                            const std::function<void(Reg)> &Body) {
+  Reg I = B.iconst(0);
+  Reg One = B.iconst(1);
+  BasicBlock *Header = B.newBlock();
+  BasicBlock *BodyBB = B.newBlock();
+  BasicBlock *Exit = B.newBlock();
+  B.br(Header);
+  B.setBlock(Header);
+  B.condBr(CmpOp::Lt, I, Bound, BodyBB, Exit);
+  B.setBlock(BodyBB);
+  Body(I);
+  B.binInto(I, BinOp::Add, I, One);
+  B.br(Header);
+  B.setBlock(Exit);
+}
+
+/// Emits `if (L cmp R) Then()`; both arms converge after the construct.
+inline void emitIf(IRBuilder &B, CmpOp Cmp, Reg L, Reg R,
+                   const std::function<void()> &Then) {
+  BasicBlock *ThenBB = B.newBlock();
+  BasicBlock *Join = B.newBlock();
+  B.condBr(Cmp, L, R, ThenBB, Join);
+  B.setBlock(ThenBB);
+  Then();
+  B.br(Join);
+  B.setBlock(Join);
+}
+
+/// Emits `if (L cmp R) Then() else Else()`.
+inline void emitIfElse(IRBuilder &B, CmpOp Cmp, Reg L, Reg R,
+                       const std::function<void()> &Then,
+                       const std::function<void()> &Else) {
+  BasicBlock *ThenBB = B.newBlock();
+  BasicBlock *ElseBB = B.newBlock();
+  BasicBlock *Join = B.newBlock();
+  B.condBr(Cmp, L, R, ThenBB, ElseBB);
+  B.setBlock(ThenBB);
+  Then();
+  B.br(Join);
+  B.setBlock(ElseBB);
+  Else();
+  B.br(Join);
+  B.setBlock(Join);
+}
+
+} // namespace lud
+
+#endif // LUD_WORKLOADS_EMITUTIL_H

@@ -1,0 +1,816 @@
+//===- workloads/Patterns.cpp - Reusable bloat-pattern emitters ------------===//
+
+#include "workloads/Patterns.h"
+
+#include "workloads/EmitUtil.h"
+
+using namespace lud;
+
+namespace {
+
+/// Emits `<P>_mkstr(len, seed) -> Str`: a pattern-local string factory so
+/// the pattern's strings have their own allocation site (attribution in
+/// the ranked report). Honors the module's CachedStrHash option so
+/// Str.hashCode works on these strings.
+FuncId emitLocalMakeStr(PatternContext &C, const std::string &P) {
+  IRBuilder &B = C.B;
+  StdLib &L = C.L;
+  B.beginFunction(P + "_mkstr", 2); // (len, seed)
+  Reg S = C.allocPlanted(L.Str);
+  Reg Chars = B.allocArray(TypeKind::Int, 0);
+  Reg H = B.iconst(0);
+  Reg C7 = B.iconst(7);
+  Reg C31 = B.iconst(31);
+  Reg Mask = B.iconst(127);
+  Reg HashMask = B.iconst(0x7FFFFFFF);
+  emitCountedLoop(B, 0, [&](Reg I) {
+    Reg T1 = B.mul(I, C7);
+    Reg T2 = B.add(T1, 1); // + seed
+    Reg Ch = B.bin(BinOp::And, T2, Mask);
+    B.storeElem(Chars, I, Ch);
+    Reg HM = B.mul(H, C31);
+    Reg HA = B.add(HM, Ch);
+    B.binInto(H, BinOp::And, HA, HashMask);
+  });
+  B.storeField(S, L.Str, "chars", Chars);
+  B.storeField(S, L.Str, "len", 0);
+  if (L.Opts.CachedStrHash)
+    B.storeField(S, L.Str, "hash", H);
+  B.ret(S);
+  B.endFunction();
+  return C.module().findFunction(P + "_mkstr");
+}
+
+} // namespace
+
+FuncId lud::emitListSizeOnly(PatternContext &C, const std::string &P) {
+  IRBuilder &B = C.B;
+  StdLib &L = C.L;
+  Module &M = C.module();
+  ClassDecl *Entry = M.addClass(P + "_Entry");
+  Entry->addField("v", Type::makeInt());
+
+  B.beginFunction(P + "_fill", 1); // (n) -> size
+  Reg RV = B.alloc(L.RefVec);
+  Reg C4 = B.iconst(4);
+  B.callVoid("RefVec.init", {RV, C4});
+  Reg C17 = B.iconst(17);
+  emitCountedLoop(B, 0, [&](Reg I) {
+    // Expensively computed value...
+    Reg V1 = B.mul(I, I);
+    Reg V2 = B.add(V1, C17);
+    Reg V3 = B.mul(V2, V2);
+    Reg V4 = B.bin(BinOp::Xor, V3, V1);
+    // ...boxed and appended, never to be read again.
+    Reg E = C.allocPlanted(Entry->getId());
+    B.storeField(E, Entry->getId(), "v", V4);
+    B.callVoid("RefVec.add", {RV, E});
+  });
+  Reg Sz = B.call(L.RefVecSize, {RV});
+  B.ret(Sz);
+  B.endFunction();
+  return M.findFunction(P + "_fill");
+}
+
+FuncId lud::emitStringChurn(PatternContext &C, const std::string &P,
+                            bool Optimized) {
+  IRBuilder &B = C.B;
+  StdLib &L = C.L;
+  Module &M = C.module();
+
+  B.beginFunction(P + "_strchurn", 2); // (n, flag) -> int
+  Reg Acc = B.iconst(0);
+  Reg One = B.iconst(1);
+  Reg C16 = B.iconst(16);
+  Reg C7 = B.iconst(7);
+  Reg Mask = B.iconst(127);
+  auto BuildAndUse = [&](Reg I) {
+    // Build the debug string (a toString analogue)...
+    Reg S = C.allocPlanted(L.Str);
+    Reg Chars = B.allocArray(TypeKind::Int, C16);
+    emitCountedLoop(B, C16, [&](Reg J) {
+      Reg T1 = B.mul(I, C7);
+      Reg T2 = B.add(T1, J);
+      Reg Ch = B.bin(BinOp::And, T2, Mask);
+      B.storeElem(Chars, J, Ch);
+    });
+    B.storeField(S, L.Str, "chars", Chars);
+    B.storeField(S, L.Str, "len", C16);
+    if (L.Opts.CachedStrHash) {
+      Reg Z = B.iconst(0);
+      B.storeField(S, L.Str, "hash", Z);
+    }
+    return S;
+  };
+  emitCountedLoop(B, 0, [&](Reg I) {
+    if (!Optimized) {
+      // bloat's bug: strings built unconditionally, consumed only when the
+      // (production-false) debug flag is set.
+      Reg S = BuildAndUse(I);
+      emitIf(B, CmpOp::Eq, 1, One, [&] {
+        Reg H = B.call(L.StrHash, {S});
+        B.binInto(Acc, BinOp::Add, Acc, H);
+      });
+    } else {
+      // Fix: the guard dominates the construction.
+      emitIf(B, CmpOp::Eq, 1, One, [&] {
+        Reg S = BuildAndUse(I);
+        Reg H = B.call(L.StrHash, {S});
+        B.binInto(Acc, BinOp::Add, Acc, H);
+      });
+    }
+  });
+  B.ret(Acc);
+  B.endFunction();
+  return M.findFunction(P + "_strchurn");
+}
+
+FuncId lud::emitVisitorChurn(PatternContext &C, const std::string &P,
+                             bool Optimized) {
+  IRBuilder &B = C.B;
+  Module &M = C.module();
+  ClassDecl *Cmp = M.addClass(P + "_Cmp");
+  Cmp->addField("depth", Type::makeInt());
+
+  // The comparison logic itself.
+  B.beginMethod(Cmp->getId(), "cmpv", 3); // (this, a, b) -> int
+  Reg T = B.sub(1, 2);
+  Reg T2 = B.mul(T, T);
+  Reg One = B.iconst(1);
+  Reg R = B.add(T2, One);
+  B.ret(R);
+  B.endFunction();
+  FuncId CmpV = M.findFunction(P + "_Cmp.cmpv");
+
+  B.beginFunction(P + "_cmpstatic", 2); // (a, b) -> int
+  Reg ST = B.sub(0, 1);
+  Reg ST2 = B.mul(ST, ST);
+  Reg SOne = B.iconst(1);
+  Reg SR = B.add(ST2, SOne);
+  B.ret(SR);
+  B.endFunction();
+  FuncId CmpStatic = M.findFunction(P + "_cmpstatic");
+
+  B.beginFunction(P + "_visit", 1); // (n) -> int
+  Reg Acc = B.iconst(0);
+  emitCountedLoop(B, 0, [&](Reg I) {
+    Reg Bv = B.sub(0, I); // n - i
+    Reg Res;
+    if (!Optimized) {
+      // A fresh comparator per comparison: its only field is written and
+      // never read (the comparator carries no useful data).
+      Reg CO = C.allocPlanted(Cmp->getId());
+      B.storeField(CO, Cmp->getId(), "depth", I);
+      Res = B.call(CmpV, {CO, I, Bv});
+    } else {
+      Res = B.call(CmpStatic, {I, Bv});
+    }
+    B.binInto(Acc, BinOp::Add, Acc, Res);
+  });
+  B.ret(Acc);
+  B.endFunction();
+  return M.findFunction(P + "_visit");
+}
+
+FuncId lud::emitClonePerOp(PatternContext &C, const std::string &P) {
+  IRBuilder &B = C.B;
+  StdLib &L = C.L;
+  Module &M = C.module();
+
+  // Attribute the churn to Matrix.clone's allocation (where the paper's
+  // report pointed): record it as planted.
+  Function *CloneFn = M.getFunction(L.MatrixClone);
+  for (const auto &BB : CloneFn->blocks())
+    for (const auto &I : BB->insts())
+      if (const auto *A = dyn_cast<AllocInst>(I.get()))
+        if (A->Class == L.Matrix)
+          C.Planted.push_back(A);
+
+  B.beginFunction(P + "_render", 2); // (n, msize) -> float as int
+  Reg Seed = B.iconst(3);
+  Reg Mx = B.call(L.MatrixMake, {Reg(1), Seed});
+  Reg FAcc = B.fconst(0.0);
+  Reg Factor = B.fconst(1.00001);
+  emitCountedLoop(B, 0, [&](Reg) {
+    Reg M2 = B.call(L.MatrixScale, {Mx, Factor});
+    Reg M3 = B.call(L.MatrixTranspose, {M2});
+    Reg S = B.call(L.MatrixSum, {M3});
+    B.binInto(FAcc, BinOp::Add, FAcc, S);
+  });
+  Reg Out = B.un(UnOp::F2I, FAcc);
+  B.ret(Out);
+  B.endFunction();
+  return M.findFunction(P + "_render");
+}
+
+FuncId lud::emitBitsRoundTrip(PatternContext &C, const std::string &P,
+                              bool Optimized) {
+  IRBuilder &B = C.B;
+  Module &M = C.module();
+
+  B.beginFunction(P + "_bits", 1); // (n) -> int
+  Reg Arr = B.allocArray(Optimized ? TypeKind::Float : TypeKind::Int, 0);
+  C.Planted.push_back(B.block()->insts().back().get());
+  Reg Half = B.fconst(0.5);
+  emitCountedLoop(B, 0, [&](Reg I) {
+    Reg F0 = B.un(UnOp::I2F, I);
+    Reg F = B.mul(F0, Half);
+    if (!Optimized) {
+      // Encode the float into the int array (sunflow's
+      // Float.floatToIntBits slot packing)...
+      Reg Bits = B.un(UnOp::FBits, F);
+      B.storeElem(Arr, I, Bits);
+    } else {
+      B.storeElem(Arr, I, F);
+    }
+  });
+  Reg FAcc = B.fconst(0.0);
+  emitCountedLoop(B, 0, [&](Reg I) {
+    Reg V = B.loadElem(Arr, I);
+    Reg F = Optimized ? V : B.un(UnOp::BitsF, V); // ...and decode it back.
+    B.binInto(FAcc, BinOp::Add, FAcc, F);
+  });
+  Reg Out = B.un(UnOp::F2I, FAcc);
+  B.ret(Out);
+  B.endFunction();
+  return M.findFunction(P + "_bits");
+}
+
+FuncId lud::emitRewriteBeforeRead(PatternContext &C, const std::string &P,
+                                  bool Optimized) {
+  IRBuilder &B = C.B;
+  Module &M = C.module();
+  ClassDecl *FC = M.addClass(P + "_FileContainer");
+  FC->addField("meta", Type::makeArray(TypeKind::Int));
+
+  B.beginFunction(P + "_meta", 1); // (n) -> int
+  Reg Cont = B.alloc(FC->getId());
+  Reg C8 = B.iconst(8);
+  Reg Meta = B.allocArray(TypeKind::Int, C8);
+  C.Planted.push_back(B.block()->insts().back().get());
+  B.storeField(Cont, FC->getId(), "meta", Meta);
+  Reg C31 = B.iconst(31);
+  Reg Acc = B.iconst(0);
+  Reg One = B.iconst(1);
+  emitCountedLoop(B, 0, [&](Reg I) {
+    if (!Optimized) {
+      // derby's bug: the container metadata array is refreshed on every
+      // page write with (mostly) the same data...
+      emitCountedLoop(B, C8, [&](Reg J) {
+        Reg T1 = B.mul(I, C31);
+        Reg T2 = B.add(T1, J);
+        B.storeElem(Meta, J, T2);
+      });
+    }
+    // ...amid genuinely useful page work.
+    Reg W1 = B.mul(I, C31);
+    Reg W2 = B.add(W1, One);
+    B.binInto(Acc, BinOp::Add, Acc, W2);
+  });
+  if (Optimized) {
+    // Fix: update the metadata only before it is read.
+    emitCountedLoop(B, C8, [&](Reg J) {
+      Reg T1 = B.mul(0, C31);
+      Reg T2 = B.add(T1, J);
+      B.storeElem(Meta, J, T2);
+    });
+  }
+  Reg Meta2 = B.loadField(Cont, FC->getId(), "meta");
+  emitCountedLoop(B, C8, [&](Reg J) {
+    Reg V = B.loadElem(Meta2, J);
+    B.binInto(Acc, BinOp::Add, Acc, V);
+  });
+  B.ret(Acc);
+  B.endFunction();
+  return M.findFunction(P + "_meta");
+}
+
+FuncId lud::emitStringKeyLookup(PatternContext &C, const std::string &P,
+                                bool Optimized) {
+  IRBuilder &B = C.B;
+  StdLib &L = C.L;
+  Module &M = C.module();
+  FuncId MkStr = Optimized ? kNoFunc : emitLocalMakeStr(C, P);
+
+  B.beginFunction(P + "_lookup", 1); // (n) -> int
+  Reg K = B.iconst(32);
+  Reg C12 = B.iconst(12);
+  Reg Acc = B.iconst(0);
+  if (!Optimized) {
+    // derby's bug: ContextManager ids are strings used as map keys; every
+    // query builds a fresh key string.
+    Reg Map = B.alloc(L.StrMap);
+    Reg C64 = B.iconst(64);
+    B.callVoid("StrMap.init", {Map, C64});
+    emitCountedLoop(B, K, [&](Reg I) {
+      Reg S = B.call(MkStr, {C12, I});
+      B.callVoid("StrMap.put", {Map, S, I});
+    });
+    emitCountedLoop(B, 0, [&](Reg I) {
+      Reg Idx = B.bin(BinOp::Rem, I, K);
+      Reg Key = B.call(MkStr, {C12, Idx});
+      Reg V = B.call(L.StrMapGet, {Map, Key});
+      B.binInto(Acc, BinOp::Add, Acc, V);
+    });
+  } else {
+    // Fix: dense integer ids index a plain array.
+    Reg Vals = B.allocArray(TypeKind::Int, K);
+    emitCountedLoop(B, K, [&](Reg I) { B.storeElem(Vals, I, I); });
+    emitCountedLoop(B, 0, [&](Reg I) {
+      Reg Idx = B.bin(BinOp::Rem, I, K);
+      Reg V = B.loadElem(Vals, Idx);
+      B.binInto(Acc, BinOp::Add, Acc, V);
+    });
+  }
+  B.ret(Acc);
+  B.endFunction();
+  return M.findFunction(P + "_lookup");
+}
+
+FuncId lud::emitRehashGrowth(PatternContext &C, const std::string &P) {
+  IRBuilder &B = C.B;
+  StdLib &L = C.L;
+  Module &M = C.module();
+  FuncId MkStr = emitLocalMakeStr(C, P);
+
+  B.beginFunction(P + "_index", 1); // (n) -> int
+  Reg Map = B.alloc(L.StrMap);
+  Reg C4 = B.iconst(4);
+  B.callVoid("StrMap.init", {Map, C4}); // Tiny: forces repeated rehashes.
+  Reg C24 = B.iconst(24);
+  emitCountedLoop(B, 0, [&](Reg I) {
+    Reg S = B.call(MkStr, {C24, I});
+    B.callVoid("StrMap.put", {Map, S, I});
+  });
+  Reg Acc = B.iconst(0);
+  Reg Quarter = B.bin(BinOp::Shr, 0, B.iconst(2));
+  emitCountedLoop(B, Quarter, [&](Reg I) {
+    Reg Key = B.call(MkStr, {C24, I});
+    Reg V = B.call(L.StrMapGet, {Map, Key});
+    B.binInto(Acc, BinOp::Add, Acc, V);
+  });
+  B.ret(Acc);
+  B.endFunction();
+  return M.findFunction(P + "_index");
+}
+
+FuncId lud::emitDirectoryList(PatternContext &C, const std::string &P,
+                              bool Optimized) {
+  IRBuilder &B = C.B;
+  StdLib &L = C.L;
+  Module &M = C.module();
+  ClassDecl *File = M.addClass(P + "_File");
+  File->addField("sz", Type::makeInt());
+  File->addField("flags", Type::makeInt());
+
+  // isPackage(seed) -> 0/1 (Figure 6's ClasspathDirectory.isPackage).
+  B.beginFunction(P + "_ispkg1", 1);
+  Reg C3 = B.iconst(3);
+  Reg Zero = B.iconst(0);
+  Reg Out = B.iconst(0);
+  Reg Exists = B.bin(BinOp::Rem, 0, C3);
+  if (!Optimized) {
+    // Bug: directoryList builds the whole list up front...
+    Reg Ret = C.allocPlanted(L.RefVec);
+    Reg C4 = B.iconst(4);
+    B.callVoid("RefVec.init", {Ret, C4});
+    Reg C8 = B.iconst(8);
+    Reg C13 = B.iconst(13);
+    emitCountedLoop(B, C8, [&](Reg J) {
+      Reg F = C.allocPlanted(File->getId());
+      Reg S1 = B.mul(J, C13);
+      Reg S2 = B.add(S1, 0);
+      Reg S3 = B.mul(S2, S2);
+      B.storeField(F, File->getId(), "sz", S3);
+      Reg Fl = B.bin(BinOp::And, S2, C8);
+      B.storeField(F, File->getId(), "flags", Fl);
+      B.callVoid("RefVec.add", {Ret, F});
+    });
+    // ...only for isPackage to null-check the result. Model "returns null
+    // when nothing found" by consulting Exists; the list contents are
+    // never read either way.
+    emitIfElse(
+        B, CmpOp::Eq, Exists, Zero,
+        [&] {
+          Reg One = B.iconst(1);
+          B.moveInto(Out, One);
+        },
+        [&] {
+          Reg Z2 = B.iconst(0);
+          B.moveInto(Out, Z2);
+        });
+  } else {
+    // Fix: the specialized directoryList answers without building a list.
+    emitIf(B, CmpOp::Eq, Exists, Zero, [&] {
+      Reg One = B.iconst(1);
+      B.moveInto(Out, One);
+    });
+  }
+  B.ret(Out);
+  B.endFunction();
+  FuncId IsPkg = M.findFunction(P + "_ispkg1");
+
+  B.beginFunction(P + "_ispkg", 1); // (n) -> hit count
+  Reg Acc = B.iconst(0);
+  emitCountedLoop(B, 0, [&](Reg I) {
+    Reg R = B.call(IsPkg, {I});
+    B.binInto(Acc, BinOp::Add, Acc, R);
+  });
+  B.ret(Acc);
+  B.endFunction();
+  return M.findFunction(P + "_ispkg");
+}
+
+FuncId lud::emitArrayCopyUpdate(PatternContext &C, const std::string &P,
+                                bool Optimized) {
+  IRBuilder &B = C.B;
+  Module &M = C.module();
+  ClassDecl *Mapper = M.addClass(P + "_Mapper");
+  Mapper->addField("carr", Type::makeArray(TypeKind::Ref));
+  Mapper->addField("cnt", Type::makeInt());
+  ClassDecl *Ctx = M.addClass(P + "_Ctx");
+  Ctx->addField("id", Type::makeInt());
+
+  B.beginFunction(P + "_mapper", 1); // (n) -> int
+  Reg Mp = B.alloc(Mapper->getId());
+  Reg Zero = B.iconst(0);
+  Reg One = B.iconst(1);
+  if (!Optimized) {
+    Reg Empty = B.allocArray(TypeKind::Ref, Zero);
+    B.storeField(Mp, Mapper->getId(), "carr", Empty);
+  } else {
+    // Fix: one array preallocated and reused.
+    Reg Arr = B.allocArray(TypeKind::Ref, 0);
+    B.storeField(Mp, Mapper->getId(), "carr", Arr);
+  }
+  B.storeField(Mp, Mapper->getId(), "cnt", Zero);
+  emitCountedLoop(B, 0, [&](Reg I) {
+    Reg NewCtx = B.alloc(Ctx->getId());
+    B.storeField(NewCtx, Ctx->getId(), "id", I);
+    Reg Cnt = B.loadField(Mp, Mapper->getId(), "cnt");
+    Reg Old = B.loadField(Mp, Mapper->getId(), "carr");
+    if (!Optimized) {
+      // tomcat's bug: a fresh array per update, full copy, old discarded.
+      Reg NCnt = B.add(Cnt, One);
+      Reg NArr = B.allocArray(TypeKind::Ref, NCnt);
+      C.Planted.push_back(B.block()->insts().back().get());
+      emitCountedLoop(B, Cnt, [&](Reg J) {
+        Reg E = B.loadElem(Old, J);
+        B.storeElem(NArr, J, E);
+      });
+      B.storeElem(NArr, Cnt, NewCtx);
+      B.storeField(Mp, Mapper->getId(), "carr", NArr);
+      B.storeField(Mp, Mapper->getId(), "cnt", NCnt);
+    } else {
+      B.storeElem(Old, Cnt, NewCtx);
+      Reg NCnt = B.add(Cnt, One);
+      B.storeField(Mp, Mapper->getId(), "cnt", NCnt);
+    }
+  });
+  // Lookup phase: scan for one context id.
+  Reg Acc = B.iconst(0);
+  Reg Target = B.bin(BinOp::Shr, 0, One);
+  Reg Arr2 = B.loadField(Mp, Mapper->getId(), "carr");
+  Reg Cnt2 = B.loadField(Mp, Mapper->getId(), "cnt");
+  emitCountedLoop(B, Cnt2, [&](Reg J) {
+    Reg E = B.loadElem(Arr2, J);
+    Reg Id = B.loadField(E, Ctx->getId(), "id");
+    emitIf(B, CmpOp::Eq, Id, Target,
+           [&] { B.binInto(Acc, BinOp::Add, Acc, Id); });
+  });
+  B.ret(Acc);
+  B.endFunction();
+  return M.findFunction(P + "_mapper");
+}
+
+FuncId lud::emitStringCompareDispatch(PatternContext &C, const std::string &P,
+                                      bool Optimized) {
+  IRBuilder &B = C.B;
+  StdLib &L = C.L;
+  Module &M = C.module();
+  FuncId MkStr = Optimized ? kNoFunc : emitLocalMakeStr(C, P);
+
+  B.beginFunction(P + "_dispatch", 1); // (n) -> int
+  Reg C3 = B.iconst(3);
+  Reg C8 = B.iconst(8);
+  Reg One = B.iconst(1);
+  Reg Two = B.iconst(2);
+  Reg Acc = B.iconst(0);
+  Reg TInt = kNoReg, TBool = kNoReg;
+  if (!Optimized) {
+    // The embedded type-name strings compared against.
+    TInt = B.call(MkStr, {C8, One});
+    TBool = B.call(MkStr, {C8, Two});
+  }
+  emitCountedLoop(B, 0, [&](Reg I) {
+    Reg Code = B.bin(BinOp::Rem, I, C3);
+    if (!Optimized) {
+      // tomcat's bug: getProperty re-derives the type name string and
+      // string-compares it against the embedded names.
+      Reg CodeP1 = B.add(Code, One);
+      Reg Name = B.call(MkStr, {C8, CodeP1});
+      Reg E1 = B.call(L.StrEquals, {Name, TInt});
+      emitIfElse(
+          B, CmpOp::Eq, E1, One,
+          [&] { B.binInto(Acc, BinOp::Add, Acc, One); },
+          [&] {
+            Reg E2 = B.call(L.StrEquals, {Name, TBool});
+            emitIfElse(
+                B, CmpOp::Eq, E2, One,
+                [&] { B.binInto(Acc, BinOp::Add, Acc, Two); },
+                [&] { B.binInto(Acc, BinOp::Add, Acc, C3); });
+          });
+    } else {
+      // Fix: compare the Class objects (here: integer tags) directly.
+      Reg Zero = B.iconst(0);
+      emitIfElse(
+          B, CmpOp::Eq, Code, Zero,
+          [&] { B.binInto(Acc, BinOp::Add, Acc, One); },
+          [&] {
+            emitIfElse(
+                B, CmpOp::Eq, Code, One,
+                [&] { B.binInto(Acc, BinOp::Add, Acc, Two); },
+                [&] { B.binInto(Acc, BinOp::Add, Acc, C3); });
+          });
+    }
+  });
+  B.ret(Acc);
+  B.endFunction();
+  return M.findFunction(P + "_dispatch");
+}
+
+FuncId lud::emitWrapperIterator(PatternContext &C, const std::string &P,
+                                bool Optimized) {
+  IRBuilder &B = C.B;
+  Module &M = C.module();
+  ClassDecl *KB = M.addClass(P + "_KeyBlock");
+  KB->addField("lo", Type::makeInt());
+  KB->addField("hi", Type::makeInt());
+  KB->addField("cur", Type::makeInt());
+  ClassDecl *KI = M.addClass(P + "_KeyIter");
+  KI->addField("blk", Type::makeRef(KB->getId()));
+
+  B.beginFunction(P + "_ids", 1); // (n) -> int
+  Reg Acc = B.iconst(0);
+  if (!Optimized) {
+    Reg C16 = B.iconst(16);
+    Reg C31 = B.iconst(31);
+    Reg NBlocks = B.bin(BinOp::Shr, 0, B.iconst(4)); // n / 16
+    emitCountedLoop(B, NBlocks, [&](Reg Bk) {
+      // tradebeans' bug: a KeyBlock + iterator pair wraps a plain integer
+      // range, and the range bounds are redundantly re-derived ("database
+      // queries") before use.
+      Reg Blk = C.allocPlanted(KB->getId());
+      Reg Lo1 = B.mul(Bk, C16);
+      B.storeField(Blk, KB->getId(), "lo", Lo1);
+      // Redundant re-query: recompute and overwrite lo and hi.
+      Reg LoA = B.mul(Bk, C31);
+      Reg LoB = B.sub(LoA, Bk);
+      Reg LoC = B.mul(Bk, C16);
+      Reg LoD = B.bin(BinOp::Or, LoC, B.bin(BinOp::And, LoB, B.iconst(0)));
+      B.storeField(Blk, KB->getId(), "lo", LoD);
+      Reg Hi = B.add(LoD, C16);
+      B.storeField(Blk, KB->getId(), "hi", Hi);
+      B.storeField(Blk, KB->getId(), "cur", LoD);
+      Reg It = C.allocPlanted(KI->getId());
+      B.storeField(It, KI->getId(), "blk", Blk);
+      emitCountedLoop(B, C16, [&](Reg) {
+        Reg Blk2 = B.loadField(It, KI->getId(), "blk");
+        Reg Cur = B.loadField(Blk2, KB->getId(), "cur");
+        B.binInto(Acc, BinOp::Add, Acc, Cur);
+        Reg One = B.iconst(1);
+        Reg Next = B.add(Cur, One);
+        B.storeField(Blk2, KB->getId(), "cur", Next);
+      });
+    });
+  } else {
+    // Fix: ids are consecutive integers; just count.
+    emitCountedLoop(B, 0, [&](Reg I) { B.binInto(Acc, BinOp::Add, Acc, I); });
+  }
+  B.ret(Acc);
+  B.endFunction();
+  return M.findFunction(P + "_ids");
+}
+
+FuncId lud::emitBeanCopy(PatternContext &C, const std::string &P) {
+  IRBuilder &B = C.B;
+  Module &M = C.module();
+  ClassDecl *BeanA = M.addClass(P + "_BeanA");
+  ClassDecl *BeanB = M.addClass(P + "_BeanB");
+  for (const char *F : {"fa", "fb", "fc", "fd"}) {
+    BeanA->addField(F, Type::makeInt());
+    BeanB->addField(F, Type::makeInt());
+  }
+
+  B.beginFunction(P + "_convert", 1); // (n) -> int
+  Reg Acc = B.iconst(0);
+  Reg C5 = B.iconst(5);
+  Reg C9 = B.iconst(9);
+  emitCountedLoop(B, 0, [&](Reg I) {
+    // Inbound representation...
+    Reg A = B.alloc(BeanA->getId());
+    Reg V1 = B.mul(I, C5);
+    B.storeField(A, BeanA->getId(), "fa", V1);
+    Reg V2 = B.add(V1, C9);
+    B.storeField(A, BeanA->getId(), "fb", V2);
+    Reg V3 = B.bin(BinOp::Xor, V1, V2);
+    B.storeField(A, BeanA->getId(), "fc", V3);
+    Reg V4 = B.sub(V3, I);
+    B.storeField(A, BeanA->getId(), "fd", V4);
+    // ...converted field by field into the SOAP-side bean...
+    Reg Bb = C.allocPlanted(BeanB->getId());
+    for (const char *F : {"fa", "fb", "fc", "fd"}) {
+      Reg V = B.loadField(A, BeanA->getId(), F);
+      B.storeField(Bb, BeanB->getId(), F, V);
+    }
+    // ...and back into a fresh inbound bean on the response path.
+    Reg A2 = C.allocPlanted(BeanA->getId());
+    for (const char *F : {"fa", "fb", "fc", "fd"}) {
+      Reg V = B.loadField(Bb, BeanB->getId(), F);
+      B.storeField(A2, BeanA->getId(), F, V);
+    }
+    Reg Out = B.loadField(A2, BeanA->getId(), "fa");
+    B.binInto(Acc, BinOp::Add, Acc, Out);
+  });
+  B.ret(Acc);
+  B.endFunction();
+  return M.findFunction(P + "_convert");
+}
+
+FuncId lud::emitTempBoxes(PatternContext &C, const std::string &P) {
+  IRBuilder &B = C.B;
+  Module &M = C.module();
+  ClassDecl *Box = M.addClass(P + "_Box");
+  Box->addField("v", Type::makeInt());
+
+  B.beginFunction(P + "_box", 1); // (n) -> int
+  Reg Acc = B.iconst(0);
+  Reg C3 = B.iconst(3);
+  Reg One = B.iconst(1);
+  emitCountedLoop(B, 0, [&](Reg I) {
+    Reg V1 = B.mul(I, C3);
+    Reg V2 = B.add(V1, One);
+    Reg Bx = C.allocPlanted(Box->getId());
+    B.storeField(Bx, Box->getId(), "v", V2);
+    Reg T = B.loadField(Bx, Box->getId(), "v");
+    B.binInto(Acc, BinOp::Add, Acc, T);
+  });
+  B.ret(Acc);
+  B.endFunction();
+  return M.findFunction(P + "_box");
+}
+
+FuncId lud::emitBufferCopy(PatternContext &C, const std::string &P) {
+  IRBuilder &B = C.B;
+  Module &M = C.module();
+
+  B.beginFunction(P + "_copybuf", 1); // (n rounds) -> int
+  Reg C256 = B.iconst(256);
+  Reg Src = B.allocArray(TypeKind::Int, C256);
+  Reg ChanA = B.allocArray(TypeKind::Int, C256);
+  Reg ChanB = B.allocArray(TypeKind::Int, C256);
+  C.Planted.push_back(B.block()->insts().back().get());
+  Reg ChanC = B.allocArray(TypeKind::Int, C256);
+  C.Planted.push_back(B.block()->insts().back().get());
+  Reg Acc = B.iconst(0);
+  emitCountedLoop(B, 0, [&](Reg R) {
+    emitCountedLoop(B, C256, [&](Reg J) {
+      Reg T1 = B.mul(R, J);
+      Reg T2 = B.bin(BinOp::Xor, T1, R);
+      B.storeElem(Src, J, T2);
+    });
+    // The transformation result is fanned out into three output channels
+    // with plain copies (xalan's representation shuffling)...
+    emitCountedLoop(B, C256, [&](Reg J) {
+      Reg V = B.loadElem(Src, J);
+      B.storeElem(ChanA, J, V);
+    });
+    emitCountedLoop(B, C256, [&](Reg J) {
+      Reg V = B.loadElem(Src, J);
+      Reg W = B.bin(BinOp::Or, V, R);
+      B.storeElem(ChanB, J, W);
+    });
+    emitCountedLoop(B, C256, [&](Reg J) {
+      Reg V = B.loadElem(Src, J);
+      Reg W = B.bin(BinOp::Xor, V, J);
+      B.storeElem(ChanC, J, W);
+    });
+    // ...but only the first channel is ever consumed.
+    emitCountedLoop(B, C256, [&](Reg J) {
+      Reg V = B.loadElem(ChanA, J);
+      B.binInto(Acc, BinOp::Add, Acc, V);
+    });
+  });
+  B.ret(Acc);
+  B.endFunction();
+  return M.findFunction(P + "_copybuf");
+}
+
+FuncId lud::emitCacheRarelyRead(PatternContext &C, const std::string &P) {
+  IRBuilder &B = C.B;
+  Module &M = C.module();
+  ClassDecl *Row = M.addClass(P + "_Row");
+  Row->addField("k", Type::makeInt());
+  Row->addField("v", Type::makeInt());
+
+  B.beginFunction(P + "_cache", 1); // (n) -> int
+  Reg Cache = C.allocPlanted(Row->getId());
+  Reg C100 = B.iconst(100);
+  Reg C7 = B.iconst(7);
+  Reg Zero = B.iconst(0);
+  Reg Acc = B.iconst(0);
+  emitCountedLoop(B, 0, [&](Reg I) {
+    // Refresh the cached row on every transaction...
+    B.storeField(Cache, Row->getId(), "k", I);
+    Reg V1 = B.mul(I, I);
+    Reg V2 = B.add(V1, C7);
+    B.storeField(Cache, Row->getId(), "v", V2);
+    // ...but read it once per hundred.
+    Reg Rm = B.bin(BinOp::Rem, I, C100);
+    emitIf(B, CmpOp::Eq, Rm, Zero, [&] {
+      Reg V = B.loadField(Cache, Row->getId(), "v");
+      B.binInto(Acc, BinOp::Add, Acc, V);
+    });
+  });
+  B.ret(Acc);
+  B.endFunction();
+  return M.findFunction(P + "_cache");
+}
+
+FuncId lud::emitPredicateHeavy(PatternContext &C, const std::string &P) {
+  IRBuilder &B = C.B;
+  Module &M = C.module();
+
+  B.beginFunction(P + "_guards", 1); // (n) -> int
+  Reg C7 = B.iconst(7);
+  Reg C3 = B.iconst(3);
+  Reg Zero = B.iconst(0);
+  Reg Huge = B.iconst(int64_t(1) << 40);
+  Reg One = B.iconst(1);
+  Reg Acc = B.iconst(0);
+  emitCountedLoop(B, 0, [&](Reg I) {
+    Reg V1 = B.mul(I, C7);
+    Reg V = B.add(V1, C3);
+    // Over-protective guard cascade: every check always passes.
+    emitIf(B, CmpOp::Ge, V, Zero, [&] {
+      emitIf(B, CmpOp::Lt, V, Huge, [&] {
+        emitIf(B, CmpOp::Ge, 0, Zero, [&] {
+          B.binInto(Acc, BinOp::Add, Acc, One);
+        });
+      });
+    });
+  });
+  B.ret(Acc);
+  B.endFunction();
+  return M.findFunction(P + "_guards");
+}
+
+FuncId lud::emitScoreTopOne(PatternContext &C, const std::string &P) {
+  IRBuilder &B = C.B;
+  Module &M = C.module();
+
+  B.beginFunction(P + "_score", 1); // (n) -> int
+  Reg Best = B.iconst(-1);
+  Reg C13 = B.iconst(13);
+  Reg C255 = B.iconst(255);
+  emitCountedLoop(B, 0, [&](Reg I) {
+    // Per-document score: several instructions of ranking math whose
+    // result usually ends its life in the comparison below.
+    Reg S1 = B.mul(I, C13);
+    Reg S2 = B.bin(BinOp::Xor, S1, I);
+    Reg S3 = B.bin(BinOp::And, S2, C255);
+    Reg S4 = B.mul(S3, S3);
+    emitIf(B, CmpOp::Gt, S4, Best, [&] { B.moveInto(Best, S4); });
+  });
+  B.ret(Best);
+  B.endFunction();
+  return M.findFunction(P + "_score");
+}
+
+FuncId lud::emitUsefulWork(PatternContext &C, const std::string &P) {
+  IRBuilder &B = C.B;
+  StdLib &L = C.L;
+  Module &M = C.module();
+
+  B.beginFunction(P + "_work", 1); // (n) -> int
+  Reg V = B.alloc(L.IntVec);
+  Reg C8 = B.iconst(8);
+  B.callVoid("IntVec.init", {V, C8});
+  Reg C2654435761 = B.iconst(2654435761LL);
+  Reg C15 = B.iconst(15);
+  emitCountedLoop(B, 0, [&](Reg I) {
+    Reg T1 = B.mul(I, C2654435761);
+    Reg T2 = B.bin(BinOp::Shr, T1, C15);
+    Reg T3 = B.bin(BinOp::Xor, T1, T2);
+    B.callVoid("IntVec.add", {V, T3});
+  });
+  Reg Acc = B.iconst(0);
+  Reg Sz = B.call(L.IntVecSize, {V});
+  emitCountedLoop(B, Sz, [&](Reg J) {
+    Reg E = B.call(L.IntVecGet, {V, J});
+    B.binInto(Acc, BinOp::Add, Acc, E);
+  });
+  B.ret(Acc);
+  B.endFunction();
+  return M.findFunction(P + "_work");
+}

@@ -1,0 +1,188 @@
+//===- workloads/Patterns.h - Reusable bloat-pattern emitters --*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emitters for the inefficiency patterns the paper's case studies report
+/// (Section 4.2), plus useful-work baselines. Each emitter generates one IR
+/// function (named from a prefix) and records the allocation instructions
+/// of the *planted* low-utility structures so benchmarks can assert the
+/// tool ranks them. Most emitters take an `Optimized` flag that generates
+/// the case study's fixed version instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_WORKLOADS_PATTERNS_H
+#define LUD_WORKLOADS_PATTERNS_H
+
+#include "workloads/StdLib.h"
+
+#include <string>
+#include <vector>
+
+namespace lud {
+
+/// Shared emitter state: the module's stdlib, a builder, and the planted
+/// allocation instructions collected so far (translated to AllocSiteIds
+/// after Module::finalize()).
+struct PatternContext {
+  StdLib &L;
+  IRBuilder &B;
+  std::vector<const Instruction *> Planted;
+
+  Module &module() { return L.M; }
+  /// Emits an allocation and records it as a planted low-utility site.
+  Reg allocPlanted(ClassId C) {
+    Reg R = B.alloc(C);
+    Planted.push_back(B.block()->insts().back().get());
+    return R;
+  }
+};
+
+/// chart (and the paper's introduction): expensively computed entries are
+/// boxed and appended to a list whose only observed property is its size.
+/// Generated: `<P>_fill(n) -> int` (the size). Planted: the entry boxes.
+FuncId emitListSizeOnly(PatternContext &C, const std::string &P);
+
+/// bloat: debug strings are built eagerly and then discarded because the
+/// guard flag is false in production. Optimized: build under the guard.
+/// Generated: `<P>_strchurn(n, flag) -> int`.
+FuncId emitStringChurn(PatternContext &C, const std::string &P,
+                       bool Optimized);
+
+/// bloat/eclipse: a data-free comparator/visitor object is allocated per
+/// comparison. Optimized: a static compare function (worklist style).
+/// Generated: `<P>_visit(n) -> int`.
+FuncId emitVisitorChurn(PatternContext &C, const std::string &P,
+                        bool Optimized);
+
+/// sunflow: every matrix operation clones its receiver to carry the result
+/// across the call (the clone sites live in Matrix.clone; the planted site
+/// is the chain driver's scratch matrix). Whether operations clone or
+/// mutate in place is the *module-level* StdLibOptions::InPlaceMatrixOps.
+/// Generated: `<P>_render(n, msize) -> float`.
+FuncId emitClonePerOp(PatternContext &C, const std::string &P);
+
+/// sunflow/batik: floats are bit-encoded into an int array and decoded
+/// right back in the hot loop. Optimized: a float array, no conversions.
+/// Generated: `<P>_bits(n) -> float`.
+FuncId emitBitsRoundTrip(PatternContext &C, const std::string &P,
+                         bool Optimized);
+
+/// derby: a container's metadata array is rewritten on every page write
+/// and read once at the end. Optimized: written once before the read.
+/// Generated: `<P>_meta(n) -> int`.
+FuncId emitRewriteBeforeRead(PatternContext &C, const std::string &P,
+                             bool Optimized);
+
+/// derby: context lookups build a fresh string key per query. Optimized:
+/// dense integer ids indexing an array.
+/// Generated: `<P>_lookup(n) -> int`.
+FuncId emitStringKeyLookup(PatternContext &C, const std::string &P,
+                           bool Optimized);
+
+/// eclipse: populate a string-keyed map through its growth rehashes (hash
+/// recomputation cost is governed by StdLibOptions::CachedStrHash), then
+/// query it. Generated: `<P>_index(n) -> int`.
+FuncId emitRehashGrowth(PatternContext &C, const std::string &P);
+
+/// eclipse Figure 6: isPackage builds the whole directory list only to
+/// null-check it. Optimized: computes the boolean directly.
+/// Generated: `<P>_ispkg(n) -> int` (count of hits over n queries).
+FuncId emitDirectoryList(PatternContext &C, const std::string &P,
+                         bool Optimized);
+
+/// tomcat: the mapper's sorted context array is reallocated and copied on
+/// every update. Optimized: two arrays reused back and forth.
+/// Generated: `<P>_mapper(n) -> int`.
+FuncId emitArrayCopyUpdate(PatternContext &C, const std::string &P,
+                           bool Optimized);
+
+/// tomcat: property dispatch compares freshly built type-name strings.
+/// Optimized: integer type tags. Generated: `<P>_dispatch(n) -> int`.
+FuncId emitStringCompareDispatch(PatternContext &C, const std::string &P,
+                                 bool Optimized);
+
+/// tradebeans: id ranges are wrapped in KeyBlock + iterator objects (and
+/// re-queried redundantly). Optimized: a plain int counter.
+/// Generated: `<P>_ids(n) -> int`.
+FuncId emitWrapperIterator(PatternContext &C, const std::string &P,
+                           bool Optimized);
+
+/// tradesoap: the same bean data is copied across representations for
+/// every request. Generated: `<P>_convert(n) -> int`.
+FuncId emitBeanCopy(PatternContext &C, const std::string &P);
+
+/// jython: primitive values are boxed into temporaries that die right
+/// after one read. Generated: `<P>_box(n) -> int`.
+FuncId emitTempBoxes(PatternContext &C, const std::string &P);
+
+/// xalan: data migrates through a chain of buffers with plain copies; only
+/// a fraction of the final buffer is consumed.
+/// Generated: `<P>_copybuf(n) -> int`.
+FuncId emitBufferCopy(PatternContext &C, const std::string &P);
+
+/// hsqldb: a row cache is refreshed every transaction but read rarely.
+/// Generated: `<P>_cache(n) -> int`.
+FuncId emitCacheRarelyRead(PatternContext &C, const std::string &P);
+
+/// fop: a cascade of always-true guard predicates dominates the work
+/// (high IPP, near-zero IPD). Generated: `<P>_guards(n) -> int`.
+FuncId emitPredicateHeavy(PatternContext &C, const std::string &P);
+
+/// lusearch: per-document scores feed only the running-max comparison;
+/// most score data ends in predicates. Generated: `<P>_score(n) -> int`.
+FuncId emitScoreTopOne(PatternContext &C, const std::string &P);
+
+/// Useful-work baseline: accumulates arithmetic over an IntVec it also
+/// reads back, sinking the result. Generated: `<P>_work(n) -> int`.
+FuncId emitUsefulWork(PatternContext &C, const std::string &P);
+
+//===----------------------------------------------------------------------===
+// Application-substance patterns (AppPatterns.cpp): the useful machinery
+// each DaCapo analogue is "about", so the planted inefficiencies sit inside
+// realistic layered computation rather than bare ballast.
+//===----------------------------------------------------------------------===
+
+/// antlr: a table-driven token scanner over a synthetic character stream;
+/// every recognized token is boxed into a (short-lived) Token object.
+/// Generated: `<P>_scan(n) -> int` (token count + checksum).
+FuncId emitTokenScanner(PatternContext &C, const std::string &P);
+
+/// pmd: builds a binary AST of the given size and folds it with a
+/// recursive traversal (deep receiver-object context chains).
+/// Generated: `<P>_ast(n) -> int`.
+FuncId emitAstBuildTraverse(PatternContext &C, const std::string &P);
+
+/// avrora: a fixed-capacity event ring; producers enqueue timestamped
+/// events, the simulation loop dequeues and dispatches them.
+/// Generated: `<P>_events(n) -> int`.
+FuncId emitEventRing(PatternContext &C, const std::string &P);
+
+/// luindex: term postings — terms interned into a map, per-term posting
+/// vectors appended during indexing, then intersected for queries.
+/// Generated: `<P>_postings(n) -> int`.
+FuncId emitPostings(PatternContext &C, const std::string &P);
+
+/// hsqldb: a sorted page index with binary-search lookups and in-place
+/// sorted inserts. Generated: `<P>_pages(n) -> int`.
+FuncId emitPageIndex(PatternContext &C, const std::string &P);
+
+/// jython: a bytecode dispatch loop interpreting a synthetic opcode stream
+/// against an operand stack. Generated: `<P>_dispatch2(n) -> int`.
+FuncId emitDispatchLoop(PatternContext &C, const std::string &P);
+
+/// xalan: a template rule table matched against a stream of input nodes;
+/// matching rules fire actions. Generated: `<P>_templates(n) -> int`.
+FuncId emitTemplateTable(PatternContext &C, const std::string &P);
+
+/// lusearch: top-K selection over scored documents with an insertion
+/// "heap". Generated: `<P>_topk(n) -> int`.
+FuncId emitTopK(PatternContext &C, const std::string &P);
+
+} // namespace lud
+
+#endif // LUD_WORKLOADS_PATTERNS_H

@@ -1,0 +1,266 @@
+//===- workloads/RandomProgram.cpp - Random well-formed programs -----------===//
+
+#include "workloads/RandomProgram.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "support/ErrorHandling.h"
+#include "support/RNG.h"
+#include "workloads/EmitUtil.h"
+
+#include <vector>
+
+using namespace lud;
+
+namespace {
+
+/// Per-function generation state: pools of registers with known rough
+/// types so every emitted instruction is safe.
+class FunctionGen {
+public:
+  FunctionGen(IRBuilder &B, Module &M, RNG &R,
+              const std::vector<FuncId> &Callees,
+              const RandomProgramOptions &Opts)
+      : B(B), M(M), R(R), Callees(Callees), Opts(Opts) {}
+
+  /// Emits OpsPerFunction random operations followed by `ret <int>`.
+  void emitBody() {
+    // Seed pools: a couple of constants and one object per class.
+    IntRegs.push_back(B.iconst(int64_t(R.nextInRange(-8, 100))));
+    IntRegs.push_back(B.iconst(int64_t(R.nextInRange(1, 9))));
+    for (const auto &C : M.classes())
+      if (R.nextBelow(2) == 0)
+        allocObject(C->getId());
+    if (RefRegs.empty() && !M.classes().empty())
+      allocObject(M.classes()[R.nextBelow(M.classes().size())]->getId());
+
+    for (unsigned I = 0; I != Opts.OpsPerFunction; ++I)
+      emitRandomOp(/*Depth=*/0);
+    B.ret(anyInt());
+  }
+
+private:
+  struct RefInfo {
+    Reg R;
+    ClassId Class;
+  };
+
+  Reg anyInt() {
+    assert(!IntRegs.empty() && "int pool is never empty");
+    return IntRegs[R.nextBelow(IntRegs.size())];
+  }
+
+  void allocObject(ClassId C) {
+    Reg O = B.alloc(C);
+    RefRegs.push_back({O, C});
+  }
+
+  /// A random field of \p C (searching the inheritance chain); returns
+  /// false when the class has no fields.
+  bool pickField(ClassId C, FieldSlot &SlotOut, Type &TyOut) {
+    std::vector<std::pair<FieldSlot, Type>> Fields;
+    for (ClassId Cur = C; Cur != kNoClass;
+         Cur = M.getClass(Cur)->getSuper()) {
+      const ClassDecl *D = M.getClass(Cur);
+      for (size_t I = 0; I != D->ownFields().size(); ++I) {
+        FieldSlot Slot;
+        if (M.resolveField(Cur, D->ownFields()[I].Name, Slot))
+          Fields.push_back({Slot, D->ownFields()[I].Ty});
+      }
+    }
+    if (Fields.empty())
+      return false;
+    auto &[Slot, Ty] = Fields[R.nextBelow(Fields.size())];
+    SlotOut = Slot;
+    TyOut = Ty;
+    return true;
+  }
+
+  void emitRandomOp(unsigned Depth) {
+    switch (R.nextBelow(12)) {
+    case 0: { // fresh constant
+      IntRegs.push_back(B.iconst(int64_t(R.nextInRange(-50, 200))));
+      break;
+    }
+    case 1: { // arithmetic (trap-free subset)
+      static const BinOp Ops[] = {BinOp::Add, BinOp::Sub, BinOp::Mul,
+                                  BinOp::And, BinOp::Or,  BinOp::Xor,
+                                  BinOp::Shr};
+      IntRegs.push_back(
+          B.bin(Ops[R.nextBelow(std::size(Ops))], anyInt(), anyInt()));
+      break;
+    }
+    case 2: { // allocation
+      if (!M.classes().empty())
+        allocObject(M.classes()[R.nextBelow(M.classes().size())]->getId());
+      break;
+    }
+    case 3: { // field store
+      if (RefRegs.empty())
+        break;
+      const RefInfo &RI = RefRegs[R.nextBelow(RefRegs.size())];
+      FieldSlot Slot;
+      Type Ty;
+      if (!pickField(RI.Class, Slot, Ty))
+        break;
+      if (Ty.Kind == TypeKind::Int) {
+        B.append(new StoreFieldInst(RI.R, RI.Class, Slot, anyInt()));
+      } else if (Ty.Kind == TypeKind::Ref && Ty.Class != kNoClass) {
+        // Store a compatible object (exact class only: simple and safe).
+        for (const RefInfo &Cand : RefRegs)
+          if (Cand.Class == Ty.Class) {
+            B.append(new StoreFieldInst(RI.R, RI.Class, Slot, Cand.R));
+            break;
+          }
+      }
+      break;
+    }
+    case 4: { // field load
+      if (RefRegs.empty())
+        break;
+      const RefInfo &RI = RefRegs[R.nextBelow(RefRegs.size())];
+      FieldSlot Slot;
+      Type Ty;
+      if (!pickField(RI.Class, Slot, Ty))
+        break;
+      if (Ty.Kind == TypeKind::Int) {
+        Reg Dst = B.newReg();
+        B.append(new LoadFieldInst(Dst, RI.R, RI.Class, Slot));
+        IntRegs.push_back(Dst);
+      }
+      // Ref loads skipped: the loaded object may be null.
+      break;
+    }
+    case 5: { // array allocate (power-of-two length for safe masking)
+      Reg Len = B.iconst(8);
+      Arrays.push_back(B.allocArray(TypeKind::Int, Len));
+      break;
+    }
+    case 6: { // array store with masked index
+      if (Arrays.empty())
+        break;
+      Reg Arr = Arrays[R.nextBelow(Arrays.size())];
+      Reg Mask = B.iconst(7);
+      Reg Idx = B.bin(BinOp::And, anyInt(), Mask);
+      B.storeElem(Arr, Idx, anyInt());
+      break;
+    }
+    case 7: { // array load with masked index
+      if (Arrays.empty())
+        break;
+      Reg Arr = Arrays[R.nextBelow(Arrays.size())];
+      Reg Mask = B.iconst(7);
+      Reg Idx = B.bin(BinOp::And, anyInt(), Mask);
+      IntRegs.push_back(B.loadElem(Arr, Idx));
+      break;
+    }
+    case 8: { // call an earlier function (acyclic)
+      if (Callees.empty())
+        break;
+      FuncId Callee = Callees[R.nextBelow(Callees.size())];
+      std::vector<Reg> Args;
+      for (unsigned A = 0; A != M.getFunction(Callee)->getNumParams(); ++A)
+        Args.push_back(anyInt());
+      IntRegs.push_back(B.call(Callee, std::move(Args)));
+      break;
+    }
+    case 9: { // guarded block
+      if (Depth >= 1)
+        break;
+      // Refs/arrays allocated under a condition may be skipped at run
+      // time; scope them to the branch so later code never dereferences
+      // an unassigned register.
+      size_t RefMark = RefRegs.size(), ArrMark = Arrays.size();
+      emitIf(B, R.nextBelow(2) ? CmpOp::Lt : CmpOp::Ne, anyInt(), anyInt(),
+             [&] { emitRandomOp(Depth + 1); });
+      RefRegs.resize(RefMark);
+      Arrays.resize(ArrMark);
+      break;
+    }
+    case 10: { // bounded loop
+      if (Depth >= 1)
+        break;
+      Reg Trip = B.iconst(int64_t(2 + R.nextBelow(Opts.MaxTrip - 1)));
+      unsigned BodyOps = 1 + unsigned(R.nextBelow(3));
+      emitCountedLoop(B, Trip, [&](Reg) {
+        for (unsigned K = 0; K != BodyOps; ++K)
+          emitRandomOp(Depth + 1);
+      });
+      break;
+    }
+    case 11: { // occasionally observe a value
+      if (R.nextBelow(3) == 0)
+        B.ncallVoid("sink", {anyInt()});
+      break;
+    }
+    }
+  }
+
+  IRBuilder &B;
+  Module &M;
+  RNG &R;
+  const std::vector<FuncId> &Callees;
+  const RandomProgramOptions &Opts;
+  std::vector<Reg> IntRegs;
+  std::vector<RefInfo> RefRegs;
+  std::vector<Reg> Arrays;
+};
+
+} // namespace
+
+std::unique_ptr<Module> lud::generateRandomProgram(RandomProgramOptions O) {
+  RNG R(O.Seed * 0x9E3779B97F4A7C15ULL + 1);
+  auto M = std::make_unique<Module>();
+  IRBuilder B(*M);
+
+  // Classes with a random mixture of int and (earlier-class) ref fields.
+  for (unsigned C = 0; C != O.NumClasses; ++C) {
+    ClassId Super = kNoClass;
+    if (C > 0 && R.nextBelow(3) == 0)
+      Super = ClassId(R.nextBelow(C));
+    ClassDecl *D = M->addClass("C" + std::to_string(C), Super);
+    unsigned NumFields = 1 + unsigned(R.nextBelow(3));
+    for (unsigned F = 0; F != NumFields; ++F) {
+      std::string Name = "f" + std::to_string(C) + "_" + std::to_string(F);
+      if (C > 0 && R.nextBelow(4) == 0)
+        D->addField(Name, Type::makeRef(ClassId(R.nextBelow(C))));
+      else
+        D->addField(Name, Type::makeInt());
+    }
+  }
+
+  // Functions in call-DAG order.
+  std::vector<FuncId> Funcs;
+  for (unsigned F = 0; F != O.NumFunctions; ++F) {
+    unsigned NumParams = unsigned(R.nextBelow(3));
+    Function *Fn =
+        B.beginFunction("fn" + std::to_string(F), NumParams);
+    FunctionGen Gen(B, *M, R, Funcs, O);
+    Gen.emitBody();
+    B.endFunction();
+    Funcs.push_back(Fn->getId());
+  }
+
+  // main: call every function a couple of times and sink the results.
+  B.beginFunction("main", 0);
+  Reg Acc = B.iconst(0);
+  for (FuncId F : Funcs) {
+    unsigned Calls = 1 + unsigned(R.nextBelow(2));
+    for (unsigned K = 0; K != Calls; ++K) {
+      std::vector<Reg> Args;
+      for (unsigned A = 0; A != M->getFunction(F)->getNumParams(); ++A)
+        Args.push_back(B.iconst(int64_t(R.nextInRange(0, 20))));
+      Reg V = B.call(F, std::move(Args));
+      B.binInto(Acc, BinOp::Add, Acc, V);
+    }
+  }
+  B.ncallVoid("sink", {Acc});
+  B.ret(Acc);
+  B.endFunction();
+
+  M->finalize();
+  std::vector<std::string> Errors;
+  if (!verifyModule(*M, Errors))
+    lud_unreachable("random program failed verification");
+  return M;
+}

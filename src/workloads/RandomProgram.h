@@ -1,0 +1,47 @@
+//===- workloads/RandomProgram.h - Random well-formed programs -*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded generator of random, verifier-clean, trap-free, terminating IR
+/// programs. Used by the property-based test sweeps to check analysis
+/// invariants (graph boundedness, baseline/profiled equivalence, printer/
+/// parser round trips, cost-model monotonicity) over program shapes no one
+/// wrote by hand.
+///
+/// Guarantees, by construction:
+///   - every loop has a constant trip count (termination);
+///   - the call graph is acyclic (termination);
+///   - references are allocated before use and never null (no NPE traps);
+///   - array indices are masked into range (no bounds traps);
+///   - no integer division (no div-by-zero traps).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_WORKLOADS_RANDOMPROGRAM_H
+#define LUD_WORKLOADS_RANDOMPROGRAM_H
+
+#include "ir/Module.h"
+
+#include <memory>
+
+namespace lud {
+
+struct RandomProgramOptions {
+  uint64_t Seed = 1;
+  unsigned NumClasses = 3;
+  unsigned NumFunctions = 5;
+  unsigned OpsPerFunction = 30;
+  /// Loop trip counts are drawn from [2, MaxTrip].
+  unsigned MaxTrip = 6;
+};
+
+/// Generates a finalized, verified module whose entry runs to completion.
+std::unique_ptr<Module> generateRandomProgram(RandomProgramOptions Opts);
+
+} // namespace lud
+
+#endif // LUD_WORKLOADS_RANDOMPROGRAM_H

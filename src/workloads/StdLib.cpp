@@ -1,0 +1,572 @@
+//===- workloads/StdLib.cpp - IR-level runtime library ---------------------===//
+
+#include "workloads/StdLib.h"
+
+#include "workloads/EmitUtil.h"
+
+using namespace lud;
+
+StdLib::StdLib(Module &Mod, StdLibOptions Options) : M(Mod), Opts(Options) {
+  IRBuilder B(M);
+
+  //===------------------------------------------------------------------===//
+  // Class declarations first so methods can cross-reference them.
+  //===------------------------------------------------------------------===//
+  ClassDecl *IntVecC = M.addClass("IntVec");
+  IntVecC->addField("arr", Type::makeArray(TypeKind::Int));
+  IntVecC->addField("size", Type::makeInt());
+  IntVec = IntVecC->getId();
+
+  ClassDecl *RefVecC = M.addClass("RefVec");
+  RefVecC->addField("arr", Type::makeArray(TypeKind::Ref));
+  RefVecC->addField("size", Type::makeInt());
+  RefVec = RefVecC->getId();
+
+  ClassDecl *StrC = M.addClass("Str");
+  StrC->addField("chars", Type::makeArray(TypeKind::Int));
+  StrC->addField("len", Type::makeInt());
+  StrC->addField("hash", Type::makeInt());
+  Str = StrC->getId();
+
+  ClassDecl *MatrixC = M.addClass("Matrix");
+  MatrixC->addField("cells", Type::makeArray(TypeKind::Float));
+  MatrixC->addField("n", Type::makeInt());
+  Matrix = MatrixC->getId();
+
+  ClassDecl *StrMapC = M.addClass("StrMap");
+  StrMapC->addField("keys", Type::makeArray(TypeKind::Ref, Str));
+  StrMapC->addField("vals", Type::makeArray(TypeKind::Int));
+  StrMapC->addField("hashes", Type::makeArray(TypeKind::Int));
+  StrMapC->addField("cap", Type::makeInt());
+  StrMapC->addField("msize", Type::makeInt());
+  StrMap = StrMapC->getId();
+
+  //===------------------------------------------------------------------===//
+  // IntVec.
+  //===------------------------------------------------------------------===//
+  {
+    B.beginMethod(IntVec, "init", 2); // (this, cap)
+    Reg Arr = B.allocArray(TypeKind::Int, 1);
+    B.storeField(0, IntVec, "arr", Arr);
+    Reg Z = B.iconst(0);
+    B.storeField(0, IntVec, "size", Z);
+    B.ret();
+    B.endFunction();
+    IntVecInit = M.findFunction("IntVec.init");
+  }
+  {
+    B.beginMethod(IntVec, "add", 2); // (this, v)
+    Reg Size = B.loadField(0, IntVec, "size");
+    Reg Arr = B.loadField(0, IntVec, "arr");
+    Reg Cap = B.arrayLen(Arr);
+    BasicBlock *Grow = B.newBlock();
+    BasicBlock *Store = B.newBlock();
+    B.condBr(CmpOp::Lt, Size, Cap, Store, Grow);
+
+    B.setBlock(Grow);
+    Reg Two = B.iconst(2);
+    Reg NCap0 = B.mul(Cap, Two);
+    Reg One = B.iconst(1);
+    Reg NCap = B.add(NCap0, One);
+    Reg NArr = B.allocArray(TypeKind::Int, NCap);
+    emitCountedLoop(B, Size, [&](Reg J) {
+      Reg T = B.loadElem(Arr, J);
+      B.storeElem(NArr, J, T);
+    });
+    B.storeField(0, IntVec, "arr", NArr);
+    B.moveInto(Arr, NArr);
+    B.br(Store);
+
+    B.setBlock(Store);
+    B.storeElem(Arr, Size, 1); // arr[size] = v
+    Reg One2 = B.iconst(1);
+    Reg NSize = B.add(Size, One2);
+    B.storeField(0, IntVec, "size", NSize);
+    B.ret();
+    B.endFunction();
+    IntVecAdd = M.findFunction("IntVec.add");
+  }
+  {
+    B.beginMethod(IntVec, "get", 2); // (this, i)
+    Reg Arr = B.loadField(0, IntVec, "arr");
+    Reg V = B.loadElem(Arr, 1);
+    B.ret(V);
+    B.endFunction();
+    IntVecGet = M.findFunction("IntVec.get");
+  }
+  {
+    B.beginMethod(IntVec, "set", 3); // (this, i, v)
+    Reg Arr = B.loadField(0, IntVec, "arr");
+    B.storeElem(Arr, 1, 2);
+    B.ret();
+    B.endFunction();
+    IntVecSet = M.findFunction("IntVec.set");
+  }
+  {
+    B.beginMethod(IntVec, "size", 1);
+    Reg S = B.loadField(0, IntVec, "size");
+    B.ret(S);
+    B.endFunction();
+    IntVecSize = M.findFunction("IntVec.size");
+  }
+
+  //===------------------------------------------------------------------===//
+  // RefVec.
+  //===------------------------------------------------------------------===//
+  {
+    B.beginMethod(RefVec, "init", 2);
+    Reg Arr = B.allocArray(TypeKind::Ref, 1);
+    B.storeField(0, RefVec, "arr", Arr);
+    Reg Z = B.iconst(0);
+    B.storeField(0, RefVec, "size", Z);
+    B.ret();
+    B.endFunction();
+    RefVecInit = M.findFunction("RefVec.init");
+  }
+  {
+    B.beginMethod(RefVec, "add", 2); // (this, ref)
+    Reg Size = B.loadField(0, RefVec, "size");
+    Reg Arr = B.loadField(0, RefVec, "arr");
+    Reg Cap = B.arrayLen(Arr);
+    BasicBlock *Grow = B.newBlock();
+    BasicBlock *Store = B.newBlock();
+    B.condBr(CmpOp::Lt, Size, Cap, Store, Grow);
+
+    B.setBlock(Grow);
+    Reg Two = B.iconst(2);
+    Reg NCap0 = B.mul(Cap, Two);
+    Reg One = B.iconst(1);
+    Reg NCap = B.add(NCap0, One);
+    Reg NArr = B.allocArray(TypeKind::Ref, NCap);
+    emitCountedLoop(B, Size, [&](Reg J) {
+      Reg T = B.loadElem(Arr, J);
+      B.storeElem(NArr, J, T);
+    });
+    B.storeField(0, RefVec, "arr", NArr);
+    B.moveInto(Arr, NArr);
+    B.br(Store);
+
+    B.setBlock(Store);
+    B.storeElem(Arr, Size, 1);
+    Reg One2 = B.iconst(1);
+    Reg NSize = B.add(Size, One2);
+    B.storeField(0, RefVec, "size", NSize);
+    B.ret();
+    B.endFunction();
+    RefVecAdd = M.findFunction("RefVec.add");
+  }
+  {
+    B.beginMethod(RefVec, "get", 2);
+    Reg Arr = B.loadField(0, RefVec, "arr");
+    Reg V = B.loadElem(Arr, 1);
+    B.ret(V);
+    B.endFunction();
+    RefVecGet = M.findFunction("RefVec.get");
+  }
+  {
+    B.beginMethod(RefVec, "size", 1);
+    Reg S = B.loadField(0, RefVec, "size");
+    B.ret(S);
+    B.endFunction();
+    RefVecSize = M.findFunction("RefVec.size");
+  }
+
+  //===------------------------------------------------------------------===//
+  // Str.
+  //===------------------------------------------------------------------===//
+  {
+    B.beginFunction("makeStr", 2); // (n, seed) -> Str
+    Reg S = B.alloc(this->Str);
+    Reg Chars = B.allocArray(TypeKind::Int, 0);
+    Reg H = B.iconst(0);
+    Reg C31 = B.iconst(31);
+    Reg C7 = B.iconst(7);
+    Reg Mask = B.iconst(127);
+    Reg HashMask = B.iconst(0x7FFFFFFF);
+    emitCountedLoop(B, 0, [&](Reg I) {
+      Reg T1 = B.mul(I, C7);
+      Reg T2 = B.add(T1, 1); // + seed
+      Reg Ch = B.bin(BinOp::And, T2, Mask);
+      B.storeElem(Chars, I, Ch);
+      Reg HM = B.mul(H, C31);
+      Reg HA = B.add(HM, Ch);
+      B.binInto(H, BinOp::And, HA, HashMask);
+    });
+    B.storeField(S, this->Str, "chars", Chars);
+    B.storeField(S, this->Str, "len", 0);
+    if (Opts.CachedStrHash)
+      B.storeField(S, this->Str, "hash", H);
+    B.ret(S);
+    B.endFunction();
+    StrMake = M.findFunction("makeStr");
+  }
+  {
+    B.beginMethod(this->Str, "hashCode", 1);
+    if (Opts.CachedStrHash) {
+      Reg H = B.loadField(0, this->Str, "hash");
+      B.ret(H);
+    } else {
+      Reg Chars = B.loadField(0, this->Str, "chars");
+      Reg N = B.loadField(0, this->Str, "len");
+      Reg H = B.iconst(0);
+      Reg C31 = B.iconst(31);
+      Reg HashMask = B.iconst(0x7FFFFFFF);
+      emitCountedLoop(B, N, [&](Reg I) {
+        Reg Ch = B.loadElem(Chars, I);
+        Reg HM = B.mul(H, C31);
+        Reg HA = B.add(HM, Ch);
+        B.binInto(H, BinOp::And, HA, HashMask);
+      });
+      B.ret(H);
+    }
+    B.endFunction();
+    StrHash = M.findFunction("Str.hashCode");
+  }
+  {
+    B.beginMethod(this->Str, "equals", 2); // (this, o) -> 0/1
+    Reg La = B.loadField(0, this->Str, "len");
+    Reg Lb = B.loadField(1, this->Str, "len");
+    BasicBlock *LenEq = B.newBlock();
+    BasicBlock *RetNo = B.newBlock();
+    B.condBr(CmpOp::Eq, La, Lb, LenEq, RetNo);
+
+    B.setBlock(RetNo);
+    Reg Zero = B.iconst(0);
+    B.ret(Zero);
+
+    B.setBlock(LenEq);
+    Reg Ca = B.loadField(0, this->Str, "chars");
+    Reg Cb = B.loadField(1, this->Str, "chars");
+    Reg I = B.iconst(0);
+    Reg One = B.iconst(1);
+    BasicBlock *Header = B.newBlock();
+    BasicBlock *Body = B.newBlock();
+    BasicBlock *RetYes = B.newBlock();
+    BasicBlock *Mismatch = B.newBlock();
+    B.br(Header);
+    B.setBlock(Header);
+    B.condBr(CmpOp::Lt, I, La, Body, RetYes);
+    B.setBlock(Body);
+    Reg A = B.loadElem(Ca, I);
+    Reg Bv = B.loadElem(Cb, I);
+    BasicBlock *Next = B.newBlock();
+    B.condBr(CmpOp::Eq, A, Bv, Next, Mismatch);
+    B.setBlock(Next);
+    B.binInto(I, BinOp::Add, I, One);
+    B.br(Header);
+    B.setBlock(Mismatch);
+    Reg Zero2 = B.iconst(0);
+    B.ret(Zero2);
+    B.setBlock(RetYes);
+    Reg One2 = B.iconst(1);
+    B.ret(One2);
+    B.endFunction();
+    StrEquals = M.findFunction("Str.equals");
+  }
+  {
+    B.beginMethod(this->Str, "concat", 2); // (this, o) -> Str
+    Reg La = B.loadField(0, this->Str, "len");
+    Reg Lb = B.loadField(1, this->Str, "len");
+    Reg N = B.add(La, Lb);
+    Reg S = B.alloc(this->Str);
+    Reg Chars = B.allocArray(TypeKind::Int, N);
+    Reg Ca = B.loadField(0, this->Str, "chars");
+    Reg Cb = B.loadField(1, this->Str, "chars");
+    emitCountedLoop(B, La, [&](Reg I) {
+      Reg Ch = B.loadElem(Ca, I);
+      B.storeElem(Chars, I, Ch);
+    });
+    emitCountedLoop(B, Lb, [&](Reg I) {
+      Reg Ch = B.loadElem(Cb, I);
+      Reg Pos = B.add(La, I);
+      B.storeElem(Chars, Pos, Ch);
+    });
+    B.storeField(S, this->Str, "chars", Chars);
+    B.storeField(S, this->Str, "len", N);
+    if (Opts.CachedStrHash) {
+      Reg H = B.iconst(0);
+      Reg C31 = B.iconst(31);
+      Reg HashMask = B.iconst(0x7FFFFFFF);
+      emitCountedLoop(B, N, [&](Reg I) {
+        Reg Ch = B.loadElem(Chars, I);
+        Reg HM = B.mul(H, C31);
+        Reg HA = B.add(HM, Ch);
+        B.binInto(H, BinOp::And, HA, HashMask);
+      });
+      B.storeField(S, this->Str, "hash", H);
+    }
+    B.ret(S);
+    B.endFunction();
+    StrConcat = M.findFunction("Str.concat");
+  }
+
+  //===------------------------------------------------------------------===//
+  // Matrix.
+  //===------------------------------------------------------------------===//
+  {
+    B.beginFunction("makeMatrix", 2); // (n, seed) -> Matrix
+    Reg Mx = B.alloc(this->Matrix);
+    Reg Sz = B.mul(0, 0);
+    Reg Cells = B.allocArray(TypeKind::Float, Sz);
+    Reg Half = B.fconst(0.5);
+    emitCountedLoop(B, Sz, [&](Reg I) {
+      Reg T = B.add(1, I); // seed + i
+      Reg F = B.un(UnOp::I2F, T);
+      Reg V = B.mul(F, Half);
+      B.storeElem(Cells, I, V);
+    });
+    B.storeField(Mx, this->Matrix, "cells", Cells);
+    B.storeField(Mx, this->Matrix, "n", 0);
+    B.ret(Mx);
+    B.endFunction();
+    MatrixMake = M.findFunction("makeMatrix");
+  }
+  {
+    B.beginMethod(this->Matrix, "clone", 1);
+    Reg Cells = B.loadField(0, this->Matrix, "cells");
+    Reg N = B.loadField(0, this->Matrix, "n");
+    Reg Sz = B.arrayLen(Cells);
+    Reg C = B.alloc(this->Matrix);
+    Reg NCells = B.allocArray(TypeKind::Float, Sz);
+    emitCountedLoop(B, Sz, [&](Reg I) {
+      Reg V = B.loadElem(Cells, I);
+      B.storeElem(NCells, I, V);
+    });
+    B.storeField(C, this->Matrix, "cells", NCells);
+    B.storeField(C, this->Matrix, "n", N);
+    B.ret(C);
+    B.endFunction();
+    MatrixClone = M.findFunction("Matrix.clone");
+  }
+  {
+    B.beginMethod(this->Matrix, "scale", 2); // (this, f) -> Matrix
+    Reg Target = Opts.InPlaceMatrixOps ? Reg(0)
+                                       : B.call(MatrixClone, {Reg(0)});
+    Reg Cells = B.loadField(Target, this->Matrix, "cells");
+    Reg Sz = B.arrayLen(Cells);
+    emitCountedLoop(B, Sz, [&](Reg I) {
+      Reg V = B.loadElem(Cells, I);
+      Reg W = B.mul(V, 1);
+      B.storeElem(Cells, I, W);
+    });
+    B.ret(Target);
+    B.endFunction();
+    MatrixScale = M.findFunction("Matrix.scale");
+  }
+  {
+    B.beginMethod(this->Matrix, "transpose", 1); // -> Matrix
+    Reg N = B.loadField(0, this->Matrix, "n");
+    if (Opts.InPlaceMatrixOps) {
+      Reg Cells = B.loadField(0, this->Matrix, "cells");
+      // In place: swap (i, j) with (j, i) for j > i.
+      emitCountedLoop(B, N, [&](Reg I) {
+        emitCountedLoop(B, N, [&](Reg J) {
+          BasicBlock *Swap = B.newBlock();
+          BasicBlock *Skip = B.newBlock();
+          B.condBr(CmpOp::Lt, I, J, Swap, Skip);
+          B.setBlock(Swap);
+          Reg IJ0 = B.mul(I, N);
+          Reg IJ = B.add(IJ0, J);
+          Reg JI0 = B.mul(J, N);
+          Reg JI = B.add(JI0, I);
+          Reg A = B.loadElem(Cells, IJ);
+          Reg Bv = B.loadElem(Cells, JI);
+          B.storeElem(Cells, IJ, Bv);
+          B.storeElem(Cells, JI, A);
+          B.br(Skip);
+          B.setBlock(Skip);
+        });
+      });
+      B.ret(0);
+    } else {
+      Reg C = B.call(MatrixClone, {Reg(0)});
+      Reg Cells = B.loadField(0, this->Matrix, "cells");
+      Reg NCells = B.loadField(C, this->Matrix, "cells");
+      emitCountedLoop(B, N, [&](Reg I) {
+        emitCountedLoop(B, N, [&](Reg J) {
+          Reg IJ0 = B.mul(I, N);
+          Reg IJ = B.add(IJ0, J);
+          Reg JI0 = B.mul(J, N);
+          Reg JI = B.add(JI0, I);
+          Reg V = B.loadElem(Cells, JI);
+          B.storeElem(NCells, IJ, V);
+        });
+      });
+      B.ret(C);
+    }
+    B.endFunction();
+    MatrixTranspose = M.findFunction("Matrix.transpose");
+  }
+  {
+    B.beginMethod(this->Matrix, "sum", 1); // -> float
+    Reg Cells = B.loadField(0, this->Matrix, "cells");
+    Reg Sz = B.arrayLen(Cells);
+    Reg S = B.fconst(0.0);
+    emitCountedLoop(B, Sz, [&](Reg I) {
+      Reg V = B.loadElem(Cells, I);
+      B.binInto(S, BinOp::Add, S, V);
+    });
+    B.ret(S);
+    B.endFunction();
+    MatrixSum = M.findFunction("Matrix.sum");
+  }
+
+  //===------------------------------------------------------------------===//
+  // StrMap: open addressing, linear probing, growth at 50% load. The
+  // uncached variant recomputes every key's hash during rehash — the
+  // eclipse HashtableOfArrayToObject bloat the paper's case study fixes by
+  // caching hash codes.
+  //===------------------------------------------------------------------===//
+  {
+    B.beginMethod(this->StrMap, "init", 2); // (this, cap)
+    Reg Keys = B.allocArray(TypeKind::Ref, 1);
+    Reg Vals = B.allocArray(TypeKind::Int, 1);
+    Reg Hashes = B.allocArray(TypeKind::Int, 1);
+    B.storeField(0, this->StrMap, "keys", Keys);
+    B.storeField(0, this->StrMap, "vals", Vals);
+    B.storeField(0, this->StrMap, "hashes", Hashes);
+    B.storeField(0, this->StrMap, "cap", 1);
+    Reg Z = B.iconst(0);
+    B.storeField(0, this->StrMap, "msize", Z);
+    B.ret();
+    B.endFunction();
+    StrMapInit = M.findFunction("StrMap.init");
+  }
+  {
+    // Internal: probe-insert into (keys, vals, hashes) of capacity cap,
+    // assuming a free slot exists; no size update, no rehash.
+    B.beginFunction("strmapRawPut", 6); // (keys, vals, hashes, cap, k, v)
+    Reg H = B.call(StrHash, {Reg(4)});
+    Reg Idx = B.bin(BinOp::Rem, H, 3);
+    Reg Null = B.nullconst();
+    Reg One = B.iconst(1);
+    BasicBlock *Probe = B.newBlock();
+    BasicBlock *CheckKey = B.newBlock();
+    BasicBlock *Insert = B.newBlock();
+    BasicBlock *Bump = B.newBlock();
+    B.br(Probe);
+    B.setBlock(Probe);
+    Reg Key = B.loadElem(0, Idx);
+    B.condBr(CmpOp::Eq, Key, Null, Insert, CheckKey);
+    B.setBlock(CheckKey);
+    Reg Eq = B.call(StrEquals, {Key, Reg(4)});
+    B.condBr(CmpOp::Eq, Eq, One, Insert, Bump);
+    B.setBlock(Bump);
+    Reg Idx2 = B.add(Idx, One);
+    Reg Idx3 = B.bin(BinOp::Rem, Idx2, 3);
+    B.moveInto(Idx, Idx3);
+    B.br(Probe);
+    B.setBlock(Insert);
+    B.storeElem(0, Idx, 4);
+    B.storeElem(1, Idx, 5);
+    B.storeElem(2, Idx, H);
+    B.ret();
+    B.endFunction();
+  }
+  {
+    B.beginMethod(this->StrMap, "put", 3); // (this, k, v)
+    Reg Size = B.loadField(0, this->StrMap, "msize");
+    Reg Cap = B.loadField(0, this->StrMap, "cap");
+    Reg Two = B.iconst(2);
+    Reg One = B.iconst(1);
+    Reg SizeP1 = B.add(Size, One);
+    Reg Need = B.mul(SizeP1, Two);
+    BasicBlock *Rehash = B.newBlock();
+    BasicBlock *DoPut = B.newBlock();
+    B.condBr(CmpOp::Ge, Need, Cap, Rehash, DoPut);
+
+    B.setBlock(Rehash);
+    Reg NCap0 = B.mul(Cap, Two);
+    Reg NCap = B.add(NCap0, Two);
+    Reg NKeys = B.allocArray(TypeKind::Ref, NCap);
+    Reg NVals = B.allocArray(TypeKind::Int, NCap);
+    Reg NHashes = B.allocArray(TypeKind::Int, NCap);
+    Reg OKeys = B.loadField(0, this->StrMap, "keys");
+    Reg OVals = B.loadField(0, this->StrMap, "vals");
+    Reg OHashes = B.loadField(0, this->StrMap, "hashes");
+    Reg Null = B.nullconst();
+    emitCountedLoop(B, Cap, [&](Reg J) {
+      BasicBlock *Live = B.newBlock();
+      BasicBlock *Skip = B.newBlock();
+      Reg KK = B.loadElem(OKeys, J);
+      B.condBr(CmpOp::Ne, KK, Null, Live, Skip);
+      B.setBlock(Live);
+      Reg HH = Opts.CachedStrHash ? B.loadElem(OHashes, J)
+                                  : B.call(StrHash, {KK});
+      // Re-probe into the new arrays.
+      Reg Idx = B.bin(BinOp::Rem, HH, NCap);
+      BasicBlock *Probe = B.newBlock();
+      BasicBlock *Put = B.newBlock();
+      BasicBlock *Bump = B.newBlock();
+      B.br(Probe);
+      B.setBlock(Probe);
+      Reg Slot = B.loadElem(NKeys, Idx);
+      B.condBr(CmpOp::Eq, Slot, Null, Put, Bump);
+      B.setBlock(Bump);
+      Reg One2 = B.iconst(1);
+      Reg I2 = B.add(Idx, One2);
+      Reg I3 = B.bin(BinOp::Rem, I2, NCap);
+      B.moveInto(Idx, I3);
+      B.br(Probe);
+      B.setBlock(Put);
+      B.storeElem(NKeys, Idx, KK);
+      Reg VV = B.loadElem(OVals, J);
+      B.storeElem(NVals, Idx, VV);
+      B.storeElem(NHashes, Idx, HH);
+      B.br(Skip);
+      B.setBlock(Skip);
+    });
+    B.storeField(0, this->StrMap, "keys", NKeys);
+    B.storeField(0, this->StrMap, "vals", NVals);
+    B.storeField(0, this->StrMap, "hashes", NHashes);
+    B.storeField(0, this->StrMap, "cap", NCap);
+    B.br(DoPut);
+
+    B.setBlock(DoPut);
+    Reg Keys = B.loadField(0, this->StrMap, "keys");
+    Reg Vals = B.loadField(0, this->StrMap, "vals");
+    Reg Hashes = B.loadField(0, this->StrMap, "hashes");
+    Reg Cap2 = B.loadField(0, this->StrMap, "cap");
+    B.callVoid("strmapRawPut", {Keys, Vals, Hashes, Cap2, 1, 2});
+    Reg NSize = B.add(Size, One);
+    B.storeField(0, this->StrMap, "msize", NSize);
+    B.ret();
+    B.endFunction();
+    StrMapPut = M.findFunction("StrMap.put");
+  }
+  {
+    B.beginMethod(this->StrMap, "get", 2); // (this, k) -> int
+    Reg Keys = B.loadField(0, this->StrMap, "keys");
+    Reg Vals = B.loadField(0, this->StrMap, "vals");
+    Reg Cap = B.loadField(0, this->StrMap, "cap");
+    Reg H = B.call(StrHash, {Reg(1)});
+    Reg Idx = B.bin(BinOp::Rem, H, Cap);
+    Reg Null = B.nullconst();
+    Reg One = B.iconst(1);
+    BasicBlock *Probe = B.newBlock();
+    BasicBlock *CheckKey = B.newBlock();
+    BasicBlock *Miss = B.newBlock();
+    BasicBlock *HitBB = B.newBlock();
+    BasicBlock *Bump = B.newBlock();
+    B.br(Probe);
+    B.setBlock(Probe);
+    Reg Key = B.loadElem(Keys, Idx);
+    B.condBr(CmpOp::Eq, Key, Null, Miss, CheckKey);
+    B.setBlock(CheckKey);
+    Reg Eq = B.call(StrEquals, {Key, Reg(1)});
+    B.condBr(CmpOp::Eq, Eq, One, HitBB, Bump);
+    B.setBlock(Bump);
+    Reg I2 = B.add(Idx, One);
+    Reg I3 = B.bin(BinOp::Rem, I2, Cap);
+    B.moveInto(Idx, I3);
+    B.br(Probe);
+    B.setBlock(Miss);
+    Reg Z = B.iconst(0);
+    B.ret(Z);
+    B.setBlock(HitBB);
+    Reg V = B.loadElem(Vals, Idx);
+    B.ret(V);
+    B.endFunction();
+    StrMapGet = M.findFunction("StrMap.get");
+  }
+}

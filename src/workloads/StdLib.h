@@ -1,0 +1,83 @@
+//===- workloads/StdLib.h - IR-level runtime library -----------*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small class library written in the interpreted IR: growable int/ref
+/// vectors, immutable strings with hashing/equality/concatenation, square
+/// float matrices, and a string-keyed open-addressing hash map. The DaCapo
+/// workload generators compose these the way the paper's Java programs use
+/// the JDK collections, so the profiler sees realistic layered data flow
+/// (method receivers extend object-sensitive contexts, collection
+/// internals produce reference trees of depth >= 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_WORKLOADS_STDLIB_H
+#define LUD_WORKLOADS_STDLIB_H
+
+#include "ir/IRBuilder.h"
+
+namespace lud {
+
+struct StdLibOptions {
+  /// Strings memoize their hash code and StrMap.rehash reuses stored
+  /// hashes instead of recomputing them — the eclipse case-study fix.
+  bool CachedStrHash = false;
+  /// Matrix.scale/transpose mutate in place instead of cloning per
+  /// operation — the sunflow case-study fix.
+  bool InPlaceMatrixOps = false;
+};
+
+/// Emits the library into a module and exposes handles. Construct exactly
+/// once per module, before user code that references the classes.
+class StdLib {
+public:
+  StdLib(Module &M, StdLibOptions Opts = {});
+
+  Module &M;
+  StdLibOptions Opts;
+
+  // class IntVec { arr: int[]; size: int }
+  ClassId IntVec;
+  FuncId IntVecInit;  // IntVec.init(this, cap)
+  FuncId IntVecAdd;   // IntVec.add(this, v)     (grows 2x when full)
+  FuncId IntVecGet;   // IntVec.get(this, i) -> int
+  FuncId IntVecSet;   // IntVec.set(this, i, v)
+  FuncId IntVecSize;  // IntVec.size(this) -> int
+
+  // class RefVec { arr: ref[]; size: int }
+  ClassId RefVec;
+  FuncId RefVecInit;
+  FuncId RefVecAdd;
+  FuncId RefVecGet;
+  FuncId RefVecSize;
+
+  // class Str { chars: int[]; len: int; hash: int }
+  ClassId Str;
+  FuncId StrMake;   // makeStr(n, seed) -> Str
+  FuncId StrHash;   // Str.hashCode(this) -> int
+  FuncId StrEquals; // Str.equals(this, o) -> 0/1
+  FuncId StrConcat; // Str.concat(this, o) -> Str
+
+  // class Matrix { cells: float[]; n: int }
+  ClassId Matrix;
+  FuncId MatrixMake;      // makeMatrix(n, seed) -> Matrix
+  FuncId MatrixClone;     // Matrix.clone(this) -> Matrix
+  FuncId MatrixScale;     // Matrix.scale(this, f) -> Matrix (clone or this)
+  FuncId MatrixTranspose; // Matrix.transpose(this) -> Matrix
+  FuncId MatrixSum;       // Matrix.sum(this) -> float
+
+  // class StrMap { keys: ref[]; vals: int[]; hashes: int[]; cap; size }
+  ClassId StrMap;
+  FuncId StrMapInit; // StrMap.init(this, cap)
+  FuncId StrMapPut;  // StrMap.put(this, k, v)    (rehashes at 50% load)
+  FuncId StrMapGet;  // StrMap.get(this, k) -> int (0 if absent)
+};
+
+} // namespace lud
+
+#endif // LUD_WORKLOADS_STDLIB_H

@@ -1,0 +1,53 @@
+//===- tests/TestUtil.h - Shared test helpers ------------------*- C++ -*-===//
+
+#ifndef LUD_TESTS_TESTUTIL_H
+#define LUD_TESTS_TESTUTIL_H
+
+#include "profiling/SlicingProfiler.h"
+#include "runtime/Interpreter.h"
+
+#include <vector>
+
+namespace lud {
+namespace test {
+
+/// Runs \p M under a SlicingProfiler and returns the profiler (plus the run
+/// result through \p ResOut when non-null).
+inline SlicingProfiler profileRun(const Module &M, SlicingConfig Cfg = {},
+                                  RunResult *ResOut = nullptr,
+                                  RunConfig RCfg = {}) {
+  SlicingProfiler P(Cfg);
+  RunResult R = runModule(M, P, RCfg);
+  if (ResOut)
+    *ResOut = R;
+  return P;
+}
+
+/// All graph nodes whose instruction is \p I.
+inline std::vector<NodeId> nodesFor(const DepGraph &G, InstrId I) {
+  std::vector<NodeId> Out;
+  for (NodeId N = 0; N != NodeId(G.numNodes()); ++N)
+    if (G.node(N).Instr == I)
+      Out.push_back(N);
+  return Out;
+}
+
+/// The unique node for instruction \p I; fails the test context if the
+/// instruction has zero or multiple nodes.
+inline NodeId soleNodeFor(const DepGraph &G, InstrId I) {
+  std::vector<NodeId> All = nodesFor(G, I);
+  return All.size() == 1 ? All[0] : kNoNode;
+}
+
+/// True if the graph has a def-use edge From -> To.
+inline bool hasEdge(const DepGraph &G, NodeId From, NodeId To) {
+  for (NodeId N : G.node(From).Out)
+    if (N == To)
+      return true;
+  return false;
+}
+
+} // namespace test
+} // namespace lud
+
+#endif // LUD_TESTS_TESTUTIL_H

@@ -1,0 +1,156 @@
+//===- tests/ir/ModuleTest.cpp - Module, classes, layouts ------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+using namespace lud;
+
+namespace {
+
+TEST(ModuleTest, ClassLayoutSingleClass) {
+  Module M;
+  ClassDecl *A = M.addClass("A");
+  A->addField("f", Type::makeInt());
+  A->addField("g", Type::makeFloat());
+  FieldSlot Slot;
+  ASSERT_TRUE(M.resolveField(A->getId(), "f", Slot));
+  EXPECT_EQ(Slot, 0u);
+  ASSERT_TRUE(M.resolveField(A->getId(), "g", Slot));
+  EXPECT_EQ(Slot, 1u);
+  EXPECT_FALSE(M.resolveField(A->getId(), "nope", Slot));
+}
+
+TEST(ModuleTest, ClassLayoutInheritance) {
+  Module M;
+  ClassDecl *A = M.addClass("A");
+  A->addField("f", Type::makeInt());
+  A->addField("g", Type::makeInt());
+  ClassDecl *B = M.addClass("B", A->getId());
+  B->addField("h", Type::makeInt());
+  FieldSlot Slot;
+  // Inherited fields resolve through the subclass at superclass slots.
+  ASSERT_TRUE(M.resolveField(B->getId(), "f", Slot));
+  EXPECT_EQ(Slot, 0u);
+  ASSERT_TRUE(M.resolveField(B->getId(), "h", Slot));
+  EXPECT_EQ(Slot, 2u);
+  M.finalize();
+  EXPECT_EQ(M.getClass(A->getId())->NumSlots, 2u);
+  EXPECT_EQ(M.getClass(B->getId())->NumSlots, 3u);
+}
+
+TEST(ModuleTest, FieldNamesRoundTrip) {
+  Module M;
+  ClassDecl *A = M.addClass("A");
+  A->addField("f", Type::makeInt());
+  ClassDecl *B = M.addClass("B", A->getId());
+  B->addField("h", Type::makeRef(A->getId()));
+  EXPECT_EQ(M.fieldName(B->getId(), 0), "f");
+  EXPECT_EQ(M.fieldName(B->getId(), 1), "h");
+  EXPECT_EQ(M.fieldName(B->getId(), kElemSlot), "ELM");
+  EXPECT_EQ(M.fieldName(B->getId(), kLenSlot), "length");
+}
+
+TEST(ModuleTest, UnqualifiedFieldResolution) {
+  Module M;
+  ClassDecl *A = M.addClass("A");
+  A->addField("unique", Type::makeInt());
+  A->addField("dup", Type::makeInt());
+  ClassDecl *B = M.addClass("B");
+  B->addField("dup", Type::makeInt());
+  ClassId C;
+  FieldSlot Slot;
+  EXPECT_TRUE(M.resolveFieldUnqualified("unique", C, Slot));
+  EXPECT_EQ(C, A->getId());
+  // Ambiguous across classes.
+  EXPECT_FALSE(M.resolveFieldUnqualified("dup", C, Slot));
+  EXPECT_FALSE(M.resolveFieldUnqualified("absent", C, Slot));
+}
+
+TEST(ModuleTest, VtableInheritanceAndOverride) {
+  Module M;
+  IRBuilder B(M);
+  ClassDecl *A = M.addClass("A");
+  ClassDecl *Sub = M.addClass("Sub", A->getId());
+
+  B.beginMethod(A->getId(), "m", 1);
+  B.ret(B.iconst(1));
+  B.endFunction();
+  FuncId AM = M.findFunction("A.m");
+
+  B.beginMethod(A->getId(), "n", 1);
+  B.ret(B.iconst(2));
+  B.endFunction();
+  FuncId AN = M.findFunction("A.n");
+
+  B.beginMethod(Sub->getId(), "m", 1);
+  B.ret(B.iconst(3));
+  B.endFunction();
+  FuncId SubM = M.findFunction("Sub.m");
+
+  B.beginFunction("main", 0);
+  B.ret();
+  B.endFunction();
+  M.finalize();
+
+  MethodNameId MName = M.findMethodName("m");
+  MethodNameId NName = M.findMethodName("n");
+  EXPECT_EQ(M.lookupMethod(A->getId(), MName), AM);
+  EXPECT_EQ(M.lookupMethod(Sub->getId(), MName), SubM); // override
+  EXPECT_EQ(M.lookupMethod(Sub->getId(), NName), AN);   // inherited
+  EXPECT_EQ(M.lookupMethod(A->getId(), M.internMethodName("zzz")), kNoFunc);
+}
+
+TEST(ModuleTest, InstructionNumberingIsDense) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Reg A = B.iconst(1);
+  Reg C = B.iconst(2);
+  B.add(A, C);
+  B.ret();
+  B.endFunction();
+  M.finalize();
+  ASSERT_EQ(M.getNumInstrs(), 4u);
+  for (InstrId I = 0; I != 4; ++I) {
+    EXPECT_EQ(M.getInstr(I)->getId(), I);
+    EXPECT_EQ(M.getInstrFunction(I)->getName(), "main");
+  }
+}
+
+TEST(ModuleTest, AllocSiteNumbering) {
+  Module M;
+  IRBuilder B(M);
+  M.addClass("A");
+  B.beginFunction("main", 0);
+  B.alloc(0);
+  Reg Len = B.iconst(4);
+  B.allocArray(TypeKind::Int, Len);
+  B.alloc(0);
+  B.ret();
+  B.endFunction();
+  M.finalize();
+  ASSERT_EQ(M.getNumAllocSites(), 3u);
+  EXPECT_TRUE(isa<AllocInst>(M.getAllocSite(0)));
+  EXPECT_TRUE(isa<AllocArrayInst>(M.getAllocSite(1)));
+  EXPECT_EQ(M.describeAllocSite(0), "new A @ main #0");
+  EXPECT_EQ(M.describeAllocSite(1), "new int[] @ main #1");
+}
+
+TEST(ModuleTest, EntryDefaultsToMain) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("helper", 0);
+  B.ret();
+  B.endFunction();
+  B.beginFunction("main", 0);
+  B.ret();
+  B.endFunction();
+  M.finalize();
+  EXPECT_EQ(M.getEntry(), M.findFunction("main"));
+  M.setEntry(M.findFunction("helper"));
+  EXPECT_EQ(M.getEntry(), M.findFunction("helper"));
+}
+
+} // namespace

@@ -1,0 +1,267 @@
+//===- tests/ir/ParserTest.cpp - Textual format round trips ----------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "runtime/Interpreter.h"
+#include "support/OutStream.h"
+
+#include <gtest/gtest.h>
+
+using namespace lud;
+
+namespace {
+
+std::unique_ptr<Module> parseOrDie(std::string_view Text) {
+  std::vector<std::string> Errors;
+  std::unique_ptr<Module> M = parseModule(Text, Errors);
+  for (const std::string &E : Errors)
+    ADD_FAILURE() << E;
+  return M;
+}
+
+int64_t runMain(const Module &M) {
+  NoopProfiler P;
+  RunResult R = runModule(M, P);
+  EXPECT_EQ(R.Status, RunStatus::Finished);
+  return R.ReturnValue.asInt();
+}
+
+TEST(ParserTest, MinimalProgram) {
+  auto M = parseOrDie(R"(
+func main() regs 3 {
+bb0:
+  r0 = iconst 40
+  r1 = iconst 2
+  r2 = add r0, r1
+  ret r2
+}
+)");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(runMain(*M), 42);
+}
+
+TEST(ParserTest, ClassesFieldsAndMethods) {
+  auto M = parseOrDie(R"(
+# A linked node summing its values.
+class Node {
+  val: int;
+  next: Node;
+}
+
+method Node.get(r0) regs 2 {
+bb0:
+  r1 = r0.Node::val
+  ret r1
+}
+
+func main() regs 8 {
+bb0:
+  r0 = new Node
+  r1 = new Node
+  r2 = iconst 5
+  r0.Node::val = r2
+  r3 = iconst 7
+  r1.val = r3          # unqualified: unique field name
+  r0.Node::next = r1
+  r4 = vcall get(r0)
+  r5 = r0.Node::next
+  r6 = vcall get(r5)
+  r7 = add r4, r6
+  ret r7
+}
+)");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(runMain(*M), 12);
+}
+
+TEST(ParserTest, ControlFlowLoops) {
+  auto M = parseOrDie(R"(
+func main() regs 4 {
+bb0:
+  r0 = iconst 0
+  r1 = iconst 0
+  r2 = iconst 10
+  r3 = iconst 1
+  goto bb1
+bb1:
+  if r1 < r2 goto bb2 else bb3
+bb2:
+  r0 = add r0, r1
+  r1 = add r1, r3
+  goto bb1
+bb3:
+  ret r0
+}
+)");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(runMain(*M), 45);
+}
+
+TEST(ParserTest, ArraysGlobalsNatives) {
+  auto M = parseOrDie(R"(
+global counter: int
+
+func main() regs 8 {
+bb0:
+  r0 = iconst 3
+  r1 = newarray int, r0
+  r2 = iconst 1
+  r3 = iconst 99
+  r1[r2] = r3
+  r4 = r1[r2]
+  r5 = len r1
+  @counter = r5
+  r6 = @counter
+  r7 = add r4, r6
+  ncall sink(r7)
+  ret r7
+}
+)");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(runMain(*M), 102);
+}
+
+TEST(ParserTest, FloatsAndUnaryOps) {
+  auto M = parseOrDie(R"(
+func main() regs 4 {
+bb0:
+  r0 = fconst 2.5
+  r1 = fbits r0
+  r2 = bitsf r1
+  r3 = f2i r2
+  ret r3
+}
+)");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(runMain(*M), 2);
+}
+
+TEST(ParserTest, InheritanceAndOverride) {
+  auto M = parseOrDie(R"(
+class Base { x: int; }
+class Derived extends Base { y: int; }
+
+method Base.id(r0) regs 1 {
+bb0:
+  r0 = iconst 1
+  ret r0
+}
+method Derived.id(r0) regs 1 {
+bb0:
+  r0 = iconst 2
+  ret r0
+}
+
+func main() regs 4 {
+bb0:
+  r0 = new Base
+  r1 = new Derived
+  r2 = vcall id(r0)
+  r3 = vcall id(r1)
+  r2 = add r2, r3
+  ret r2
+}
+)");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(runMain(*M), 3);
+}
+
+TEST(ParserTest, ForwardFunctionReferences) {
+  // Callee declared after the caller in the file.
+  auto M = parseOrDie(R"(
+func main() regs 2 {
+bb0:
+  r0 = iconst 20
+  r1 = call dbl(r0)
+  ret r1
+}
+func dbl(r0) regs 2 {
+bb0:
+  r1 = add r0, r0
+  ret r1
+}
+)");
+  ASSERT_TRUE(M);
+  EXPECT_EQ(runMain(*M), 40);
+}
+
+TEST(ParserTest, PrintParseRoundTrip) {
+  // Build a representative module programmatically, print it, parse the
+  // text, print again: the two texts must be identical and the programs
+  // behave identically.
+  Module M;
+  ClassDecl *A = M.addClass("A");
+  A->addField("f", Type::makeInt());
+  A->addField("r", Type::makeRef(A->getId()));
+  M.addGlobal("g", Type::makeFloat());
+  IRBuilder B(M);
+  B.beginMethod(A->getId(), "bump", 1);
+  Reg V = B.loadField(0, A->getId(), "f");
+  Reg One = B.iconst(1);
+  Reg S = B.add(V, One);
+  B.storeField(0, A->getId(), "f", S);
+  B.ret(S);
+  B.endFunction();
+  B.beginFunction("main", 0);
+  Reg O = B.alloc(A->getId());
+  Reg C = B.iconst(4);
+  B.storeField(O, A->getId(), "f", C);
+  Reg R1 = B.vcall("bump", {O});
+  Reg R2 = B.vcall("bump", {O});
+  Reg Sum = B.add(R1, R2);
+  B.ncallVoid("sink", {Sum});
+  B.ret(Sum);
+  B.endFunction();
+  M.finalize();
+
+  StringOutStream Text1;
+  printModule(M, Text1);
+  auto M2 = parseOrDie(Text1.str());
+  ASSERT_TRUE(M2);
+  StringOutStream Text2;
+  printModule(*M2, Text2);
+  EXPECT_EQ(Text1.str(), Text2.str());
+  EXPECT_EQ(runMain(M), runMain(*M2));
+}
+
+TEST(ParserTest, ErrorsAreReported) {
+  struct Case {
+    const char *Text;
+    const char *ExpectSubstr;
+  };
+  const Case Cases[] = {
+      {"func main() regs 1 {\nbb0:\n  r0 = bogus r0\n  ret\n}\n",
+       "unknown statement head"},
+      {"func main() regs 1 {\nbb0:\n  r0 = new Missing\n  ret\n}\n",
+       "unknown class"},
+      {"func main() regs 1 {\nbb0:\n  r0 = call nope()\n  ret\n}\n",
+       "unknown function"},
+      {"class B extends Missing { }\nfunc main() regs 1 {\nbb0:\n  ret\n}\n",
+       "not declared"},
+      {"func main() regs 1 {\nbb0:\n  r0 = @missing\n  ret\n}\n",
+       "unknown global"},
+      {"func main() regs 1 {\n  r0 = iconst 1\n}\n",
+       "statement before first block label"},
+  };
+  for (const Case &C : Cases) {
+    std::vector<std::string> Errors;
+    std::unique_ptr<Module> M = parseModule(C.Text, Errors);
+    EXPECT_EQ(M, nullptr) << C.Text;
+    ASSERT_FALSE(Errors.empty()) << C.Text;
+    EXPECT_NE(Errors[0].find(C.ExpectSubstr), std::string::npos)
+        << "got: " << Errors[0];
+  }
+}
+
+TEST(ParserTest, VerifierRejectsBadRegisters) {
+  std::vector<std::string> Errors;
+  std::unique_ptr<Module> M = parseModule(
+      "func main() regs 1 {\nbb0:\n  r0 = add r5, r6\n  ret\n}\n", Errors);
+  EXPECT_EQ(M, nullptr);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("out of range"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,384 @@
+//===- tests/profiling/ClientProfilersTest.cpp - Figure 2's clients --------===//
+
+#include "../TestUtil.h"
+
+#include "ir/IRBuilder.h"
+#include "profiling/CopyProfiler.h"
+#include "profiling/NullnessProfiler.h"
+#include "profiling/TypestateProfiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace lud;
+using namespace lud::test;
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// Figure 2(a): null-value propagation.
+//===----------------------------------------------------------------------===
+
+TEST(NullnessProfilerTest, TracesNullOriginAndFlow) {
+  Module M;
+  ClassDecl *A = M.addClass("A");
+  A->addField("g", Type::makeRef());
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Reg O = B.alloc(A->getId());
+  Reg N = B.nullconst();
+  Instruction *NullConst = B.block()->insts().back().get();
+  B.storeField(O, A->getId(), "g", N);
+  Reg X = B.loadField(O, A->getId(), "g");
+  Reg Y = B.move(X);
+  Instruction *Copy = B.block()->insts().back().get();
+  Reg V = B.loadField(Y, A->getId(), "g"); // NPE here.
+  Instruction *Deref = B.block()->insts().back().get();
+  B.ret(V);
+  B.endFunction();
+  M.finalize();
+
+  NullnessProfiler P;
+  RunResult R = runModule(M, P);
+  ASSERT_EQ(R.Status, RunStatus::Trapped);
+  ASSERT_EQ(R.Trap, TrapKind::NullDeref);
+  EXPECT_EQ(R.TrapInstr, Deref->getId());
+
+  NullTrace T = traceNullOrigin(P);
+  ASSERT_TRUE(T.found());
+  EXPECT_EQ(T.Origin, NullConst->getId());
+  // The flow ends at the copy whose value was dereferenced and passes
+  // through the heap store/load hops.
+  ASSERT_GE(T.Flow.size(), 4u);
+  EXPECT_EQ(T.Flow.front(), NullConst->getId());
+  EXPECT_EQ(T.Flow.back(), Copy->getId());
+}
+
+TEST(NullnessProfilerTest, NoTrapMeansNoTrace) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Reg C = B.iconst(1);
+  B.ret(C);
+  B.endFunction();
+  M.finalize();
+  NullnessProfiler P;
+  RunResult R = runModule(M, P);
+  EXPECT_EQ(R.Status, RunStatus::Finished);
+  EXPECT_FALSE(traceNullOrigin(P).found());
+}
+
+TEST(NullnessProfilerTest, DomainSplitsNullAndNotNull) {
+  // The same load instruction observes null and non-null values across a
+  // loop: it gets two abstract nodes, one per domain element.
+  Module M;
+  ClassDecl *A = M.addClass("A");
+  A->addField("g", Type::makeRef());
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Reg O = B.alloc(A->getId());
+  Reg NullR = B.nullconst();
+  B.storeField(O, A->getId(), "g", NullR);
+  // Loop twice: the load sees null on the first trip, the object on the
+  // second.
+  Reg I = B.iconst(0);
+  Reg Two = B.iconst(2);
+  Reg One = B.iconst(1);
+  BasicBlock *H = B.newBlock();
+  BasicBlock *Body = B.newBlock();
+  BasicBlock *Exit = B.newBlock();
+  B.br(H);
+  B.setBlock(H);
+  B.condBr(CmpOp::Lt, I, Two, Body, Exit);
+  B.setBlock(Body);
+  Reg X = B.loadField(O, A->getId(), "g");
+  Instruction *Load = B.block()->insts().back().get();
+  (void)X;
+  B.storeField(O, A->getId(), "g", O);
+  B.binInto(I, BinOp::Add, I, One);
+  B.br(H);
+  B.setBlock(Exit);
+  B.ret();
+  B.endFunction();
+  M.finalize();
+
+  NullnessProfiler P;
+  RunResult R = runModule(M, P);
+  ASSERT_EQ(R.Status, RunStatus::Finished);
+  // One static instruction, two abstract nodes: one per domain element.
+  NodeId NullNode = P.graph().lookup(Load->getId(), kNullDom);
+  NodeId NotNullNode = P.graph().lookup(Load->getId(), kNotNullDom);
+  ASSERT_NE(NullNode, kNoNode);
+  ASSERT_NE(NotNullNode, kNoNode);
+  EXPECT_EQ(P.graph().node(NullNode).Freq, 1u);
+  EXPECT_EQ(P.graph().node(NotNullNode).Freq, 1u);
+}
+
+//===----------------------------------------------------------------------===
+// Figure 2(b): typestate history.
+//===----------------------------------------------------------------------===
+
+/// Builds the File protocol module: create/put/close/get on a File object,
+/// with `get` called after `close` (the Figure 2(b) violation).
+struct FileProgram {
+  std::unique_ptr<Module> M;
+  ClassId File;
+  AllocSiteId Site;
+  MethodNameId Create, Put, Close, Get;
+};
+
+FileProgram buildFileProgram(bool Violate) {
+  FileProgram Out;
+  Out.M = std::make_unique<Module>();
+  Module &M = *Out.M;
+  ClassDecl *File = M.addClass("File");
+  File->addField("pos", Type::makeInt());
+  Out.File = File->getId();
+  IRBuilder B(M);
+
+  for (const char *Name : {"create", "put", "close", "get"}) {
+    B.beginMethod(Out.File, Name, 1);
+    Reg Pos = B.loadField(0, Out.File, "pos");
+    Reg One = B.iconst(1);
+    Reg NP = B.add(Pos, One);
+    B.storeField(0, Out.File, "pos", NP);
+    B.ret(NP);
+    B.endFunction();
+  }
+  Out.Create = M.findMethodName("create");
+  Out.Put = M.findMethodName("put");
+  Out.Close = M.findMethodName("close");
+  Out.Get = M.findMethodName("get");
+
+  B.beginFunction("main", 0);
+  Reg F = B.alloc(Out.File);
+  Instruction *Alloc = B.block()->insts().back().get();
+  B.vcallVoid("create", {F});
+  B.vcallVoid("put", {F});
+  B.vcallVoid("put", {F});
+  if (!Violate) {
+    Reg Ch = B.vcall("get", {F});
+    B.ncallVoid("sink", {Ch});
+  }
+  B.vcallVoid("close", {F});
+  if (Violate) {
+    Reg Ch = B.vcall("get", {F}); // Read after close: violation.
+    B.ncallVoid("sink", {Ch});
+  }
+  B.ret();
+  B.endFunction();
+  M.finalize();
+  Out.Site = cast<AllocInst>(Alloc)->Site;
+  return Out;
+}
+
+TypestateSpec fileSpec(const FileProgram &P) {
+  // States: 0 = uninitialized, 1 = open-empty, 2 = open-nonempty,
+  // 3 = closed.
+  TypestateSpec Spec;
+  Spec.TrackedClasses = {P.File};
+  Spec.NumStates = 4;
+  Spec.InitialState = 0;
+  Spec.addTransition(0, P.Create, 1);
+  Spec.addTransition(1, P.Put, 2);
+  Spec.addTransition(2, P.Put, 2);
+  Spec.addTransition(2, P.Get, 2);
+  Spec.addTransition(1, P.Close, 3);
+  Spec.addTransition(2, P.Close, 3);
+  return Spec;
+}
+
+TEST(TypestateProfilerTest, DetectsReadAfterClose) {
+  FileProgram Prog = buildFileProgram(/*Violate=*/true);
+  TypestateProfiler P(fileSpec(Prog));
+  RunResult R = runModule(*Prog.M, P);
+  ASSERT_EQ(R.Status, RunStatus::Finished);
+  ASSERT_EQ(P.violations().size(), 1u);
+  const TypestateViolation &V = P.violations()[0];
+  EXPECT_EQ(V.Site, Prog.Site);
+  EXPECT_EQ(V.StateBefore, 3u); // closed
+  EXPECT_EQ(V.Method, Prog.Get);
+}
+
+TEST(TypestateProfilerTest, CleanRunHasNoViolations) {
+  FileProgram Prog = buildFileProgram(/*Violate=*/false);
+  TypestateProfiler P(fileSpec(Prog));
+  RunResult R = runModule(*Prog.M, P);
+  ASSERT_EQ(R.Status, RunStatus::Finished);
+  EXPECT_TRUE(P.violations().empty());
+}
+
+TEST(TypestateProfilerTest, HistoryRecordsNextEventEdges) {
+  FileProgram Prog = buildFileProgram(/*Violate=*/true);
+  TypestateProfiler P(fileSpec(Prog));
+  runModule(*Prog.M, P);
+  // create -> put -> put(merged) -> close -> get: at least 3 distinct
+  // next-event edges after merging.
+  EXPECT_GE(P.eventEdges().size(), 3u);
+  std::string History = P.describeHistory(*Prog.M);
+  // Edges are labeled with the *target* event's method; the first event
+  // (create) appears as a source node in state 0.
+  EXPECT_NE(History.find("-put->"), std::string::npos);
+  EXPECT_NE(History.find("-close->"), std::string::npos);
+  EXPECT_NE(History.find("-get->"), std::string::npos);
+  EXPECT_NE(History.find(":s3"), std::string::npos); // the closed state
+}
+
+TEST(TypestateProfilerTest, EventsMergeAcrossInstances) {
+  // Many objects from one site traverse the protocol: the abstract graph
+  // stays the same size as for a single object (bounded domain).
+  Module M;
+  ClassDecl *File = M.addClass("File");
+  File->addField("pos", Type::makeInt());
+  IRBuilder B(M);
+  for (const char *Name : {"create", "close"}) {
+    B.beginMethod(File->getId(), Name, 1);
+    B.ret();
+    B.endFunction();
+  }
+  B.beginFunction("main", 0);
+  Reg I = B.iconst(0);
+  Reg N = B.iconst(50);
+  Reg One = B.iconst(1);
+  BasicBlock *H = B.newBlock();
+  BasicBlock *Body = B.newBlock();
+  BasicBlock *Exit = B.newBlock();
+  B.br(H);
+  B.setBlock(H);
+  B.condBr(CmpOp::Lt, I, N, Body, Exit);
+  B.setBlock(Body);
+  Reg F = B.alloc(File->getId());
+  B.vcallVoid("create", {F});
+  B.vcallVoid("close", {F});
+  B.binInto(I, BinOp::Add, I, One);
+  B.br(H);
+  B.setBlock(Exit);
+  B.ret();
+  B.endFunction();
+  M.finalize();
+
+  TypestateSpec Spec;
+  Spec.TrackedClasses = {File->getId()};
+  Spec.NumStates = 3;
+  Spec.addTransition(0, M.findMethodName("create"), 1);
+  Spec.addTransition(1, M.findMethodName("close"), 2);
+  TypestateProfiler P(Spec);
+  runModule(M, P);
+  EXPECT_TRUE(P.violations().empty());
+  // Two abstract event nodes (create@s0, close@s1) despite 50 objects.
+  EXPECT_EQ(P.graph().numNodes(), 2u);
+  EXPECT_EQ(P.graph().node(0).Freq + P.graph().node(1).Freq, 100u);
+}
+
+//===----------------------------------------------------------------------===
+// Figure 2(c): extended copy profiling.
+//===----------------------------------------------------------------------===
+
+TEST(CopyProfilerTest, RecordsChainWithStackHops) {
+  Module M;
+  ClassDecl *A = M.addClass("A");
+  A->addField("f", Type::makeInt());
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Reg O1 = B.alloc(A->getId());
+  Instruction *Alloc1 = B.block()->insts().back().get();
+  Reg O3 = B.alloc(A->getId());
+  Instruction *Alloc3 = B.block()->insts().back().get();
+  Reg C = B.iconst(7);
+  B.storeField(O1, A->getId(), "f", C);
+  Reg Bv = B.loadField(O1, A->getId(), "f");
+  Instruction *Load = B.block()->insts().back().get();
+  Reg C2 = B.move(Bv);
+  Instruction *Copy = B.block()->insts().back().get();
+  B.storeField(O3, A->getId(), "f", C2);
+  Instruction *Store = B.block()->insts().back().get();
+  B.ret();
+  B.endFunction();
+  M.finalize();
+
+  CopyProfiler P;
+  RunResult R = runModule(M, P);
+  ASSERT_EQ(R.Status, RunStatus::Finished);
+
+  AllocSiteId S1 = cast<AllocInst>(Alloc1)->Site;
+  AllocSiteId S3 = cast<AllocInst>(Alloc3)->Site;
+  FieldSlot Slot;
+  ASSERT_TRUE(M.resolveField(A->getId(), "f", Slot));
+
+  ASSERT_EQ(P.chains().size(), 1u);
+  const CopyProfiler::CopyChain &Chain = P.chains()[0];
+  EXPECT_EQ(Chain.From.Tag, S1);
+  EXPECT_EQ(Chain.From.Slot, Slot);
+  EXPECT_EQ(Chain.To.Tag, S3);
+  EXPECT_EQ(Chain.To.Slot, Slot);
+  EXPECT_EQ(Chain.Count, 1u);
+
+  // The intermediate stack hops: store <- copy <- load.
+  std::vector<InstrId> Hops = P.stackHops(Chain);
+  ASSERT_EQ(Hops.size(), 3u);
+  EXPECT_EQ(Hops[0], Store->getId());
+  EXPECT_EQ(Hops[1], Copy->getId());
+  EXPECT_EQ(Hops[2], Load->getId());
+}
+
+TEST(CopyProfilerTest, ComputationBreaksChains) {
+  Module M;
+  ClassDecl *A = M.addClass("A");
+  A->addField("f", Type::makeInt());
+  A->addField("g", Type::makeInt());
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Reg O = B.alloc(A->getId());
+  Reg C = B.iconst(7);
+  B.storeField(O, A->getId(), "f", C);
+  Reg L = B.loadField(O, A->getId(), "f");
+  Reg One = B.iconst(1);
+  Reg Sum = B.add(L, One); // Computation: no longer a copy.
+  B.storeField(O, A->getId(), "g", Sum);
+  B.ret();
+  B.endFunction();
+  M.finalize();
+
+  CopyProfiler P;
+  runModule(M, P);
+  EXPECT_TRUE(P.chains().empty());
+}
+
+TEST(CopyProfilerTest, CountsAccumulateAcrossIterations) {
+  // A loop copying elements between two arrays: one abstract chain with
+  // the iteration count.
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Reg N = B.iconst(40);
+  Reg Src = B.allocArray(TypeKind::Int, N);
+  Instruction *SrcAlloc = B.block()->insts().back().get();
+  Reg Dst = B.allocArray(TypeKind::Int, N);
+  Instruction *DstAlloc = B.block()->insts().back().get();
+  Reg I = B.iconst(0);
+  Reg One = B.iconst(1);
+  BasicBlock *H = B.newBlock();
+  BasicBlock *Body = B.newBlock();
+  BasicBlock *Exit = B.newBlock();
+  B.br(H);
+  B.setBlock(H);
+  B.condBr(CmpOp::Lt, I, N, Body, Exit);
+  B.setBlock(Body);
+  Reg V = B.loadElem(Src, I);
+  B.storeElem(Dst, I, V);
+  B.binInto(I, BinOp::Add, I, One);
+  B.br(H);
+  B.setBlock(Exit);
+  B.ret();
+  B.endFunction();
+  M.finalize();
+
+  CopyProfiler P;
+  runModule(M, P);
+  ASSERT_EQ(P.chains().size(), 1u);
+  EXPECT_EQ(P.chains()[0].Count, 40u);
+  EXPECT_EQ(P.chains()[0].From.Tag, cast<AllocArrayInst>(SrcAlloc)->Site);
+  EXPECT_EQ(P.chains()[0].To.Tag, cast<AllocArrayInst>(DstAlloc)->Site);
+  EXPECT_EQ(P.chains()[0].From.Slot, kElemSlot);
+}
+
+} // namespace

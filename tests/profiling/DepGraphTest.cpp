@@ -1,0 +1,183 @@
+//===- tests/profiling/DepGraphTest.cpp - Graph container + contexts -------===//
+
+#include "profiling/Context.h"
+#include "profiling/DepGraph.h"
+
+#include <gtest/gtest.h>
+
+using namespace lud;
+
+namespace {
+
+TEST(DepGraphTest, GetOrCreateIsIdempotent) {
+  DepGraph G;
+  NodeId A = G.getOrCreate(7, 3);
+  NodeId B = G.getOrCreate(7, 3);
+  NodeId C = G.getOrCreate(7, 4);
+  NodeId D = G.getOrCreate(8, 3);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_NE(A, D);
+  EXPECT_NE(C, D);
+  EXPECT_EQ(G.numNodes(), 3u);
+  EXPECT_EQ(G.lookup(7, 3), A);
+  EXPECT_EQ(G.lookup(7, 99), kNoNode);
+}
+
+TEST(DepGraphTest, DomainSentinelsWork) {
+  DepGraph G;
+  NodeId P = G.getOrCreate(5, kNoDomain);
+  EXPECT_EQ(G.lookup(5, kNoDomain), P);
+  EXPECT_EQ(G.node(P).Domain, kNoDomain);
+}
+
+TEST(DepGraphTest, EdgesAreDeduplicated) {
+  DepGraph G;
+  NodeId A = G.getOrCreate(1, 0);
+  NodeId B = G.getOrCreate(2, 0);
+  G.addEdge(A, B);
+  G.addEdge(A, B);
+  G.addEdge(A, B);
+  EXPECT_EQ(G.numEdges(), 1u);
+  ASSERT_EQ(G.node(A).Out.size(), 1u);
+  ASSERT_EQ(G.node(B).In.size(), 1u);
+  // Self-edges are dropped (loop-carried dependences collapse).
+  G.addEdge(A, A);
+  EXPECT_EQ(G.numEdges(), 1u);
+  // Reverse direction is a distinct edge.
+  G.addEdge(B, A);
+  EXPECT_EQ(G.numEdges(), 2u);
+}
+
+TEST(DepGraphTest, RefEdgesSeparateFromDataEdges) {
+  DepGraph G;
+  NodeId S = G.getOrCreate(1, 0);
+  NodeId A = G.getOrCreate(2, 0);
+  G.addRefEdge(S, A);
+  G.addRefEdge(S, A);
+  EXPECT_EQ(G.numRefEdges(), 1u);
+  EXPECT_EQ(G.numEdges(), 0u);
+  EXPECT_TRUE(G.node(S).Out.empty());
+}
+
+TEST(DepGraphTest, LocationMapsDeduplicate) {
+  DepGraph G;
+  NodeId W = G.getOrCreate(1, 0);
+  HeapLoc L{42, 3};
+  G.noteWriter(L, W);
+  G.noteWriter(L, W);
+  ASSERT_EQ(G.writers().count(L), 1u);
+  EXPECT_EQ(G.writers().at(L).size(), 1u);
+  G.noteRefChild(L, 99);
+  G.noteRefChild(L, 99);
+  EXPECT_EQ(G.refChildren().at(L).size(), 1u);
+}
+
+TEST(DepGraphTest, TagCodecRoundTrips) {
+  DepGraph G;
+  G.setContextSlots(16);
+  for (AllocSiteId Site : {0u, 1u, 17u, 9999u}) {
+    for (uint32_t Slot : {0u, 7u, 15u}) {
+      uint64_t Tag = G.makeTag(Site, Slot);
+      EXPECT_EQ(G.tagSite(Tag), Site);
+      EXPECT_EQ(G.tagSlot(Tag), Slot);
+      EXPECT_FALSE(DepGraph::isStaticTag(Tag));
+    }
+  }
+  uint64_t S = DepGraph::makeStaticTag(5);
+  EXPECT_TRUE(DepGraph::isStaticTag(S));
+}
+
+TEST(DepGraphTest, MemoryFootprintGrowsWithContent) {
+  DepGraph G;
+  size_t Empty = G.memoryFootprint().total();
+  for (InstrId I = 0; I != 100; ++I)
+    G.getOrCreate(I, 0);
+  for (NodeId N = 1; N != 100; ++N)
+    G.addEdge(N - 1, N);
+  size_t Full = G.memoryFootprint().total();
+  EXPECT_GT(Full, Empty);
+  DepGraph::MemoryFootprint F = G.memoryFootprint();
+  EXPECT_EQ(F.total(), F.NodeBytes + F.EdgeBytes + F.LocMapBytes);
+  EXPECT_GT(F.NodeBytes, 0u);
+  EXPECT_GT(F.EdgeBytes, 0u);
+}
+
+TEST(ContextEncoderTest, ChainsEncodeIncrementally) {
+  ContextEncoder C(16);
+  C.reset();
+  EXPECT_EQ(C.current(), 0u);
+  EXPECT_EQ(C.depth(), 1u);
+  C.pushCall(/*ExtendsChain=*/true, /*ReceiverSite=*/4);
+  // g = 3*0 + (4+1) = 5.
+  EXPECT_EQ(C.current(), 5u);
+  C.pushCall(true, 2);
+  // g = 3*5 + 3 = 18.
+  EXPECT_EQ(C.current(), 18u);
+  EXPECT_EQ(C.slot(), 18u % 16);
+  C.popCall();
+  EXPECT_EQ(C.current(), 5u);
+  C.popCall();
+  EXPECT_EQ(C.current(), 0u);
+}
+
+TEST(ContextEncoderTest, StaticCallsKeepChain) {
+  ContextEncoder C(8);
+  C.reset();
+  C.pushCall(true, 1);
+  uint64_t G1 = C.current();
+  C.pushCall(/*ExtendsChain=*/false, 7);
+  EXPECT_EQ(C.current(), G1);
+  C.popCall();
+  EXPECT_EQ(C.current(), G1);
+}
+
+TEST(ContextEncoderTest, EncodingIsProbabilistic) {
+  // The Bond-McKinley recurrence g = 3g + o is *probabilistically* unique:
+  // dense small site ids do collide (3a + b = 3a' + b'), which is exactly
+  // what the CR metric measures. Check that a healthy majority of two-deep
+  // chains stay distinct, and that every chain value is deterministic.
+  ContextEncoder C(1 << 16);
+  C.reset();
+  std::vector<uint64_t> Values;
+  for (AllocSiteId A = 0; A != 8; ++A) {
+    C.pushCall(true, A);
+    for (AllocSiteId B = 0; B != 8; ++B) {
+      C.pushCall(true, B);
+      Values.push_back(C.current());
+      C.popCall();
+    }
+    C.popCall();
+  }
+  std::vector<uint64_t> Sorted = Values;
+  std::sort(Sorted.begin(), Sorted.end());
+  size_t Distinct =
+      std::unique(Sorted.begin(), Sorted.end()) - Sorted.begin();
+  // 3a + b over a,b in [0,8) yields 29 distinct values of 64 chains.
+  EXPECT_GE(Distinct, 25u);
+  // Determinism: re-encoding yields the same sequence.
+  ContextEncoder C2(1 << 16);
+  C2.reset();
+  size_t Idx = 0;
+  for (AllocSiteId A = 0; A != 8; ++A) {
+    C2.pushCall(true, A);
+    for (AllocSiteId B = 0; B != 8; ++B) {
+      C2.pushCall(true, B);
+      EXPECT_EQ(C2.current(), Values[Idx++]);
+      C2.popCall();
+    }
+    C2.popCall();
+  }
+}
+
+TEST(ContextEncoderTest, SiteZeroDistinctFromEmptyChain) {
+  // The +1 offset keeps chain [site 0] distinguishable from the empty
+  // chain.
+  ContextEncoder C(8);
+  C.reset();
+  uint64_t Empty = C.current();
+  C.pushCall(true, 0);
+  EXPECT_NE(C.current(), Empty);
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+//===- tests/profiling/GraphIOTest.cpp - Gcost serialization ---------------===//
+
+#include "../TestUtil.h"
+
+#include "analysis/CostModel.h"
+#include "analysis/DeadValues.h"
+#include "analysis/Report.h"
+#include "ir/IRBuilder.h"
+#include "profiling/GraphIO.h"
+#include "support/OutStream.h"
+#include "workloads/DaCapo.h"
+#include "workloads/Driver.h"
+
+#include <gtest/gtest.h>
+
+using namespace lud;
+using namespace lud::test;
+
+namespace {
+
+std::unique_ptr<DepGraph> roundTrip(const DepGraph &G) {
+  StringOutStream OS;
+  writeGraph(G, OS);
+  std::vector<std::string> Errors;
+  std::unique_ptr<DepGraph> G2 = readGraph(OS.str(), Errors);
+  for (const std::string &E : Errors)
+    ADD_FAILURE() << E;
+  return G2;
+}
+
+TEST(GraphIOTest, RoundTripPreservesStructure) {
+  Workload W = buildWorkload("eclipse", 64);
+  ProfiledRun P = runProfiled(*W.M);
+  const DepGraph &G = P.Prof->graph();
+  std::unique_ptr<DepGraph> G2 = roundTrip(G);
+  ASSERT_TRUE(G2);
+
+  ASSERT_EQ(G2->numNodes(), G.numNodes());
+  EXPECT_EQ(G2->numEdges(), G.numEdges());
+  EXPECT_EQ(G2->numRefEdges(), G.numRefEdges());
+  EXPECT_EQ(G2->contextSlots(), G.contextSlots());
+  EXPECT_EQ(G2->totalFreq(), G.totalFreq());
+  EXPECT_EQ(G2->writers().size(), G.writers().size());
+  EXPECT_EQ(G2->readers().size(), G.readers().size());
+  EXPECT_EQ(G2->refChildren().size(), G.refChildren().size());
+  EXPECT_EQ(G2->allocNodes().size(), G.allocNodes().size());
+  for (NodeId N = 0; N != NodeId(G.numNodes()); ++N) {
+    const DepGraph::Node &A = G.node(N);
+    const DepGraph::Node &B = G2->node(N);
+    ASSERT_EQ(A.Instr, B.Instr);
+    ASSERT_EQ(A.Domain, B.Domain);
+    ASSERT_EQ(A.Freq, B.Freq);
+    ASSERT_EQ(A.Consumer, B.Consumer);
+    ASSERT_EQ(A.ReadsHeap, B.ReadsHeap);
+    ASSERT_EQ(A.WritesHeap, B.WritesHeap);
+    ASSERT_EQ(A.In.size(), B.In.size());
+    ASSERT_EQ(A.Out.size(), B.Out.size());
+  }
+}
+
+TEST(GraphIOTest, OfflineAnalysesMatchOnline) {
+  // The Section 3.2 workflow: serialize Gcost, reload it "offline", and
+  // get identical analysis results.
+  Workload W = buildWorkload("chart", 100);
+  ProfiledRun P = runProfiled(*W.M);
+  std::unique_ptr<DepGraph> G2 = roundTrip(P.Prof->graph());
+  ASSERT_TRUE(G2);
+
+  CostModel OnCM(P.Prof->graph());
+  CostModel OffCM(*G2);
+  LowUtilityReport OnReport(OnCM, *W.M);
+  LowUtilityReport OffReport(OffCM, *W.M);
+  ASSERT_EQ(OnReport.sites().size(), OffReport.sites().size());
+  for (size_t I = 0; I != OnReport.sites().size(); ++I) {
+    EXPECT_EQ(OnReport.sites()[I].Site, OffReport.sites()[I].Site);
+    EXPECT_DOUBLE_EQ(OnReport.sites()[I].NRac, OffReport.sites()[I].NRac);
+    EXPECT_DOUBLE_EQ(OnReport.sites()[I].NRab, OffReport.sites()[I].NRab);
+  }
+
+  BloatMetrics On =
+      computeDeadValues(P.Prof->graph(), P.Run.ExecutedInstrs).Metrics;
+  BloatMetrics Off = computeDeadValues(*G2, P.Run.ExecutedInstrs).Metrics;
+  EXPECT_EQ(On.DeadFreq, Off.DeadFreq);
+  EXPECT_EQ(On.PredOnlyFreq, Off.PredOnlyFreq);
+  EXPECT_EQ(On.DeadNodes, Off.DeadNodes);
+}
+
+TEST(GraphIOTest, RejectsMalformedInput) {
+  struct Case {
+    const char *Text;
+    const char *Expect;
+  };
+  const Case Cases[] = {
+      {"", "header"},
+      {"ludgraph 2\nend\n", "header"},
+      {"ludgraph 1\nnode 0 0\nend\n", "malformed node"},
+      {"ludgraph 1\nedge 0 1\nend\n", "malformed edge"},
+      {"ludgraph 1\nbogus\nend\n", "unknown record"},
+      {"ludgraph 1\nslots 4\n", "missing 'end'"},
+  };
+  for (const Case &C : Cases) {
+    std::vector<std::string> Errors;
+    std::unique_ptr<DepGraph> G = readGraph(C.Text, Errors);
+    EXPECT_EQ(G, nullptr) << C.Text;
+    ASSERT_FALSE(Errors.empty()) << C.Text;
+    EXPECT_NE(Errors[0].find(C.Expect), std::string::npos)
+        << "got: " << Errors[0];
+  }
+}
+
+TEST(GraphIOTest, EmptyGraphRoundTrips) {
+  DepGraph G;
+  G.setContextSlots(8);
+  std::unique_ptr<DepGraph> G2 = roundTrip(G);
+  ASSERT_TRUE(G2);
+  EXPECT_EQ(G2->numNodes(), 0u);
+  EXPECT_EQ(G2->contextSlots(), 8u);
+}
+
+} // namespace

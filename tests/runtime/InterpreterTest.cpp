@@ -1,0 +1,372 @@
+//===- tests/runtime/InterpreterTest.cpp - Execution semantics -------------===//
+
+#include "runtime/Interpreter.h"
+
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace lud;
+
+namespace {
+
+/// Runs the module with a NoopProfiler and returns the result.
+RunResult exec(const Module &M, RunConfig Cfg = {}) {
+  NoopProfiler P;
+  return runModule(M, P, Cfg);
+}
+
+TEST(InterpreterTest, ArithmeticAndReturn) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Reg A = B.iconst(40);
+  Reg C = B.iconst(2);
+  Reg S = B.add(A, C);
+  B.ret(S);
+  B.endFunction();
+  M.finalize();
+  RunResult R = exec(M);
+  EXPECT_EQ(R.Status, RunStatus::Finished);
+  EXPECT_EQ(R.ReturnValue.asInt(), 42);
+  EXPECT_EQ(R.ExecutedInstrs, 4u);
+}
+
+TEST(InterpreterTest, FloatPromotion) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Reg A = B.iconst(3);
+  Reg C = B.fconst(0.5);
+  Reg S = B.mul(A, C);
+  B.ret(S);
+  B.endFunction();
+  M.finalize();
+  RunResult R = exec(M);
+  EXPECT_EQ(R.ReturnValue.Kind, ValueKind::Float);
+  EXPECT_DOUBLE_EQ(R.ReturnValue.F, 1.5);
+}
+
+TEST(InterpreterTest, FloatBitsRoundTrip) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Reg F = B.fconst(3.25);
+  Reg Bits = B.un(UnOp::FBits, F);
+  Reg Back = B.un(UnOp::BitsF, Bits);
+  B.ret(Back);
+  B.endFunction();
+  M.finalize();
+  RunResult R = exec(M);
+  EXPECT_EQ(R.ReturnValue.Kind, ValueKind::Float);
+  EXPECT_DOUBLE_EQ(R.ReturnValue.F, 3.25);
+}
+
+TEST(InterpreterTest, LoopComputesSum) {
+  // sum = 0; for (i = 0; i < 10; i++) sum += i;  => 45
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Reg Sum = B.iconst(0);
+  Reg I = B.iconst(0);
+  Reg Ten = B.iconst(10);
+  Reg One = B.iconst(1);
+  BasicBlock *Header = B.newBlock();
+  BasicBlock *Body = B.newBlock();
+  BasicBlock *Exit = B.newBlock();
+  B.br(Header);
+  B.setBlock(Header);
+  B.condBr(CmpOp::Lt, I, Ten, Body, Exit);
+  B.setBlock(Body);
+  B.binInto(Sum, BinOp::Add, Sum, I);
+  B.binInto(I, BinOp::Add, I, One);
+  B.br(Header);
+  B.setBlock(Exit);
+  B.ret(Sum);
+  B.endFunction();
+  M.finalize();
+  RunResult R = exec(M);
+  EXPECT_EQ(R.Status, RunStatus::Finished);
+  EXPECT_EQ(R.ReturnValue.asInt(), 45);
+}
+
+TEST(InterpreterTest, FieldsAndObjects) {
+  Module M;
+  ClassDecl *A = M.addClass("A");
+  A->addField("f", Type::makeInt());
+  A->addField("next", Type::makeRef(A->getId()));
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Reg O1 = B.alloc(A->getId());
+  Reg O2 = B.alloc(A->getId());
+  Reg V = B.iconst(7);
+  B.storeField(O1, A->getId(), "f", V);
+  B.storeField(O1, A->getId(), "next", O2);
+  Reg N = B.loadField(O1, A->getId(), "next");
+  Reg W = B.loadField(O1, A->getId(), "f");
+  B.storeField(N, A->getId(), "f", W);
+  Reg Out = B.loadField(O2, A->getId(), "f");
+  B.ret(Out);
+  B.endFunction();
+  M.finalize();
+  RunResult R = exec(M);
+  EXPECT_EQ(R.ReturnValue.asInt(), 7);
+  EXPECT_EQ(R.ObjectsAllocated, 2u);
+}
+
+TEST(InterpreterTest, ArraysAndLength) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Reg Len = B.iconst(5);
+  Reg Arr = B.allocArray(TypeKind::Int, Len);
+  Reg Idx = B.iconst(3);
+  Reg V = B.iconst(99);
+  B.storeElem(Arr, Idx, V);
+  Reg L = B.arrayLen(Arr);
+  Reg E = B.loadElem(Arr, Idx);
+  Reg S = B.add(L, E);
+  B.ret(S);
+  B.endFunction();
+  M.finalize();
+  RunResult R = exec(M);
+  EXPECT_EQ(R.ReturnValue.asInt(), 104);
+}
+
+TEST(InterpreterTest, CallsAndVirtualDispatch) {
+  Module M;
+  IRBuilder B(M);
+  ClassDecl *Base = M.addClass("Base");
+  ClassDecl *Derived = M.addClass("Derived", Base->getId());
+
+  B.beginMethod(Base->getId(), "value", 1);
+  B.ret(B.iconst(10));
+  B.endFunction();
+
+  B.beginMethod(Derived->getId(), "value", 1);
+  B.ret(B.iconst(20));
+  B.endFunction();
+
+  B.beginFunction("main", 0);
+  Reg O1 = B.alloc(Base->getId());
+  Reg O2 = B.alloc(Derived->getId());
+  Reg V1 = B.vcall("value", {O1});
+  Reg V2 = B.vcall("value", {O2});
+  Reg S = B.add(V1, V2);
+  B.ret(S);
+  B.endFunction();
+  M.finalize();
+  RunResult R = exec(M);
+  EXPECT_EQ(R.ReturnValue.asInt(), 30);
+}
+
+TEST(InterpreterTest, RecursionComputesFactorial) {
+  Module M;
+  IRBuilder B(M);
+  // fact(n) = n <= 1 ? 1 : n * fact(n - 1)
+  Function *F = B.beginFunction("fact", 1);
+  (void)F;
+  Reg One = B.iconst(1);
+  BasicBlock *BaseCase = B.newBlock();
+  BasicBlock *Recurse = B.newBlock();
+  B.condBr(CmpOp::Le, 0, One, BaseCase, Recurse);
+  B.setBlock(BaseCase);
+  B.ret(One);
+  B.setBlock(Recurse);
+  Reg OneB = B.iconst(1);
+  Reg NM1 = B.sub(0, OneB);
+  Reg Sub = B.call("fact", {NM1});
+  Reg Prod = B.mul(0, Sub);
+  B.ret(Prod);
+  B.endFunction();
+
+  B.beginFunction("main", 0);
+  Reg N = B.iconst(6);
+  Reg R = B.call("fact", {N});
+  B.ret(R);
+  B.endFunction();
+  M.finalize();
+  RunResult Res = exec(M);
+  EXPECT_EQ(Res.ReturnValue.asInt(), 720);
+}
+
+TEST(InterpreterTest, NullDerefTraps) {
+  Module M;
+  ClassDecl *A = M.addClass("A");
+  A->addField("f", Type::makeInt());
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Reg N = B.nullconst();
+  Reg V = B.loadField(N, A->getId(), "f");
+  B.ret(V);
+  B.endFunction();
+  M.finalize();
+  RunResult R = exec(M);
+  EXPECT_EQ(R.Status, RunStatus::Trapped);
+  EXPECT_EQ(R.Trap, TrapKind::NullDeref);
+  EXPECT_EQ(R.TrapReg, 0);
+  // The faulting instruction is the load (instruction id 1).
+  EXPECT_EQ(R.TrapInstr, 1u);
+}
+
+TEST(InterpreterTest, OutOfBoundsTraps) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Reg Len = B.iconst(2);
+  Reg Arr = B.allocArray(TypeKind::Int, Len);
+  Reg Idx = B.iconst(5);
+  Reg V = B.loadElem(Arr, Idx);
+  B.ret(V);
+  B.endFunction();
+  M.finalize();
+  RunResult R = exec(M);
+  EXPECT_EQ(R.Status, RunStatus::Trapped);
+  EXPECT_EQ(R.Trap, TrapKind::OutOfBounds);
+}
+
+TEST(InterpreterTest, DivByZeroTraps) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Reg A = B.iconst(1);
+  Reg Z = B.iconst(0);
+  Reg D = B.bin(BinOp::Div, A, Z);
+  B.ret(D);
+  B.endFunction();
+  M.finalize();
+  RunResult R = exec(M);
+  EXPECT_EQ(R.Status, RunStatus::Trapped);
+  EXPECT_EQ(R.Trap, TrapKind::DivByZero);
+}
+
+TEST(InterpreterTest, BudgetStopsRunaways) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  BasicBlock *Loop = B.newBlock();
+  B.br(Loop);
+  B.setBlock(Loop);
+  B.append(new BrInst(Loop->getId()));
+  B.endFunction();
+  M.finalize();
+  RunConfig Cfg;
+  Cfg.MaxInstructions = 1000;
+  RunResult R = exec(M, Cfg);
+  EXPECT_EQ(R.Status, RunStatus::BudgetExceeded);
+  EXPECT_EQ(R.ExecutedInstrs, 1000u);
+}
+
+TEST(InterpreterTest, StackOverflowTraps) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("spin", 0);
+  B.callVoid("spin", {});
+  B.ret();
+  B.endFunction();
+  B.beginFunction("main", 0);
+  B.callVoid("spin", {});
+  B.ret();
+  B.endFunction();
+  M.finalize();
+  RunConfig Cfg;
+  Cfg.MaxFrames = 64;
+  RunResult R = exec(M, Cfg);
+  EXPECT_EQ(R.Status, RunStatus::Trapped);
+  EXPECT_EQ(R.Trap, TrapKind::StackOverflow);
+}
+
+TEST(InterpreterTest, GlobalsStoreAndLoad) {
+  Module M;
+  GlobalId G = M.addGlobal("counter", Type::makeInt());
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Reg V = B.iconst(11);
+  B.storeStatic(G, V);
+  Reg W = B.loadStatic(G);
+  Reg S = B.add(W, W);
+  B.ret(S);
+  B.endFunction();
+  M.finalize();
+  RunResult R = exec(M);
+  EXPECT_EQ(R.ReturnValue.asInt(), 22);
+}
+
+TEST(InterpreterTest, NativeSinkAffectsHash) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Reg V = B.iconst(123);
+  B.ncallVoid("sink", {V});
+  B.ret();
+  B.endFunction();
+  M.finalize();
+  RunResult R = exec(M);
+  EXPECT_NE(R.SinkHash, 0u);
+}
+
+TEST(InterpreterTest, NativeInputReadsTape) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Reg A = B.ncall("input", {});
+  Reg C = B.ncall("input", {});
+  Reg S = B.add(A, C);
+  B.ret(S);
+  B.endFunction();
+  M.finalize();
+  std::vector<int64_t> Tape = {5, 7};
+  RunConfig Cfg;
+  Cfg.Input = &Tape;
+  RunResult R = exec(M, Cfg);
+  EXPECT_EQ(R.ReturnValue.asInt(), 12);
+}
+
+TEST(InterpreterTest, UnknownNativeTraps) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  B.ncallVoid("no.such.native", {});
+  B.ret();
+  B.endFunction();
+  M.finalize();
+  RunResult R = exec(M);
+  EXPECT_EQ(R.Status, RunStatus::Trapped);
+  EXPECT_EQ(R.Trap, TrapKind::UnknownNative);
+}
+
+TEST(InterpreterTest, PhaseMarkerIsExecutable) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Reg P = B.iconst(1);
+  B.ncallVoid("phase", {P});
+  B.ret(P);
+  B.endFunction();
+  M.finalize();
+  RunResult R = exec(M);
+  EXPECT_EQ(R.Status, RunStatus::Finished);
+}
+
+TEST(InterpreterTest, MethodDirectCallPassesReceiver) {
+  Module M;
+  ClassDecl *A = M.addClass("A");
+  A->addField("f", Type::makeInt());
+  IRBuilder B(M);
+  B.beginMethod(A->getId(), "get", 1);
+  Reg V = B.loadField(0, A->getId(), "f");
+  B.ret(V);
+  B.endFunction();
+  B.beginFunction("main", 0);
+  Reg O = B.alloc(A->getId());
+  Reg C = B.iconst(9);
+  B.storeField(O, A->getId(), "f", C);
+  Reg R = B.call("A.get", {O});
+  B.ret(R);
+  B.endFunction();
+  M.finalize();
+  RunResult Res = exec(M);
+  EXPECT_EQ(Res.ReturnValue.asInt(), 9);
+}
+
+} // namespace

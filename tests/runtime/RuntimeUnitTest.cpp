@@ -1,0 +1,228 @@
+//===- tests/runtime/RuntimeUnitTest.cpp - Heap, values, natives -----------===//
+
+#include "ir/IRBuilder.h"
+#include "runtime/Heap.h"
+#include "runtime/Interpreter.h"
+#include "support/OutStream.h"
+
+#include <gtest/gtest.h>
+
+using namespace lud;
+
+namespace {
+
+TEST(ValueTest, KindsAndViews) {
+  Value I = Value::makeInt(-7);
+  EXPECT_EQ(I.asInt(), -7);
+  EXPECT_DOUBLE_EQ(I.asFloat(), -7.0);
+  EXPECT_FALSE(I.isRef());
+
+  Value F = Value::makeFloat(2.5);
+  EXPECT_EQ(F.asInt(), 2);
+  EXPECT_DOUBLE_EQ(F.asFloat(), 2.5);
+
+  Value R = Value::makeRef(12);
+  EXPECT_TRUE(R.isRef());
+  EXPECT_FALSE(R.isNullRef());
+  EXPECT_TRUE(Value::null().isNullRef());
+
+  Value Default;
+  EXPECT_EQ(Default.Kind, ValueKind::Int);
+  EXPECT_EQ(Default.asInt(), 0);
+}
+
+TEST(HeapTest, ObjectsAndArrays) {
+  Heap H;
+  EXPECT_EQ(H.numObjects(), 0u);
+  ObjId O = H.allocObject(3, 4);
+  EXPECT_NE(O, kNullObj);
+  EXPECT_EQ(H.obj(O).Class, 3u);
+  EXPECT_EQ(H.obj(O).Slots.size(), 4u);
+  EXPECT_FALSE(H.obj(O).IsArray);
+  EXPECT_EQ(H.obj(O).Tag, kNoTag);
+
+  ObjId A = H.allocArray(TypeKind::Ref, 5);
+  EXPECT_TRUE(H.obj(A).IsArray);
+  EXPECT_EQ(H.obj(A).Slots.size(), 5u);
+  // Ref arrays start with null elements; others with int zero.
+  EXPECT_TRUE(H.obj(A).Slots[0].isNullRef());
+  EXPECT_EQ(H.numObjects(), 2u);
+
+  H.reset();
+  EXPECT_EQ(H.numObjects(), 0u);
+}
+
+TEST(NativeRegistryTest, StandardNativesExist) {
+  const NativeRegistry &R = NativeRegistry::standard();
+  for (const char *Name : {"print", "sink", "input", "timestamp"}) {
+    const NativeDecl *D = R.find(Name);
+    ASSERT_NE(D, nullptr) << Name;
+    EXPECT_EQ(D->Name, Name);
+  }
+  EXPECT_EQ(R.find("no.such"), nullptr);
+  const NativeDecl *Sink = R.find("sink");
+  EXPECT_TRUE(Sink->IsConsumer);
+  EXPECT_FALSE(Sink->HasResult);
+  const NativeDecl *Input = R.find("input");
+  EXPECT_FALSE(Input->IsConsumer);
+  EXPECT_TRUE(Input->HasResult);
+}
+
+TEST(NativeRegistryTest, CustomRegistryOverrides) {
+  NativeRegistry R;
+  R.add({"answer",
+         [](NativeContext &, const Value *, size_t) {
+           return Value::makeInt(42);
+         },
+         /*IsConsumer=*/false, /*HasResult=*/true});
+
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Reg V = B.ncall("answer", {});
+  B.ret(V);
+  B.endFunction();
+  M.finalize();
+
+  NoopProfiler P;
+  RunConfig Cfg;
+  Cfg.Natives = &R;
+  RunResult Res = runModule(M, P, Cfg);
+  EXPECT_EQ(Res.Status, RunStatus::Finished);
+  EXPECT_EQ(Res.ReturnValue.asInt(), 42);
+}
+
+TEST(InterpreterTrapTest, VirtualCallOnArrayTraps) {
+  Module M;
+  ClassDecl *A = M.addClass("A");
+  IRBuilder B(M);
+  B.beginMethod(A->getId(), "m", 1);
+  B.ret();
+  B.endFunction();
+  B.beginFunction("main", 0);
+  Reg Len = B.iconst(2);
+  Reg Arr = B.allocArray(TypeKind::Int, Len);
+  B.vcallVoid("m", {Arr});
+  B.ret();
+  B.endFunction();
+  M.finalize();
+  NoopProfiler P;
+  RunResult R = runModule(M, P);
+  EXPECT_EQ(R.Status, RunStatus::Trapped);
+  EXPECT_EQ(R.Trap, TrapKind::BadVirtualCall);
+}
+
+TEST(InterpreterTrapTest, MissingMethodTraps) {
+  Module M;
+  ClassDecl *A = M.addClass("A");
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Reg O = B.alloc(A->getId());
+  B.vcallVoid("nothere", {O});
+  B.ret();
+  B.endFunction();
+  M.finalize();
+  NoopProfiler P;
+  RunResult R = runModule(M, P);
+  EXPECT_EQ(R.Status, RunStatus::Trapped);
+  EXPECT_EQ(R.Trap, TrapKind::BadVirtualCall);
+}
+
+TEST(InterpreterTrapTest, NegativeArrayLengthTraps) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Reg Len = B.iconst(-3);
+  B.allocArray(TypeKind::Int, Len);
+  B.ret();
+  B.endFunction();
+  M.finalize();
+  NoopProfiler P;
+  RunResult R = runModule(M, P);
+  EXPECT_EQ(R.Status, RunStatus::Trapped);
+  EXPECT_EQ(R.Trap, TrapKind::OutOfBounds);
+}
+
+TEST(InterpreterSemanticsTest, ShiftMasksAndBitwise) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Reg A = B.iconst(1);
+  Reg S65 = B.iconst(65); // Shift counts are masked mod 64.
+  Reg L = B.bin(BinOp::Shl, A, S65);
+  Reg X = B.iconst(0b1100);
+  Reg Y = B.iconst(0b1010);
+  Reg And = B.bin(BinOp::And, X, Y);
+  Reg Or = B.bin(BinOp::Or, X, Y);
+  Reg Xor = B.bin(BinOp::Xor, X, Y);
+  Reg T1 = B.add(L, And);
+  Reg T2 = B.add(Or, Xor);
+  Reg T3 = B.mul(T1, T2);
+  B.ret(T3);
+  B.endFunction();
+  M.finalize();
+  NoopProfiler P;
+  RunResult R = runModule(M, P);
+  // L = 1<<1 = 2, And = 8, Or = 14, Xor = 6 => (2+8)*(14+6) = 200.
+  EXPECT_EQ(R.ReturnValue.asInt(), 200);
+}
+
+TEST(InterpreterSemanticsTest, FloatRemainder) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Reg A = B.fconst(7.5);
+  Reg C = B.fconst(2.0);
+  Reg R = B.bin(BinOp::Rem, A, C);
+  B.ret(R);
+  B.endFunction();
+  M.finalize();
+  NoopProfiler P;
+  RunResult Res = runModule(M, P);
+  EXPECT_DOUBLE_EQ(Res.ReturnValue.asFloat(), 1.5);
+}
+
+TEST(InterpreterSemanticsTest, PrintWritesToConfiguredStream) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Reg V = B.iconst(123);
+  B.ncallVoid("print", {V});
+  Reg F = B.fconst(1.5);
+  B.ncallVoid("print", {F});
+  B.ret();
+  B.endFunction();
+  M.finalize();
+  StringOutStream OS;
+  RunConfig Cfg;
+  Cfg.PrintStream = &OS;
+  NoopProfiler P;
+  RunResult R = runModule(M, P, Cfg);
+  EXPECT_EQ(R.Status, RunStatus::Finished);
+  EXPECT_EQ(OS.str(), "123\n1.5\n");
+  EXPECT_NE(R.SinkHash, 0u);
+}
+
+TEST(InterpreterSemanticsTest, RefEqualityComparesIdentity) {
+  Module M;
+  ClassDecl *A = M.addClass("A");
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Reg O1 = B.alloc(A->getId());
+  Reg O2 = B.alloc(A->getId());
+  Reg O3 = B.move(O1);
+  Reg E12 = B.bin(BinOp::CmpEq, O1, O2); // 0: different objects
+  Reg E13 = B.bin(BinOp::CmpEq, O1, O3); // 1: same object
+  Reg N = B.nullconst();
+  Reg EN = B.bin(BinOp::CmpNe, O1, N); // 1: non-null
+  Reg S1 = B.add(E12, E13);
+  Reg S2 = B.add(S1, EN);
+  B.ret(S2);
+  B.endFunction();
+  M.finalize();
+  NoopProfiler P;
+  RunResult R = runModule(M, P);
+  EXPECT_EQ(R.ReturnValue.asInt(), 2);
+}
+
+} // namespace

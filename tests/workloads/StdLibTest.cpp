@@ -1,0 +1,273 @@
+//===- tests/workloads/StdLibTest.cpp - The IR-level class library ---------===//
+//
+// Behavioural tests of the IR stdlib (vectors, strings, matrices, hash
+// map) by building small driver programs and interpreting them — the same
+// way the DaCapo analogues consume the library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "runtime/Interpreter.h"
+#include "workloads/EmitUtil.h"
+#include "workloads/StdLib.h"
+
+#include <gtest/gtest.h>
+
+using namespace lud;
+
+namespace {
+
+/// Builds a module with the stdlib and one `main` emitted by \p Body;
+/// returns main's integer result.
+int64_t runStdLib(const std::function<void(StdLib &, IRBuilder &)> &Body,
+                  StdLibOptions Opts = {}) {
+  Module M;
+  StdLib L(M, Opts);
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  Body(L, B);
+  B.endFunction();
+  M.finalize();
+  NoopProfiler P;
+  RunResult R = runModule(M, P);
+  EXPECT_EQ(R.Status, RunStatus::Finished)
+      << "trap: " << trapKindName(R.Trap);
+  return R.ReturnValue.asInt();
+}
+
+TEST(StdLibTest, IntVecGrowsAndReadsBack) {
+  // Push 0..99, sum them back: 4950. Growth doubles from capacity 4.
+  int64_t Got = runStdLib([](StdLib &L, IRBuilder &B) {
+    Reg V = B.alloc(L.IntVec);
+    Reg C4 = B.iconst(4);
+    B.callVoid("IntVec.init", {V, C4});
+    Reg N = B.iconst(100);
+    emitCountedLoop(B, N, [&](Reg I) { B.callVoid("IntVec.add", {V, I}); });
+    Reg Acc = B.iconst(0);
+    Reg Sz = B.call(L.IntVecSize, {V});
+    emitCountedLoop(B, Sz, [&](Reg J) {
+      Reg E = B.call(L.IntVecGet, {V, J});
+      B.binInto(Acc, BinOp::Add, Acc, E);
+    });
+    B.ret(Acc);
+  });
+  EXPECT_EQ(Got, 4950);
+}
+
+TEST(StdLibTest, IntVecSetOverwrites) {
+  int64_t Got = runStdLib([](StdLib &L, IRBuilder &B) {
+    Reg V = B.alloc(L.IntVec);
+    Reg C4 = B.iconst(4);
+    B.callVoid("IntVec.init", {V, C4});
+    Reg X = B.iconst(5);
+    B.callVoid("IntVec.add", {V, X});
+    Reg Zero = B.iconst(0);
+    Reg Y = B.iconst(42);
+    B.callVoid("IntVec.set", {V, Zero, Y});
+    Reg E = B.call(L.IntVecGet, {V, Zero});
+    B.ret(E);
+  });
+  EXPECT_EQ(Got, 42);
+}
+
+TEST(StdLibTest, RefVecStoresObjects) {
+  int64_t Got = runStdLib([](StdLib &L, IRBuilder &B) {
+    // Store 10 IntVecs, each seeded with its index; read the 7th back.
+    Reg RV = B.alloc(L.RefVec);
+    Reg C2 = B.iconst(2);
+    B.callVoid("RefVec.init", {RV, C2});
+    Reg N = B.iconst(10);
+    emitCountedLoop(B, N, [&](Reg I) {
+      Reg Inner = B.alloc(L.IntVec);
+      Reg C4 = B.iconst(4);
+      B.callVoid("IntVec.init", {Inner, C4});
+      B.callVoid("IntVec.add", {Inner, I});
+      B.callVoid("RefVec.add", {RV, Inner});
+    });
+    Reg C7 = B.iconst(7);
+    Reg Got7 = B.call(L.RefVecGet, {RV, C7});
+    Reg Zero = B.iconst(0);
+    Reg E = B.call(L.IntVecGet, {Got7, Zero});
+    Reg Sz = B.call(L.RefVecSize, {RV});
+    Reg Out = B.mul(E, Sz); // 7 * 10
+    B.ret(Out);
+  });
+  EXPECT_EQ(Got, 70);
+}
+
+TEST(StdLibTest, StringsEqualityAndHash) {
+  int64_t Got = runStdLib([](StdLib &L, IRBuilder &B) {
+    Reg C8 = B.iconst(8);
+    Reg S1 = B.iconst(3);
+    Reg A = B.call(L.StrMake, {C8, S1});
+    Reg A2 = B.call(L.StrMake, {C8, S1}); // Same content, fresh object.
+    Reg S2 = B.iconst(4);
+    Reg C = B.call(L.StrMake, {C8, S2});
+    Reg EqSame = B.call(L.StrEquals, {A, A2}); // 1
+    Reg EqDiff = B.call(L.StrEquals, {A, C});  // 0
+    Reg HA = B.call(L.StrHash, {A});
+    Reg HA2 = B.call(L.StrHash, {A2});
+    Reg HashEq = B.bin(BinOp::CmpEq, HA, HA2); // 1
+    Reg T1 = B.mul(EqSame, B.iconst(100));
+    Reg T2 = B.mul(EqDiff, B.iconst(10));
+    Reg T3 = B.add(T1, T2);
+    Reg Out = B.add(T3, HashEq); // 100 + 0 + 1
+    B.ret(Out);
+  });
+  EXPECT_EQ(Got, 101);
+}
+
+TEST(StdLibTest, StringConcatCombines) {
+  int64_t Got = runStdLib([](StdLib &L, IRBuilder &B) {
+    Reg C5 = B.iconst(5);
+    Reg C3 = B.iconst(3);
+    Reg S1 = B.iconst(1);
+    Reg A = B.call(L.StrMake, {C5, S1});
+    Reg C = B.call(L.StrMake, {C3, S1});
+    Reg AB = B.call(L.StrConcat, {A, C});
+    Reg Len = B.loadField(AB, L.Str, "len");
+    B.ret(Len);
+  });
+  EXPECT_EQ(Got, 8);
+}
+
+TEST(StdLibTest, CachedHashMatchesRecomputed) {
+  // The eclipse fix must not change hash values, only where they come
+  // from.
+  auto HashOf = [](bool Cached) {
+    StdLibOptions Opts;
+    Opts.CachedStrHash = Cached;
+    return runStdLib(
+        [](StdLib &L, IRBuilder &B) {
+          Reg C12 = B.iconst(12);
+          Reg S1 = B.iconst(9);
+          Reg A = B.call(L.StrMake, {C12, S1});
+          Reg H = B.call(L.StrHash, {A});
+          B.ret(H);
+        },
+        Opts);
+  };
+  EXPECT_EQ(HashOf(false), HashOf(true));
+}
+
+TEST(StdLibTest, StrMapPutGetAndGrowth) {
+  int64_t Got = runStdLib([](StdLib &L, IRBuilder &B) {
+    Reg Map = B.alloc(L.StrMap);
+    Reg C4 = B.iconst(4); // Tiny: forces several rehashes for 20 keys.
+    B.callVoid("StrMap.init", {Map, C4});
+    Reg N = B.iconst(20);
+    Reg C10 = B.iconst(10);
+    emitCountedLoop(B, N, [&](Reg I) {
+      Reg Key = B.call(L.StrMake, {C10, I});
+      Reg Val = B.mul(I, I);
+      B.callVoid("StrMap.put", {Map, Key, Val});
+    });
+    // Every key must come back with its value (fresh key objects).
+    Reg Acc = B.iconst(0);
+    emitCountedLoop(B, N, [&](Reg I) {
+      Reg Key = B.call(L.StrMake, {C10, I});
+      Reg V = B.call(L.StrMapGet, {Map, Key});
+      B.binInto(Acc, BinOp::Add, Acc, V);
+    });
+    B.ret(Acc); // sum i^2, i<20 = 2470
+  });
+  EXPECT_EQ(Got, 2470);
+}
+
+TEST(StdLibTest, StrMapMissReturnsZero) {
+  int64_t Got = runStdLib([](StdLib &L, IRBuilder &B) {
+    Reg Map = B.alloc(L.StrMap);
+    Reg C8 = B.iconst(8);
+    B.callVoid("StrMap.init", {Map, C8});
+    Reg S1 = B.iconst(1);
+    Reg K1 = B.call(L.StrMake, {C8, S1});
+    Reg C7 = B.iconst(7);
+    B.callVoid("StrMap.put", {Map, K1, C7});
+    Reg S2 = B.iconst(2);
+    Reg K2 = B.call(L.StrMake, {C8, S2});
+    Reg Miss = B.call(L.StrMapGet, {Map, K2});
+    Reg Hit = B.call(L.StrMapGet, {Map, K1});
+    Reg Out = B.sub(Hit, Miss);
+    B.ret(Out);
+  });
+  EXPECT_EQ(Got, 7);
+}
+
+TEST(StdLibTest, StrMapOverwritesExistingKey) {
+  int64_t Got = runStdLib([](StdLib &L, IRBuilder &B) {
+    Reg Map = B.alloc(L.StrMap);
+    Reg C8 = B.iconst(8);
+    B.callVoid("StrMap.init", {Map, C8});
+    Reg S1 = B.iconst(5);
+    Reg K = B.call(L.StrMake, {C8, S1});
+    Reg V1 = B.iconst(100);
+    B.callVoid("StrMap.put", {Map, K, V1});
+    Reg V2 = B.iconst(200);
+    B.callVoid("StrMap.put", {Map, K, V2});
+    Reg Out = B.call(L.StrMapGet, {Map, K});
+    B.ret(Out);
+  });
+  EXPECT_EQ(Got, 200);
+}
+
+TEST(StdLibTest, MatrixSumAndClone) {
+  int64_t Got = runStdLib([](StdLib &L, IRBuilder &B) {
+    Reg N = B.iconst(4);
+    Reg Seed = B.iconst(2);
+    Reg Mx = B.call(L.MatrixMake, {N, Seed});
+    Reg Cl = B.call(L.MatrixClone, {Mx});
+    Reg S1 = B.call(L.MatrixSum, {Mx});
+    Reg S2 = B.call(L.MatrixSum, {Cl});
+    Reg Same = B.bin(BinOp::CmpEq, S1, S2);
+    B.ret(Same);
+  });
+  EXPECT_EQ(Got, 1);
+}
+
+TEST(StdLibTest, MatrixTransposePreservesSum) {
+  for (bool InPlace : {false, true}) {
+    StdLibOptions Opts;
+    Opts.InPlaceMatrixOps = InPlace;
+    int64_t Got = runStdLib(
+        [](StdLib &L, IRBuilder &B) {
+          Reg N = B.iconst(5);
+          Reg Seed = B.iconst(3);
+          Reg Mx = B.call(L.MatrixMake, {N, Seed});
+          Reg Before = B.call(L.MatrixSum, {Mx});
+          Reg T = B.call(L.MatrixTranspose, {Mx});
+          Reg After = B.call(L.MatrixSum, {T});
+          Reg FB = B.un(UnOp::FBits, Before);
+          Reg FA = B.un(UnOp::FBits, After);
+          Reg Same = B.bin(BinOp::CmpEq, FB, FA);
+          B.ret(Same);
+        },
+        Opts);
+    EXPECT_EQ(Got, 1) << "InPlace=" << InPlace;
+  }
+}
+
+TEST(StdLibTest, MatrixScaleScales) {
+  for (bool InPlace : {false, true}) {
+    StdLibOptions Opts;
+    Opts.InPlaceMatrixOps = InPlace;
+    int64_t Got = runStdLib(
+        [](StdLib &L, IRBuilder &B) {
+          Reg N = B.iconst(3);
+          Reg Seed = B.iconst(1);
+          Reg Mx = B.call(L.MatrixMake, {N, Seed});
+          Reg Before = B.call(L.MatrixSum, {Mx});
+          Reg Two = B.fconst(2.0);
+          Reg Scaled = B.call(L.MatrixScale, {Mx, Two});
+          Reg After = B.call(L.MatrixSum, {Scaled});
+          Reg Double = B.mul(Before, Two);
+          Reg Diff = B.sub(After, Double);
+          Reg Eps = B.fconst(1e-9);
+          Reg Ok = B.bin(BinOp::CmpLt, Diff, Eps);
+          B.ret(Ok);
+        },
+        Opts);
+    EXPECT_EQ(Got, 1) << "InPlace=" << InPlace;
+  }
+}
+
+} // namespace
