@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_context_bench.dir/ablation_context_bench.cpp.o"
+  "CMakeFiles/ablation_context_bench.dir/ablation_context_bench.cpp.o.d"
+  "ablation_context_bench"
+  "ablation_context_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_context_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_slicing_bench.dir/ablation_slicing_bench.cpp.o"
+  "CMakeFiles/ablation_slicing_bench.dir/ablation_slicing_bench.cpp.o.d"
+  "ablation_slicing_bench"
+  "ablation_slicing_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_slicing_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

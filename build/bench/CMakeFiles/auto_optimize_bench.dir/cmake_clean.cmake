@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_optimize_bench.dir/auto_optimize_bench.cpp.o"
+  "CMakeFiles/auto_optimize_bench.dir/auto_optimize_bench.cpp.o.d"
+  "auto_optimize_bench"
+  "auto_optimize_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_optimize_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_studies_bench.dir/case_studies_bench.cpp.o"
+  "CMakeFiles/case_studies_bench.dir/case_studies_bench.cpp.o.d"
+  "case_studies_bench"
+  "case_studies_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_studies_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

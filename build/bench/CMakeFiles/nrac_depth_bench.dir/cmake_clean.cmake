@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nrac_depth_bench.dir/nrac_depth_bench.cpp.o"
+  "CMakeFiles/nrac_depth_bench.dir/nrac_depth_bench.cpp.o.d"
+  "nrac_depth_bench"
+  "nrac_depth_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nrac_depth_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

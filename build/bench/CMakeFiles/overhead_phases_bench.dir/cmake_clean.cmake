@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_phases_bench.dir/overhead_phases_bench.cpp.o"
+  "CMakeFiles/overhead_phases_bench.dir/overhead_phases_bench.cpp.o.d"
+  "overhead_phases_bench"
+  "overhead_phases_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_phases_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

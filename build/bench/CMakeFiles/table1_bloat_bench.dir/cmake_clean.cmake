@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_bloat_bench.dir/table1_bloat_bench.cpp.o"
+  "CMakeFiles/table1_bloat_bench.dir/table1_bloat_bench.cpp.o.d"
+  "table1_bloat_bench"
+  "table1_bloat_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_bloat_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

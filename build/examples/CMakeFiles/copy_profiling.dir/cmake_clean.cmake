@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copy_profiling.dir/copy_profiling.cpp.o"
+  "CMakeFiles/copy_profiling.dir/copy_profiling.cpp.o.d"
+  "copy_profiling"
+  "copy_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copy_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dacapo_tour.dir/dacapo_tour.cpp.o"
+  "CMakeFiles/dacapo_tour.dir/dacapo_tour.cpp.o.d"
+  "dacapo_tour"
+  "dacapo_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dacapo_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

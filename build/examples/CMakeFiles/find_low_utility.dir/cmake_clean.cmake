@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_low_utility.dir/find_low_utility.cpp.o"
+  "CMakeFiles/find_low_utility.dir/find_low_utility.cpp.o.d"
+  "find_low_utility"
+  "find_low_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_low_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

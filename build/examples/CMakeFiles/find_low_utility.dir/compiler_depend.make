@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for find_low_utility.
+# This may be replaced when dependencies are built.

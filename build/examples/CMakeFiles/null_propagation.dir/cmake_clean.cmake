@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/null_propagation.dir/null_propagation.cpp.o"
+  "CMakeFiles/null_propagation.dir/null_propagation.cpp.o.d"
+  "null_propagation"
+  "null_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/null_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

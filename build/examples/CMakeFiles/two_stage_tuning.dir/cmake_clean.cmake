@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_stage_tuning.dir/two_stage_tuning.cpp.o"
+  "CMakeFiles/two_stage_tuning.dir/two_stage_tuning.cpp.o.d"
+  "two_stage_tuning"
+  "two_stage_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_stage_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typestate_history.dir/typestate_history.cpp.o"
+  "CMakeFiles/typestate_history.dir/typestate_history.cpp.o.d"
+  "typestate_history"
+  "typestate_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typestate_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/CacheCost.cpp" "src/analysis/CMakeFiles/lud_analysis.dir/CacheCost.cpp.o" "gcc" "src/analysis/CMakeFiles/lud_analysis.dir/CacheCost.cpp.o.d"
+  "/root/repo/src/analysis/Clients.cpp" "src/analysis/CMakeFiles/lud_analysis.dir/Clients.cpp.o" "gcc" "src/analysis/CMakeFiles/lud_analysis.dir/Clients.cpp.o.d"
+  "/root/repo/src/analysis/CostModel.cpp" "src/analysis/CMakeFiles/lud_analysis.dir/CostModel.cpp.o" "gcc" "src/analysis/CMakeFiles/lud_analysis.dir/CostModel.cpp.o.d"
+  "/root/repo/src/analysis/DeadValues.cpp" "src/analysis/CMakeFiles/lud_analysis.dir/DeadValues.cpp.o" "gcc" "src/analysis/CMakeFiles/lud_analysis.dir/DeadValues.cpp.o.d"
+  "/root/repo/src/analysis/MultiHop.cpp" "src/analysis/CMakeFiles/lud_analysis.dir/MultiHop.cpp.o" "gcc" "src/analysis/CMakeFiles/lud_analysis.dir/MultiHop.cpp.o.d"
+  "/root/repo/src/analysis/Optimizer.cpp" "src/analysis/CMakeFiles/lud_analysis.dir/Optimizer.cpp.o" "gcc" "src/analysis/CMakeFiles/lud_analysis.dir/Optimizer.cpp.o.d"
+  "/root/repo/src/analysis/Report.cpp" "src/analysis/CMakeFiles/lud_analysis.dir/Report.cpp.o" "gcc" "src/analysis/CMakeFiles/lud_analysis.dir/Report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profiling/CMakeFiles/lud_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/lud_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lud_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lud_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lud_analysis.dir/CacheCost.cpp.o"
+  "CMakeFiles/lud_analysis.dir/CacheCost.cpp.o.d"
+  "CMakeFiles/lud_analysis.dir/Clients.cpp.o"
+  "CMakeFiles/lud_analysis.dir/Clients.cpp.o.d"
+  "CMakeFiles/lud_analysis.dir/CostModel.cpp.o"
+  "CMakeFiles/lud_analysis.dir/CostModel.cpp.o.d"
+  "CMakeFiles/lud_analysis.dir/DeadValues.cpp.o"
+  "CMakeFiles/lud_analysis.dir/DeadValues.cpp.o.d"
+  "CMakeFiles/lud_analysis.dir/MultiHop.cpp.o"
+  "CMakeFiles/lud_analysis.dir/MultiHop.cpp.o.d"
+  "CMakeFiles/lud_analysis.dir/Optimizer.cpp.o"
+  "CMakeFiles/lud_analysis.dir/Optimizer.cpp.o.d"
+  "CMakeFiles/lud_analysis.dir/Report.cpp.o"
+  "CMakeFiles/lud_analysis.dir/Report.cpp.o.d"
+  "liblud_analysis.a"
+  "liblud_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lud_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

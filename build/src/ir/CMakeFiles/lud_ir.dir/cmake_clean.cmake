@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lud_ir.dir/Clone.cpp.o"
+  "CMakeFiles/lud_ir.dir/Clone.cpp.o.d"
+  "CMakeFiles/lud_ir.dir/Module.cpp.o"
+  "CMakeFiles/lud_ir.dir/Module.cpp.o.d"
+  "CMakeFiles/lud_ir.dir/Parser.cpp.o"
+  "CMakeFiles/lud_ir.dir/Parser.cpp.o.d"
+  "CMakeFiles/lud_ir.dir/Printer.cpp.o"
+  "CMakeFiles/lud_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/lud_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/lud_ir.dir/Verifier.cpp.o.d"
+  "liblud_ir.a"
+  "liblud_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lud_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

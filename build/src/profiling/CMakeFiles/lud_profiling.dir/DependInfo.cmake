@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiling/ConcreteProfiler.cpp" "src/profiling/CMakeFiles/lud_profiling.dir/ConcreteProfiler.cpp.o" "gcc" "src/profiling/CMakeFiles/lud_profiling.dir/ConcreteProfiler.cpp.o.d"
+  "/root/repo/src/profiling/CopyProfiler.cpp" "src/profiling/CMakeFiles/lud_profiling.dir/CopyProfiler.cpp.o" "gcc" "src/profiling/CMakeFiles/lud_profiling.dir/CopyProfiler.cpp.o.d"
+  "/root/repo/src/profiling/DepGraph.cpp" "src/profiling/CMakeFiles/lud_profiling.dir/DepGraph.cpp.o" "gcc" "src/profiling/CMakeFiles/lud_profiling.dir/DepGraph.cpp.o.d"
+  "/root/repo/src/profiling/FlatProfiler.cpp" "src/profiling/CMakeFiles/lud_profiling.dir/FlatProfiler.cpp.o" "gcc" "src/profiling/CMakeFiles/lud_profiling.dir/FlatProfiler.cpp.o.d"
+  "/root/repo/src/profiling/GraphIO.cpp" "src/profiling/CMakeFiles/lud_profiling.dir/GraphIO.cpp.o" "gcc" "src/profiling/CMakeFiles/lud_profiling.dir/GraphIO.cpp.o.d"
+  "/root/repo/src/profiling/NullnessProfiler.cpp" "src/profiling/CMakeFiles/lud_profiling.dir/NullnessProfiler.cpp.o" "gcc" "src/profiling/CMakeFiles/lud_profiling.dir/NullnessProfiler.cpp.o.d"
+  "/root/repo/src/profiling/SlicingProfiler.cpp" "src/profiling/CMakeFiles/lud_profiling.dir/SlicingProfiler.cpp.o" "gcc" "src/profiling/CMakeFiles/lud_profiling.dir/SlicingProfiler.cpp.o.d"
+  "/root/repo/src/profiling/TypestateProfiler.cpp" "src/profiling/CMakeFiles/lud_profiling.dir/TypestateProfiler.cpp.o" "gcc" "src/profiling/CMakeFiles/lud_profiling.dir/TypestateProfiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/lud_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lud_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lud_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lud_profiling.dir/ConcreteProfiler.cpp.o"
+  "CMakeFiles/lud_profiling.dir/ConcreteProfiler.cpp.o.d"
+  "CMakeFiles/lud_profiling.dir/CopyProfiler.cpp.o"
+  "CMakeFiles/lud_profiling.dir/CopyProfiler.cpp.o.d"
+  "CMakeFiles/lud_profiling.dir/DepGraph.cpp.o"
+  "CMakeFiles/lud_profiling.dir/DepGraph.cpp.o.d"
+  "CMakeFiles/lud_profiling.dir/FlatProfiler.cpp.o"
+  "CMakeFiles/lud_profiling.dir/FlatProfiler.cpp.o.d"
+  "CMakeFiles/lud_profiling.dir/GraphIO.cpp.o"
+  "CMakeFiles/lud_profiling.dir/GraphIO.cpp.o.d"
+  "CMakeFiles/lud_profiling.dir/NullnessProfiler.cpp.o"
+  "CMakeFiles/lud_profiling.dir/NullnessProfiler.cpp.o.d"
+  "CMakeFiles/lud_profiling.dir/SlicingProfiler.cpp.o"
+  "CMakeFiles/lud_profiling.dir/SlicingProfiler.cpp.o.d"
+  "CMakeFiles/lud_profiling.dir/TypestateProfiler.cpp.o"
+  "CMakeFiles/lud_profiling.dir/TypestateProfiler.cpp.o.d"
+  "liblud_profiling.a"
+  "liblud_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lud_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

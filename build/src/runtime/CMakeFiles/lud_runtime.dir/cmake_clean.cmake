@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lud_runtime.dir/Natives.cpp.o"
+  "CMakeFiles/lud_runtime.dir/Natives.cpp.o.d"
+  "CMakeFiles/lud_runtime.dir/Runtime.cpp.o"
+  "CMakeFiles/lud_runtime.dir/Runtime.cpp.o.d"
+  "liblud_runtime.a"
+  "liblud_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lud_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

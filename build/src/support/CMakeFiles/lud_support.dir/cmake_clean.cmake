@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lud_support.dir/ErrorHandling.cpp.o"
+  "CMakeFiles/lud_support.dir/ErrorHandling.cpp.o.d"
+  "CMakeFiles/lud_support.dir/OutStream.cpp.o"
+  "CMakeFiles/lud_support.dir/OutStream.cpp.o.d"
+  "liblud_support.a"
+  "liblud_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lud_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

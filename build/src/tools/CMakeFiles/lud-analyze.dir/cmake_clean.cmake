@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lud-analyze.dir/lud-analyze.cpp.o"
+  "CMakeFiles/lud-analyze.dir/lud-analyze.cpp.o.d"
+  "lud-analyze"
+  "lud-analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lud-analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

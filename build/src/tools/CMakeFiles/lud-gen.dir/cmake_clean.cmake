@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lud-gen.dir/lud-gen.cpp.o"
+  "CMakeFiles/lud-gen.dir/lud-gen.cpp.o.d"
+  "lud-gen"
+  "lud-gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lud-gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lud-run.dir/lud-run.cpp.o"
+  "CMakeFiles/lud-run.dir/lud-run.cpp.o.d"
+  "lud-run"
+  "lud-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lud-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/AppPatterns.cpp" "src/workloads/CMakeFiles/lud_workloads.dir/AppPatterns.cpp.o" "gcc" "src/workloads/CMakeFiles/lud_workloads.dir/AppPatterns.cpp.o.d"
+  "/root/repo/src/workloads/DaCapo.cpp" "src/workloads/CMakeFiles/lud_workloads.dir/DaCapo.cpp.o" "gcc" "src/workloads/CMakeFiles/lud_workloads.dir/DaCapo.cpp.o.d"
+  "/root/repo/src/workloads/Driver.cpp" "src/workloads/CMakeFiles/lud_workloads.dir/Driver.cpp.o" "gcc" "src/workloads/CMakeFiles/lud_workloads.dir/Driver.cpp.o.d"
+  "/root/repo/src/workloads/Patterns.cpp" "src/workloads/CMakeFiles/lud_workloads.dir/Patterns.cpp.o" "gcc" "src/workloads/CMakeFiles/lud_workloads.dir/Patterns.cpp.o.d"
+  "/root/repo/src/workloads/RandomProgram.cpp" "src/workloads/CMakeFiles/lud_workloads.dir/RandomProgram.cpp.o" "gcc" "src/workloads/CMakeFiles/lud_workloads.dir/RandomProgram.cpp.o.d"
+  "/root/repo/src/workloads/StdLib.cpp" "src/workloads/CMakeFiles/lud_workloads.dir/StdLib.cpp.o" "gcc" "src/workloads/CMakeFiles/lud_workloads.dir/StdLib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profiling/CMakeFiles/lud_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lud_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/lud_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lud_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lud_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lud_workloads.dir/AppPatterns.cpp.o"
+  "CMakeFiles/lud_workloads.dir/AppPatterns.cpp.o.d"
+  "CMakeFiles/lud_workloads.dir/DaCapo.cpp.o"
+  "CMakeFiles/lud_workloads.dir/DaCapo.cpp.o.d"
+  "CMakeFiles/lud_workloads.dir/Driver.cpp.o"
+  "CMakeFiles/lud_workloads.dir/Driver.cpp.o.d"
+  "CMakeFiles/lud_workloads.dir/Patterns.cpp.o"
+  "CMakeFiles/lud_workloads.dir/Patterns.cpp.o.d"
+  "CMakeFiles/lud_workloads.dir/RandomProgram.cpp.o"
+  "CMakeFiles/lud_workloads.dir/RandomProgram.cpp.o.d"
+  "CMakeFiles/lud_workloads.dir/StdLib.cpp.o"
+  "CMakeFiles/lud_workloads.dir/StdLib.cpp.o.d"
+  "liblud_workloads.a"
+  "liblud_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lud_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

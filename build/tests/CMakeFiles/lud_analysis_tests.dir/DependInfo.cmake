@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/ClientsTest.cpp" "tests/CMakeFiles/lud_analysis_tests.dir/analysis/ClientsTest.cpp.o" "gcc" "tests/CMakeFiles/lud_analysis_tests.dir/analysis/ClientsTest.cpp.o.d"
+  "/root/repo/tests/analysis/CostModelTest.cpp" "tests/CMakeFiles/lud_analysis_tests.dir/analysis/CostModelTest.cpp.o" "gcc" "tests/CMakeFiles/lud_analysis_tests.dir/analysis/CostModelTest.cpp.o.d"
+  "/root/repo/tests/analysis/DeadValuesTest.cpp" "tests/CMakeFiles/lud_analysis_tests.dir/analysis/DeadValuesTest.cpp.o" "gcc" "tests/CMakeFiles/lud_analysis_tests.dir/analysis/DeadValuesTest.cpp.o.d"
+  "/root/repo/tests/analysis/ExtensionsTest.cpp" "tests/CMakeFiles/lud_analysis_tests.dir/analysis/ExtensionsTest.cpp.o" "gcc" "tests/CMakeFiles/lud_analysis_tests.dir/analysis/ExtensionsTest.cpp.o.d"
+  "/root/repo/tests/analysis/Figure3Test.cpp" "tests/CMakeFiles/lud_analysis_tests.dir/analysis/Figure3Test.cpp.o" "gcc" "tests/CMakeFiles/lud_analysis_tests.dir/analysis/Figure3Test.cpp.o.d"
+  "/root/repo/tests/analysis/OptimizerTest.cpp" "tests/CMakeFiles/lud_analysis_tests.dir/analysis/OptimizerTest.cpp.o" "gcc" "tests/CMakeFiles/lud_analysis_tests.dir/analysis/OptimizerTest.cpp.o.d"
+  "/root/repo/tests/analysis/ReportTest.cpp" "tests/CMakeFiles/lud_analysis_tests.dir/analysis/ReportTest.cpp.o" "gcc" "tests/CMakeFiles/lud_analysis_tests.dir/analysis/ReportTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profiling/CMakeFiles/lud_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/lud_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lud_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/lud_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lud_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lud_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lud_analysis_tests.dir/analysis/ClientsTest.cpp.o"
+  "CMakeFiles/lud_analysis_tests.dir/analysis/ClientsTest.cpp.o.d"
+  "CMakeFiles/lud_analysis_tests.dir/analysis/CostModelTest.cpp.o"
+  "CMakeFiles/lud_analysis_tests.dir/analysis/CostModelTest.cpp.o.d"
+  "CMakeFiles/lud_analysis_tests.dir/analysis/DeadValuesTest.cpp.o"
+  "CMakeFiles/lud_analysis_tests.dir/analysis/DeadValuesTest.cpp.o.d"
+  "CMakeFiles/lud_analysis_tests.dir/analysis/ExtensionsTest.cpp.o"
+  "CMakeFiles/lud_analysis_tests.dir/analysis/ExtensionsTest.cpp.o.d"
+  "CMakeFiles/lud_analysis_tests.dir/analysis/Figure3Test.cpp.o"
+  "CMakeFiles/lud_analysis_tests.dir/analysis/Figure3Test.cpp.o.d"
+  "CMakeFiles/lud_analysis_tests.dir/analysis/OptimizerTest.cpp.o"
+  "CMakeFiles/lud_analysis_tests.dir/analysis/OptimizerTest.cpp.o.d"
+  "CMakeFiles/lud_analysis_tests.dir/analysis/ReportTest.cpp.o"
+  "CMakeFiles/lud_analysis_tests.dir/analysis/ReportTest.cpp.o.d"
+  "lud_analysis_tests"
+  "lud_analysis_tests.pdb"
+  "lud_analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lud_analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

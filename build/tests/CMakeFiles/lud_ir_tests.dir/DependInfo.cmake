@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ir/ModuleTest.cpp" "tests/CMakeFiles/lud_ir_tests.dir/ir/ModuleTest.cpp.o" "gcc" "tests/CMakeFiles/lud_ir_tests.dir/ir/ModuleTest.cpp.o.d"
+  "/root/repo/tests/ir/ParserTest.cpp" "tests/CMakeFiles/lud_ir_tests.dir/ir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/lud_ir_tests.dir/ir/ParserTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profiling/CMakeFiles/lud_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/lud_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lud_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lud_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lud_ir_tests.dir/ir/ModuleTest.cpp.o"
+  "CMakeFiles/lud_ir_tests.dir/ir/ModuleTest.cpp.o.d"
+  "CMakeFiles/lud_ir_tests.dir/ir/ParserTest.cpp.o"
+  "CMakeFiles/lud_ir_tests.dir/ir/ParserTest.cpp.o.d"
+  "lud_ir_tests"
+  "lud_ir_tests.pdb"
+  "lud_ir_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lud_ir_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/profiling/ClientProfilersTest.cpp" "tests/CMakeFiles/lud_profiling_tests.dir/profiling/ClientProfilersTest.cpp.o" "gcc" "tests/CMakeFiles/lud_profiling_tests.dir/profiling/ClientProfilersTest.cpp.o.d"
+  "/root/repo/tests/profiling/DepGraphTest.cpp" "tests/CMakeFiles/lud_profiling_tests.dir/profiling/DepGraphTest.cpp.o" "gcc" "tests/CMakeFiles/lud_profiling_tests.dir/profiling/DepGraphTest.cpp.o.d"
+  "/root/repo/tests/profiling/FlatProfilerTest.cpp" "tests/CMakeFiles/lud_profiling_tests.dir/profiling/FlatProfilerTest.cpp.o" "gcc" "tests/CMakeFiles/lud_profiling_tests.dir/profiling/FlatProfilerTest.cpp.o.d"
+  "/root/repo/tests/profiling/GraphIOTest.cpp" "tests/CMakeFiles/lud_profiling_tests.dir/profiling/GraphIOTest.cpp.o" "gcc" "tests/CMakeFiles/lud_profiling_tests.dir/profiling/GraphIOTest.cpp.o.d"
+  "/root/repo/tests/profiling/QuotientTest.cpp" "tests/CMakeFiles/lud_profiling_tests.dir/profiling/QuotientTest.cpp.o" "gcc" "tests/CMakeFiles/lud_profiling_tests.dir/profiling/QuotientTest.cpp.o.d"
+  "/root/repo/tests/profiling/SlicingProfilerTest.cpp" "tests/CMakeFiles/lud_profiling_tests.dir/profiling/SlicingProfilerTest.cpp.o" "gcc" "tests/CMakeFiles/lud_profiling_tests.dir/profiling/SlicingProfilerTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profiling/CMakeFiles/lud_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/lud_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lud_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/lud_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lud_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lud_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lud_profiling_tests.dir/profiling/ClientProfilersTest.cpp.o"
+  "CMakeFiles/lud_profiling_tests.dir/profiling/ClientProfilersTest.cpp.o.d"
+  "CMakeFiles/lud_profiling_tests.dir/profiling/DepGraphTest.cpp.o"
+  "CMakeFiles/lud_profiling_tests.dir/profiling/DepGraphTest.cpp.o.d"
+  "CMakeFiles/lud_profiling_tests.dir/profiling/FlatProfilerTest.cpp.o"
+  "CMakeFiles/lud_profiling_tests.dir/profiling/FlatProfilerTest.cpp.o.d"
+  "CMakeFiles/lud_profiling_tests.dir/profiling/GraphIOTest.cpp.o"
+  "CMakeFiles/lud_profiling_tests.dir/profiling/GraphIOTest.cpp.o.d"
+  "CMakeFiles/lud_profiling_tests.dir/profiling/QuotientTest.cpp.o"
+  "CMakeFiles/lud_profiling_tests.dir/profiling/QuotientTest.cpp.o.d"
+  "CMakeFiles/lud_profiling_tests.dir/profiling/SlicingProfilerTest.cpp.o"
+  "CMakeFiles/lud_profiling_tests.dir/profiling/SlicingProfilerTest.cpp.o.d"
+  "lud_profiling_tests"
+  "lud_profiling_tests.pdb"
+  "lud_profiling_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lud_profiling_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lud_runtime_tests.dir/runtime/InterpreterTest.cpp.o"
+  "CMakeFiles/lud_runtime_tests.dir/runtime/InterpreterTest.cpp.o.d"
+  "CMakeFiles/lud_runtime_tests.dir/runtime/RuntimeUnitTest.cpp.o"
+  "CMakeFiles/lud_runtime_tests.dir/runtime/RuntimeUnitTest.cpp.o.d"
+  "lud_runtime_tests"
+  "lud_runtime_tests.pdb"
+  "lud_runtime_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lud_runtime_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

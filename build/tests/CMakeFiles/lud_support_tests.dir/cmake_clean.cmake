@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lud_support_tests.dir/support/SupportTest.cpp.o"
+  "CMakeFiles/lud_support_tests.dir/support/SupportTest.cpp.o.d"
+  "lud_support_tests"
+  "lud_support_tests.pdb"
+  "lud_support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lud_support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

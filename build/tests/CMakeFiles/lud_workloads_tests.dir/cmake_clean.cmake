@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lud_workloads_tests.dir/workloads/PropertyTest.cpp.o"
+  "CMakeFiles/lud_workloads_tests.dir/workloads/PropertyTest.cpp.o.d"
+  "CMakeFiles/lud_workloads_tests.dir/workloads/StdLibTest.cpp.o"
+  "CMakeFiles/lud_workloads_tests.dir/workloads/StdLibTest.cpp.o.d"
+  "CMakeFiles/lud_workloads_tests.dir/workloads/WorkloadTest.cpp.o"
+  "CMakeFiles/lud_workloads_tests.dir/workloads/WorkloadTest.cpp.o.d"
+  "lud_workloads_tests"
+  "lud_workloads_tests.pdb"
+  "lud_workloads_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lud_workloads_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/lud_ir_tests[1]_include.cmake")
+include("/root/repo/build/tests/lud_runtime_tests[1]_include.cmake")
+include("/root/repo/build/tests/lud_profiling_tests[1]_include.cmake")
+include("/root/repo/build/tests/lud_analysis_tests[1]_include.cmake")
+include("/root/repo/build/tests/lud_workloads_tests[1]_include.cmake")
+include("/root/repo/build/tests/lud_support_tests[1]_include.cmake")
+add_test(cli_lud_run_report "/root/repo/build/src/tools/lud-run" "--all" "--top" "5" "/root/repo/examples/programs/chart.lud")
+set_tests_properties(cli_lud_run_report PROPERTIES  PASS_REGULAR_EXPRESSION "low-utility data structures" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;48;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_lud_run_baseline "/root/repo/build/src/tools/lud-run" "--baseline" "/root/repo/examples/programs/random7.lud")
+set_tests_properties(cli_lud_run_baseline PROPERTIES  PASS_REGULAR_EXPRESSION "status: finished" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;51;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_lud_gen_pipe "sh" "-c" "/root/repo/build/src/tools/lud-gen derby 64 > derby_tmp.lud && /root/repo/build/src/tools/lud-run --overwrites --dump-graph derby_tmp.graph derby_tmp.lud && test -s derby_tmp.graph")
+set_tests_properties(cli_lud_gen_pipe PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;54;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_lud_analyze_offline "sh" "-c" "/root/repo/build/src/tools/lud-run --dump-graph offline_tmp.graph /root/repo/examples/programs/chart.lud > /dev/null && /root/repo/build/src/tools/lud-analyze /root/repo/examples/programs/chart.lud offline_tmp.graph")
+set_tests_properties(cli_lud_analyze_offline PROPERTIES  PASS_REGULAR_EXPRESSION "low-utility data structures" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;62;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_two_stage_tuning "/root/repo/build/examples/two_stage_tuning")
+set_tests_properties(example_two_stage_tuning PROPERTIES  PASS_REGULAR_EXPRESSION "stage 2" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;66;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  PASS_REGULAR_EXPRESSION "Low-utility data structures" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;73;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_find_low_utility "/root/repo/build/examples/find_low_utility")
+set_tests_properties(example_find_low_utility PROPERTIES  PASS_REGULAR_EXPRESSION "eclipse finding" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;73;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_null_propagation "/root/repo/build/examples/null_propagation")
+set_tests_properties(example_null_propagation PROPERTIES  PASS_REGULAR_EXPRESSION "propagation flow" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;73;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_typestate_history "/root/repo/build/examples/typestate_history")
+set_tests_properties(example_typestate_history PROPERTIES  PASS_REGULAR_EXPRESSION "VIOLATION" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;73;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_copy_profiling "/root/repo/build/examples/copy_profiling")
+set_tests_properties(example_copy_profiling PROPERTIES  PASS_REGULAR_EXPRESSION "copy chains" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;73;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_dacapo_tour "/root/repo/build/examples/dacapo_tour")
+set_tests_properties(example_dacapo_tour PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;73;add_test;/root/repo/tests/CMakeLists.txt;0;")
