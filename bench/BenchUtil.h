@@ -20,6 +20,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 namespace lud {
 namespace bench {
@@ -29,6 +31,51 @@ inline int64_t tableScale() {
   if (const char *E = std::getenv("LUD_SCALE"))
     return std::strtoll(E, nullptr, 10);
   return 2000;
+}
+
+/// Machine-readable table output: when `--json` is on the command line or
+/// LUD_BENCH_JSON is set, each table row is also appended as a one-line
+/// JSON object `{name, scale, seconds, nodes, edges}` to
+/// BENCH_results.json (or to the file LUD_BENCH_JSON names, when its value
+/// is a path rather than "1"). Appending lets a CI job accumulate rows
+/// from several bench binaries into one file.
+inline bool &jsonRowsEnabled() {
+  static bool On = std::getenv("LUD_BENCH_JSON") != nullptr;
+  return On;
+}
+
+inline const char *jsonRowsPath() {
+  const char *E = std::getenv("LUD_BENCH_JSON");
+  if (E && *E && std::strcmp(E, "1") != 0)
+    return E;
+  return "BENCH_results.json";
+}
+
+/// Enables row emission if `--json` is present, and strips it from argv so
+/// benchmark::Initialize never sees the unknown flag.
+inline void initJsonRows(int *Argc, char **Argv) {
+  int W = 1;
+  for (int I = 1; I < *Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0) {
+      jsonRowsEnabled() = true;
+      continue;
+    }
+    Argv[W++] = Argv[I];
+  }
+  *Argc = W;
+}
+
+inline void emitJsonRow(const std::string &Name, int64_t Scale,
+                        double Seconds, size_t Nodes, size_t Edges) {
+  if (!jsonRowsEnabled())
+    return;
+  if (FILE *F = std::fopen(jsonRowsPath(), "a")) {
+    std::fprintf(F,
+                 "{\"name\": \"%s\", \"scale\": %lld, \"seconds\": %.6f, "
+                 "\"nodes\": %zu, \"edges\": %zu}\n",
+                 Name.c_str(), (long long)Scale, Seconds, Nodes, Edges);
+    std::fclose(F);
+  }
 }
 
 /// Minimum wall time over \p Reps baseline runs (de-noised).

@@ -1,0 +1,106 @@
+//===- bench/parallel_driver_bench.cpp - Sharded driver throughput ---------===//
+//
+// Throughput of the parallel multi-workload driver against the sequential
+// baseline: the whole DaCapo suite profiled back to back on one thread
+// versus sharded over the pool, and one workload profiled in repeated
+// shards with the per-shard graphs merged. The merged graph's node and
+// edge counts are printed next to the sequential ones — they must match,
+// whatever the thread count (the fold is in shard-index order).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "workloads/ParallelDriver.h"
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+using namespace lud;
+using namespace lud::bench;
+
+namespace {
+
+unsigned poolThreads() {
+  if (const char *E = std::getenv("LUD_THREADS"))
+    return unsigned(std::strtoul(E, nullptr, 10));
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 4;
+}
+
+void printTable() {
+  const int64_t S = tableScale() / 4;
+  const unsigned Threads = poolThreads();
+  std::printf("=== Parallel driver: suite batch + sharded merge "
+              "(scale %lld, %u threads) ===\n",
+              (long long)S, Threads);
+
+  // Whole-suite batch: every DaCapo workload once.
+  std::vector<Workload> Ws;
+  std::vector<const Module *> Mods;
+  for (const std::string &Name : dacapoNames()) {
+    Ws.push_back(buildWorkload(Name, S));
+    Mods.push_back(Ws.back().M.get());
+  }
+  ParallelConfig Seq;
+  Seq.Threads = 1;
+  ParallelConfig Par;
+  Par.Threads = Threads;
+  ParallelResult RSeq = runParallel(Mods, Seq);
+  ParallelResult RPar = runParallel(Mods, Par);
+  std::printf("suite of %zu: sequential %.3fs, %u threads %.3fs (%.2fx)\n",
+              Mods.size(), RSeq.Seconds, Threads, RPar.Seconds,
+              RPar.Seconds > 0 ? RSeq.Seconds / RPar.Seconds : 0);
+  emitJsonRow("parallel_driver/suite_seq", S, RSeq.Seconds, 0, 0);
+  emitJsonRow("parallel_driver/suite_par", S, RPar.Seconds, 0, 0);
+
+  // Sharded merge on one workload: graphs must agree with sequential.
+  Workload W = buildWorkload("eclipse", S);
+  const unsigned Shards = 8;
+  ParallelConfig One = Seq;
+  ShardedRun A = runShardedProfiled(*W.M, Shards, One);
+  ShardedRun B = runShardedProfiled(*W.M, Shards, Par);
+  const DepGraph &GA = A.Prof->graph();
+  const DepGraph &GB = B.Prof->graph();
+  std::printf("eclipse x%u shards: 1 thread %.3fs (N=%zu E=%zu), "
+              "%u threads %.3fs (N=%zu E=%zu) %s\n\n",
+              Shards, A.Seconds, GA.numNodes(), GA.numEdges(), Threads,
+              B.Seconds, GB.numNodes(), GB.numEdges(),
+              GA.numNodes() == GB.numNodes() && GA.numEdges() == GB.numEdges()
+                  ? "[graphs match]"
+                  : "[GRAPH MISMATCH]");
+  emitJsonRow("parallel_driver/eclipse_shards", S, B.Seconds, GB.numNodes(),
+              GB.numEdges());
+}
+
+/// Timing aspect: the full suite batch at a given thread count.
+void BM_SuiteBatch(benchmark::State &State) {
+  const int64_t S = tableScale() / 8;
+  std::vector<Workload> Ws;
+  std::vector<const Module *> Mods;
+  for (const std::string &Name : dacapoNames()) {
+    Ws.push_back(buildWorkload(Name, S));
+    Mods.push_back(Ws.back().M.get());
+  }
+  ParallelConfig Cfg;
+  Cfg.Threads = unsigned(State.range(0));
+  for (auto _ : State) {
+    ParallelResult R = runParallel(Mods, Cfg);
+    benchmark::DoNotOptimize(R.Runs.size());
+  }
+  State.counters["threads"] = double(Cfg.Threads);
+}
+
+} // namespace
+
+BENCHMARK(BM_SuiteBatch)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  initJsonRows(&argc, argv);
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

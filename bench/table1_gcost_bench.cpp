@@ -40,6 +40,9 @@ void printTable() {
       std::printf(" %8zu %8zu %9.1f %6.1f %6.3f %s", G.numNodes(),
                   G.numEdges(), MemKB, Overhead, P.Prof->averageCR(),
                   Slots == 8 ? "|" : "");
+      if (Slots == 16)
+        emitJsonRow("table1_gcost/" + Name, S, P.Seconds, G.numNodes(),
+                    G.numEdges());
     }
     std::printf("\n");
   }
@@ -77,6 +80,7 @@ BENCHMARK(BM_BaselineRun)->DenseRange(0, 17)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ProfiledRun)->DenseRange(0, 17)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char **argv) {
+  initJsonRows(&argc, argv);
   printTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -28,7 +28,7 @@ std::vector<CacheScore> lud::rankCacheEffectiveness(const CostModel &CM,
     // Spine: the allocation instances themselves...
     NodeId Alloc = G.allocNodeFor(Tag);
     if (Alloc != kNoNode)
-      S.SpineCost += double(G.node(Alloc).Freq);
+      S.SpineCost += double(G.freq(Alloc));
 
     for (FieldSlot Slot : CM.fieldsOf(Tag)) {
       HeapLoc L{Tag, Slot};
@@ -36,11 +36,11 @@ std::vector<CacheScore> lud::rankCacheEffectiveness(const CostModel &CM,
       auto WIt = G.writers().find(L);
       if (WIt != G.writers().end())
         for (NodeId W : WIt->second)
-          Writes += G.node(W).Freq;
+          Writes += G.freq(W);
       auto RIt = G.readers().find(L);
       if (RIt != G.readers().end())
         for (NodeId R : RIt->second)
-          Reads += G.node(R).Freq;
+          Reads += G.freq(R);
       S.Writes += Writes;
       S.Reads += Reads;
       // ...plus the store instances maintaining it (one instance each;

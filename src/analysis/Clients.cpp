@@ -106,7 +106,7 @@ std::vector<MethodCostRow> lud::computeMethodCosts(const CostModel &CM,
       Row.Func = F;
       Row.Name = M.getFunction(F)->getName();
     }
-    Row.OwnFreq += Node.Freq;
+    Row.OwnFreq += G.freq(N);
     if (isa<ReturnInst>(I)) {
       RetHracSum[F] += CM.hrac(N);
       ++Row.ReturnNodes;

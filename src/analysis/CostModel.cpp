@@ -38,7 +38,7 @@ uint64_t closureFreq(const DepGraph &G, NodeId Start, bool Forward,
     NodeId N = Work.back();
     Work.pop_back();
     const DepGraph::Node &Node = G.node(N);
-    Sum += Node.Freq;
+    Sum += G.freq(N);
     OnVisit(Node);
     const std::vector<NodeId> &Next = Forward ? Node.Out : Node.In;
     for (NodeId M : Next) {

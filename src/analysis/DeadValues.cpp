@@ -65,7 +65,7 @@ DeadValueAnalysis lud::computeDeadValues(const DepGraph &G,
     if (!IsConsumer && !ReachesPred[I] && !ReachesNative[I]) {
       Out.Dead[I] = true;
       ++Out.Metrics.DeadNodes;
-      Out.Metrics.DeadFreq += Node.Freq;
+      Out.Metrics.DeadFreq += G.freq(I);
       continue;
     }
     // P*: every forward path ends at a predicate — it reaches predicates
@@ -73,7 +73,7 @@ DeadValueAnalysis lud::computeDeadValues(const DepGraph &G,
     if (!IsConsumer && ReachesPred[I] && !ReachesNative[I] &&
         !ReachesDead[I]) {
       Out.PredicateOnly[I] = true;
-      Out.Metrics.PredOnlyFreq += Node.Freq;
+      Out.Metrics.PredOnlyFreq += G.freq(I);
     }
   }
   return Out;

@@ -21,7 +21,7 @@ uint64_t budgetedClosure(const DepGraph &G, NodeId Start, bool Forward,
   std::vector<std::pair<NodeId, unsigned>> Work;
   BestBudget[Start] = Budget;
   Work.push_back({Start, Budget});
-  uint64_t Sum = G.node(Start).Freq;
+  uint64_t Sum = G.freq(Start);
   OnVisit(G.node(Start));
 
   while (!Work.empty()) {
@@ -42,7 +42,7 @@ uint64_t budgetedClosure(const DepGraph &G, NodeId Start, bool Forward,
       if (It != BestBudget.end() && It->second >= NextBudget)
         continue;
       if (It == BestBudget.end()) {
-        Sum += G.node(M).Freq;
+        Sum += G.freq(M);
         OnVisit(G.node(M));
         BestBudget.emplace(M, NextBudget);
       } else {

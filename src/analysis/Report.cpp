@@ -36,11 +36,11 @@ LowUtilityReport::LowUtilityReport(const CostModel &CM, const Module &M,
       auto WIt = G.writers().find(HeapLoc{Tag, Slot});
       if (WIt != G.writers().end())
         for (NodeId W : WIt->second)
-          S.Writes += G.node(W).Freq;
+          S.Writes += G.freq(W);
       auto RIt = G.readers().find(HeapLoc{Tag, Slot});
       if (RIt != G.readers().end())
         for (NodeId R : RIt->second)
-          S.Reads += G.node(R).Freq;
+          S.Reads += G.freq(R);
     }
   }
 

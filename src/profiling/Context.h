@@ -36,6 +36,8 @@ public:
   void reset() {
     Stack.clear();
     Stack.push_back(0);
+    SlotStack.clear();
+    SlotStack.push_back(0);
   }
 
   /// Enters a callee. Instance methods extend the chain with the receiver's
@@ -45,20 +47,27 @@ public:
   /// chain of site 0.
   void pushCall(bool ExtendsChain, AllocSiteId ReceiverSite) {
     uint64_t G = Stack.back();
-    if (ExtendsChain)
+    uint32_t S = SlotStack.back();
+    if (ExtendsChain) {
       G = 3 * G + uint64_t(ReceiverSite) + 1;
+      S = uint32_t(G % Slots);
+    }
     Stack.push_back(G);
+    SlotStack.push_back(S);
   }
 
   void popCall() {
     assert(Stack.size() > 1 && "context stack underflow");
     Stack.pop_back();
+    SlotStack.pop_back();
   }
 
   /// Encoded context value g of the current frame.
   uint64_t current() const { return Stack.back(); }
-  /// h(c): the bounded-domain element, i.e. g mod s.
-  uint32_t slot() const { return uint32_t(Stack.back() % Slots); }
+  /// h(c): the bounded-domain element, i.e. g mod s. The slots are carried
+  /// on a parallel stack so the (non-power-of-two in general) modulo is
+  /// paid once per chain-extending call, not once per profiler event.
+  uint32_t slot() const { return SlotStack.back(); }
   uint32_t numSlots() const { return Slots; }
   size_t depth() const { return Stack.size(); }
 
@@ -68,6 +77,7 @@ public:
 private:
   uint32_t Slots;
   std::vector<uint64_t> Stack;
+  std::vector<uint32_t> SlotStack;
 };
 
 } // namespace lud

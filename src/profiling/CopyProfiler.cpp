@@ -18,7 +18,7 @@ OriginId CopyProfiler::intern(const HeapLoc &L) {
 
 NodeId CopyProfiler::hit(const Instruction &I, OriginId Origin) {
   NodeId N = G.getOrCreate(I.getId(), Origin);
-  ++G.node(N).Freq;
+  ++G.freq(N);
   return N;
 }
 
@@ -153,7 +153,7 @@ void CopyProfiler::onPredicate(const CondBrInst &I, bool) {
   NodeId N = G.getOrCreate(I.getId(), kNoDomain);
   DepGraph::Node &Node = G.node(N);
   Node.Consumer = ConsumerKind::Predicate;
-  ++Node.Freq;
+  ++G.freq(N);
   edgeFrom(regs()[I.Lhs], N);
   edgeFrom(regs()[I.Rhs], N);
 }
@@ -162,7 +162,7 @@ void CopyProfiler::onNativeCall(const NativeCallInst &I) {
   NodeId N = G.getOrCreate(I.getId(), kNoDomain);
   DepGraph::Node &Node = G.node(N);
   Node.Consumer = ConsumerKind::Native;
-  ++Node.Freq;
+  ++G.freq(N);
   for (Reg A : I.Args)
     edgeFrom(regs()[A], N);
   if (I.Dst != kNoReg)

@@ -2,26 +2,76 @@
 
 #include "profiling/DepGraph.h"
 
+#include <cassert>
+
 using namespace lud;
+
+std::vector<NodeId> DepGraph::mergeFrom(const DepGraph &O) {
+  assert((Nodes.empty() || ContextSlots == O.ContextSlots) &&
+         "merging graphs built with different context-slot counts");
+  if (Nodes.empty())
+    ContextSlots = O.ContextSlots;
+  Nodes.reserve(Nodes.size() + O.Nodes.size());
+
+  // Re-intern O's nodes in id order (O's creation order, i.e. first-use
+  // order of its run), so a merge into an empty graph reproduces O's
+  // numbering exactly.
+  std::vector<NodeId> Remap(O.Nodes.size(), kNoNode);
+  for (NodeId N = 0, E = NodeId(O.Nodes.size()); N != E; ++N) {
+    const Node &Src = O.Nodes[N];
+    NodeId Mine = getOrCreate(Src.Instr, Src.Domain);
+    Remap[N] = Mine;
+    Node &Dst = Nodes[Mine];
+    Freqs[Mine] += O.Freqs[N];
+    Dst.ReadsHeap |= Src.ReadsHeap;
+    Dst.WritesHeap |= Src.WritesHeap;
+    Dst.IsAlloc |= Src.IsAlloc;
+    Dst.StoredRef |= Src.StoredRef;
+    // Last-writer-wins fields: O plays the part of the later run.
+    if (Src.Consumer != ConsumerKind::None)
+      Dst.Consumer = Src.Consumer;
+    if (Src.Effect != EffectKind::None) {
+      Dst.Effect = Src.Effect;
+      Dst.EffectLoc = Src.EffectLoc;
+    }
+  }
+
+  for (NodeId N = 0, E = NodeId(O.Nodes.size()); N != E; ++N)
+    for (NodeId S : O.Nodes[N].Out)
+      addEdge(Remap[N], Remap[S]);
+  for (auto [Store, Alloc] : O.RefEdges)
+    addRefEdge(Remap[Store], Remap[Alloc]);
+
+  for (const auto &[Tag, N] : O.AllocNodeByTag)
+    noteAlloc(Tag, Remap[N]);
+  for (const auto &[Loc, Ns] : O.Writers)
+    for (NodeId N : Ns)
+      noteWriter(Loc, Remap[N]);
+  for (const auto &[Loc, Ns] : O.Readers)
+    for (NodeId N : Ns)
+      noteReader(Loc, Remap[N]);
+  for (const auto &[Loc, Children] : O.RefChildren)
+    for (uint64_t C : Children)
+      noteRefChild(Loc, C);
+  return Remap;
+}
 
 DepGraph::MemoryFootprint DepGraph::memoryFootprint() const {
   MemoryFootprint F;
-  F.NodeBytes = Nodes.capacity() * sizeof(Node);
+  F.NodeBytes = Nodes.capacity() * sizeof(Node) +
+                Freqs.capacity() * sizeof(uint64_t);
   for (const Node &N : Nodes)
     F.NodeBytes += (N.In.capacity() + N.Out.capacity()) * sizeof(NodeId);
-  // Key map + dedup sets: estimate with typical per-entry bucket overheads.
-  F.NodeBytes += NodeByKey.size() * (sizeof(uint64_t) + sizeof(NodeId) + 16);
-  F.EdgeBytes = EdgeSet.size() * (sizeof(uint64_t) + 16) +
-                RefEdgeSet.size() * (sizeof(uint64_t) + 16) +
+  F.NodeBytes += NodeByKey.memoryBytes();
+  F.EdgeBytes = EdgeSet.memoryBytes() + RefEdgeSet.memoryBytes() +
                 RefEdges.capacity() * sizeof(std::pair<NodeId, NodeId>);
-  size_t LocEntries = 0;
+  F.LocMapBytes = Writers.memoryBytes() + Readers.memoryBytes() +
+                  RefChildren.memoryBytes() + AllocNodeByTag.memoryBytes();
   for (const auto &[L, V] : Writers)
-    LocEntries += 1 + V.capacity();
+    F.LocMapBytes += V.capacity() * sizeof(NodeId);
   for (const auto &[L, V] : Readers)
-    LocEntries += 1 + V.capacity();
+    F.LocMapBytes += V.capacity() * sizeof(NodeId);
   for (const auto &[L, V] : RefChildren)
-    LocEntries += 1 + V.capacity();
-  F.LocMapBytes = LocEntries * (sizeof(HeapLoc) + 16) +
-                  AllocNodeByTag.size() * (sizeof(uint64_t) + 16);
+    F.LocMapBytes += V.capacity() * sizeof(uint64_t);
   return F;
 }

@@ -18,17 +18,26 @@
 /// per-abstract-heap-location writer/reader/points-to maps the relative
 /// cost-benefit analysis aggregates over.
 ///
+/// All interning tables are flat open-addressing tables (support/FlatMap.h)
+/// rather than node-based std containers: Definition 2 bounds the node set
+/// by |I| x s, so the tables can be sized up front and every profiling
+/// event resolves its node and edge membership in O(1) probes on
+/// contiguous memory. addEdge additionally memoizes the last inserted edge
+/// key, because consecutive dynamic instances of the same static
+/// instruction pair produce the same abstract edge (see docs/PERFORMANCE.md).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LUD_PROFILING_DEPGRAPH_H
 #define LUD_PROFILING_DEPGRAPH_H
 
 #include "ir/Ids.h"
+#include "support/FlatMap.h"
+#include "support/FlatSet.h"
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 namespace lud {
@@ -58,6 +67,15 @@ struct HeapLocHash {
   }
 };
 
+/// Vacant-slot marker for HeapLoc-keyed flat tables. The tag is kNoTag,
+/// which every noteStore/noteReader call site filters out before insertion.
+struct HeapLocEmpty {
+  static HeapLoc value() { return HeapLoc{~uint64_t(0), ~FieldSlot(0)}; }
+};
+
+template <typename ValueT>
+using HeapLocMap = FlatMap<HeapLoc, ValueT, HeapLocHash, HeapLocEmpty>;
+
 /// The paper's heap-effect kinds: 'U' (underlined, allocation), 'B' (boxed,
 /// heap store), 'C' (circled, heap load).
 enum class EffectKind : uint8_t { None, Alloc, Store, Load };
@@ -70,10 +88,14 @@ inline constexpr uint64_t kStaticTagBase = uint64_t(1) << 62;
 
 class DepGraph {
 public:
+  /// Per-node decorations. Execution frequencies live in a dense parallel
+  /// array (freq()) rather than here: the frequency bump is the single
+  /// hottest graph touch (once per tracked instruction instance), and at
+  /// 8 bytes per node the counters of a whole loop body stay in L1, where
+  /// the ~100-byte Node records would not.
   struct Node {
     InstrId Instr = kNoInstr;
     uint32_t Domain = kNoDomain;
-    uint64_t Freq = 0;
     ConsumerKind Consumer = ConsumerKind::None;
     EffectKind Effect = EffectKind::None;
     /// Most recent heap effect location (last-writer-wins, as in the
@@ -96,13 +118,14 @@ public:
   /// Returns the node for (Instr, Domain), creating it on first use.
   NodeId getOrCreate(InstrId Instr, uint32_t Domain) {
     uint64_t Key = (uint64_t(Instr) << 32) | Domain;
-    auto [It, Inserted] = NodeByKey.try_emplace(Key, NodeId(Nodes.size()));
+    auto [Id, Inserted] = NodeByKey.insert(Key, NodeId(Nodes.size()));
     if (Inserted) {
       Nodes.emplace_back();
       Nodes.back().Instr = Instr;
       Nodes.back().Domain = Domain;
+      Freqs.push_back(0);
     }
-    return It->second;
+    return Id;
   }
 
   /// Returns the node for (Instr, Domain) or kNoNode.
@@ -113,15 +136,29 @@ public:
 
   Node &node(NodeId N) { return Nodes[N]; }
   const Node &node(NodeId N) const { return Nodes[N]; }
+  /// Execution frequency of node \p N (instances covered by the node).
+  uint64_t &freq(NodeId N) { return Freqs[N]; }
+  uint64_t freq(NodeId N) const { return Freqs[N]; }
   size_t numNodes() const { return Nodes.size(); }
   size_t numEdges() const { return EdgeSet.size(); }
   size_t numRefEdges() const { return RefEdgeSet.size(); }
 
-  /// Records a def-use edge From -> To (dedup'd).
+  /// Records a def-use edge From -> To (dedup'd). The direct-mapped memo of
+  /// recently seen edge keys short-circuits the duplicate case: a hot loop
+  /// re-executes the same static def-use pairs cyclically with the same
+  /// domain elements millions of times, and the loop body's edge working
+  /// set is tiny, so nearly every event hits the memo and skips the
+  /// interning table entirely.
   void addEdge(NodeId From, NodeId To) {
     if (From == To)
       return;
-    if (!EdgeSet.insert(edgeKey(From, To)).second)
+    uint64_t Key = edgeKey(From, To);
+    uint64_t &Memo = RecentEdges[(Key * 0x9E3779B97F4A7C15ULL) >>
+                                 (64 - kRecentEdgeBits)];
+    if (HotPathMemo && Memo == Key)
+      return;
+    Memo = Key;
+    if (!EdgeSet.insert(Key))
       return;
     Nodes[From].Out.push_back(To);
     Nodes[To].In.push_back(From);
@@ -130,11 +167,34 @@ public:
   /// Records a reference edge: heap-store node -> allocation node of the
   /// object whose field was written (Figure 3's dashed arrows).
   void addRefEdge(NodeId Store, NodeId Alloc) {
-    if (RefEdgeSet.insert(edgeKey(Store, Alloc)).second)
+    uint64_t Key = edgeKey(Store, Alloc);
+    if (HotPathMemo && Key == LastRefEdgeKey)
+      return;
+    LastRefEdgeKey = Key;
+    if (RefEdgeSet.insert(Key))
       RefEdges.emplace_back(Store, Alloc);
   }
   const std::vector<std::pair<NodeId, NodeId>> &refEdges() const {
     return RefEdges;
+  }
+
+  /// Enables/disables the edge memos (on by default; the cache-free
+  /// reference path of the equivalence tests turns them off).
+  void setHotPathMemo(bool On) {
+    HotPathMemo = On;
+    RecentEdges.fill(~uint64_t(0));
+    LastRefEdgeKey = ~uint64_t(0);
+  }
+
+  /// Pre-sizes the interning tables for a module with \p NumInstrs static
+  /// instructions. Definition 2 bounds nodes by |I| x s, but CR ~ 0 means
+  /// most instructions see one context slot, so the expected node count is
+  /// ~|I|; edges are a small multiple of that.
+  void reserveForRun(uint32_t NumInstrs) {
+    Nodes.reserve(NumInstrs);
+    Freqs.reserve(NumInstrs);
+    NodeByKey.reserve(NumInstrs);
+    EdgeSet.reserve(size_t(NumInstrs) * 2);
   }
 
   //===--------------------------------------------------------------------===
@@ -147,7 +207,7 @@ public:
     auto It = AllocNodeByTag.find(Tag);
     return It == AllocNodeByTag.end() ? kNoNode : It->second;
   }
-  const std::unordered_map<uint64_t, NodeId> &allocNodes() const {
+  const FlatMap<uint64_t, NodeId> &allocNodes() const {
     return AllocNodeByTag;
   }
 
@@ -161,16 +221,9 @@ public:
     insertUnique(RefChildren[L], ChildTag);
   }
 
-  const std::unordered_map<HeapLoc, std::vector<NodeId>, HeapLocHash> &
-  writers() const {
-    return Writers;
-  }
-  const std::unordered_map<HeapLoc, std::vector<NodeId>, HeapLocHash> &
-  readers() const {
-    return Readers;
-  }
-  const std::unordered_map<HeapLoc, std::vector<uint64_t>, HeapLocHash> &
-  refChildren() const {
+  const HeapLocMap<std::vector<NodeId>> &writers() const { return Writers; }
+  const HeapLocMap<std::vector<NodeId>> &readers() const { return Readers; }
+  const HeapLocMap<std::vector<uint64_t>> &refChildren() const {
     return RefChildren;
   }
 
@@ -197,10 +250,19 @@ public:
   /// Sum of node frequencies: the instruction instances the graph covers.
   uint64_t totalFreq() const {
     uint64_t Sum = 0;
-    for (const Node &N : Nodes)
-      Sum += N.Freq;
+    for (uint64_t F : Freqs)
+      Sum += F;
     return Sum;
   }
+
+  /// Merges \p O into this graph: nodes are re-interned by their
+  /// (instruction, domain) key, frequencies are summed, edges and the
+  /// location/decoration maps are unioned, and last-writer-wins fields
+  /// (Effect, EffectLoc, allocation nodes) take \p O's value, treating \p O
+  /// as the later of two sequential runs. Returns the node renumbering
+  /// (O's NodeId -> this graph's NodeId) so profiler-level per-node state
+  /// can be merged too. Both graphs must use the same context-slot count.
+  std::vector<NodeId> mergeFrom(const DepGraph &O);
 
   /// Approximate resident bytes of the retained graph (Table 1's M column:
   /// nodes, edges, location maps; excludes the shadow heap, as the paper's
@@ -219,6 +281,11 @@ private:
   }
   template <typename T>
   static void insertUnique(std::vector<T> &V, const T &X) {
+    // Fast path: the profiler notes the same (location, node) pair on
+    // every dynamic instance, so the duplicate is almost always the entry
+    // appended last.
+    if (!V.empty() && V.back() == X)
+      return;
     for (const T &E : V)
       if (E == X)
         return;
@@ -226,15 +293,32 @@ private:
   }
 
   std::vector<Node> Nodes;
-  std::unordered_map<uint64_t, NodeId> NodeByKey;
-  std::unordered_set<uint64_t> EdgeSet;
-  std::unordered_set<uint64_t> RefEdgeSet;
+  /// Execution frequencies, parallel to Nodes (see the Node doc comment).
+  std::vector<uint64_t> Freqs;
+  FlatMap<uint64_t, NodeId> NodeByKey;
+  FlatSet<uint64_t> EdgeSet;
+  FlatSet<uint64_t> RefEdgeSet;
   std::vector<std::pair<NodeId, NodeId>> RefEdges;
-  std::unordered_map<uint64_t, NodeId> AllocNodeByTag;
-  std::unordered_map<HeapLoc, std::vector<NodeId>, HeapLocHash> Writers;
-  std::unordered_map<HeapLoc, std::vector<NodeId>, HeapLocHash> Readers;
-  std::unordered_map<HeapLoc, std::vector<uint64_t>, HeapLocHash> RefChildren;
+  FlatMap<uint64_t, NodeId> AllocNodeByTag;
+  HeapLocMap<std::vector<NodeId>> Writers;
+  HeapLocMap<std::vector<NodeId>> Readers;
+  HeapLocMap<std::vector<uint64_t>> RefChildren;
+  /// Direct-mapped cache of recently inserted edge keys. ~0 doubles as the
+  /// vacant marker; it is never a real key (kNoNode is filtered upstream).
+  /// 512 entries (4 KiB) covers the loop-body edge working set without
+  /// crowding L1 — the duplicate-edge rate is ~10^5:1, so conflict misses
+  /// here are the dominant residual cost of addEdge.
+  static constexpr unsigned kRecentEdgeBits = 9;
+  std::array<uint64_t, 1u << kRecentEdgeBits> RecentEdges = makeVacantMemo();
+  uint64_t LastRefEdgeKey = ~uint64_t(0);
+  bool HotPathMemo = true;
   uint32_t ContextSlots = 1;
+
+  static std::array<uint64_t, 1u << kRecentEdgeBits> makeVacantMemo() {
+    std::array<uint64_t, 1u << kRecentEdgeBits> A;
+    A.fill(~uint64_t(0));
+    return A;
+  }
 };
 
 } // namespace lud

@@ -20,7 +20,7 @@ void lud::writeGraph(const DepGraph &G, OutStream &OS) {
     std::snprintf(
         Buf, sizeof(Buf),
         "node %u %u %u %" PRIu64 " %u %u %" PRIu64 " %u %d %d %d %d\n", N,
-        Node.Instr, Node.Domain, Node.Freq, unsigned(Node.Consumer),
+        Node.Instr, Node.Domain, G.freq(N), unsigned(Node.Consumer),
         unsigned(Node.Effect), Node.EffectLoc.Tag, Node.EffectLoc.Slot,
         int(Node.ReadsHeap), int(Node.WritesHeap), int(Node.IsAlloc),
         int(Node.StoredRef));
@@ -88,7 +88,7 @@ std::unique_ptr<DepGraph> lud::readGraph(std::string_view Text,
       if (N != NodeId(Id))
         return Fail(LineNo, "node ids out of order");
       DepGraph::Node &Node = G->node(N);
-      Node.Freq = Freq;
+      G->freq(N) = Freq;
       Node.Consumer = ConsumerKind(Consumer);
       Node.Effect = EffectKind(Effect);
       Node.EffectLoc = {Tag, FieldSlot(Slot)};

@@ -11,7 +11,7 @@ using namespace lud;
 
 NodeId NullnessProfiler::hit(const Instruction &I, bool IsNull) {
   NodeId N = G.getOrCreate(I.getId(), IsNull ? kNullDom : kNotNullDom);
-  ++G.node(N).Freq;
+  ++G.freq(N);
   return N;
 }
 
@@ -124,7 +124,7 @@ void NullnessProfiler::onPredicate(const CondBrInst &I, bool) {
   NodeId N = G.getOrCreate(I.getId(), kNoDomain);
   DepGraph::Node &Node = G.node(N);
   Node.Consumer = ConsumerKind::Predicate;
-  ++Node.Freq;
+  ++G.freq(N);
   edgeFrom(regs()[I.Lhs], N);
   edgeFrom(regs()[I.Rhs], N);
 }
@@ -133,7 +133,7 @@ void NullnessProfiler::onNativeCall(const NativeCallInst &I) {
   NodeId N = G.getOrCreate(I.getId(), kNoDomain);
   DepGraph::Node &Node = G.node(N);
   Node.Consumer = ConsumerKind::Native;
-  ++Node.Freq;
+  ++G.freq(N);
   for (Reg A : I.Args)
     edgeFrom(regs()[A], N);
   if (I.Dst != kNoReg)

@@ -4,23 +4,40 @@
 
 #include "ir/Module.h"
 
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
 using namespace lud;
 
 SlicingProfiler::SlicingProfiler(SlicingConfig Cfg)
     : Cfg(Cfg), Ctx(Cfg.ContextSlots) {
   G.setContextSlots(Cfg.ContextSlots);
+  G.setHotPathMemo(Cfg.HotPathCaches);
   Ctx.reset();
 }
 
 NodeId SlicingProfiler::hit(const Instruction &I, uint32_t Domain) {
-  NodeId Id = G.getOrCreate(I.getId(), Domain);
-  DepGraph::Node &N = G.node(Id);
-  if (N.Freq == 0) {
+  InstrId Instr = I.getId();
+  if (Instr < HitMemo.size()) {
+    InstrMemo &Memo = HitMemo[Instr];
+    if (Memo.Node != kNoNode && Memo.Domain == Domain) {
+      ++G.freq(Memo.Node);
+      return Memo.Node;
+    }
+  }
+  NodeId Id = G.getOrCreate(Instr, Domain);
+  uint64_t &F = G.freq(Id);
+  if (F == 0) {
+    DepGraph::Node &N = G.node(Id);
     N.ReadsHeap = I.readsHeap();
     N.WritesHeap = I.writesHeap();
     N.IsAlloc = I.isAlloc();
   }
-  ++N.Freq;
+  ++F;
+  if (Instr < HitMemo.size())
+    HitMemo[Instr] = {Domain, Id};
   return Id;
 }
 
@@ -29,10 +46,8 @@ SlicingProfiler::ShadowObject &SlicingProfiler::ensureShadow(ObjId O) {
     HeapShadow.resize(H->idBound());
   ShadowObject &SO = HeapShadow[O];
   size_t Need = H->obj(O).Slots.size();
-  if (SO.Slots.size() < Need) {
-    SO.Slots.resize(Need, kNoNode);
-    SO.States.resize(Need, Virgin);
-  }
+  if (SO.Slots.size() < Need)
+    SO.Slots.resize(Need, packSlot(kNoNode, Virgin));
   return SO;
 }
 
@@ -41,6 +56,15 @@ void SlicingProfiler::onRunStart(const Module &Mod, Heap &Heap_) {
   H = &Heap_;
   StaticShadow.assign(Mod.globals().size(), kNoNode);
   StaticStates.assign(Mod.globals().size(), Virgin);
+  // Per-run shadow state resets so a profiler can be reused across runs
+  // (accumulating one graph), matching a merge of single-run profilers.
+  HeapShadow.clear();
+  PendingRet = kNoNode;
+  if (Cfg.HotPathCaches) {
+    if (HitMemo.size() != Mod.getNumInstrs())
+      HitMemo.assign(Mod.getNumInstrs(), InstrMemo{});
+    G.reserveForRun(Mod.getNumInstrs());
+  }
   Enabled = (Cfg.TrackedPhaseMask & 1) != 0;
 }
 
@@ -48,11 +72,17 @@ void SlicingProfiler::onRunEnd() {}
 
 void SlicingProfiler::onEntryFrame(const Function &F) {
   Ctx.reset();
-  RegShadow.clear();
-  RegShadow.emplace_back(F.getNumRegs(), kNoNode);
+  if (RegShadow.empty())
+    RegShadow.emplace_back();
+  RegShadow[0].assign(F.getNumRegs(), kNoNode);
+  FrameDepth = 1;
+  CurRegs = RegShadow[0].data();
   FuncStack.assign(1, F.getId());
-  if (Enabled && Cfg.TrackCR)
-    SeenContexts[F.getId()].insert(Ctx.current());
+  if (Enabled && Cfg.TrackCR) {
+    seenContextsFor(F.getId()).insert(Ctx.current());
+    LastCtxFunc = F.getId();
+    LastCtxVal = Ctx.current();
+  }
 }
 
 void SlicingProfiler::onPhase(int64_t Phase) {
@@ -145,26 +175,21 @@ void SlicingProfiler::onLoadField(const LoadFieldInst &I, ObjId Base,
   }
   NodeId N = hit(I, dom());
   ShadowObject &SO = ensureShadow(Base);
-  edgeFrom(SO.Slots[I.Slot], N);
+  uint64_t &E = SO.Slots[I.Slot];
+  edgeFrom(slotNode(E), N);
   if (!Cfg.ThinSlicing)
     edgeFrom(regs()[I.Base], N);
-  if (SO.States[I.Slot] == WrittenUnread)
-    SO.States[I.Slot] = WrittenRead;
+  if (slotState(E) == WrittenUnread)
+    E = packSlot(slotNode(E), WrittenRead);
   regs()[I.Dst] = N;
-  uint64_t Tag = H->obj(Base).Tag;
-  if (Tag == kNoTag)
-    return;
-  DepGraph::Node &Node = G.node(N);
-  Node.Effect = EffectKind::Load;
-  Node.EffectLoc = {Tag, I.Slot};
-  G.noteReader(Node.EffectLoc, N);
-  ++Activity[Node.EffectLoc].Reads;
+  noteLoad(N, H->obj(Base).Tag, I.Slot);
 }
 
 void SlicingProfiler::onStoreField(const StoreFieldInst &I, ObjId Base,
                                    const Value &Stored) {
   if (!Enabled) {
-    ensureShadow(Base).Slots[I.Slot] = kNoNode;
+    uint64_t &E = ensureShadow(Base).Slots[I.Slot];
+    E = packSlot(kNoNode, slotState(E));
     return;
   }
   NodeId N = hit(I, dom());
@@ -172,13 +197,13 @@ void SlicingProfiler::onStoreField(const StoreFieldInst &I, ObjId Base,
   if (!Cfg.ThinSlicing)
     edgeFrom(regs()[I.Base], N);
   ShadowObject &SO = ensureShadow(Base);
-  if (SO.States[I.Slot] == WrittenUnread) {
+  uint64_t &E = SO.Slots[I.Slot];
+  if (slotState(E) == WrittenUnread) {
     uint64_t Tag = H->obj(Base).Tag;
     if (Tag != kNoTag)
       ++Activity[HeapLoc{Tag, I.Slot}].Overwrites;
   }
-  SO.Slots[I.Slot] = N;
-  SO.States[I.Slot] = WrittenUnread;
+  E = packSlot(N, WrittenUnread);
   noteStore(N, H->obj(Base).Tag, I.Slot, Stored);
 }
 
@@ -187,23 +212,74 @@ void SlicingProfiler::noteStore(NodeId N, uint64_t Tag, FieldSlot Slot,
   if (Tag == kNoTag)
     return;
   DepGraph::Node &Node = G.node(N);
-  Node.Effect = EffectKind::Store;
-  Node.EffectLoc = {Tag, Slot};
-  G.noteWriter(Node.EffectLoc, N);
-  ++Activity[Node.EffectLoc].Writes;
-  if (!DepGraph::isStaticTag(Tag)) {
-    NodeId Alloc = G.allocNodeFor(Tag);
-    if (Alloc != kNoNode)
-      G.addRefEdge(N, Alloc);
+  HeapLoc L{Tag, Slot};
+  // Steady state: this node stored to this abstract location before, so
+  // the writer map and reference edge are already recorded (the abstract
+  // location's allocation node is stable for a given tag) — only the
+  // activity counter and the reference-child set can change per event.
+  bool Same = Cfg.HotPathCaches && Node.Effect == EffectKind::Store &&
+              Node.EffectLoc == L;
+  if (!Same) {
+    Node.Effect = EffectKind::Store;
+    Node.EffectLoc = L;
+    G.noteWriter(L, N);
+    if (!DepGraph::isStaticTag(Tag)) {
+      NodeId Alloc = G.allocNodeFor(Tag);
+      if (Alloc != kNoNode)
+        G.addRefEdge(N, Alloc);
+    }
   }
+  ++activityRef(N, L, Same).Writes;
   if (Stored.isRef()) {
     Node.StoredRef = true;
     if (!Stored.isNullRef()) {
       uint64_t ChildTag = H->obj(Stored.R).Tag;
       if (ChildTag != kNoTag)
-        G.noteRefChild(Node.EffectLoc, ChildTag);
+        G.noteRefChild(L, ChildTag);
     }
   }
+}
+
+void SlicingProfiler::noteLoad(NodeId N, uint64_t Tag, FieldSlot Slot) {
+  if (Tag == kNoTag)
+    return;
+  DepGraph::Node &Node = G.node(N);
+  HeapLoc L{Tag, Slot};
+  bool Same = Cfg.HotPathCaches && Node.Effect == EffectKind::Load &&
+              Node.EffectLoc == L;
+  if (!Same) {
+    Node.Effect = EffectKind::Load;
+    Node.EffectLoc = L;
+    G.noteReader(L, N);
+  }
+  ++activityRef(N, L, Same).Reads;
+}
+
+LocationActivity &SlicingProfiler::activityRef(NodeId N, const HeapLoc &L,
+                                               bool LocUnchanged) {
+  if (!Cfg.HotPathCaches)
+    return Activity[L];
+  if (NodeAct.size() <= N)
+    NodeAct.resize(std::max(G.numNodes(), size_t(N) + 1));
+  ActMemo &M = NodeAct[N];
+  if (LocUnchanged && M.Valid && M.Gen == Activity.generation())
+    return Activity.valueAt(M.Slot);
+  size_t Idx = Activity.insertSlot(L).first;
+  M = {Activity.generation(), uint32_t(Idx), true};
+  return Activity.valueAt(Idx);
+}
+
+SlicingProfiler::PredicateOutcome &SlicingProfiler::predRef(NodeId N) {
+  if (!Cfg.HotPathCaches)
+    return PredOutcomes[N];
+  if (NodePred.size() <= N)
+    NodePred.resize(std::max(G.numNodes(), size_t(N) + 1));
+  ActMemo &M = NodePred[N];
+  if (M.Valid && M.Gen == PredOutcomes.generation())
+    return PredOutcomes.valueAt(M.Slot);
+  size_t Idx = PredOutcomes.insertSlot(N).first;
+  M = {PredOutcomes.generation(), uint32_t(Idx), true};
+  return PredOutcomes.valueAt(Idx);
 }
 
 void SlicingProfiler::onLoadStatic(const LoadStaticInst &I, const Value &) {
@@ -216,11 +292,7 @@ void SlicingProfiler::onLoadStatic(const LoadStaticInst &I, const Value &) {
   if (StaticStates[I.Global] == WrittenUnread)
     StaticStates[I.Global] = WrittenRead;
   regs()[I.Dst] = N;
-  DepGraph::Node &Node = G.node(N);
-  Node.Effect = EffectKind::Load;
-  Node.EffectLoc = {DepGraph::makeStaticTag(I.Global), 0};
-  G.noteReader(Node.EffectLoc, N);
-  ++Activity[Node.EffectLoc].Reads;
+  noteLoad(N, DepGraph::makeStaticTag(I.Global), 0);
 }
 
 void SlicingProfiler::onStoreStatic(const StoreStaticInst &I,
@@ -246,28 +318,23 @@ void SlicingProfiler::onLoadElem(const LoadElemInst &I, ObjId Base,
   }
   NodeId N = hit(I, dom());
   ShadowObject &SO = ensureShadow(Base);
-  edgeFrom(SO.Slots[Index], N);
+  uint64_t &E = SO.Slots[Index];
+  edgeFrom(slotNode(E), N);
   // The element index is a use even under thin slicing (Section 2.1).
   edgeFrom(regs()[I.Index], N);
   if (!Cfg.ThinSlicing)
     edgeFrom(regs()[I.Base], N);
-  if (SO.States[Index] == WrittenUnread)
-    SO.States[Index] = WrittenRead;
+  if (slotState(E) == WrittenUnread)
+    E = packSlot(slotNode(E), WrittenRead);
   regs()[I.Dst] = N;
-  uint64_t Tag = H->obj(Base).Tag;
-  if (Tag == kNoTag)
-    return;
-  DepGraph::Node &Node = G.node(N);
-  Node.Effect = EffectKind::Load;
-  Node.EffectLoc = {Tag, kElemSlot};
-  G.noteReader(Node.EffectLoc, N);
-  ++Activity[Node.EffectLoc].Reads;
+  noteLoad(N, H->obj(Base).Tag, kElemSlot);
 }
 
 void SlicingProfiler::onStoreElem(const StoreElemInst &I, ObjId Base,
                                   uint32_t Index, const Value &Stored) {
   if (!Enabled) {
-    ensureShadow(Base).Slots[Index] = kNoNode;
+    uint64_t &E = ensureShadow(Base).Slots[Index];
+    E = packSlot(kNoNode, slotState(E));
     return;
   }
   NodeId N = hit(I, dom());
@@ -276,13 +343,13 @@ void SlicingProfiler::onStoreElem(const StoreElemInst &I, ObjId Base,
   if (!Cfg.ThinSlicing)
     edgeFrom(regs()[I.Base], N);
   ShadowObject &SO = ensureShadow(Base);
-  if (SO.States[Index] == WrittenUnread) {
+  uint64_t &E = SO.Slots[Index];
+  if (slotState(E) == WrittenUnread) {
     uint64_t Tag = H->obj(Base).Tag;
     if (Tag != kNoTag)
       ++Activity[HeapLoc{Tag, kElemSlot}].Overwrites;
   }
-  SO.Slots[Index] = N;
-  SO.States[Index] = WrittenUnread;
+  E = packSlot(N, WrittenUnread);
   noteStore(N, H->obj(Base).Tag, kElemSlot, Stored);
 }
 
@@ -297,14 +364,7 @@ void SlicingProfiler::onArrayLen(const ArrayLenInst &I, ObjId Base) {
   if (!Cfg.ThinSlicing)
     edgeFrom(regs()[I.Base], N);
   regs()[I.Dst] = N;
-  uint64_t Tag = H->obj(Base).Tag;
-  if (Tag == kNoTag)
-    return;
-  DepGraph::Node &Node = G.node(N);
-  Node.Effect = EffectKind::Load;
-  Node.EffectLoc = {Tag, kLenSlot};
-  G.noteReader(Node.EffectLoc, N);
-  ++Activity[Node.EffectLoc].Reads;
+  noteLoad(N, H->obj(Base).Tag, kLenSlot);
 }
 
 void SlicingProfiler::onPredicate(const CondBrInst &I, bool Taken) {
@@ -314,7 +374,7 @@ void SlicingProfiler::onPredicate(const CondBrInst &I, bool Taken) {
   G.node(N).Consumer = ConsumerKind::Predicate;
   edgeFrom(regs()[I.Lhs], N);
   edgeFrom(regs()[I.Rhs], N);
-  PredicateOutcome &O = PredOutcomes[N];
+  PredicateOutcome &O = predRef(N);
   if (Taken)
     ++O.TakenCount;
   else
@@ -346,15 +406,30 @@ void SlicingProfiler::onCallEnter(const CallInst &I, const Function &Callee,
   }
   Ctx.pushCall(Extends, Site);
   // Tracking stack: formal parameters receive the actuals' shadows (rule
-  // METHOD ENTRY).
-  std::vector<NodeId> Params(Callee.getNumRegs(), kNoNode);
-  const std::vector<NodeId> &Caller = regs();
-  for (size_t A = 0, E = I.Args.size(); A != E; ++A)
+  // METHOD ENTRY). The frame buffer at this depth is reused across calls.
+  if (RegShadow.size() <= FrameDepth)
+    RegShadow.emplace_back();
+  std::vector<NodeId> &Params = RegShadow[FrameDepth];
+  size_t NumArgs = I.Args.size();
+  Params.resize(Callee.getNumRegs());
+  const std::vector<NodeId> &Caller = RegShadow[FrameDepth - 1];
+  for (size_t A = 0; A != NumArgs; ++A)
     Params[A] = Caller[I.Args[A]];
-  RegShadow.push_back(std::move(Params));
+  // Only the non-parameter registers need clearing; the first NumArgs
+  // were just overwritten with the actuals' shadows.
+  std::fill(Params.begin() + NumArgs, Params.end(), kNoNode);
+  ++FrameDepth;
+  CurRegs = Params.data();
   FuncStack.push_back(Callee.getId());
-  if (Enabled && Cfg.TrackCR)
-    SeenContexts[Callee.getId()].insert(Ctx.current());
+  if (Enabled && Cfg.TrackCR) {
+    uint64_t C = Ctx.current();
+    FuncId F = Callee.getId();
+    if (F != LastCtxFunc || C != LastCtxVal) {
+      seenContextsFor(F).insert(C);
+      LastCtxFunc = F;
+      LastCtxVal = C;
+    }
+  }
 }
 
 void SlicingProfiler::onReturn(const ReturnInst &I) {
@@ -364,8 +439,9 @@ void SlicingProfiler::onReturn(const ReturnInst &I) {
     edgeFrom(regs()[I.Src], N);
     PendingRet = N;
   }
-  if (RegShadow.size() > 1) {
-    RegShadow.pop_back();
+  if (FrameDepth > 1) {
+    --FrameDepth;
+    CurRegs = RegShadow[FrameDepth - 1].data();
     Ctx.popCall();
     FuncStack.pop_back();
   }
@@ -392,12 +468,12 @@ double SlicingProfiler::averageCR() const {
   uint64_t TotalInstrs = 0;
   for (const auto &[Func, Instrs] : InstrsByFunc) {
     double CR = 0;
-    auto It = SeenContexts.find(Func);
-    if (It != SeenContexts.end() && It->second.size() > 1) {
+    if (Func < SeenContexts.size() && SeenContexts[Func].size() > 1) {
+      const FlatSet<uint64_t> &Ctxs = SeenContexts[Func];
       std::unordered_set<uint32_t> UsedSlots;
-      for (uint64_t C : It->second)
+      for (uint64_t C : Ctxs)
         UsedSlots.insert(Ctx.slotOf(C));
-      double NumCtx = double(It->second.size());
+      double NumCtx = double(Ctxs.size());
       CR = (NumCtx - double(UsedSlots.size())) / (NumCtx - 1);
     }
     WeightedSum += CR * double(Instrs.size());
@@ -408,7 +484,33 @@ double SlicingProfiler::averageCR() const {
 
 uint64_t SlicingProfiler::distinctContexts() const {
   uint64_t Sum = 0;
-  for (const auto &[Func, Ctxs] : SeenContexts)
+  for (const FlatSet<uint64_t> &Ctxs : SeenContexts)
     Sum += Ctxs.size();
   return Sum;
+}
+
+void SlicingProfiler::mergeFrom(const SlicingProfiler &O) {
+  assert(Cfg.ContextSlots == O.Cfg.ContextSlots &&
+         "merging profiles built with different context-slot counts");
+  std::vector<NodeId> Remap = G.mergeFrom(O.G);
+  for (const auto &[Node, Outcome] : O.PredOutcomes) {
+    PredicateOutcome &Mine = PredOutcomes[Remap[Node]];
+    Mine.TakenCount += Outcome.TakenCount;
+    Mine.NotTakenCount += Outcome.NotTakenCount;
+  }
+  for (const auto &[Loc, Act] : O.Activity) {
+    LocationActivity &Mine = Activity[Loc];
+    Mine.Writes += Act.Writes;
+    Mine.Reads += Act.Reads;
+    Mine.Overwrites += Act.Overwrites;
+  }
+  if (SeenContexts.size() < O.SeenContexts.size())
+    SeenContexts.resize(O.SeenContexts.size());
+  for (FuncId F = 0; F != FuncId(O.SeenContexts.size()); ++F)
+    for (uint64_t C : O.SeenContexts[F])
+      SeenContexts[F].insert(C);
+  if (!M)
+    M = O.M;
+  // The hit memo refers to this graph's node ids, which a merge never
+  // renumbers, so it stays valid.
 }

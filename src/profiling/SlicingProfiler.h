@@ -26,9 +26,8 @@
 #include "profiling/DepGraph.h"
 #include "runtime/Heap.h"
 #include "runtime/ProfilerConcept.h"
-
-#include <unordered_map>
-#include <unordered_set>
+#include "support/FlatMap.h"
+#include "support/FlatSet.h"
 
 namespace lud {
 
@@ -49,6 +48,11 @@ struct SlicingConfig {
   bool ContextSensitive = true;
   /// Record distinct encoded contexts per function for CR (Table 1).
   bool TrackCR = true;
+  /// Hot-path memo caches: the per-instruction (domain -> node) memo, the
+  /// last-edge memo, and table pre-sizing from the module. Results are
+  /// bit-identical either way; turning this off selects the cache-free
+  /// reference path the equivalence tests compare against.
+  bool HotPathCaches = true;
 };
 
 /// Write/read/overwrite counters per abstract heap location, feeding the
@@ -74,13 +78,11 @@ public:
     uint64_t TakenCount = 0;
     uint64_t NotTakenCount = 0;
   };
-  const std::unordered_map<NodeId, PredicateOutcome> &
-  predicateOutcomes() const {
+  const FlatMap<NodeId, PredicateOutcome> &predicateOutcomes() const {
     return PredOutcomes;
   }
 
-  const std::unordered_map<HeapLoc, LocationActivity, HeapLocHash> &
-  locationActivity() const {
+  const HeapLocMap<LocationActivity> &locationActivity() const {
     return Activity;
   }
 
@@ -93,6 +95,14 @@ public:
 
   /// Total distinct dynamic contexts observed (all functions).
   uint64_t distinctContexts() const;
+
+  /// Merges another profiler's results into this one: the dependence graph
+  /// (DepGraph::mergeFrom), the per-node predicate outcomes (renumbered),
+  /// the location activity counters, and the per-function context sets.
+  /// Both profilers must share the module and configuration; \p O is
+  /// treated as the later of two sequential runs. This is how the parallel
+  /// workload driver folds its per-thread shards back into one profile.
+  void mergeFrom(const SlicingProfiler &O);
 
   //===--------------------------------------------------------------------===
   // Profiler hooks (see runtime/ProfilerConcept.h for the contract).
@@ -129,17 +139,35 @@ private:
   /// Per-slot write/read state for overwrite detection.
   enum SlotState : uint8_t { Virgin = 0, WrittenUnread = 1, WrittenRead = 2 };
 
+  /// A shadow heap slot packs the last writer node (low half) with its
+  /// SlotState (high half): one array, one malloc per object, and one
+  /// cache touch per load/store event instead of two.
+  static constexpr uint64_t packSlot(NodeId N, uint8_t S) {
+    return (uint64_t(S) << 32) | N;
+  }
+  static constexpr NodeId slotNode(uint64_t E) { return NodeId(E); }
+  static constexpr uint8_t slotState(uint64_t E) { return uint8_t(E >> 32); }
+
   struct ShadowObject {
     NodeId Len = kNoNode;
-    std::vector<NodeId> Slots;
-    std::vector<uint8_t> States;
+    std::vector<uint64_t> Slots;
   };
 
-  std::vector<NodeId> &regs() { return RegShadow.back(); }
+  /// Shadow register frames are a depth-indexed stack over a reused pool:
+  /// returning pops the logical depth but keeps the vector's buffer, so a
+  /// call re-entering that depth assigns in place instead of mallocing a
+  /// fresh frame (calls are the second-hottest event after loads). CurRegs
+  /// caches the current frame's buffer, refreshed at every frame
+  /// transition; inner buffers stay put when the outer pool grows because
+  /// vector moves steal them.
+  NodeId *regs() { return CurRegs; }
 
   uint32_t dom() const { return Cfg.ContextSensitive ? Ctx.slot() : 0; }
 
   /// Node for (I, Domain), with flags initialized and frequency bumped.
+  /// The common case — this static instruction re-executing under the
+  /// domain element it was last seen with — is answered from HitMemo, a
+  /// dense vector indexed by InstrId, without touching the interning table.
   NodeId hit(const Instruction &I, uint32_t Domain);
 
   void edgeFrom(NodeId Src, NodeId To) {
@@ -153,6 +181,20 @@ private:
   /// counters, writer map, reference edges, reference-tree children.
   void noteStore(NodeId N, uint64_t Tag, FieldSlot Slot, const Value &Stored);
 
+  /// Load-side bookkeeping shared by field/elem/static/arraylen loads:
+  /// effect decoration, reader map, activity counters.
+  void noteLoad(NodeId N, uint64_t Tag, FieldSlot Slot);
+
+  /// Activity counters for location \p L as read/written by node \p N.
+  /// \p LocUnchanged means N's effect location already was \p L, so the
+  /// per-node slot memo can answer without hashing.
+  LocationActivity &activityRef(NodeId N, const HeapLoc &L, bool LocUnchanged);
+
+  /// Outcome counters for predicate node \p N, memoized per node the same
+  /// way activityRef is (the key is the node itself, so the memo never
+  /// goes stale short of a rehash).
+  PredicateOutcome &predRef(NodeId N);
+
   SlicingConfig Cfg;
   DepGraph G;
   ContextEncoder Ctx;
@@ -161,15 +203,50 @@ private:
   bool Enabled = true;
 
   std::vector<std::vector<NodeId>> RegShadow;
+  size_t FrameDepth = 0;
+  NodeId *CurRegs = nullptr;
   std::vector<ShadowObject> HeapShadow;
   std::vector<NodeId> StaticShadow;
   std::vector<uint8_t> StaticStates;
   NodeId PendingRet = kNoNode;
 
   std::vector<FuncId> FuncStack;
-  std::unordered_map<FuncId, std::unordered_set<uint64_t>> SeenContexts;
-  std::unordered_map<NodeId, PredicateOutcome> PredOutcomes;
-  std::unordered_map<HeapLoc, LocationActivity, HeapLocHash> Activity;
+  /// Distinct encoded contexts per function, indexed by FuncId (dense).
+  std::vector<FlatSet<uint64_t>> SeenContexts;
+  FlatMap<NodeId, PredicateOutcome> PredOutcomes;
+  HeapLocMap<LocationActivity> Activity;
+
+  /// Last (domain -> node) resolved per static instruction; Node==kNoNode
+  /// means no memo. Empty when Cfg.HotPathCaches is off.
+  struct InstrMemo {
+    uint32_t Domain = kNoDomain;
+    NodeId Node = kNoNode;
+  };
+  std::vector<InstrMemo> HitMemo;
+
+  /// Per-node memo of the Activity slot for the node's current effect
+  /// location, valid while the map generation matches (raw-slot API of
+  /// FlatMap). Saves the HeapLoc hash + probe on every steady-state event.
+  struct ActMemo {
+    uint64_t Gen = 0;
+    uint32_t Slot = 0;
+    bool Valid = false;
+  };
+  std::vector<ActMemo> NodeAct;
+  std::vector<ActMemo> NodePred;
+
+  /// Last (callee, encoded context) recorded in SeenContexts: a loop
+  /// calling the same method on the same receiver chain re-inserts the
+  /// same pair every iteration, and the set probe can be skipped. Inserts
+  /// are idempotent, so this is pure common-subexpression caching.
+  FuncId LastCtxFunc = ~FuncId(0);
+  uint64_t LastCtxVal = ~uint64_t(0);
+
+  FlatSet<uint64_t> &seenContextsFor(FuncId F) {
+    if (SeenContexts.size() <= F)
+      SeenContexts.resize(F + 1);
+    return SeenContexts[F];
+  }
 };
 
 } // namespace lud

@@ -43,7 +43,7 @@ void TypestateProfiler::onCallEnter(const CallInst &I, const Function &,
     return;
 
   NodeId N = G.getOrCreate(I.getId(), domainOf(SiteOf[Receiver], State));
-  ++G.node(N).Freq;
+  ++G.freq(N);
   if (LastEvent[Receiver] != kNoNode &&
       (Events.empty() || Events.back().From != LastEvent[Receiver] ||
        Events.back().To != N || Events.back().Method != I.Method)) {

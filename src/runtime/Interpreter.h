@@ -22,6 +22,7 @@
 #include "runtime/ProfilerConcept.h"
 #include "support/ErrorHandling.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <vector>
@@ -83,7 +84,7 @@ public:
     Prof.onRunStart(M, TheHeap);
     const Function *Entry = M.getFunction(M.getEntry());
     Prof.onEntryFrame(*Entry);
-    Frames.clear();
+    Depth = 0;
     pushFrame(Entry, kNoReg);
 
     Res.Status = loop(Res);
@@ -119,12 +120,24 @@ private:
     }
   }
 
-  void pushFrame(const Function *Fn, Reg RetDst) {
-    Frames.emplace_back();
-    Frame &F = Frames.back();
+  /// Frames are a depth-indexed stack over a reused pool: returning pops
+  /// the logical depth but keeps each frame's register buffer, so a call
+  /// re-entering that depth assigns in place instead of mallocing a fresh
+  /// vector (the dominant allocation in call-heavy workloads).
+  /// \p NumArgs registers at the front are left uninitialized: every call
+  /// site copies the actuals into them immediately after pushing, so only
+  /// the non-parameter tail needs clearing.
+  void pushFrame(const Function *Fn, Reg RetDst, uint32_t NumArgs = 0) {
+    if (Frames.size() <= Depth)
+      Frames.emplace_back();
+    Frame &F = Frames[Depth];
     F.Fn = Fn;
+    F.Block = 0;
+    F.Ip = 0;
     F.RetDst = RetDst;
-    F.Regs.assign(Fn->getNumRegs(), Value());
+    F.Regs.resize(Fn->getNumRegs());
+    std::fill(F.Regs.begin() + NumArgs, F.Regs.end(), Value());
+    ++Depth;
   }
 
   /// Reports a trap into \p Res and notifies the profiler.
@@ -176,11 +189,16 @@ private:
   /// The fetch-execute loop. Returns the final status; on Finished the
   /// entry function's return value is stored into \p Res.
   RunStatus loop(RunResult &Res) {
+    // The current frame and basic block are loop-carried locals, refreshed
+    // only when control flow changes them (branch, call, return): the
+    // straight-line fetch path then costs one indexed load instead of
+    // re-walking Frames -> Fn -> block table every instruction.
+    Frame *FP = &Frames[Depth - 1];
+    const BasicBlock *BB = FP->Fn->getBlock(FP->Block);
     while (true) {
       if (Executed >= Cfg.MaxInstructions)
         return RunStatus::BudgetExceeded;
-      Frame &F = Frames.back();
-      const BasicBlock *BB = F.Fn->getBlock(F.Block);
+      Frame &F = *FP;
       assert(F.Ip < BB->insts().size() && "fell off a basic block");
       const Instruction *I = BB->insts()[F.Ip].get();
       ++Executed;
@@ -335,16 +353,18 @@ private:
         }
         if (C->Args.size() != Callee->getNumParams())
           lud_unreachable("call arity mismatch survived verification");
-        if (Frames.size() >= Cfg.MaxFrames)
+        if (Depth >= Cfg.MaxFrames)
           return trap(Res, *I, TrapKind::StackOverflow);
         Prof.onCallEnter(*C, *Callee, Receiver);
         // Advance the caller past the call before pushing.
         ++F.Ip;
-        pushFrame(Callee, C->Dst);
-        Frame &NF = Frames.back();
-        Frame &CF = Frames[Frames.size() - 2];
+        pushFrame(Callee, C->Dst, uint32_t(C->Args.size()));
+        Frame &NF = Frames[Depth - 1];
+        Frame &CF = Frames[Depth - 2];
         for (size_t A = 0, E = C->Args.size(); A != E; ++A)
           NF.Regs[A] = CF.Regs[C->Args[A]];
+        FP = &NF;
+        BB = NF.Fn->getBlock(0);
         continue; // Do not bump Ip again.
       }
       case Instruction::Kind::NativeCall: {
@@ -370,6 +390,7 @@ private:
       case Instruction::Kind::Br: {
         F.Block = cast<BrInst>(I)->Target;
         F.Ip = 0;
+        BB = F.Fn->getBlock(F.Block);
         continue;
       }
       case Instruction::Kind::CondBr: {
@@ -378,6 +399,7 @@ private:
         Prof.onPredicate(*C, Taken);
         F.Block = Taken ? C->TrueBlock : C->FalseBlock;
         F.Ip = 0;
+        BB = F.Fn->getBlock(F.Block);
         continue;
       }
       case Instruction::Kind::Return: {
@@ -385,13 +407,15 @@ private:
         Value Ret = R->Src == kNoReg ? Value() : F.Regs[R->Src];
         Prof.onReturn(*R);
         Reg Dst = F.RetDst;
-        Frames.pop_back();
-        if (Frames.empty()) {
+        --Depth;
+        if (Depth == 0) {
           Res.ReturnValue = Ret;
           return RunStatus::Finished;
         }
+        FP = &Frames[Depth - 1];
+        BB = FP->Fn->getBlock(FP->Block);
         if (Dst != kNoReg)
-          Frames.back().Regs[Dst] = Ret;
+          FP->Regs[Dst] = Ret;
         Prof.onReturnBound(Dst);
         continue;
       }
@@ -513,6 +537,7 @@ private:
   ProfilerT &Prof;
   RunConfig Cfg;
   std::vector<Frame> Frames;
+  size_t Depth = 0;
   std::vector<Value> Globals;
   std::vector<const NativeDecl *> Bound;
   std::vector<Value> ArgScratch;

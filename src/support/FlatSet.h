@@ -1,0 +1,152 @@
+//===- support/FlatSet.h - Open-addressing hash set ------------*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The set sibling of FlatMap.h: open addressing, power-of-two capacity,
+/// linear probing, insert-only (no erase, hence no tombstones). Used for
+/// the profiler's edge-dedup tables and the per-function context sets,
+/// where every tracked event performs one membership insert. One key is
+/// reserved as the vacant marker but remains insertable via a side flag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_SUPPORT_FLATSET_H
+#define LUD_SUPPORT_FLATSET_H
+
+#include "support/FlatMap.h"
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lud {
+
+template <typename KeyT, typename HashT = FlatIntHash,
+          typename EmptyT = FlatEmptyKey<KeyT>>
+class FlatSet {
+public:
+  FlatSet() = default;
+
+  size_t size() const { return Count + (HasEmptyKey ? 1 : 0); }
+  bool empty() const { return size() == 0; }
+
+  void clear() {
+    Keys.clear();
+    Mask = 0;
+    Count = 0;
+    HasEmptyKey = false;
+  }
+
+  void reserve(size_t N) {
+    size_t Cap = 8;
+    while (Cap * 3 < N * 4)
+      Cap <<= 1;
+    if (Cap > Keys.size())
+      rehash(Cap);
+  }
+
+  /// Returns true if \p K was newly inserted.
+  bool insert(const KeyT &K) {
+    if (K == EmptyT::value()) {
+      bool Fresh = !HasEmptyKey;
+      HasEmptyKey = true;
+      return Fresh;
+    }
+    growIfNeeded();
+    size_t Idx = probe(K);
+    if (Keys[Idx] == K)
+      return false;
+    Keys[Idx] = K;
+    ++Count;
+    return true;
+  }
+
+  bool contains(const KeyT &K) const {
+    if (K == EmptyT::value())
+      return HasEmptyKey;
+    if (Keys.empty())
+      return false;
+    return Keys[probe(K)] == K;
+  }
+
+  class const_iterator {
+  public:
+    const_iterator(const FlatSet *S, size_t I) : S(S), Idx(I) { skipVacant(); }
+    const KeyT &operator*() const {
+      return Idx == S->Keys.size() ? EmptySentinel() : S->Keys[Idx];
+    }
+    const_iterator &operator++() {
+      ++Idx;
+      skipVacant();
+      return *this;
+    }
+    bool operator==(const const_iterator &O) const { return Idx == O.Idx; }
+    bool operator!=(const const_iterator &O) const { return Idx != O.Idx; }
+
+  private:
+    static const KeyT &EmptySentinel() {
+      static const KeyT K = EmptyT::value();
+      return K;
+    }
+    void skipVacant() {
+      size_t N = S->Keys.size();
+      while (Idx < N && S->Keys[Idx] == EmptyT::value())
+        ++Idx;
+      if (Idx == N && !S->HasEmptyKey)
+        ++Idx;
+    }
+    const FlatSet *S;
+    size_t Idx;
+  };
+
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, Keys.size() + 1}; }
+
+  size_t memoryBytes() const { return Keys.capacity() * sizeof(KeyT); }
+
+private:
+  friend const_iterator;
+
+  size_t probe(const KeyT &K) const {
+    size_t Idx = HashT{}(K)&Mask;
+    while (!(Keys[Idx] == EmptyT::value()) && !(Keys[Idx] == K))
+      Idx = (Idx + 1) & Mask;
+    return Idx;
+  }
+
+  void growIfNeeded() {
+    if (Keys.empty())
+      rehash(8);
+    else if ((Count + 1) * 4 > Keys.size() * 3)
+      rehash(Keys.size() * 2);
+  }
+
+  void rehash(size_t NewCap) {
+    assert((NewCap & (NewCap - 1)) == 0 && "capacity must be a power of two");
+    std::vector<KeyT> Old = std::move(Keys);
+    Keys.assign(NewCap, EmptyT::value());
+    Mask = NewCap - 1;
+    for (const KeyT &K : Old) {
+      if (K == EmptyT::value())
+        continue;
+      size_t Idx = HashT{}(K)&Mask;
+      while (!(Keys[Idx] == EmptyT::value()))
+        Idx = (Idx + 1) & Mask;
+      Keys[Idx] = K;
+    }
+  }
+
+  std::vector<KeyT> Keys;
+  size_t Mask = 0;
+  size_t Count = 0;
+  bool HasEmptyKey = false;
+};
+
+} // namespace lud
+
+#endif // LUD_SUPPORT_FLATSET_H

@@ -109,8 +109,8 @@ TEST(NullnessProfilerTest, DomainSplitsNullAndNotNull) {
   NodeId NotNullNode = P.graph().lookup(Load->getId(), kNotNullDom);
   ASSERT_NE(NullNode, kNoNode);
   ASSERT_NE(NotNullNode, kNoNode);
-  EXPECT_EQ(P.graph().node(NullNode).Freq, 1u);
-  EXPECT_EQ(P.graph().node(NotNullNode).Freq, 1u);
+  EXPECT_EQ(P.graph().freq(NullNode), 1u);
+  EXPECT_EQ(P.graph().freq(NotNullNode), 1u);
 }
 
 //===----------------------------------------------------------------------===
@@ -266,7 +266,7 @@ TEST(TypestateProfilerTest, EventsMergeAcrossInstances) {
   EXPECT_TRUE(P.violations().empty());
   // Two abstract event nodes (create@s0, close@s1) despite 50 objects.
   EXPECT_EQ(P.graph().numNodes(), 2u);
-  EXPECT_EQ(P.graph().node(0).Freq + P.graph().node(1).Freq, 100u);
+  EXPECT_EQ(P.graph().freq(0) + P.graph().freq(1), 100u);
 }
 
 //===----------------------------------------------------------------------===

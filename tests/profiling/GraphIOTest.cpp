@@ -49,7 +49,7 @@ TEST(GraphIOTest, RoundTripPreservesStructure) {
     const DepGraph::Node &B = G2->node(N);
     ASSERT_EQ(A.Instr, B.Instr);
     ASSERT_EQ(A.Domain, B.Domain);
-    ASSERT_EQ(A.Freq, B.Freq);
+    ASSERT_EQ(G.freq(N), G2->freq(N));
     ASSERT_EQ(A.Consumer, B.Consumer);
     ASSERT_EQ(A.ReadsHeap, B.ReadsHeap);
     ASSERT_EQ(A.WritesHeap, B.WritesHeap);

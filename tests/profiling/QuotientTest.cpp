@@ -67,7 +67,7 @@ void checkQuotient(const Module &M, const BothRuns &B) {
   for (const auto &[Key, Freq] : ClassFreq) {
     NodeId N = G.lookup(Key.first, Key.second);
     ASSERT_NE(N, kNoNode) << "missing abstract node for class";
-    EXPECT_EQ(G.node(N).Freq, Freq) << "frequency mismatch";
+    EXPECT_EQ(G.freq(N), Freq) << "frequency mismatch";
   }
 
   // (2) Every concrete edge maps to an abstract edge.

@@ -141,10 +141,10 @@ TEST(SlicingProfilerTest, LoopFrequenciesAccumulate) {
   const DepGraph &G = P.graph();
   NodeId NAdd = soleNodeFor(G, AddI->getId());
   ASSERT_NE(NAdd, kNoNode);
-  EXPECT_EQ(G.node(NAdd).Freq, 100u);
+  EXPECT_EQ(G.freq(NAdd), 100u);
   NodeId NPred = soleNodeFor(G, Pred->getId());
   ASSERT_NE(NPred, kNoNode);
-  EXPECT_EQ(G.node(NPred).Freq, 101u);
+  EXPECT_EQ(G.freq(NPred), 101u);
   EXPECT_EQ(G.node(NPred).Consumer, ConsumerKind::Predicate);
   EXPECT_EQ(G.node(NPred).Domain, kNoDomain);
   // Loop-carried self-dependence collapses onto one abstract node; total

@@ -80,7 +80,7 @@ TEST_P(RandomProgramTest, GraphStructuralInvariants) {
     OutTotal += G.node(N).Out.size();
     InTotal += G.node(N).In.size();
     // Frequencies are positive: nodes only exist if they executed.
-    EXPECT_GT(G.node(N).Freq, 0u);
+    EXPECT_GT(G.freq(N), 0u);
   }
   EXPECT_EQ(OutTotal, InTotal);
   EXPECT_EQ(OutTotal, G.numEdges());
@@ -100,8 +100,8 @@ TEST_P(RandomProgramTest, CostModelMonotonicity) {
     uint64_t Hrac = CM.hrac(N);
     uint64_t Abs = CM.abstractCost(N);
     EXPECT_LE(Hrac, Abs);
-    EXPECT_GE(Hrac, G.node(N).Freq);
-    EXPECT_GE(CM.hrab(N).Benefit, G.node(N).Freq);
+    EXPECT_GE(Hrac, G.freq(N));
+    EXPECT_GE(CM.hrab(N).Benefit, G.freq(N));
   }
 }
 
