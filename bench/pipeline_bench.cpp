@@ -1,0 +1,94 @@
+//===- bench/pipeline_bench.cpp - Single-pass vs N-pass client runs --------===//
+//
+// The tentpole claim of the composed profiler pipeline, measured: running
+// the slicing substrate plus all three client analyses (copy, nullness,
+// typestate) in ONE interpretation pass versus one pass per client (each of
+// which must also run the substrate the client reads heap tags from). The
+// single pass should cost roughly one substrate run plus the marginal client
+// hooks; the N-pass configuration pays the interpreter and substrate over
+// and over.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lud;
+using namespace lud::bench;
+
+namespace {
+
+constexpr uint32_t kAllClients =
+    kClientCopy | kClientNullness | kClientTypestate;
+
+double singlePassSeconds(const Module &M) {
+  SessionConfig Cfg;
+  Cfg.Clients = kAllClients;
+  ProfileSession S(Cfg);
+  return S.run(M).Seconds;
+}
+
+double nPassSeconds(const Module &M) {
+  double Total = 0;
+  for (uint32_t Client : {kClientCopy, kClientNullness, kClientTypestate}) {
+    SessionConfig Cfg;
+    Cfg.Clients = Client;
+    ProfileSession S(Cfg);
+    Total += S.run(M).Seconds;
+  }
+  return Total;
+}
+
+void printTable() {
+  const int64_t S = tableScale() / 2;
+  std::printf("=== Profiler pipeline: 1 pass (all clients) vs 3 passes "
+              "(scale %lld) ===\n",
+              (long long)S);
+  std::printf("%-12s %12s %12s %8s\n", "workload", "single-pass", "n-pass",
+              "speedup");
+  for (const std::string &Name : dacapoNames()) {
+    Workload W = buildWorkload(Name, S);
+    double One = singlePassSeconds(*W.M);
+    double N = nPassSeconds(*W.M);
+    std::printf("%-12s %11.3fs %11.3fs %7.2fx\n", Name.c_str(), One, N,
+                One > 0 ? N / One : 0);
+    emitJsonRow("pipeline/single_pass/" + Name, S, One, 0, 0);
+    emitJsonRow("pipeline/n_pass/" + Name, S, N, 0, 0);
+  }
+  std::printf("\n");
+}
+
+/// Timing aspect: all clients in one composed pass.
+void BM_SinglePassAllClients(benchmark::State &State) {
+  Workload W = buildWorkload("eclipse", tableScale() / 4);
+  for (auto _ : State) {
+    SessionConfig Cfg;
+    Cfg.Clients = kAllClients;
+    ProfileSession S(Cfg);
+    TimedRun R = S.run(*W.M);
+    benchmark::DoNotOptimize(R.Run.ExecutedInstrs);
+  }
+}
+
+/// Timing aspect: the same clients as three separate passes.
+void BM_NPassPerClient(benchmark::State &State) {
+  Workload W = buildWorkload("eclipse", tableScale() / 4);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(nPassSeconds(*W.M));
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_SinglePassAllClients)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NPassPerClient)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  initJsonRows(&argc, argv);
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

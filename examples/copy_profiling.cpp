@@ -15,8 +15,8 @@
 #include "ir/IRBuilder.h"
 #include "ir/Printer.h"
 #include "profiling/CopyProfiler.h"
-#include "runtime/Interpreter.h"
 #include "support/OutStream.h"
+#include "workloads/Driver.h"
 
 using namespace lud;
 
@@ -69,8 +69,13 @@ int main() {
   B.endFunction();
   M.finalize();
 
-  CopyProfiler P;
-  RunResult R = runModule(M, P);
+  // The copy client rides the slicing substrate (which provides the heap
+  // tags); ProfileSession composes both into one interpretation pass.
+  SessionConfig SCfg;
+  SCfg.Clients = kClientCopy;
+  ProfileSession Session(std::move(SCfg));
+  RunResult R = Session.run(M).Run;
+  CopyProfiler &P = *Session.copy();
   OS << "run finished; " << P.copyInstances()
      << " copy-instruction instances out of " << R.ExecutedInstrs
      << " executed ("

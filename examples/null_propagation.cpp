@@ -11,8 +11,8 @@
 #include "ir/IRBuilder.h"
 #include "ir/Printer.h"
 #include "profiling/NullnessProfiler.h"
-#include "runtime/Interpreter.h"
 #include "support/OutStream.h"
+#include "workloads/Driver.h"
 
 using namespace lud;
 
@@ -64,8 +64,12 @@ int main() {
   B.endFunction();
   M.finalize();
 
-  NullnessProfiler P;
-  RunResult R = runModule(M, P);
+  // Run the nullness client through the composed pipeline (one pass).
+  SessionConfig SCfg;
+  SCfg.Clients = kClientNullness;
+  ProfileSession Session(std::move(SCfg));
+  RunResult R = Session.run(M).Run;
+  NullnessProfiler &P = *Session.nullness();
   if (R.Status != RunStatus::Trapped) {
     OS << "expected a null-dereference trap\n";
     return 1;

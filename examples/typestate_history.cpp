@@ -16,8 +16,8 @@
 #include "ir/IRBuilder.h"
 #include "ir/Printer.h"
 #include "profiling/TypestateProfiler.h"
-#include "runtime/Interpreter.h"
 #include "support/OutStream.h"
+#include "workloads/Driver.h"
 
 using namespace lud;
 
@@ -77,8 +77,14 @@ int main() {
   Spec.addTransition(1, M.findMethodName("close"), 3);
   Spec.addTransition(2, M.findMethodName("close"), 3);
 
-  TypestateProfiler P(Spec);
-  RunResult R = runModule(M, P);
+  // The typestate client reads receiver sites from the substrate's heap
+  // tags; ProfileSession runs both stages in one interpretation pass.
+  SessionConfig SCfg;
+  SCfg.Clients = kClientTypestate;
+  SCfg.Typestate = Spec;
+  ProfileSession Session(std::move(SCfg));
+  RunResult R = Session.run(M).Run;
+  TypestateProfiler &P = *Session.typestate();
   OS << "run finished (" << R.ExecutedInstrs << " instructions), "
      << uint64_t(P.graph().numNodes())
      << " abstract event nodes for 101 File objects\n\n";

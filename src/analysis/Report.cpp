@@ -3,10 +3,15 @@
 #include "analysis/Report.h"
 
 #include "ir/Module.h"
+#include "ir/Printer.h"
+#include "profiling/CopyProfiler.h"
+#include "profiling/NullnessProfiler.h"
+#include "profiling/TypestateProfiler.h"
 #include "support/OutStream.h"
 
 #include <algorithm>
 #include <map>
+#include <numeric>
 
 using namespace lud;
 
@@ -123,4 +128,78 @@ LowUtilityReport::filterByClass(const Module &M,
       Out.push_back(S);
   }
   return Out;
+}
+
+//===----------------------------------------------------------------------===
+// Per-client report sections.
+//===----------------------------------------------------------------------===
+
+namespace {
+
+std::string heapLocName(const Module &M, const HeapLoc &L) {
+  if (DepGraph::isStaticTag(L.Tag))
+    return "static#" + std::to_string(L.Tag - kStaticTagBase);
+  if (L.Slot == kElemSlot)
+    return M.describeAllocSite(AllocSiteId(L.Tag)) + ".ELM";
+  ClassId C = cast<AllocInst>(M.getAllocSite(AllocSiteId(L.Tag)))->Class;
+  return M.describeAllocSite(AllocSiteId(L.Tag)) + "." + M.fieldName(C, L.Slot);
+}
+
+std::string instrAt(const Module &M, InstrId I) {
+  return M.getInstrFunction(I)->getName() + ": " +
+         instToString(M, *M.getInstr(I));
+}
+
+} // namespace
+
+void lud::printCopyChains(const CopyProfiler &P, const Module &M,
+                          OutStream &OS, size_t TopK) {
+  OS << "  " << P.copyInstances() << " copy-instruction instances\n";
+  if (P.chains().empty()) {
+    OS << "  (no heap-to-heap copy chains)\n";
+    return;
+  }
+  std::vector<size_t> Order(P.chains().size());
+  std::iota(Order.begin(), Order.end(), size_t(0));
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return P.chains()[A].Count > P.chains()[B].Count;
+  });
+  for (size_t I = 0; I != Order.size() && I != TopK; ++I) {
+    const CopyProfiler::CopyChain &Chain = P.chains()[Order[I]];
+    OS << "  " << heapLocName(M, Chain.From) << "  ->  "
+       << heapLocName(M, Chain.To) << "   x" << Chain.Count << "\n";
+    OS << "    via stack hops:\n";
+    for (InstrId Hop : P.stackHops(Chain))
+      OS << "      " << instrAt(M, Hop) << "\n";
+  }
+}
+
+void lud::printNullPropagation(const NullnessProfiler &P, const Module &M,
+                               OutStream &OS) {
+  NullTrace T = traceNullOrigin(P);
+  if (!T.found()) {
+    OS << "  (no null dereference observed)\n";
+    return;
+  }
+  OS << "  null created at: " << instrAt(M, T.Origin) << "\n";
+  OS << "  propagation flow (origin -> dereference):\n";
+  for (InstrId I : T.Flow)
+    OS << "    " << instrAt(M, I) << "\n";
+}
+
+void lud::printTypestateFindings(const TypestateProfiler &P, const Module &M,
+                                 OutStream &OS, size_t TopK) {
+  if (P.eventEdges().empty() && P.violations().empty()) {
+    OS << "  (no tracked typestate events)\n";
+    return;
+  }
+  OS << "  merged event history (site:state -method-> site:state):\n";
+  OS << P.describeHistory(M);
+  for (size_t I = 0; I != P.violations().size() && I != TopK; ++I) {
+    const TypestateViolation &V = P.violations()[I];
+    OS << "  VIOLATION: method '" << M.methodNames()[V.Method]
+       << "' invoked in state s" << V.StateBefore << " on objects from "
+       << M.describeAllocSite(V.Site) << "\n    at: " << instrAt(M, V.Instr)
+       << "\n";
+  }
 }

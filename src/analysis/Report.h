@@ -103,6 +103,32 @@ private:
   std::vector<SiteScore> Sites;
 };
 
+//===----------------------------------------------------------------------===
+// Per-client report sections (Section 3.2's diagnosis clients). These render
+// the client profilers' findings uniformly for every consumer of a profile
+// session — the CLI's --clients sections, examples, and tests compare their
+// output byte for byte between single-pass and separate-pass runs.
+//===----------------------------------------------------------------------===
+
+class CopyProfiler;
+class NullnessProfiler;
+class TypestateProfiler;
+
+/// Heap-to-heap copy chains with their intermediate stack hops, highest
+/// copy count first (Figure 2(c)).
+void printCopyChains(const CopyProfiler &P, const Module &M, OutStream &OS,
+                     size_t TopK = 10);
+
+/// The recorded null-propagation flow from origin to dereference, if a
+/// null-dereference trap fired (Figure 2(a)).
+void printNullPropagation(const NullnessProfiler &P, const Module &M,
+                          OutStream &OS);
+
+/// The merged typestate event history and protocol violations
+/// (Figure 2(b)).
+void printTypestateFindings(const TypestateProfiler &P, const Module &M,
+                            OutStream &OS, size_t TopK = 10);
+
 } // namespace lud
 
 #endif // LUD_ANALYSIS_REPORT_H

@@ -2,7 +2,10 @@
 
 #include "profiling/CopyProfiler.h"
 
+#include "ir/Function.h"
 #include "ir/Module.h"
+
+#include <cassert>
 
 using namespace lud;
 
@@ -22,26 +25,13 @@ NodeId CopyProfiler::hit(const Instruction &I, OriginId Origin) {
   return N;
 }
 
-std::vector<CopyProfiler::ShadowVal> &CopyProfiler::objShadow(ObjId O) {
-  if (HeapShadow.size() <= O) {
-    HeapShadow.resize(H->idBound());
-    Sites.resize(H->idBound(), kNoAllocSite);
-  }
-  std::vector<ShadowVal> &S = HeapShadow[O];
-  size_t Need = H->obj(O).Slots.size();
-  if (S.size() < Need)
-    S.resize(Need);
-  return S;
-}
-
 void CopyProfiler::onRunStart(const Module &Mod, Heap &Heap_) {
   H = &Heap_;
-  StaticShadow.assign(Mod.globals().size(), ShadowVal());
+  Sh.startRun(Heap_, Mod.globals().size());
 }
 
 void CopyProfiler::onEntryFrame(const Function &F) {
-  RegShadow.clear();
-  RegShadow.emplace_back(F.getNumRegs());
+  Sh.enterEntry(F.getNumRegs());
 }
 
 void CopyProfiler::onConst(const ConstInst &I) {
@@ -65,26 +55,24 @@ void CopyProfiler::onUn(const UnInst &I) { compute(I, I.Dst, I.Src); }
 
 void CopyProfiler::onAlloc(const AllocInst &I, ObjId O) {
   regs()[I.Dst] = {hit(I, kBottomOrigin), kBottomOrigin};
-  objShadow(O);
-  Sites[O] = I.Site;
+  Sh.objShadow(O);
 }
 
 void CopyProfiler::onAllocArray(const AllocArrayInst &I, ObjId O) {
   NodeId N = hit(I, kBottomOrigin);
   edgeFrom(regs()[I.Len], N);
   regs()[I.Dst] = {N, kBottomOrigin};
-  objShadow(O);
-  Sites[O] = I.Site;
+  Sh.objShadow(O);
 }
 
 void CopyProfiler::onLoadField(const LoadFieldInst &I, ObjId Base,
                                const Value &) {
   // The loaded value originates from this field: a chain starts here.
-  OriginId Origin = siteOf(Base) == kNoAllocSite
-                        ? kBottomOrigin
-                        : intern(HeapLoc{siteOf(Base), I.Slot});
+  AllocSiteId Site = siteOf(Base);
+  OriginId Origin =
+      Site == kNoAllocSite ? kBottomOrigin : intern(HeapLoc{Site, I.Slot});
   NodeId N = hit(I, Origin);
-  edgeFrom(objShadow(Base)[I.Slot], N);
+  edgeFrom(Sh.objShadow(Base)[I.Slot], N);
   regs()[I.Dst] = {N, Origin};
   if (Origin != kBottomOrigin)
     ++CopyCount;
@@ -95,17 +83,18 @@ void CopyProfiler::onStoreField(const StoreFieldInst &I, ObjId Base,
   ShadowVal Src = regs()[I.Src];
   NodeId N = hit(I, Src.Origin);
   edgeFrom(Src, N);
-  objShadow(Base)[I.Slot] = {N, Src.Origin};
-  if (Src.Origin != kBottomOrigin && siteOf(Base) != kNoAllocSite) {
+  Sh.objShadow(Base)[I.Slot] = {N, Src.Origin};
+  AllocSiteId Site = siteOf(Base);
+  if (Src.Origin != kBottomOrigin && Site != kNoAllocSite) {
     ++CopyCount;
-    recordChain(Src.Origin, HeapLoc{siteOf(Base), I.Slot}, N);
+    recordChain(Src.Origin, HeapLoc{Site, I.Slot}, N);
   }
 }
 
 void CopyProfiler::onLoadStatic(const LoadStaticInst &I, const Value &) {
   OriginId Origin = intern(HeapLoc{kStaticTagBase + I.Global, 0});
   NodeId N = hit(I, Origin);
-  edgeFrom(StaticShadow[I.Global], N);
+  edgeFrom(Sh.staticAt(I.Global), N);
   regs()[I.Dst] = {N, Origin};
   ++CopyCount;
 }
@@ -114,7 +103,7 @@ void CopyProfiler::onStoreStatic(const StoreStaticInst &I, const Value &) {
   ShadowVal Src = regs()[I.Src];
   NodeId N = hit(I, Src.Origin);
   edgeFrom(Src, N);
-  StaticShadow[I.Global] = {N, Src.Origin};
+  Sh.staticAt(I.Global) = {N, Src.Origin};
   if (Src.Origin != kBottomOrigin) {
     ++CopyCount;
     recordChain(Src.Origin, HeapLoc{kStaticTagBase + I.Global, 0}, N);
@@ -123,11 +112,11 @@ void CopyProfiler::onStoreStatic(const StoreStaticInst &I, const Value &) {
 
 void CopyProfiler::onLoadElem(const LoadElemInst &I, ObjId Base, uint32_t Index,
                               const Value &) {
-  OriginId Origin = siteOf(Base) == kNoAllocSite
-                        ? kBottomOrigin
-                        : intern(HeapLoc{siteOf(Base), kElemSlot});
+  AllocSiteId Site = siteOf(Base);
+  OriginId Origin =
+      Site == kNoAllocSite ? kBottomOrigin : intern(HeapLoc{Site, kElemSlot});
   NodeId N = hit(I, Origin);
-  edgeFrom(objShadow(Base)[Index], N);
+  edgeFrom(Sh.objShadow(Base)[Index], N);
   regs()[I.Dst] = {N, Origin};
   if (Origin != kBottomOrigin)
     ++CopyCount;
@@ -138,10 +127,11 @@ void CopyProfiler::onStoreElem(const StoreElemInst &I, ObjId Base,
   ShadowVal Src = regs()[I.Src];
   NodeId N = hit(I, Src.Origin);
   edgeFrom(Src, N);
-  objShadow(Base)[Index] = {N, Src.Origin};
-  if (Src.Origin != kBottomOrigin && siteOf(Base) != kNoAllocSite) {
+  Sh.objShadow(Base)[Index] = {N, Src.Origin};
+  AllocSiteId Site = siteOf(Base);
+  if (Src.Origin != kBottomOrigin && Site != kNoAllocSite) {
     ++CopyCount;
-    recordChain(Src.Origin, HeapLoc{siteOf(Base), kElemSlot}, N);
+    recordChain(Src.Origin, HeapLoc{Site, kElemSlot}, N);
   }
 }
 
@@ -171,42 +161,58 @@ void CopyProfiler::onNativeCall(const NativeCallInst &I) {
 
 void CopyProfiler::onCallEnter(const CallInst &I, const Function &Callee,
                                ObjId) {
-  std::vector<ShadowVal> Params(Callee.getNumRegs());
-  const std::vector<ShadowVal> &Caller = regs();
-  for (size_t A = 0, E = I.Args.size(); A != E; ++A)
-    Params[A] = Caller[I.Args[A]];
-  RegShadow.push_back(std::move(Params));
+  Sh.pushFrame(I, Callee.getNumRegs());
 }
 
 void CopyProfiler::onReturn(const ReturnInst &I) {
-  PendingRet = ShadowVal();
+  Sh.Pending = ShadowVal();
   if (I.Src != kNoReg) {
     ShadowVal Src = regs()[I.Src];
     NodeId N = hit(I, Src.Origin);
     edgeFrom(Src, N);
-    PendingRet = {N, Src.Origin};
+    Sh.Pending = {N, Src.Origin};
     if (Src.Origin != kBottomOrigin)
       ++CopyCount;
   }
-  if (RegShadow.size() > 1)
-    RegShadow.pop_back();
+  Sh.popFrame();
 }
 
 void CopyProfiler::onReturnBound(Reg Dst) {
   if (Dst != kNoReg)
-    regs()[Dst] = PendingRet;
-  PendingRet = ShadowVal();
+    regs()[Dst] = Sh.Pending;
+  Sh.Pending = ShadowVal();
 }
 
 void CopyProfiler::recordChain(OriginId From, const HeapLoc &To,
                                NodeId Store) {
   const HeapLoc &FromLoc = originLoc(From);
-  uint64_t Key = (FromLoc.Tag * 4096 + FromLoc.Slot % 4096) * 2654435761ULL ^
-                 (To.Tag * 4096 + To.Slot % 4096);
-  auto [It, Inserted] = ChainIndex.try_emplace(Key, Chains.size());
+  auto [It, Inserted] = ChainIndex.try_emplace(chainKey(FromLoc, To),
+                                               Chains.size());
   if (Inserted)
     Chains.push_back({FromLoc, To, 0, Store});
   ++Chains[It->second].Count;
+}
+
+void CopyProfiler::mergeFrom(const CopyProfiler &O) {
+  std::vector<NodeId> Remap = G.mergeFrom(O.G);
+  CopyCount += O.CopyCount;
+  // Origins must intern to the same ids here as in O: node domains embed
+  // them. Deterministic shards of one module intern in the same order, so
+  // this re-interning is the identity (checked), merely extending this
+  // table with origins O saw first.
+  for (size_t I = 0; I != O.OriginTable.size(); ++I) {
+    OriginId R = intern(O.OriginTable[I]);
+    assert(R == OriginId(I + 1) &&
+           "merged profilers interned origins in different orders");
+    (void)R;
+  }
+  for (const CopyChain &C : O.Chains) {
+    auto [It, Inserted] = ChainIndex.try_emplace(chainKey(C.From, C.To),
+                                                 Chains.size());
+    if (Inserted)
+      Chains.push_back({C.From, C.To, 0, Remap[C.StoreNode]});
+    Chains[It->second].Count += C.Count;
+  }
 }
 
 std::vector<InstrId> CopyProfiler::stackHops(const CopyChain &Chain) const {

@@ -13,12 +13,22 @@
 /// chain O1.f -> stack copies -> O3.f can be recovered *including* the
 /// intermediate stack hops (unlike the flat copy-graph of prior work).
 ///
+/// A pipeline stage attached to the SlicingProfiler substrate: allocation
+/// sites are read from the heap object tags the substrate writes
+/// (environment P), instead of a duplicate per-object site table, and the
+/// shadow-location machinery is the shared ShadowMachine. Compose it after
+/// the substrate (runtime/ComposedProfiler.h) so tags exist by the time a
+/// load or store touches the object. Objects allocated while the substrate
+/// had tracking gated off carry no tag and take no part in chains.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LUD_PROFILING_COPYPROFILER_H
 #define LUD_PROFILING_COPYPROFILER_H
 
 #include "profiling/DepGraph.h"
+#include "profiling/ShadowMachine.h"
+#include "profiling/SlicingProfiler.h"
 #include "runtime/Heap.h"
 #include "runtime/ProfilerConcept.h"
 
@@ -35,6 +45,10 @@ inline constexpr OriginId kBottomOrigin = 0;
 
 class CopyProfiler {
 public:
+  /// \p Substrate is the slicing profiler whose heap tags provide the
+  /// allocation sites; it must run in the same pipeline, before this stage.
+  explicit CopyProfiler(const SlicingProfiler &Substrate) : Sub(&Substrate) {}
+
   DepGraph &graph() { return G; }
   const DepGraph &graph() const { return G; }
 
@@ -64,6 +78,14 @@ public:
   /// origin annotation, returning the intermediate copy instructions
   /// (store first, the load that started the chain last).
   std::vector<InstrId> stackHops(const CopyChain &Chain) const;
+
+  /// Merges another profiler's results into this one, treating \p O as the
+  /// later of two sequential runs: graphs fold via DepGraph::mergeFrom,
+  /// copy-instance counts sum, and chains merge by (from, to) with counts
+  /// summed. Both profilers must come from runs of the same module under
+  /// the same configuration (the parallel driver's shards), so that origin
+  /// interning — which node domains embed — agrees between them.
+  void mergeFrom(const CopyProfiler &O);
 
   // Profiler hooks.
   void onRunStart(const Module &Mod, Heap &H);
@@ -100,8 +122,7 @@ private:
     OriginId Origin = kBottomOrigin;
   };
 
-  std::vector<ShadowVal> &regs() { return RegShadow.back(); }
-  std::vector<ShadowVal> &objShadow(ObjId O);
+  ShadowVal *regs() { return Sh.regs(); }
 
   OriginId intern(const HeapLoc &L);
   NodeId hit(const Instruction &I, OriginId Origin);
@@ -117,20 +138,26 @@ private:
     regs()[Dst] = {N, kBottomOrigin};
   }
 
-  /// Site of the object's allocation, tracked independently of Gcost tags.
+  /// Site of the object's allocation, recovered from the heap tag the
+  /// substrate's ALLOC rule wrote (kNoAllocSite when the object was
+  /// allocated untracked).
   AllocSiteId siteOf(ObjId O) const {
-    return O < Sites.size() ? Sites[O] : kNoAllocSite;
+    uint64_t Tag = H->obj(O).Tag;
+    if (Tag == kNoTag || DepGraph::isStaticTag(Tag))
+      return kNoAllocSite;
+    return Sub->graph().tagSite(Tag);
   }
 
+  static uint64_t chainKey(const HeapLoc &From, const HeapLoc &To) {
+    return (From.Tag * 4096 + From.Slot % 4096) * 2654435761ULL ^
+           (To.Tag * 4096 + To.Slot % 4096);
+  }
   void recordChain(OriginId From, const HeapLoc &To, NodeId Store);
 
+  const SlicingProfiler *Sub = nullptr;
   DepGraph G;
   Heap *H = nullptr;
-  std::vector<std::vector<ShadowVal>> RegShadow;
-  std::vector<std::vector<ShadowVal>> HeapShadow;
-  std::vector<ShadowVal> StaticShadow;
-  std::vector<AllocSiteId> Sites; // per ObjId
-  ShadowVal PendingRet;
+  ShadowMachine<ShadowVal> Sh;
   uint64_t CopyCount = 0;
 
   std::vector<HeapLoc> OriginTable;

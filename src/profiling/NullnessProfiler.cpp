@@ -2,6 +2,7 @@
 
 #include "profiling/NullnessProfiler.h"
 
+#include "ir/Function.h"
 #include "ir/Module.h"
 
 #include <algorithm>
@@ -15,24 +16,12 @@ NodeId NullnessProfiler::hit(const Instruction &I, bool IsNull) {
   return N;
 }
 
-std::vector<NodeId> &NullnessProfiler::objShadow(ObjId O) {
-  if (HeapShadow.size() <= O)
-    HeapShadow.resize(H->idBound());
-  std::vector<NodeId> &S = HeapShadow[O];
-  size_t Need = H->obj(O).Slots.size();
-  if (S.size() < Need)
-    S.resize(Need, kNoNode);
-  return S;
-}
-
 void NullnessProfiler::onRunStart(const Module &Mod, Heap &Heap_) {
-  H = &Heap_;
-  StaticShadow.assign(Mod.globals().size(), kNoNode);
+  Sh.startRun(Heap_, Mod.globals().size());
 }
 
 void NullnessProfiler::onEntryFrame(const Function &F) {
-  RegShadow.clear();
-  RegShadow.emplace_back(F.getNumRegs(), kNoNode);
+  Sh.enterEntry(F.getNumRegs());
 }
 
 void NullnessProfiler::onConst(const ConstInst &I) {
@@ -62,20 +51,20 @@ void NullnessProfiler::onUn(const UnInst &I) {
 
 void NullnessProfiler::onAlloc(const AllocInst &I, ObjId O) {
   regs()[I.Dst] = hit(I, /*IsNull=*/false);
-  objShadow(O);
+  Sh.objShadow(O);
 }
 
 void NullnessProfiler::onAllocArray(const AllocArrayInst &I, ObjId O) {
   NodeId N = hit(I, /*IsNull=*/false);
   edgeFrom(regs()[I.Len], N);
   regs()[I.Dst] = N;
-  objShadow(O);
+  Sh.objShadow(O);
 }
 
 void NullnessProfiler::onLoadField(const LoadFieldInst &I, ObjId Base,
                                    const Value &Loaded) {
   NodeId N = hit(I, Loaded.isNullRef());
-  edgeFrom(objShadow(Base)[I.Slot], N);
+  edgeFrom(Sh.objShadow(Base)[I.Slot], N);
   regs()[I.Dst] = N;
 }
 
@@ -83,13 +72,13 @@ void NullnessProfiler::onStoreField(const StoreFieldInst &I, ObjId Base,
                                     const Value &Stored) {
   NodeId N = hit(I, Stored.isNullRef());
   edgeFrom(regs()[I.Src], N);
-  objShadow(Base)[I.Slot] = N;
+  Sh.objShadow(Base)[I.Slot] = N;
 }
 
 void NullnessProfiler::onLoadStatic(const LoadStaticInst &I,
                                     const Value &Loaded) {
   NodeId N = hit(I, Loaded.isNullRef());
-  edgeFrom(StaticShadow[I.Global], N);
+  edgeFrom(Sh.staticAt(I.Global), N);
   regs()[I.Dst] = N;
 }
 
@@ -97,13 +86,13 @@ void NullnessProfiler::onStoreStatic(const StoreStaticInst &I,
                                      const Value &Stored) {
   NodeId N = hit(I, Stored.isNullRef());
   edgeFrom(regs()[I.Src], N);
-  StaticShadow[I.Global] = N;
+  Sh.staticAt(I.Global) = N;
 }
 
 void NullnessProfiler::onLoadElem(const LoadElemInst &I, ObjId Base,
                                   uint32_t Index, const Value &Loaded) {
   NodeId N = hit(I, Loaded.isNullRef());
-  edgeFrom(objShadow(Base)[Index], N);
+  edgeFrom(Sh.objShadow(Base)[Index], N);
   edgeFrom(regs()[I.Index], N);
   regs()[I.Dst] = N;
 }
@@ -113,7 +102,7 @@ void NullnessProfiler::onStoreElem(const StoreElemInst &I, ObjId Base,
   NodeId N = hit(I, Stored.isNullRef());
   edgeFrom(regs()[I.Src], N);
   edgeFrom(regs()[I.Index], N);
-  objShadow(Base)[Index] = N;
+  Sh.objShadow(Base)[Index] = N;
 }
 
 void NullnessProfiler::onArrayLen(const ArrayLenInst &I, ObjId) {
@@ -142,30 +131,25 @@ void NullnessProfiler::onNativeCall(const NativeCallInst &I) {
 
 void NullnessProfiler::onCallEnter(const CallInst &I, const Function &Callee,
                                    ObjId) {
-  std::vector<NodeId> Params(Callee.getNumRegs(), kNoNode);
-  const std::vector<NodeId> &Caller = regs();
-  for (size_t A = 0, E = I.Args.size(); A != E; ++A)
-    Params[A] = Caller[I.Args[A]];
-  RegShadow.push_back(std::move(Params));
+  Sh.pushFrame(I, Callee.getNumRegs());
 }
 
 void NullnessProfiler::onReturn(const ReturnInst &I) {
-  PendingRet = kNoNode;
+  Sh.Pending = kNoNode;
   if (I.Src != kNoReg) {
     NodeId Src = regs()[I.Src];
     bool IsNull = Src != kNoNode && G.node(Src).Domain == kNullDom;
     NodeId N = hit(I, IsNull);
     edgeFrom(Src, N);
-    PendingRet = N;
+    Sh.Pending = N;
   }
-  if (RegShadow.size() > 1)
-    RegShadow.pop_back();
+  Sh.popFrame();
 }
 
 void NullnessProfiler::onReturnBound(Reg Dst) {
   if (Dst != kNoReg)
-    regs()[Dst] = PendingRet;
-  PendingRet = kNoNode;
+    regs()[Dst] = Sh.Pending;
+  Sh.Pending = kNoNode;
 }
 
 void NullnessProfiler::onTrap(const Instruction &I, TrapKind K, Reg FaultReg) {
@@ -173,6 +157,14 @@ void NullnessProfiler::onTrap(const Instruction &I, TrapKind K, Reg FaultReg) {
     return;
   Fault = regs()[FaultReg];
   FaultInstr = I.getId();
+}
+
+void NullnessProfiler::mergeFrom(const NullnessProfiler &O) {
+  std::vector<NodeId> Remap = G.mergeFrom(O.G);
+  if (O.Fault != kNoNode) {
+    Fault = Remap[O.Fault];
+    FaultInstr = O.FaultInstr;
+  }
 }
 
 NullTrace lud::traceNullOrigin(const NullnessProfiler &P) {

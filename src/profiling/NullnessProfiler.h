@@ -12,12 +12,18 @@
 /// the null value was created and every hop it took to the dereference —
 /// more than origin-only tracking gives.
 ///
+/// A pipeline stage: shadow-location bookkeeping lives in the shared
+/// ShadowMachine, and the client composes with the SlicingProfiler
+/// substrate in one interpretation pass (see runtime/ComposedProfiler.h).
+/// It stays runnable standalone — nullness needs no allocation-site tags.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LUD_PROFILING_NULLNESSPROFILER_H
 #define LUD_PROFILING_NULLNESSPROFILER_H
 
 #include "profiling/DepGraph.h"
+#include "profiling/ShadowMachine.h"
 #include "runtime/Heap.h"
 #include "runtime/ProfilerConcept.h"
 
@@ -40,6 +46,13 @@ public:
   /// trap happened or the value was untracked).
   NodeId faultNode() const { return Fault; }
   InstrId faultInstr() const { return FaultInstr; }
+
+  /// Merges another profiler's results into this one, treating \p O as the
+  /// later of two sequential runs: the graph is folded with
+  /// DepGraph::mergeFrom, and \p O's fault (if any) supersedes this one's,
+  /// exactly as a later run's trap would overwrite the recorded fault when
+  /// one profiler observes the runs back to back.
+  void mergeFrom(const NullnessProfiler &O);
 
   // Profiler hooks.
   void onRunStart(const Module &Mod, Heap &H);
@@ -69,7 +82,7 @@ public:
   void onTrap(const Instruction &I, TrapKind K, Reg FaultReg);
 
 private:
-  std::vector<NodeId> &regs() { return RegShadow.back(); }
+  NodeId *regs() { return Sh.regs(); }
 
   /// Creates/bumps the node for (I, null or not-null) and returns it.
   NodeId hit(const Instruction &I, bool IsNull);
@@ -80,15 +93,9 @@ private:
   }
 
   DepGraph G;
-  Heap *H = nullptr;
-  std::vector<std::vector<NodeId>> RegShadow;
-  std::vector<std::vector<NodeId>> HeapShadow; // per object, per slot
-  std::vector<NodeId> StaticShadow;
-  NodeId PendingRet = kNoNode;
+  ShadowMachine<NodeId> Sh{kNoNode};
   NodeId Fault = kNoNode;
   InstrId FaultInstr = kNoInstr;
-
-  std::vector<NodeId> &objShadow(ObjId O);
 };
 
 /// Result of tracing a null dereference backwards (Figure 2(a)).

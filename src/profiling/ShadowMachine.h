@@ -1,0 +1,117 @@
+//===- profiling/ShadowMachine.h - Shared client shadow state --*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shadow-location machinery every abstract-slicing client needs
+/// (Figure 4's environments, minus the graph): per-register shadows with a
+/// call stack, per-object per-slot heap shadows, per-global static shadows,
+/// and the in-flight return shadow. Before the pipeline refactor each
+/// client profiler carried its own copy of this; now CopyProfiler and
+/// NullnessProfiler instantiate ShadowMachine over their shadow value type
+/// and keep only the domain logic.
+///
+/// The register stack uses the SlicingProfiler frame-pool idiom: returning
+/// pops the logical depth but keeps the frame vector's buffer, so a call
+/// re-entering that depth assigns in place instead of mallocing a fresh
+/// frame. Inner buffers stay put when the outer pool grows because vector
+/// moves steal them, so the cached current-frame pointer stays valid across
+/// pushes at already-visited depths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_PROFILING_SHADOWMACHINE_H
+#define LUD_PROFILING_SHADOWMACHINE_H
+
+#include "ir/Instruction.h"
+#include "runtime/Heap.h"
+
+#include <vector>
+
+namespace lud {
+
+class Function;
+
+template <typename ShadowT> class ShadowMachine {
+public:
+  explicit ShadowMachine(ShadowT NullVal = ShadowT()) : Null(NullVal) {}
+
+  /// Binds the run's heap and resets the static shadows (onRunStart).
+  void startRun(Heap &Heap_, size_t NumGlobals) {
+    H = &Heap_;
+    Statics.assign(NumGlobals, Null);
+    Objects.clear();
+    Pending = Null;
+  }
+
+  /// Resets the register stack to one frame for the entry function
+  /// (onEntryFrame).
+  void enterEntry(uint32_t NumRegs) {
+    if (Frames.empty())
+      Frames.emplace_back();
+    Frames[0].assign(NumRegs, Null);
+    Depth = 1;
+    CurRegs = Frames[0].data();
+  }
+
+  /// Current frame's register shadows.
+  ShadowT *regs() { return CurRegs; }
+  const ShadowT *regs() const { return CurRegs; }
+
+  /// Pushes the callee frame, copying the actuals' shadows into the leading
+  /// parameter registers and nulling the rest (onCallEnter: fires while the
+  /// caller frame is still current).
+  void pushFrame(const CallInst &I, uint32_t CalleeRegs) {
+    if (Frames.size() <= Depth)
+      Frames.emplace_back();
+    std::vector<ShadowT> &Callee = Frames[Depth];
+    Callee.assign(CalleeRegs, Null);
+    const ShadowT *Caller = CurRegs;
+    for (size_t A = 0, E = I.Args.size(); A != E; ++A)
+      Callee[A] = Caller[I.Args[A]];
+    ++Depth;
+    CurRegs = Callee.data();
+  }
+
+  /// Pops back to the caller frame (onReturn; the entry frame stays).
+  void popFrame() {
+    if (Depth > 1) {
+      --Depth;
+      CurRegs = Frames[Depth - 1].data();
+    }
+  }
+
+  ShadowT &staticAt(GlobalId G) { return Statics[G]; }
+
+  /// Per-slot shadows of object \p O, grown on demand to the object's slot
+  /// count (arrays included).
+  std::vector<ShadowT> &objShadow(ObjId O) {
+    if (Objects.size() <= O)
+      Objects.resize(H->idBound());
+    std::vector<ShadowT> &S = Objects[O];
+    size_t Need = H->obj(O).Slots.size();
+    if (S.size() < Need)
+      S.resize(Need, Null);
+    return S;
+  }
+
+  /// The return value's shadow, in flight between onReturn (callee side)
+  /// and onReturnBound (caller side).
+  ShadowT Pending;
+
+private:
+  ShadowT Null;
+  Heap *H = nullptr;
+  std::vector<std::vector<ShadowT>> Frames;
+  size_t Depth = 0;
+  ShadowT *CurRegs = nullptr;
+  std::vector<std::vector<ShadowT>> Objects;
+  std::vector<ShadowT> Statics;
+};
+
+} // namespace lud
+
+#endif // LUD_PROFILING_SHADOWMACHINE_H

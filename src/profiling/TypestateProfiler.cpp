@@ -6,15 +6,13 @@
 
 using namespace lud;
 
-void TypestateProfiler::onRunStart(const Module &Mod, Heap &Heap_) {
-  M = &Mod;
+void TypestateProfiler::onRunStart(const Module &, Heap &Heap_) {
   H = &Heap_;
 }
 
 void TypestateProfiler::ensure(ObjId O) {
   if (StateOf.size() <= O) {
     StateOf.resize(H->idBound(), Spec.InitialState);
-    SiteOf.resize(H->idBound(), kNoAllocSite);
     LastEvent.resize(H->idBound(), kNoNode);
   }
 }
@@ -23,7 +21,6 @@ void TypestateProfiler::onAlloc(const AllocInst &I, ObjId O) {
   ensure(O);
   if (!Spec.tracks(I.Class))
     return;
-  SiteOf[O] = I.Site;
   StateOf[O] = Spec.InitialState;
 }
 
@@ -31,9 +28,12 @@ void TypestateProfiler::onCallEnter(const CallInst &I, const Function &,
                                     ObjId Receiver) {
   if (Receiver == kNullObj || !I.isVirtual())
     return;
-  ensure(Receiver);
-  if (SiteOf[Receiver] == kNoAllocSite)
+  if (!Spec.tracks(H->obj(Receiver).Class))
     return;
+  AllocSiteId Site = siteOf(Receiver);
+  if (Site == kNoAllocSite)
+    return;
+  ensure(Receiver);
   // Only events in the protocol's alphabet are state-changing.
   uint32_t State = StateOf[Receiver];
   bool InAlphabet = false;
@@ -42,7 +42,7 @@ void TypestateProfiler::onCallEnter(const CallInst &I, const Function &,
   if (!InAlphabet)
     return;
 
-  NodeId N = G.getOrCreate(I.getId(), domainOf(SiteOf[Receiver], State));
+  NodeId N = G.getOrCreate(I.getId(), domainOf(Site, State));
   ++G.freq(N);
   if (LastEvent[Receiver] != kNoNode &&
       (Events.empty() || Events.back().From != LastEvent[Receiver] ||
@@ -63,10 +63,27 @@ void TypestateProfiler::onCallEnter(const CallInst &I, const Function &,
 
   auto It = Spec.Transitions.find(TypestateSpec::key(State, I.Method));
   if (It == Spec.Transitions.end()) {
-    Violations.push_back({I.getId(), SiteOf[Receiver], State, I.Method});
+    Violations.push_back({I.getId(), Site, State, I.Method});
     return; // State unchanged after a violation.
   }
   StateOf[Receiver] = It->second;
+}
+
+void TypestateProfiler::mergeFrom(const TypestateProfiler &O) {
+  std::vector<NodeId> Remap = G.mergeFrom(O.G);
+  for (const TypestateViolation &V : O.Violations)
+    Violations.push_back(V);
+  for (const EventEdge &E : O.Events) {
+    EventEdge R{Remap[E.From], Remap[E.To], E.Method};
+    bool Seen = false;
+    for (const EventEdge &X : Events)
+      if (X.From == R.From && X.To == R.To && X.Method == R.Method) {
+        Seen = true;
+        break;
+      }
+    if (!Seen)
+      Events.push_back(R);
+  }
 }
 
 std::string TypestateProfiler::describeHistory(const Module &Mod) const {
@@ -83,4 +100,34 @@ std::string TypestateProfiler::describeHistory(const Module &Mod) const {
            Render(To) + "\n";
   }
   return Out;
+}
+
+TypestateSpec lud::lifecycleSpec(const Module &M) {
+  auto IsCloser = [&](MethodNameId Id) {
+    const std::string &Name = M.methodNames()[Id];
+    return Name == "close" || Name == "dispose" || Name == "free" ||
+           Name == "release";
+  };
+  TypestateSpec Spec;
+  for (const std::unique_ptr<ClassDecl> &C : M.classes()) {
+    bool HasCloser = false;
+    for (const auto &[Method, Func] : C->Vtable)
+      HasCloser |= IsCloser(Method);
+    if (!HasCloser)
+      continue;
+    Spec.TrackedClasses.push_back(C->getId());
+    // Closer-ness depends only on the method name, so classes sharing
+    // method names write identical transitions: the spec is deterministic
+    // whatever the vtable iteration order.
+    for (const auto &[Method, Func] : C->Vtable) {
+      uint32_t To = IsCloser(Method) ? 2 : 1;
+      Spec.addTransition(0, Method, To);
+      Spec.addTransition(1, Method, To);
+    }
+  }
+  if (Spec.TrackedClasses.empty())
+    return Spec;
+  Spec.NumStates = 3; // 0 fresh, 1 in use, 2 closed (terminal).
+  Spec.InitialState = 0;
+  return Spec;
 }

@@ -15,12 +15,20 @@
 /// with the abstract node, so the merged history (a DFA-like graph) can be
 /// inspected afterwards.
 ///
+/// A pipeline stage attached to the SlicingProfiler substrate: the
+/// receiver's allocation site comes from the heap tag the substrate's
+/// ALLOC rule wrote, and trackedness from the heap object's class — no
+/// duplicate per-object site table. Compose it after the substrate
+/// (runtime/ComposedProfiler.h); untagged objects (allocated while the
+/// substrate had tracking gated off) produce no events.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LUD_PROFILING_TYPESTATEPROFILER_H
 #define LUD_PROFILING_TYPESTATEPROFILER_H
 
 #include "profiling/DepGraph.h"
+#include "profiling/SlicingProfiler.h"
 #include "runtime/Heap.h"
 #include "runtime/ProfilerConcept.h"
 
@@ -56,6 +64,16 @@ struct TypestateSpec {
   }
 };
 
+/// Derives a generic resource-lifecycle protocol from the module, for use
+/// when no hand-written spec is supplied (the CLI's typestate client):
+/// every class with a closer method (close/dispose/free/release) is
+/// tracked through fresh(0) -> in-use(1) -> closed(2), where any method
+/// moves fresh/in-use to in-use, a closer moves them to closed, and no
+/// transition leaves closed — so every call on a closed object (QVM's
+/// use-after-close) is a violation. Returns an empty spec (NumStates 0)
+/// when no class has a closer method.
+TypestateSpec lifecycleSpec(const Module &M);
+
 /// One protocol violation: the event that had no legal transition.
 struct TypestateViolation {
   InstrId Instr = kNoInstr;
@@ -66,10 +84,15 @@ struct TypestateViolation {
 
 class TypestateProfiler : public NoopProfiler {
 public:
-  explicit TypestateProfiler(TypestateSpec Spec) : Spec(std::move(Spec)) {}
+  /// \p Substrate is the slicing profiler whose heap tags provide the
+  /// receivers' allocation sites; it must run in the same pipeline, before
+  /// this stage.
+  TypestateProfiler(TypestateSpec Spec, const SlicingProfiler &Substrate)
+      : Spec(std::move(Spec)), Sub(&Substrate) {}
 
   DepGraph &graph() { return G; }
   const DepGraph &graph() const { return G; }
+  const TypestateSpec &spec() const { return Spec; }
   const std::vector<TypestateViolation> &violations() const {
     return Violations;
   }
@@ -89,6 +112,13 @@ public:
     return Site * Spec.NumStates + State;
   }
 
+  /// Merges another profiler's results into this one, treating \p O as the
+  /// later of two sequential runs: graphs fold via DepGraph::mergeFrom,
+  /// \p O's violations append in order, and its next-event edges are
+  /// inserted (renumbered, deduplicated) after the existing ones. Both
+  /// profilers must use the same spec.
+  void mergeFrom(const TypestateProfiler &O);
+
   // Hook overrides (the rest stay no-ops).
   void onRunStart(const Module &Mod, Heap &H);
   void onAlloc(const AllocInst &I, ObjId O);
@@ -99,16 +129,23 @@ public:
 
 private:
   TypestateSpec Spec;
+  const SlicingProfiler *Sub = nullptr;
   DepGraph G;
   Heap *H = nullptr;
-  const Module *M = nullptr;
   std::vector<uint32_t> StateOf;        // per ObjId
-  std::vector<AllocSiteId> SiteOf;      // per ObjId (kNoAllocSite untracked)
   std::vector<NodeId> LastEvent;        // per ObjId
   std::vector<TypestateViolation> Violations;
   std::vector<EventEdge> Events;
 
   void ensure(ObjId O);
+  /// Receiver's allocation site from its substrate-written heap tag
+  /// (kNoAllocSite when untagged — allocated before tracking).
+  AllocSiteId siteOf(ObjId O) const {
+    uint64_t Tag = H->obj(O).Tag;
+    if (Tag == kNoTag || DepGraph::isStaticTag(Tag))
+      return kNoAllocSite;
+    return Sub->graph().tagSite(Tag);
+  }
 };
 
 } // namespace lud

@@ -7,11 +7,14 @@
 ///
 /// \file
 /// The user-facing driver: loads a textual .lud program, executes it (with
-/// or without profiling), and prints the requested diagnoses.
+/// or without profiling), and prints the requested diagnoses. All requested
+/// analyses — the Gcost-based reports and any --clients client profilers —
+/// come out of ONE interpretation pass over a composed profiler pipeline.
 ///
-///   lud-run program.lud                     # just run it
-///   lud-run --report program.lud            # low-utility ranking
-///   lud-run --all --slots 32 program.lud    # every client analysis
+///   lud-run program.lud                       # just run it
+///   lud-run --report program.lud              # low-utility ranking
+///   lud-run --all --slots 32 program.lud      # every Gcost analysis
+///   lud-run --clients=copy,nullness,typestate --report program.lud
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,6 +48,7 @@ struct Options {
   bool Caches = false;
   bool PrintIR = false;
   bool Baseline = false;
+  uint32_t Clients = 0;
   uint32_t Slots = 16;
   unsigned Depth = 4;
   size_t TopK = 15;
@@ -61,6 +65,9 @@ void usage() {
             "  --methods       rank methods by return-value cost\n"
             "  --caches        rank structures by cache effectiveness\n"
             "  --all           everything above\n"
+            "  --clients LIST  client analyses to run in the same pass,\n"
+            "                  comma-separated: copy, nullness, typestate,\n"
+            "                  or all\n"
             "  --baseline      run without instrumentation (timing)\n"
             "  --print-ir      echo the parsed program and exit\n"
             "  --dump-graph F  serialize Gcost to file F (offline use)\n"
@@ -70,13 +77,50 @@ void usage() {
             "  --top K         rows per report (default 15)\n";
 }
 
+bool parseClients(const std::string &List, uint32_t &Mask) {
+  size_t Pos = 0;
+  while (Pos <= List.size()) {
+    size_t Comma = List.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = List.size();
+    std::string Name = List.substr(Pos, Comma - Pos);
+    if (Name == "copy")
+      Mask |= kClientCopy;
+    else if (Name == "nullness")
+      Mask |= kClientNullness;
+    else if (Name == "typestate")
+      Mask |= kClientTypestate;
+    else if (Name == "all")
+      Mask |= kClientCopy | kClientNullness | kClientTypestate;
+    else {
+      errs() << "unknown client '" << Name
+             << "' (valid: copy, nullness, typestate, all)\n";
+      return false;
+    }
+    Pos = Comma + 1;
+  }
+  return true;
+}
+
+bool isPowerOfTwo(uint32_t N) { return N != 0 && (N & (N - 1)) == 0; }
+
 bool parseArgs(int argc, char **argv, Options &O) {
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
+    // Options below take a value in the next argv slot; a missing value is
+    // its own diagnostic, not an "unknown option".
+    auto NextArg = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        errs() << "option '" << A << "' requires an argument\n";
+        return nullptr;
+      }
+      return argv[++I];
+    };
     auto NextInt = [&](int64_t &Out) {
-      if (I + 1 >= argc)
+      const char *V = NextArg();
+      if (!V)
         return false;
-      Out = std::strtoll(argv[++I], nullptr, 10);
+      Out = std::strtoll(V, nullptr, 10);
       return true;
     };
     int64_t V = 0;
@@ -99,15 +143,48 @@ bool parseArgs(int argc, char **argv, Options &O) {
       O.Baseline = true;
     } else if (A == "--print-ir") {
       O.PrintIR = true;
-    } else if (A == "--dump-graph" && I + 1 < argc) {
-      O.DumpGraph = argv[++I];
-    } else if (A == "--optimize" && I + 1 < argc) {
-      O.OptimizeOut = argv[++I];
-    } else if (A == "--slots" && NextInt(V)) {
+    } else if (A == "--clients" || A.rfind("--clients=", 0) == 0) {
+      std::string List;
+      if (A == "--clients") {
+        const char *Arg = NextArg();
+        if (!Arg)
+          return false;
+        List = Arg;
+      } else {
+        List = A.substr(std::strlen("--clients="));
+      }
+      if (!parseClients(List, O.Clients))
+        return false;
+    } else if (A == "--dump-graph") {
+      const char *Arg = NextArg();
+      if (!Arg)
+        return false;
+      O.DumpGraph = Arg;
+    } else if (A == "--optimize") {
+      const char *Arg = NextArg();
+      if (!Arg)
+        return false;
+      O.OptimizeOut = Arg;
+    } else if (A == "--slots") {
+      if (!NextInt(V))
+        return false;
+      if (V <= 0) {
+        errs() << "option '--slots' requires a positive value\n";
+        return false;
+      }
       O.Slots = uint32_t(V);
-    } else if (A == "--depth" && NextInt(V)) {
+      if (!isPowerOfTwo(O.Slots))
+        errs() << "warning: --slots " << O.Slots
+               << " is not a power of two; contexts fold by modulo either "
+                  "way, but results won't line up with the paper's s = 2^k "
+                  "sweeps\n";
+    } else if (A == "--depth") {
+      if (!NextInt(V))
+        return false;
       O.Depth = unsigned(V);
-    } else if (A == "--top" && NextInt(V)) {
+    } else if (A == "--top") {
+      if (!NextInt(V))
+        return false;
       O.TopK = size_t(V);
     } else if (!A.empty() && A[0] == '-') {
       errs() << "unknown option '" << A << "'\n";
@@ -118,6 +195,11 @@ bool parseArgs(int argc, char **argv, Options &O) {
       errs() << "multiple input files\n";
       return false;
     }
+  }
+  if (O.Baseline && O.Clients) {
+    errs() << "--baseline runs without instrumentation; it cannot be "
+              "combined with --clients\n";
+    return false;
   }
   return !O.File.empty();
 }
@@ -176,20 +258,26 @@ int main(int argc, char **argv) {
     return R.Run.Status == RunStatus::Finished ? 0 : 1;
   }
 
-  SlicingConfig SCfg;
-  SCfg.ContextSlots = O.Slots;
-  ProfiledRun P = runProfiled(*M, SCfg, RCfg);
+  // One interpretation pass: the slicing substrate plus every requested
+  // client rides the same composed pipeline.
+  SessionConfig SCfg;
+  SCfg.Slicing.ContextSlots = O.Slots;
+  SCfg.Clients = O.Clients;
+  SCfg.Run = RCfg;
+  ProfileSession Session(std::move(SCfg));
+  TimedRun P = Session.run(*M);
   OS << "status: "
      << (P.Run.Status == RunStatus::Finished ? "finished"
                                              : trapKindName(P.Run.Trap))
      << ", " << P.Run.ExecutedInstrs << " instructions, result "
      << P.Run.ReturnValue.asInt() << "\n";
-  const DepGraph &G = P.Prof->graph();
+  const SlicingProfiler &Prof = *Session.slicing();
+  const DepGraph &G = Prof.graph();
   OS << "Gcost: " << uint64_t(G.numNodes()) << " nodes, "
      << uint64_t(G.numEdges()) << " edges, ";
   OS.printFixed(double(G.memoryFootprint().total()) / 1024.0, 1);
   OS << " KB, CR ";
-  OS.printFixed(P.Prof->averageCR(), 3);
+  OS.printFixed(Prof.averageCR(), 3);
   OS << "\n";
 
   if (!O.DumpGraph.empty()) {
@@ -214,12 +302,12 @@ int main(int argc, char **argv) {
   }
   if (O.Overwrites) {
     OS << "\n=== locations rewritten before read ===\n";
-    printOverwrites(rankOverwrites(*P.Prof, *M), OS, O.TopK);
+    printOverwrites(rankOverwrites(Prof, *M), OS, O.TopK);
   }
   if (O.Predicates) {
     OS << "\n=== always-constant predicates ===\n";
     std::vector<ConstantPredicateRow> Rows =
-        findConstantPredicates(*P.Prof, CM, *M);
+        findConstantPredicates(Prof, CM, *M);
     for (size_t I = 0; I != Rows.size() && I != O.TopK; ++I)
       OS << "  " << (Rows[I].AlwaysTrue ? "always-true " : "always-false")
          << " x" << Rows[I].Executions << "  " << Rows[I].Text << "\n";
@@ -239,6 +327,7 @@ int main(int argc, char **argv) {
     OS << "\n=== cache effectiveness (least effective first) ===\n";
     printCacheScores(rankCacheEffectiveness(CM, *M), OS, O.TopK);
   }
+  Session.printClientReports(*M, OS, O.TopK);
   if (!O.OptimizeOut.empty()) {
     DeadValueAnalysis DV = computeDeadValues(G, P.Run.ExecutedInstrs);
     OptimizeResult R = removeProfiledDeadCode(*M, G, DV);

@@ -2,6 +2,10 @@
 
 #include "workloads/Driver.h"
 
+#include "analysis/Report.h"
+#include "runtime/ComposedProfiler.h"
+#include "support/OutStream.h"
+
 #include <chrono>
 
 using namespace lud;
@@ -15,25 +19,96 @@ double secondsSince(std::chrono::steady_clock::time_point T0) {
 
 } // namespace
 
-TimedRun lud::runBaseline(const Module &M, RunConfig Cfg) {
-  NoopProfiler P;
+void ProfileSession::ensureProfilers(const Module &M) {
+  if (Cfg.Clients)
+    Cfg.Instrument = true; // Clients read the substrate's heap tags.
+  if (Cfg.Instrument && !Slicing)
+    Slicing = std::make_unique<SlicingProfiler>(Cfg.Slicing);
+  if ((Cfg.Clients & kClientCopy) && !Copy)
+    Copy = std::make_unique<CopyProfiler>(*Slicing);
+  if ((Cfg.Clients & kClientNullness) && !Null)
+    Null = std::make_unique<NullnessProfiler>();
+  if ((Cfg.Clients & kClientTypestate) && !Type) {
+    TypestateSpec Spec =
+        Cfg.Typestate.NumStates ? Cfg.Typestate : lifecycleSpec(M);
+    Type = std::make_unique<TypestateProfiler>(std::move(Spec), *Slicing);
+  }
+}
+
+TimedRun ProfileSession::run(const Module &M) {
+  ensureProfilers(M);
   Heap H;
-  Interpreter<NoopProfiler> Interp(M, H, P, Cfg);
-  auto T0 = std::chrono::steady_clock::now();
   TimedRun Out;
-  Out.Run = Interp.run();
+  auto T0 = std::chrono::steady_clock::now();
+  if (!Slicing) {
+    // Empty pipeline: the stock-JVM baseline, bit-identical in behavior to
+    // the old NoopProfiler path.
+    ComposedProfiler<> P;
+    Interpreter<ComposedProfiler<>> Interp(M, H, P, Cfg.Run);
+    Out.Run = Interp.run();
+  } else if (!Cfg.Clients) {
+    // Substrate only: keep the single-profiler instantiation so Table 1
+    // overhead numbers measure the substrate, not pipeline dispatch.
+    Interpreter<SlicingProfiler> Interp(M, H, *Slicing, Cfg.Run);
+    Out.Run = Interp.run();
+  } else {
+    // One pass, every client: substrate first (it writes the heap tags the
+    // clients read), then the clients; disabled stages are null and skipped.
+    using Pipeline = ComposedProfiler<SlicingProfiler, CopyProfiler,
+                                      NullnessProfiler, TypestateProfiler>;
+    Pipeline P(Slicing.get(), Copy.get(), Null.get(), Type.get());
+    Interpreter<Pipeline> Interp(M, H, P, Cfg.Run);
+    Out.Run = Interp.run();
+  }
   Out.Seconds = secondsSince(T0);
   return Out;
 }
 
+void ProfileSession::mergeFrom(const ProfileSession &O) {
+  if (Slicing && O.Slicing)
+    Slicing->mergeFrom(*O.Slicing);
+  if (Copy && O.Copy)
+    Copy->mergeFrom(*O.Copy);
+  if (Null && O.Null)
+    Null->mergeFrom(*O.Null);
+  if (Type && O.Type)
+    Type->mergeFrom(*O.Type);
+}
+
+void ProfileSession::printClientReports(const Module &M, OutStream &OS,
+                                        size_t TopK) const {
+  if (Copy) {
+    OS << "\n=== copy chains ===\n";
+    printCopyChains(*Copy, M, OS, TopK);
+  }
+  if (Null) {
+    OS << "\n=== null propagation ===\n";
+    printNullPropagation(*Null, M, OS);
+  }
+  if (Type) {
+    OS << "\n=== typestate history ===\n";
+    printTypestateFindings(*Type, M, OS, TopK);
+  }
+}
+
+TimedRun lud::runBaseline(const Module &M, RunConfig Cfg) {
+  SessionConfig SC;
+  SC.Instrument = false;
+  SC.Run = Cfg;
+  ProfileSession S(std::move(SC));
+  return S.run(M);
+}
+
 ProfiledRun lud::runProfiled(const Module &M, SlicingConfig SCfg,
                              RunConfig Cfg) {
+  SessionConfig SC;
+  SC.Slicing = SCfg;
+  SC.Run = Cfg;
+  ProfileSession S(std::move(SC));
+  TimedRun T = S.run(M);
   ProfiledRun Out;
-  Out.Prof = std::make_unique<SlicingProfiler>(SCfg);
-  Heap H;
-  Interpreter<SlicingProfiler> Interp(M, H, *Out.Prof, Cfg);
-  auto T0 = std::chrono::steady_clock::now();
-  Out.Run = Interp.run();
-  Out.Seconds = secondsSince(T0);
+  Out.Run = T.Run;
+  Out.Seconds = T.Seconds;
+  Out.Prof = S.takeSlicing();
   return Out;
 }

@@ -6,22 +6,35 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Helpers shared by benchmarks, tests and examples: execute a module under
-/// the uninstrumented baseline or under the slicing profiler, with wall
-/// time. The overhead factors of Table 1 are profiled-time / baseline-time
-/// on the identical engine.
+/// ProfileSession: one interpretation pass, every requested analysis. A
+/// session owns the slicing substrate and any enabled client profilers
+/// (copy, nullness, typestate), composes them into one pipeline
+/// (runtime/ComposedProfiler.h), and runs the module once — the paper's
+/// framework claim made executable: clients are pipeline stages, not extra
+/// passes. Sessions merge (mergeFrom) so the parallel driver's sharded fold
+/// covers client state, and render their clients' report sections through
+/// the uniform analysis/Report printers.
+///
+/// runBaseline/runProfiled remain as thin wrappers over a session: the
+/// overhead factors of Table 1 are still profiled-time / baseline-time on
+/// the identical engine.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef LUD_WORKLOADS_DRIVER_H
 #define LUD_WORKLOADS_DRIVER_H
 
+#include "profiling/CopyProfiler.h"
+#include "profiling/NullnessProfiler.h"
 #include "profiling/SlicingProfiler.h"
+#include "profiling/TypestateProfiler.h"
 #include "runtime/Interpreter.h"
 
 #include <memory>
 
 namespace lud {
+
+class OutStream;
 
 /// Wall-clock seconds plus the run outcome.
 struct TimedRun {
@@ -29,7 +42,75 @@ struct TimedRun {
   double Seconds = 0;
 };
 
-/// Executes with NoopProfiler (the stock-JVM stand-in).
+/// Client-analysis selection bits for SessionConfig::Clients.
+enum : uint32_t {
+  kClientCopy = 1u << 0,
+  kClientNullness = 1u << 1,
+  kClientTypestate = 1u << 2,
+};
+
+struct SessionConfig {
+  /// Build Gcost (the slicing substrate). False with no clients is the
+  /// uninstrumented baseline; any enabled client forces the substrate on,
+  /// since clients read the heap tags it writes.
+  bool Instrument = true;
+  /// kClient* mask of client analyses to run in the same pass.
+  uint32_t Clients = 0;
+  SlicingConfig Slicing;
+  RunConfig Run;
+  /// Protocol for the typestate client; when empty (NumStates == 0) the
+  /// session derives lifecycleSpec(M) from the module at run time.
+  TypestateSpec Typestate;
+};
+
+/// One profiling session: configure, run (one pass), consume the
+/// profilers. Repeated run() calls accumulate into the same profilers,
+/// matching the sequential-reuse semantics mergeFrom reproduces.
+class ProfileSession {
+public:
+  explicit ProfileSession(SessionConfig Cfg = {}) : Cfg(std::move(Cfg)) {}
+
+  /// Executes \p M once with every enabled profiler attached to the single
+  /// interpreter pass.
+  TimedRun run(const Module &M);
+
+  const SessionConfig &config() const { return Cfg; }
+
+  /// Enabled profilers (null when not enabled / not yet run).
+  SlicingProfiler *slicing() { return Slicing.get(); }
+  const SlicingProfiler *slicing() const { return Slicing.get(); }
+  CopyProfiler *copy() { return Copy.get(); }
+  const CopyProfiler *copy() const { return Copy.get(); }
+  NullnessProfiler *nullness() { return Null.get(); }
+  const NullnessProfiler *nullness() const { return Null.get(); }
+  TypestateProfiler *typestate() { return Type.get(); }
+  const TypestateProfiler *typestate() const { return Type.get(); }
+
+  /// Folds another session's profilers into this one, client state
+  /// included, treating \p O as the later of two sequential runs. Both
+  /// sessions must share the configuration and module (the parallel
+  /// driver's shards); profiler sets must match.
+  void mergeFrom(const ProfileSession &O);
+
+  /// Renders the enabled clients' report sections ("=== ... ===" headed),
+  /// via the analysis/Report printers. No-op when no client is enabled.
+  void printClientReports(const Module &M, OutStream &OS,
+                          size_t TopK = 15) const;
+
+  /// Releases the substrate (for the runProfiled wrapper).
+  std::unique_ptr<SlicingProfiler> takeSlicing() { return std::move(Slicing); }
+
+private:
+  void ensureProfilers(const Module &M);
+
+  SessionConfig Cfg;
+  std::unique_ptr<SlicingProfiler> Slicing;
+  std::unique_ptr<CopyProfiler> Copy;
+  std::unique_ptr<NullnessProfiler> Null;
+  std::unique_ptr<TypestateProfiler> Type;
+};
+
+/// Executes with the empty profiler pipeline (the stock-JVM stand-in).
 TimedRun runBaseline(const Module &M, RunConfig Cfg = {});
 
 /// Executes under a SlicingProfiler; the profiler (holding Gcost) is

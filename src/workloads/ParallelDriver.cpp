@@ -42,30 +42,43 @@ template <class Fn> void forEachJob(unsigned Jobs, unsigned Threads, Fn Body) {
 
 } // namespace
 
-ShardedRun lud::runShardedProfiled(const Module &M, unsigned Shards,
-                                   ParallelConfig Cfg) {
-  ShardedRun Out;
+ShardedSession lud::runShardedSession(const Module &M, unsigned Shards,
+                                      SessionConfig Cfg, unsigned Threads) {
+  ShardedSession Out;
   if (Shards == 0)
     return Out;
-  std::vector<std::unique_ptr<SlicingProfiler>> Profs(Shards);
+  std::vector<std::unique_ptr<ProfileSession>> Sessions(Shards);
   std::vector<RunResult> Results(Shards);
   auto T0 = std::chrono::steady_clock::now();
-  forEachJob(Shards, Cfg.Threads, [&](unsigned S) {
-    Profs[S] = std::make_unique<SlicingProfiler>(Cfg.Slicing);
-    Heap H;
-    Interpreter<SlicingProfiler> Interp(M, H, *Profs[S], Cfg.Run);
-    Results[S] = Interp.run();
+  forEachJob(Shards, Threads, [&](unsigned S) {
+    Sessions[S] = std::make_unique<ProfileSession>(Cfg);
+    Results[S] = Sessions[S]->run(M).Run;
   });
   // Fold in shard-index order: mergeFrom treats its argument as the later
-  // of two sequential runs, so this reproduces one profiler observing the
-  // shards back to back.
-  Out.Prof = std::move(Profs[0]);
+  // of two sequential runs, so this reproduces one session observing the
+  // shards back to back — for the substrate and every client alike.
+  Out.Session = std::move(Sessions[0]);
   for (unsigned S = 1; S != Shards; ++S)
-    Out.Prof->mergeFrom(*Profs[S]);
+    Out.Session->mergeFrom(*Sessions[S]);
   Out.Seconds = secondsSince(T0);
   Out.Run = Results[0];
   for (const RunResult &R : Results)
     Out.TotalInstrs += R.ExecutedInstrs;
+  return Out;
+}
+
+ShardedRun lud::runShardedProfiled(const Module &M, unsigned Shards,
+                                   ParallelConfig Cfg) {
+  SessionConfig SC;
+  SC.Slicing = Cfg.Slicing;
+  SC.Run = Cfg.Run;
+  ShardedSession S = runShardedSession(M, Shards, std::move(SC), Cfg.Threads);
+  ShardedRun Out;
+  Out.Run = S.Run;
+  Out.TotalInstrs = S.TotalInstrs;
+  Out.Seconds = S.Seconds;
+  if (S.Session)
+    Out.Prof = S.Session->takeSlicing();
   return Out;
 }
 

@@ -56,6 +56,29 @@ struct ShardedRun {
 ShardedRun runShardedProfiled(const Module &M, unsigned Shards,
                               ParallelConfig Cfg = {});
 
+/// Sharded run of a full profile session: like runShardedProfiled, but each
+/// shard is a ProfileSession (substrate plus any enabled client analyses,
+/// one pass per shard), and the fold covers client state too via
+/// ProfileSession::mergeFrom. The deterministic-fold property carries over:
+/// shard-index order plus order-preserving client merges make the result
+/// independent of Threads.
+struct ShardedSession {
+  /// Outcome of shard 0 (shards are deterministic replicas).
+  RunResult Run;
+  /// Executed instructions summed over all shards.
+  uint64_t TotalInstrs = 0;
+  /// Wall time for the whole batch, pool included.
+  double Seconds = 0;
+  /// Shard 0's session after folding shards 1..N-1 into it in index order;
+  /// null when Shards == 0.
+  std::unique_ptr<ProfileSession> Session;
+};
+
+/// Runs \p Shards sessions configured by \p Cfg over \p M, at most
+/// \p Threads at once, and folds them into one.
+ShardedSession runShardedSession(const Module &M, unsigned Shards,
+                                 SessionConfig Cfg = {}, unsigned Threads = 4);
+
 /// Result of profiling a batch of distinct workload modules in parallel.
 struct ParallelResult {
   /// One profiled run per input module, in input order (not completion

@@ -2,17 +2,47 @@
 
 #include "../TestUtil.h"
 
+#include "analysis/Report.h"
 #include "ir/IRBuilder.h"
 #include "profiling/CopyProfiler.h"
 #include "profiling/NullnessProfiler.h"
 #include "profiling/TypestateProfiler.h"
+#include "runtime/ComposedProfiler.h"
+#include "support/OutStream.h"
+#include "workloads/Driver.h"
+#include "workloads/ParallelDriver.h"
 
 #include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
 
 using namespace lud;
 using namespace lud::test;
 
 namespace {
+
+/// Substrate + copy client composed into one pipeline, the way
+/// ProfileSession wires them.
+struct CopyPipeline {
+  SlicingProfiler Sub;
+  CopyProfiler P{Sub};
+  RunResult run(const Module &M) {
+    ComposedProfiler<SlicingProfiler, CopyProfiler> Pipe(&Sub, &P);
+    return runModule(M, Pipe);
+  }
+};
+
+/// Substrate + typestate client composed into one pipeline.
+struct TypestatePipeline {
+  SlicingProfiler Sub;
+  TypestateProfiler P;
+  explicit TypestatePipeline(TypestateSpec Spec) : P(std::move(Spec), Sub) {}
+  RunResult run(const Module &M) {
+    ComposedProfiler<SlicingProfiler, TypestateProfiler> Pipe(&Sub, &P);
+    return runModule(M, Pipe);
+  }
+};
 
 //===----------------------------------------------------------------------===
 // Figure 2(a): null-value propagation.
@@ -189,11 +219,11 @@ TypestateSpec fileSpec(const FileProgram &P) {
 
 TEST(TypestateProfilerTest, DetectsReadAfterClose) {
   FileProgram Prog = buildFileProgram(/*Violate=*/true);
-  TypestateProfiler P(fileSpec(Prog));
-  RunResult R = runModule(*Prog.M, P);
+  TypestatePipeline TP(fileSpec(Prog));
+  RunResult R = TP.run(*Prog.M);
   ASSERT_EQ(R.Status, RunStatus::Finished);
-  ASSERT_EQ(P.violations().size(), 1u);
-  const TypestateViolation &V = P.violations()[0];
+  ASSERT_EQ(TP.P.violations().size(), 1u);
+  const TypestateViolation &V = TP.P.violations()[0];
   EXPECT_EQ(V.Site, Prog.Site);
   EXPECT_EQ(V.StateBefore, 3u); // closed
   EXPECT_EQ(V.Method, Prog.Get);
@@ -201,20 +231,20 @@ TEST(TypestateProfilerTest, DetectsReadAfterClose) {
 
 TEST(TypestateProfilerTest, CleanRunHasNoViolations) {
   FileProgram Prog = buildFileProgram(/*Violate=*/false);
-  TypestateProfiler P(fileSpec(Prog));
-  RunResult R = runModule(*Prog.M, P);
+  TypestatePipeline TP(fileSpec(Prog));
+  RunResult R = TP.run(*Prog.M);
   ASSERT_EQ(R.Status, RunStatus::Finished);
-  EXPECT_TRUE(P.violations().empty());
+  EXPECT_TRUE(TP.P.violations().empty());
 }
 
 TEST(TypestateProfilerTest, HistoryRecordsNextEventEdges) {
   FileProgram Prog = buildFileProgram(/*Violate=*/true);
-  TypestateProfiler P(fileSpec(Prog));
-  runModule(*Prog.M, P);
+  TypestatePipeline TP(fileSpec(Prog));
+  TP.run(*Prog.M);
   // create -> put -> put(merged) -> close -> get: at least 3 distinct
   // next-event edges after merging.
-  EXPECT_GE(P.eventEdges().size(), 3u);
-  std::string History = P.describeHistory(*Prog.M);
+  EXPECT_GE(TP.P.eventEdges().size(), 3u);
+  std::string History = TP.P.describeHistory(*Prog.M);
   // Edges are labeled with the *target* event's method; the first event
   // (create) appears as a source node in state 0.
   EXPECT_NE(History.find("-put->"), std::string::npos);
@@ -261,12 +291,12 @@ TEST(TypestateProfilerTest, EventsMergeAcrossInstances) {
   Spec.NumStates = 3;
   Spec.addTransition(0, M.findMethodName("create"), 1);
   Spec.addTransition(1, M.findMethodName("close"), 2);
-  TypestateProfiler P(Spec);
-  runModule(M, P);
-  EXPECT_TRUE(P.violations().empty());
+  TypestatePipeline TP(Spec);
+  TP.run(M);
+  EXPECT_TRUE(TP.P.violations().empty());
   // Two abstract event nodes (create@s0, close@s1) despite 50 objects.
-  EXPECT_EQ(P.graph().numNodes(), 2u);
-  EXPECT_EQ(P.graph().freq(0) + P.graph().freq(1), 100u);
+  EXPECT_EQ(TP.P.graph().numNodes(), 2u);
+  EXPECT_EQ(TP.P.graph().freq(0) + TP.P.graph().freq(1), 100u);
 }
 
 //===----------------------------------------------------------------------===
@@ -295,9 +325,10 @@ TEST(CopyProfilerTest, RecordsChainWithStackHops) {
   B.endFunction();
   M.finalize();
 
-  CopyProfiler P;
-  RunResult R = runModule(M, P);
+  CopyPipeline CP;
+  RunResult R = CP.run(M);
   ASSERT_EQ(R.Status, RunStatus::Finished);
+  const CopyProfiler &P = CP.P;
 
   AllocSiteId S1 = cast<AllocInst>(Alloc1)->Site;
   AllocSiteId S3 = cast<AllocInst>(Alloc3)->Site;
@@ -338,9 +369,9 @@ TEST(CopyProfilerTest, ComputationBreaksChains) {
   B.endFunction();
   M.finalize();
 
-  CopyProfiler P;
-  runModule(M, P);
-  EXPECT_TRUE(P.chains().empty());
+  CopyPipeline CP;
+  CP.run(M);
+  EXPECT_TRUE(CP.P.chains().empty());
 }
 
 TEST(CopyProfilerTest, CountsAccumulateAcrossIterations) {
@@ -372,13 +403,216 @@ TEST(CopyProfilerTest, CountsAccumulateAcrossIterations) {
   B.endFunction();
   M.finalize();
 
-  CopyProfiler P;
-  runModule(M, P);
+  CopyPipeline CP;
+  CP.run(M);
+  const CopyProfiler &P = CP.P;
   ASSERT_EQ(P.chains().size(), 1u);
   EXPECT_EQ(P.chains()[0].Count, 40u);
   EXPECT_EQ(P.chains()[0].From.Tag, cast<AllocArrayInst>(SrcAlloc)->Site);
   EXPECT_EQ(P.chains()[0].To.Tag, cast<AllocArrayInst>(DstAlloc)->Site);
   EXPECT_EQ(P.chains()[0].From.Slot, kElemSlot);
+}
+
+//===----------------------------------------------------------------------===
+// ComposedProfiler: hook fan-out.
+//===----------------------------------------------------------------------===
+
+/// Logs every hook it receives into a shared journal, prefixed by its name.
+struct RecordingProfiler : NoopProfiler {
+  std::vector<std::string> *Log = nullptr;
+  std::string Name;
+  RecordingProfiler(std::vector<std::string> *Log, std::string Name)
+      : Log(Log), Name(std::move(Name)) {}
+  void onRunStart(const Module &, Heap &) { Log->push_back(Name + ":start"); }
+  void onRunEnd() { Log->push_back(Name + ":end"); }
+  void onConst(const ConstInst &) { Log->push_back(Name + ":const"); }
+  void onAlloc(const AllocInst &, ObjId) { Log->push_back(Name + ":alloc"); }
+};
+
+/// One const, one alloc, return.
+std::unique_ptr<Module> buildTinyProgram() {
+  auto M = std::make_unique<Module>();
+  ClassDecl *A = M->addClass("A");
+  A->addField("f", Type::makeInt());
+  IRBuilder B(*M);
+  B.beginFunction("main", 0);
+  Reg C = B.iconst(3);
+  B.alloc(A->getId());
+  B.ret(C);
+  B.endFunction();
+  M->finalize();
+  return M;
+}
+
+TEST(ComposedProfilerTest, FansHooksOutInDeclarationOrder) {
+  std::unique_ptr<Module> M = buildTinyProgram();
+  std::vector<std::string> Log;
+  RecordingProfiler A(&Log, "A"), B(&Log, "B");
+  ComposedProfiler<RecordingProfiler, RecordingProfiler> Pipe(&A, &B);
+  RunResult R = runModule(*M, Pipe);
+  ASSERT_EQ(R.Status, RunStatus::Finished);
+  // Every hook reaches every stage, stages in declaration order, events in
+  // execution order.
+  std::vector<std::string> Expected = {"A:start", "B:start", "A:const",
+                                       "B:const", "A:alloc", "B:alloc",
+                                       "A:end",   "B:end"};
+  EXPECT_EQ(Log, Expected);
+}
+
+TEST(ComposedProfilerTest, NullStagesAreSkipped) {
+  std::unique_ptr<Module> M = buildTinyProgram();
+  std::vector<std::string> Log;
+  RecordingProfiler B(&Log, "B");
+  ComposedProfiler<RecordingProfiler, RecordingProfiler> Pipe(nullptr, &B);
+  RunResult R = runModule(*M, Pipe);
+  ASSERT_EQ(R.Status, RunStatus::Finished);
+  std::vector<std::string> Expected = {"B:start", "B:const", "B:alloc",
+                                       "B:end"};
+  EXPECT_EQ(Log, Expected);
+}
+
+TEST(ComposedProfilerTest, EmptyCompositionMatchesNoopBaseline) {
+  std::unique_ptr<Module> M = buildTinyProgram();
+  NoopProfiler Noop;
+  RunResult RN = runModule(*M, Noop);
+  ComposedProfiler<> Empty;
+  RunResult RE = runModule(*M, Empty);
+  EXPECT_EQ(RE.Status, RN.Status);
+  EXPECT_EQ(RE.ExecutedInstrs, RN.ExecutedInstrs);
+  EXPECT_EQ(RE.ReturnValue.asInt(), RN.ReturnValue.asInt());
+  EXPECT_EQ(RE.SinkHash, RN.SinkHash);
+}
+
+//===----------------------------------------------------------------------===
+// ProfileSession: one pass, every client.
+//===----------------------------------------------------------------------===
+
+/// A program exercising all three clients: a heap-to-heap copy chain, a
+/// typestate violation (get after close), and finally a null dereference.
+struct TripleProgram {
+  std::unique_ptr<Module> M;
+  TypestateSpec Spec;
+};
+
+TripleProgram buildTripleProgram() {
+  TripleProgram Out;
+  Out.M = std::make_unique<Module>();
+  Module &M = *Out.M;
+
+  ClassDecl *FileC = M.addClass("File");
+  FileC->addField("pos", Type::makeInt());
+  ClassDecl *A = M.addClass("A");
+  A->addField("f", Type::makeInt());
+  IRBuilder B(M);
+  for (const char *Name : {"create", "put", "close", "get"}) {
+    B.beginMethod(FileC->getId(), Name, 1);
+    Reg Pos = B.loadField(0, FileC->getId(), "pos");
+    Reg One = B.iconst(1);
+    Reg NP = B.add(Pos, One);
+    B.storeField(0, FileC->getId(), "pos", NP);
+    B.ret(NP);
+    B.endFunction();
+  }
+
+  B.beginFunction("main", 0);
+  // Copy chain: A.f -> A.f through a register move.
+  Reg O1 = B.alloc(A->getId());
+  Reg O2 = B.alloc(A->getId());
+  Reg C = B.iconst(7);
+  B.storeField(O1, A->getId(), "f", C);
+  Reg L = B.loadField(O1, A->getId(), "f");
+  Reg Mv = B.move(L);
+  B.storeField(O2, A->getId(), "f", Mv);
+  // Typestate violation: get after close.
+  Reg F = B.alloc(FileC->getId());
+  B.vcallVoid("create", {F});
+  B.vcallVoid("put", {F});
+  B.vcallVoid("close", {F});
+  Reg Ch = B.vcall("get", {F});
+  B.ncallVoid("sink", {Ch});
+  // Null dereference: terminates the run in a trap.
+  Reg Nl = B.nullconst();
+  Reg X = B.loadField(Nl, A->getId(), "f");
+  B.ret(X);
+  B.endFunction();
+  M.finalize();
+
+  TypestateSpec Spec;
+  Spec.TrackedClasses = {FileC->getId()};
+  Spec.NumStates = 4;
+  Spec.InitialState = 0;
+  Spec.addTransition(0, M.findMethodName("create"), 1);
+  Spec.addTransition(1, M.findMethodName("put"), 2);
+  Spec.addTransition(2, M.findMethodName("put"), 2);
+  Spec.addTransition(2, M.findMethodName("get"), 2);
+  Spec.addTransition(1, M.findMethodName("close"), 3);
+  Spec.addTransition(2, M.findMethodName("close"), 3);
+  Out.Spec = Spec;
+  return Out;
+}
+
+std::string renderClients(const ProfileSession &S, const Module &M) {
+  StringOutStream OS;
+  S.printClientReports(M, OS);
+  return OS.str();
+}
+
+TEST(ProfileSessionTest, SinglePassMatchesSeparatePasses) {
+  TripleProgram Prog = buildTripleProgram();
+
+  SessionConfig All;
+  All.Clients = kClientCopy | kClientNullness | kClientTypestate;
+  All.Typestate = Prog.Spec;
+  ProfileSession SAll(All);
+  RunResult R = SAll.run(*Prog.M).Run;
+  EXPECT_EQ(R.Status, RunStatus::Trapped);
+  std::string OnePass = renderClients(SAll, *Prog.M);
+
+  // Each client alone, three separate interpretation passes; sections
+  // concatenate in the same copy/nullness/typestate order the session
+  // prints them in.
+  std::string Separate;
+  for (uint32_t Client :
+       {kClientCopy, kClientNullness, kClientTypestate}) {
+    SessionConfig One;
+    One.Clients = Client;
+    One.Typestate = Prog.Spec;
+    ProfileSession S(One);
+    S.run(*Prog.M);
+    Separate += renderClients(S, *Prog.M);
+  }
+
+  // The acceptance bar: byte-identical per-client reports.
+  EXPECT_EQ(OnePass, Separate);
+  // And they actually found the planted defects.
+  EXPECT_NE(OnePass.find("copy chains"), std::string::npos);
+  EXPECT_NE(OnePass.find("propagation flow"), std::string::npos);
+  EXPECT_NE(OnePass.find("VIOLATION"), std::string::npos);
+}
+
+TEST(ProfileSessionTest, ShardedFoldIsThreadCountInvariant) {
+  TripleProgram Prog = buildTripleProgram();
+  SessionConfig Cfg;
+  Cfg.Clients = kClientCopy | kClientNullness | kClientTypestate;
+  Cfg.Typestate = Prog.Spec;
+
+  ShardedSession Seq = runShardedSession(*Prog.M, 4, Cfg, /*Threads=*/1);
+  ShardedSession Par = runShardedSession(*Prog.M, 4, Cfg, /*Threads=*/4);
+  ASSERT_TRUE(Seq.Session && Par.Session);
+
+  // Substrate graphs agree...
+  const DepGraph &GS = Seq.Session->slicing()->graph();
+  const DepGraph &GP = Par.Session->slicing()->graph();
+  EXPECT_EQ(GS.numNodes(), GP.numNodes());
+  EXPECT_EQ(GS.numEdges(), GP.numEdges());
+  // ...and so does every client's rendered report, byte for byte.
+  EXPECT_EQ(renderClients(*Seq.Session, *Prog.M),
+            renderClients(*Par.Session, *Prog.M));
+  // Four shards, one violation each, appended in shard order.
+  EXPECT_EQ(Seq.Session->typestate()->violations().size(), 4u);
+  // Copy counts sum across shards into the single abstract chain.
+  ASSERT_EQ(Seq.Session->copy()->chains().size(), 1u);
+  EXPECT_EQ(Seq.Session->copy()->chains()[0].Count, 4u);
 }
 
 } // namespace
