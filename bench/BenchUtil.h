@@ -15,6 +15,8 @@
 #ifndef LUD_BENCH_BENCHUTIL_H
 #define LUD_BENCH_BENCHUTIL_H
 
+#include "obs/Metrics.h"
+#include "support/OutStream.h"
 #include "workloads/DaCapo.h"
 #include "workloads/Driver.h"
 
@@ -76,6 +78,88 @@ inline void emitJsonRow(const std::string &Name, int64_t Scale,
                  Name.c_str(), (long long)Scale, Seconds, Nodes, Edges);
     std::fclose(F);
   }
+}
+
+/// Telemetry export for the bench binaries. `--stats[=json|csv]` (or the
+/// LUD_STATS env var, same values) makes the table passes run their
+/// sessions with CollectStats on and dump the merged "lud.stats.v1"
+/// registry; `--stats-out=FILE` (or LUD_STATS_OUT) appends to FILE instead
+/// of stdout, so a CI job can collect registries from several binaries in
+/// one artifact.
+enum class StatsFormat { Off, Text, Json, Csv };
+
+inline StatsFormat parseStatsFormat(const char *V) {
+  if (!V || !*V)
+    return StatsFormat::Text;
+  if (std::strcmp(V, "json") == 0)
+    return StatsFormat::Json;
+  if (std::strcmp(V, "csv") == 0)
+    return StatsFormat::Csv;
+  return StatsFormat::Text;
+}
+
+inline StatsFormat &statsFormat() {
+  static StatsFormat F = std::getenv("LUD_STATS")
+                             ? parseStatsFormat(std::getenv("LUD_STATS"))
+                             : StatsFormat::Off;
+  return F;
+}
+
+inline std::string &statsOutPath() {
+  static std::string Path =
+      std::getenv("LUD_STATS_OUT") ? std::getenv("LUD_STATS_OUT") : "";
+  return Path;
+}
+
+inline bool statsEnabled() { return statsFormat() != StatsFormat::Off; }
+
+/// Parses and strips `--stats[=json|csv]` / `--stats-out=FILE` from argv so
+/// benchmark::Initialize never sees them (mirrors initJsonRows).
+inline void initStats(int *Argc, char **Argv) {
+  int W = 1;
+  for (int I = 1; I < *Argc; ++I) {
+    const char *A = Argv[I];
+    if (std::strcmp(A, "--stats") == 0) {
+      statsFormat() = StatsFormat::Text;
+      continue;
+    }
+    if (std::strncmp(A, "--stats=", 8) == 0) {
+      statsFormat() = parseStatsFormat(A + 8);
+      continue;
+    }
+    if (std::strncmp(A, "--stats-out=", 12) == 0) {
+      statsOutPath() = A + 12;
+      continue;
+    }
+    Argv[W++] = Argv[I];
+  }
+  *Argc = W;
+}
+
+/// Appends \p S's registry to --stats-out (or prints it to stdout) in the
+/// requested format. No-op when stats are off or the session collected none.
+inline void emitStats(const ProfileSession &S) {
+  if (!statsEnabled() || !S.stats())
+    return;
+  std::FILE *F = stdout;
+  if (!statsOutPath().empty())
+    F = std::fopen(statsOutPath().c_str(), "a");
+  if (!F)
+    return;
+  FileOutStream OS(F);
+  switch (statsFormat()) {
+  case StatsFormat::Json:
+    S.stats()->writeJson(OS);
+    break;
+  case StatsFormat::Csv:
+    S.stats()->writeCsv(OS);
+    break;
+  default:
+    S.stats()->writeText(OS);
+    break;
+  }
+  if (F != stdout)
+    std::fclose(F);
 }
 
 /// Minimum wall time over \p Reps baseline runs (de-noised).

@@ -72,6 +72,16 @@ void printTable() {
                   : "[GRAPH MISMATCH]");
   emitJsonRow("parallel_driver/eclipse_shards", S, B.Seconds, GB.numNodes(),
               GB.numEdges());
+
+  // Telemetry export: a sharded session with the registry on, folded over
+  // the pool, dumped in the format --stats requested. The registry after
+  // the fold is thread-count independent (wall-time metrics aside).
+  if (statsEnabled()) {
+    SessionConfig SCfg;
+    SCfg.CollectStats = true;
+    ShardedSession SS = runShardedSession(*W.M, Shards, SCfg, Threads);
+    emitStats(*SS.Session);
+  }
 }
 
 /// Timing aspect: the full suite batch at a given thread count.
@@ -98,6 +108,7 @@ BENCHMARK(BM_SuiteBatch)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char **argv) {
   initJsonRows(&argc, argv);
+  initStats(&argc, argv);
   printTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -57,6 +57,18 @@ void printTable() {
     emitJsonRow("pipeline/n_pass/" + Name, S, N, 0, 0);
   }
   std::printf("\n");
+
+  // Telemetry export: one representative composed session with the
+  // registry on, dumped in the format --stats requested.
+  if (statsEnabled()) {
+    Workload W = buildWorkload("eclipse", S);
+    SessionConfig Cfg;
+    Cfg.Clients = kAllClients;
+    Cfg.CollectStats = true;
+    ProfileSession Sess(Cfg);
+    Sess.run(*W.M);
+    emitStats(Sess);
+  }
 }
 
 /// Timing aspect: all clients in one composed pass.
@@ -86,6 +98,7 @@ BENCHMARK(BM_NPassPerClient)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char **argv) {
   initJsonRows(&argc, argv);
+  initStats(&argc, argv);
   printTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -73,17 +73,10 @@ int main(int argc, char **argv) {
   printOverwrites(rankOverwrites(*P.Prof, *W.M), OS, 5);
 
   OS << "\n--- always-constant predicates ---\n";
-  std::vector<ConstantPredicateRow> Preds =
-      findConstantPredicates(*P.Prof, CM, *W.M, /*MinCount=*/16);
-  size_t Shown = 0;
-  for (const ConstantPredicateRow &Row : Preds) {
-    if (Shown++ == 5)
-      break;
-    OS << "  " << (Row.AlwaysTrue ? "always-true " : "always-false") << " x"
-       << Row.Executions << "  " << Row.Text << "\n";
-  }
-  if (Preds.empty())
-    OS << "  (none)\n";
+  ClientOptions Busy;
+  Busy.MinCount = 16;
+  printConstantPredicates(findConstantPredicates(*P.Prof, CM, *W.M, Busy),
+                          OS, 5);
 
   OS << "\n--- costliest method return values ---\n";
   std::vector<MethodCostRow> Methods = computeMethodCosts(CM, *W.M);

@@ -13,7 +13,7 @@ using namespace lud;
 
 std::vector<OverwriteRow> lud::rankOverwrites(const SlicingProfiler &P,
                                               const Module &M,
-                                              uint64_t MinWrites) {
+                                              const ClientOptions &Opts) {
   const DepGraph &G = P.graph();
   // Aggregate per (site-or-global, slot) over context-annotated tags.
   std::map<std::pair<uint64_t, FieldSlot>, OverwriteRow> Agg;
@@ -52,7 +52,7 @@ std::vector<OverwriteRow> lud::rankOverwrites(const SlicingProfiler &P,
 
   std::vector<OverwriteRow> Rows;
   for (auto &[Key, Row] : Agg) {
-    if (Row.Writes < MinWrites)
+    if (Row.Writes < Opts.MinWrites)
       continue;
     Row.WasteRatio = Row.Writes ? double(Row.Overwrites) / double(Row.Writes)
                                 : 0;
@@ -75,21 +75,6 @@ int lud::overwriteRankOf(const std::vector<OverwriteRow> &Rows,
     if (Rows[I].Site == Site)
       return int(I);
   return -1;
-}
-
-void lud::printOverwrites(const std::vector<OverwriteRow> &Rows,
-                          OutStream &OS, size_t TopK) {
-  OS << "rank  overwrites     writes      reads  waste  location\n";
-  size_t Limit = std::min(TopK, Rows.size());
-  for (size_t I = 0; I != Limit; ++I) {
-    const OverwriteRow &R = Rows[I];
-    char Buf[96];
-    std::snprintf(Buf, sizeof(Buf), "%4zu  %10llu %10llu %10llu  %4.0f%%",
-                  I + 1, (unsigned long long)R.Overwrites,
-                  (unsigned long long)R.Writes, (unsigned long long)R.Reads,
-                  100.0 * R.WasteRatio);
-    OS << Buf << "  " << R.Description << "\n";
-  }
 }
 
 std::vector<MethodCostRow> lud::computeMethodCosts(const CostModel &CM,
@@ -129,11 +114,11 @@ std::vector<MethodCostRow> lud::computeMethodCosts(const CostModel &CM,
 
 std::vector<ConstantPredicateRow>
 lud::findConstantPredicates(const SlicingProfiler &P, const CostModel &CM,
-                            const Module &M, uint64_t MinCount) {
+                            const Module &M, const ClientOptions &Opts) {
   std::vector<ConstantPredicateRow> Rows;
   for (const auto &[Node, Outcome] : P.predicateOutcomes()) {
     uint64_t Total = Outcome.TakenCount + Outcome.NotTakenCount;
-    if (Total < MinCount)
+    if (Total < Opts.MinCount)
       continue;
     if (Outcome.TakenCount != 0 && Outcome.NotTakenCount != 0)
       continue;

@@ -31,6 +31,22 @@ namespace lud {
 class Module;
 class OutStream;
 
+/// The one knob set shared by every Section 3.2 client. Callers configure
+/// a single struct instead of threading loose thresholds through each
+/// client's signature; the table printers for these rows live with the
+/// other report sections in analysis/Report.h.
+struct ClientOptions {
+  /// Overwrite ranking: rows with fewer total writes drop as noise.
+  uint64_t MinWrites = 2;
+  /// Predicate constancy: minimum executions before a predicate counts.
+  uint64_t MinCount = 2;
+  /// Rows per printed table.
+  size_t TopK = 15;
+  /// Reference-tree height n (Definition 7) for the Gcost report run
+  /// alongside the clients.
+  unsigned Depth = 4;
+};
+
 //===----------------------------------------------------------------------===
 // Overwrite ranking.
 //===----------------------------------------------------------------------===
@@ -49,17 +65,13 @@ struct OverwriteRow {
 };
 
 /// Locations sorted by overwrite count (then waste ratio). Rows with fewer
-/// than \p MinWrites writes are dropped as noise.
+/// than Opts.MinWrites writes are dropped as noise.
 std::vector<OverwriteRow> rankOverwrites(const SlicingProfiler &P,
                                          const Module &M,
-                                         uint64_t MinWrites = 2);
+                                         const ClientOptions &Opts = {});
 
 /// Rank (0-based) of the first row matching \p Site, or -1.
 int overwriteRankOf(const std::vector<OverwriteRow> &Rows, AllocSiteId Site);
-
-/// Prints the top rows as a table.
-void printOverwrites(const std::vector<OverwriteRow> &Rows, OutStream &OS,
-                     size_t TopK = 10);
 
 //===----------------------------------------------------------------------===
 // Method-level cost.
@@ -98,10 +110,10 @@ struct ConstantPredicateRow {
 };
 
 /// Predicates that always took the same direction, executed at least
-/// \p MinCount times; sorted by OperandCost * Executions descending.
+/// Opts.MinCount times; sorted by OperandCost * Executions descending.
 std::vector<ConstantPredicateRow>
 findConstantPredicates(const SlicingProfiler &P, const CostModel &CM,
-                       const Module &M, uint64_t MinCount = 2);
+                       const Module &M, const ClientOptions &Opts = {});
 
 } // namespace lud
 

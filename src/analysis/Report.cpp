@@ -203,3 +203,37 @@ void lud::printTypestateFindings(const TypestateProfiler &P, const Module &M,
        << "\n";
   }
 }
+
+void lud::printOverwrites(const std::vector<OverwriteRow> &Rows,
+                          OutStream &OS, size_t TopK) {
+  OS << "rank  overwrites     writes      reads  waste  location\n";
+  size_t Limit = std::min(TopK, Rows.size());
+  for (size_t I = 0; I != Limit; ++I) {
+    const OverwriteRow &R = Rows[I];
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf), "%4zu  %10llu %10llu %10llu  %4.0f%%",
+                  I + 1, (unsigned long long)R.Overwrites,
+                  (unsigned long long)R.Writes, (unsigned long long)R.Reads,
+                  100.0 * R.WasteRatio);
+    OS << Buf << "  " << R.Description << "\n";
+  }
+}
+
+void lud::printConstantPredicates(
+    const std::vector<ConstantPredicateRow> &Rows, OutStream &OS,
+    size_t TopK) {
+  for (size_t I = 0; I != Rows.size() && I != TopK; ++I)
+    OS << "  " << (Rows[I].AlwaysTrue ? "always-true " : "always-false")
+       << " x" << Rows[I].Executions << "  " << Rows[I].Text << "\n";
+  if (Rows.empty())
+    OS << "  (none)\n";
+}
+
+void lud::printMethodCosts(const std::vector<MethodCostRow> &Rows,
+                           OutStream &OS, size_t TopK) {
+  for (size_t I = 0; I != Rows.size() && I != TopK; ++I) {
+    OS << "  ";
+    OS.printFixed(Rows[I].ReturnCost, 1);
+    OS << "  " << Rows[I].Name << "\n";
+  }
+}

@@ -17,6 +17,7 @@
 #ifndef LUD_ANALYSIS_REPORT_H
 #define LUD_ANALYSIS_REPORT_H
 
+#include "analysis/Clients.h"
 #include "analysis/CostModel.h"
 #include "ir/Ids.h"
 
@@ -128,6 +129,19 @@ void printNullPropagation(const NullnessProfiler &P, const Module &M,
 /// (Figure 2(b)).
 void printTypestateFindings(const TypestateProfiler &P, const Module &M,
                             OutStream &OS, size_t TopK = 10);
+
+/// Overwrite ranking table (rankOverwrites rows), worst offender first.
+void printOverwrites(const std::vector<OverwriteRow> &Rows, OutStream &OS,
+                     size_t TopK = 10);
+
+/// Always-constant predicates (findConstantPredicates rows); "(none)" when
+/// empty.
+void printConstantPredicates(const std::vector<ConstantPredicateRow> &Rows,
+                             OutStream &OS, size_t TopK = 10);
+
+/// Method return-value costs (computeMethodCosts rows), costliest first.
+void printMethodCosts(const std::vector<MethodCostRow> &Rows, OutStream &OS,
+                      size_t TopK = 10);
 
 } // namespace lud
 

@@ -1,0 +1,72 @@
+//===- obs/PhaseTimer.h - RAII phase spans ---------------------*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RAII wall-time spans for the pipeline's phases (parse -> interpret ->
+/// merge -> analyze -> report). A span adds its elapsed nanoseconds to the
+/// counter `phase.<name>.nanos` and bumps `phase.<name>.spans`, so a
+/// registry accumulates both total time and entry count per phase.
+///
+/// A null registry disables the span entirely — no clock read, no name
+/// lookup — which is how disabled telemetry compiles down to a pointer
+/// test at each phase boundary (phases are coarse; there is deliberately
+/// no per-instruction span).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_OBS_PHASETIMER_H
+#define LUD_OBS_PHASETIMER_H
+
+#include "obs/Metrics.h"
+
+#include <chrono>
+#include <string>
+
+namespace lud {
+namespace obs {
+
+class PhaseTimer {
+public:
+  /// Opens a span for \p Phase (e.g. "interpret"). Null \p R is a no-op.
+  PhaseTimer(MetricsRegistry *R, std::string_view Phase) : R(R) {
+    if (!R)
+      return;
+    std::string Base = "phase." + std::string(Phase);
+    NanosId = R->counter(Base + ".nanos", Unit::Nanos);
+    SpansId = R->counter(Base + ".spans", Unit::Count);
+    T0 = std::chrono::steady_clock::now();
+  }
+
+  PhaseTimer(const PhaseTimer &) = delete;
+  PhaseTimer &operator=(const PhaseTimer &) = delete;
+
+  /// Closes the span early (idempotent; the destructor is then a no-op).
+  void stop() {
+    if (!R)
+      return;
+    auto T1 = std::chrono::steady_clock::now();
+    R->add(NanosId,
+           uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        T1 - T0)
+                        .count()));
+    R->add(SpansId, 1);
+    R = nullptr;
+  }
+
+  ~PhaseTimer() { stop(); }
+
+private:
+  MetricsRegistry *R;
+  MetricId NanosId = kNoMetric;
+  MetricId SpansId = kNoMetric;
+  std::chrono::steady_clock::time_point T0;
+};
+
+} // namespace obs
+} // namespace lud
+
+#endif // LUD_OBS_PHASETIMER_H

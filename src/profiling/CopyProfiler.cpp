@@ -4,6 +4,7 @@
 
 #include "ir/Function.h"
 #include "ir/Module.h"
+#include "obs/Metrics.h"
 
 #include <cassert>
 
@@ -191,6 +192,20 @@ void CopyProfiler::recordChain(OriginId From, const HeapLoc &To,
   if (Inserted)
     Chains.push_back({FromLoc, To, 0, Store});
   ++Chains[It->second].Count;
+}
+
+void CopyProfiler::accountStats(obs::MetricsRegistry &R) const {
+  R.set(R.gauge("copy.instances"), CopyCount);
+  R.set(R.gauge("copy.chains"), Chains.size());
+  uint64_t ChainCopies = 0;
+  for (const CopyChain &C : Chains)
+    ChainCopies += C.Count;
+  R.set(R.gauge("copy.chain_copies"), ChainCopies);
+  R.set(R.gauge("copy.origins"), OriginTable.size());
+  R.set(R.gauge("copy.graph.nodes"), G.numNodes());
+  R.set(R.gauge("copy.graph.edges"), G.numEdges());
+  R.set(R.gauge("mem.copy.graph_bytes", obs::Unit::Bytes),
+        G.memoryFootprint().total() + G.internTableBytes());
 }
 
 void CopyProfiler::mergeFrom(const CopyProfiler &O) {

@@ -79,6 +79,10 @@ public:
   /// (store first, the load that started the chain last).
   std::vector<InstrId> stackHops(const CopyChain &Chain) const;
 
+  /// Writes this client's state-derived telemetry (`copy.*` gauges) into
+  /// \p R. Idempotent set()s; see SlicingProfiler::accountStats.
+  void accountStats(obs::MetricsRegistry &R) const;
+
   /// Merges another profiler's results into this one, treating \p O as the
   /// later of two sequential runs: graphs fold via DepGraph::mergeFrom,
   /// copy-instance counts sum, and chains merge by (from, to) with counts

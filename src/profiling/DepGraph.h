@@ -275,6 +275,15 @@ public:
   };
   MemoryFootprint memoryFootprint() const;
 
+  /// Bytes held by the interning tables (node key map, edge dedup sets,
+  /// alloc-node map). Kept separate from memoryFootprint(): the paper's M
+  /// column counts the retained graph, while these tables are construction
+  /// overhead the telemetry accounts on its own line.
+  size_t internTableBytes() const {
+    return NodeByKey.memoryBytes() + EdgeSet.memoryBytes() +
+           RefEdgeSet.memoryBytes() + AllocNodeByTag.memoryBytes();
+  }
+
 private:
   static uint64_t edgeKey(NodeId A, NodeId B) {
     return (uint64_t(A) << 32) | B;

@@ -5,6 +5,7 @@
 #include "profiling/DepGraph.h"
 #include "support/OutStream.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <sstream>
@@ -31,12 +32,30 @@ void lud::writeGraph(const DepGraph &G, OutStream &OS) {
       OS << "edge " << uint64_t(N) << " " << uint64_t(S) << "\n";
   for (auto [Store, Alloc] : G.refEdges())
     OS << "refedge " << uint64_t(Store) << " " << uint64_t(Alloc) << "\n";
-  for (const auto &[Tag, N] : G.allocNodes())
-    OS << "allocnode " << Tag << " " << uint64_t(N) << "\n";
+  // The map-backed records are emitted in key order: FlatMap iteration
+  // order depends on insertion history (a merged graph and its parsed
+  // copy would serialize differently), and a canonical order makes
+  // serialize -> parse -> serialize byte-stable.
+  {
+    std::vector<std::pair<uint64_t, NodeId>> Allocs;
+    Allocs.reserve(G.allocNodes().size());
+    for (const auto &Entry : G.allocNodes())
+      Allocs.push_back(Entry);
+    std::sort(Allocs.begin(), Allocs.end());
+    for (const auto &[Tag, N] : Allocs)
+      OS << "allocnode " << Tag << " " << uint64_t(N) << "\n";
+  }
   auto WriteLocMap = [&](const char *Kind, const auto &Map) {
-    for (const auto &[Loc, Items] : Map) {
+    std::vector<HeapLoc> Keys;
+    Keys.reserve(Map.size());
+    for (const auto &Entry : Map)
+      Keys.push_back(Entry.first);
+    std::sort(Keys.begin(), Keys.end(), [](HeapLoc A, HeapLoc B) {
+      return A.Tag != B.Tag ? A.Tag < B.Tag : A.Slot < B.Slot;
+    });
+    for (HeapLoc Loc : Keys) {
       OS << Kind << " " << Loc.Tag << " " << uint64_t(Loc.Slot);
-      for (const auto &Item : Items)
+      for (const auto &Item : Map.find(Loc)->second)
         OS << " " << uint64_t(Item);
       OS << "\n";
     }

@@ -4,6 +4,7 @@
 
 #include "ir/Function.h"
 #include "ir/Module.h"
+#include "obs/Metrics.h"
 
 #include <algorithm>
 #include <unordered_map>
@@ -157,6 +158,14 @@ void NullnessProfiler::onTrap(const Instruction &I, TrapKind K, Reg FaultReg) {
     return;
   Fault = regs()[FaultReg];
   FaultInstr = I.getId();
+}
+
+void NullnessProfiler::accountStats(obs::MetricsRegistry &R) const {
+  R.set(R.gauge("nullness.graph.nodes"), G.numNodes());
+  R.set(R.gauge("nullness.graph.edges"), G.numEdges());
+  R.set(R.gauge("nullness.fault"), Fault != kNoNode ? 1 : 0);
+  R.set(R.gauge("mem.nullness.graph_bytes", obs::Unit::Bytes),
+        G.memoryFootprint().total() + G.internTableBytes());
 }
 
 void NullnessProfiler::mergeFrom(const NullnessProfiler &O) {

@@ -32,6 +32,9 @@
 namespace lud {
 
 class Module;
+namespace obs {
+class MetricsRegistry;
+}
 
 /// Domain elements for the nullness abstraction.
 inline constexpr uint32_t kNullDom = 0;
@@ -53,6 +56,10 @@ public:
   /// exactly as a later run's trap would overwrite the recorded fault when
   /// one profiler observes the runs back to back.
   void mergeFrom(const NullnessProfiler &O);
+
+  /// Writes this client's state-derived telemetry (`nullness.*` gauges)
+  /// into \p R. Idempotent set()s; see SlicingProfiler::accountStats.
+  void accountStats(obs::MetricsRegistry &R) const;
 
   // Profiler hooks.
   void onRunStart(const Module &Mod, Heap &H);

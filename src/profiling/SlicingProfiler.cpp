@@ -3,6 +3,7 @@
 #include "profiling/SlicingProfiler.h"
 
 #include "ir/Module.h"
+#include "obs/Metrics.h"
 
 #include <algorithm>
 #include <cassert>
@@ -487,6 +488,89 @@ uint64_t SlicingProfiler::distinctContexts() const {
   for (const FlatSet<uint64_t> &Ctxs : SeenContexts)
     Sum += Ctxs.size();
   return Sum;
+}
+
+void SlicingProfiler::accountStats(obs::MetricsRegistry &R) const {
+  using obs::Unit;
+
+  // Gcost growth (Table 1's N and M columns, live).
+  R.set(R.gauge("gcost.nodes"), G.numNodes());
+  R.set(R.gauge("gcost.edges"), G.numEdges());
+  R.set(R.gauge("gcost.ref_edges"), G.numRefEdges());
+  R.set(R.gauge("gcost.tracked_instances"), G.totalFreq());
+  R.set(R.gauge("gcost.distinct_contexts"), distinctContexts());
+  // CR is a [0,1] ratio; exported in parts per million so the registry
+  // stays integral.
+  R.set(R.gauge("gcost.cr_ppm"), uint64_t(averageCR() * 1e6));
+
+  // Heap-activity totals (the overwrite client's raw feed).
+  uint64_t Writes = 0, Reads = 0, Overwrites = 0;
+  for (const auto &Entry : Activity) {
+    Writes += Entry.second.Writes;
+    Reads += Entry.second.Reads;
+    Overwrites += Entry.second.Overwrites;
+  }
+  R.set(R.gauge("heap.writes"), Writes);
+  R.set(R.gauge("heap.reads"), Reads);
+  R.set(R.gauge("heap.overwrites"), Overwrites);
+  R.set(R.gauge("heap.tracked_locations"), Activity.size());
+
+  uint64_t Taken = 0, NotTaken = 0;
+  for (const auto &Entry : PredOutcomes) {
+    Taken += Entry.second.TakenCount;
+    NotTaken += Entry.second.NotTakenCount;
+  }
+  R.set(R.gauge("predicates.taken"), Taken);
+  R.set(R.gauge("predicates.not_taken"), NotTaken);
+
+  // Memory accounting: retained graph vs. interning tables vs. shadow
+  // structures vs. hot-path memos — each its own line, because they have
+  // different owners and different scaling behavior.
+  DepGraph::MemoryFootprint FP = G.memoryFootprint();
+  R.set(R.gauge("mem.gcost.node_bytes", Unit::Bytes), FP.NodeBytes);
+  R.set(R.gauge("mem.gcost.edge_bytes", Unit::Bytes), FP.EdgeBytes);
+  R.set(R.gauge("mem.gcost.locmap_bytes", Unit::Bytes), FP.LocMapBytes);
+  R.set(R.gauge("mem.gcost.intern_bytes", Unit::Bytes),
+        G.internTableBytes());
+
+  size_t HeapBytes = HeapShadow.capacity() * sizeof(ShadowObject);
+  uint64_t ShadowSlots = 0;
+  obs::MetricId SlotsHist = R.histogram("shadow.object_slots");
+  R.clear(SlotsHist);
+  for (const ShadowObject &SO : HeapShadow) {
+    HeapBytes += SO.Slots.capacity() * sizeof(uint64_t);
+    ShadowSlots += SO.Slots.size();
+    if (!SO.Slots.empty())
+      R.observe(SlotsHist, SO.Slots.size());
+  }
+  R.set(R.gauge("mem.shadow.heap_bytes", Unit::Bytes), HeapBytes);
+  R.set(R.gauge("shadow.heap_objects"), HeapShadow.size());
+  R.set(R.gauge("shadow.heap_slots"), ShadowSlots);
+
+  size_t RegBytes = RegShadow.capacity() * sizeof(std::vector<NodeId>);
+  for (const std::vector<NodeId> &F : RegShadow)
+    RegBytes += F.capacity() * sizeof(NodeId);
+  R.set(R.gauge("mem.shadow.reg_bytes", Unit::Bytes), RegBytes);
+  R.set(R.gauge("mem.shadow.static_bytes", Unit::Bytes),
+        StaticShadow.capacity() * sizeof(NodeId) +
+            StaticStates.capacity() * sizeof(uint8_t));
+
+  size_t MemoBytes = HitMemo.capacity() * sizeof(InstrMemo) +
+                     NodeAct.capacity() * sizeof(ActMemo) +
+                     NodePred.capacity() * sizeof(ActMemo);
+  size_t CtxBytes = SeenContexts.capacity() * sizeof(FlatSet<uint64_t>);
+  for (const FlatSet<uint64_t> &S : SeenContexts)
+    CtxBytes += S.memoryBytes();
+  R.set(R.gauge("mem.profiler.memo_bytes", Unit::Bytes), MemoBytes);
+  R.set(R.gauge("mem.profiler.context_bytes", Unit::Bytes), CtxBytes);
+  R.set(R.gauge("mem.profiler.activity_bytes", Unit::Bytes),
+        Activity.memoryBytes() + PredOutcomes.memoryBytes());
+
+  // Node-frequency distribution: how skewed the coverage is (log2 buckets).
+  obs::MetricId FreqHist = R.histogram("gcost.node_freq");
+  R.clear(FreqHist);
+  for (NodeId N = 0, E = NodeId(G.numNodes()); N != E; ++N)
+    R.observe(FreqHist, G.freq(N));
 }
 
 void SlicingProfiler::mergeFrom(const SlicingProfiler &O) {

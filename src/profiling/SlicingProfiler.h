@@ -32,6 +32,9 @@
 namespace lud {
 
 class Module;
+namespace obs {
+class MetricsRegistry;
+}
 
 struct SlicingConfig {
   /// The paper's s: number of context slots per instruction.
@@ -103,6 +106,16 @@ public:
   /// treated as the later of two sequential runs. This is how the parallel
   /// workload driver folds its per-thread shards back into one profile.
   void mergeFrom(const SlicingProfiler &O);
+
+  /// Writes the substrate's state-derived telemetry into \p R: Gcost
+  /// growth gauges (`gcost.*`), heap-activity totals (`heap.*`), and the
+  /// shadow-memory accounting (`mem.*`) for the shadow heap, interning
+  /// tables, and graph arenas. Gauges are set(), the node-frequency
+  /// histogram is cleared and refilled, so the call is idempotent — the
+  /// session re-invokes it after every run and every merge. Everything
+  /// recorded here is deterministic for a deterministic workload (see
+  /// docs/OBSERVABILITY.md).
+  void accountStats(obs::MetricsRegistry &R) const;
 
   //===--------------------------------------------------------------------===
   // Profiler hooks (see runtime/ProfilerConcept.h for the contract).

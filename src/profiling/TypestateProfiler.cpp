@@ -3,6 +3,7 @@
 #include "profiling/TypestateProfiler.h"
 
 #include "ir/Module.h"
+#include "obs/Metrics.h"
 
 using namespace lud;
 
@@ -67,6 +68,15 @@ void TypestateProfiler::onCallEnter(const CallInst &I, const Function &,
     return; // State unchanged after a violation.
   }
   StateOf[Receiver] = It->second;
+}
+
+void TypestateProfiler::accountStats(obs::MetricsRegistry &R) const {
+  R.set(R.gauge("typestate.events"), Events.size());
+  R.set(R.gauge("typestate.violations"), Violations.size());
+  R.set(R.gauge("typestate.graph.nodes"), G.numNodes());
+  R.set(R.gauge("typestate.graph.edges"), G.numEdges());
+  R.set(R.gauge("mem.typestate.graph_bytes", obs::Unit::Bytes),
+        G.memoryFootprint().total() + G.internTableBytes());
 }
 
 void TypestateProfiler::mergeFrom(const TypestateProfiler &O) {

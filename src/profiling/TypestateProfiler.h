@@ -119,6 +119,10 @@ public:
   /// profilers must use the same spec.
   void mergeFrom(const TypestateProfiler &O);
 
+  /// Writes this client's state-derived telemetry (`typestate.*` gauges)
+  /// into \p R. Idempotent set()s; see SlicingProfiler::accountStats.
+  void accountStats(obs::MetricsRegistry &R) const;
+
   // Hook overrides (the rest stay no-ops).
   void onRunStart(const Module &Mod, Heap &H);
   void onAlloc(const AllocInst &I, ObjId O);

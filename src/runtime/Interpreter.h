@@ -53,6 +53,10 @@ struct RunResult {
   Reg TrapReg = kNoReg;
   /// All executed instruction instances (the paper's I).
   uint64_t ExecutedInstrs = 0;
+  /// Interpreted (non-native) calls entered.
+  uint64_t Calls = 0;
+  /// Deepest frame stack observed (telemetry; deterministic per module).
+  uint64_t PeakFrameDepth = 0;
   /// Value returned by the entry function (zero if void).
   Value ReturnValue;
   /// Fold of everything printed/sunk (output observability).
@@ -90,6 +94,8 @@ public:
     Res.Status = loop(Res);
     Res.SinkHash = NCtx.SinkHash;
     Res.ExecutedInstrs = Executed;
+    Res.Calls = Calls;
+    Res.PeakFrameDepth = PeakDepth;
     Res.ObjectsAllocated = TheHeap.numObjects() - ObjectsBefore;
     Prof.onRunEnd();
     Ctx = nullptr;
@@ -138,6 +144,8 @@ private:
     F.Regs.resize(Fn->getNumRegs());
     std::fill(F.Regs.begin() + NumArgs, F.Regs.end(), Value());
     ++Depth;
+    if (Depth > PeakDepth)
+      PeakDepth = Depth;
   }
 
   /// Reports a trap into \p Res and notifies the profiler.
@@ -356,6 +364,7 @@ private:
         if (Depth >= Cfg.MaxFrames)
           return trap(Res, *I, TrapKind::StackOverflow);
         Prof.onCallEnter(*C, *Callee, Receiver);
+        ++Calls;
         // Advance the caller past the call before pushing.
         ++F.Ip;
         pushFrame(Callee, C->Dst, uint32_t(C->Args.size()));
@@ -544,6 +553,8 @@ private:
   NativeContext *Ctx = nullptr;
   NativeId PhaseNative = kNoMethodName;
   uint64_t Executed = 0;
+  uint64_t Calls = 0;
+  uint64_t PeakDepth = 0;
 };
 
 /// Convenience: one-shot execution with a fresh heap.

@@ -1,0 +1,115 @@
+//===- tools/CliOptions.cpp - Declarative command-line options -------------===//
+
+#include "tools/CliOptions.h"
+
+#include "support/OutStream.h"
+
+#include <cstdlib>
+
+using namespace lud;
+using namespace lud::cli;
+
+void OptionSet::flag(std::string Name, bool &B, std::string Help) {
+  Options.push_back({std::move(Name), std::move(Help), ValueMode::None,
+                     [&B](const std::string &) {
+                       B = true;
+                       return true;
+                     }});
+}
+
+void OptionSet::str(std::string Name, std::string &V, std::string Help) {
+  Options.push_back({std::move(Name), std::move(Help), ValueMode::Required,
+                     [&V](const std::string &S) {
+                       V = S;
+                       return true;
+                     }});
+}
+
+void OptionSet::custom(std::string Name, ValueMode Mode, std::string Help,
+                       std::function<bool(const std::string &)> Fn) {
+  Options.push_back({std::move(Name), std::move(Help), Mode, std::move(Fn)});
+}
+
+void OptionSet::addNumber(std::string Name, std::string Help, int64_t Min,
+                          std::function<void(int64_t)> Store) {
+  std::string N = Name;
+  Options.push_back(
+      {std::move(Name), std::move(Help), ValueMode::Required,
+       [N, Min, Store = std::move(Store)](const std::string &S) {
+         int64_t V = std::strtoll(S.c_str(), nullptr, 10);
+         if (V < Min) {
+           if (Min == 1)
+             errs() << "option '" << N << "' requires a positive value\n";
+           else
+             errs() << "option '" << N << "' requires a value >= " << Min
+                    << "\n";
+           return false;
+         }
+         Store(V);
+         return true;
+       }});
+}
+
+const OptionSet::Option *OptionSet::findOption(const std::string &Name) const {
+  for (const Option &O : Options)
+    if (O.Name == Name)
+      return &O;
+  return nullptr;
+}
+
+bool OptionSet::parse(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A.size() < 2 || A[0] != '-') {
+      Positional.push_back(std::move(A));
+      continue;
+    }
+    size_t Eq = A.find('=');
+    bool HasEq = Eq != std::string::npos;
+    std::string Name = HasEq ? A.substr(0, Eq) : A;
+    const Option *O = findOption(Name);
+    if (!O) {
+      errs() << "unknown option '" << Name << "'\n";
+      return false;
+    }
+    std::string Value;
+    switch (O->Mode) {
+    case ValueMode::None:
+      if (HasEq) {
+        errs() << "option '" << Name << "' does not take a value\n";
+        return false;
+      }
+      break;
+    case ValueMode::Required:
+      if (HasEq) {
+        Value = A.substr(Eq + 1);
+      } else if (I + 1 < argc) {
+        Value = argv[++I];
+      } else {
+        errs() << "option '" << Name << "' requires an argument\n";
+        return false;
+      }
+      break;
+    case ValueMode::Optional:
+      if (HasEq)
+        Value = A.substr(Eq + 1);
+      break;
+    }
+    if (!O->Fn(Value))
+      return false;
+  }
+  return true;
+}
+
+void OptionSet::usage() const {
+  errs() << "usage: " << Tool << " [options] " << Operands << "\n";
+  size_t Width = 0;
+  for (const Option &O : Options)
+    Width = O.Name.size() > Width ? O.Name.size() : Width;
+  for (const Option &O : Options) {
+    errs() << "  " << O.Name;
+    for (size_t P = O.Name.size(); P != Width + 2; ++P)
+      errs() << " ";
+    errs() << O.Help << "\n";
+  }
+}

@@ -23,9 +23,9 @@
 #include "ir/Parser.h"
 #include "profiling/GraphIO.h"
 #include "support/OutStream.h"
+#include "tools/CliOptions.h"
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
@@ -48,29 +48,18 @@ bool readFile(const std::string &Path, std::string &Out) {
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string ProgPath, GraphPath;
-  unsigned Depth = 4;
-  size_t TopK = 15;
-  for (int I = 1; I < argc; ++I) {
-    std::string A = argv[I];
-    if (A == "--depth" && I + 1 < argc) {
-      Depth = unsigned(std::strtoul(argv[++I], nullptr, 10));
-    } else if (A == "--top" && I + 1 < argc) {
-      TopK = size_t(std::strtoul(argv[++I], nullptr, 10));
-    } else if (!A.empty() && A[0] == '-') {
-      errs() << "unknown option '" << A << "'\n";
-      return 2;
-    } else if (ProgPath.empty()) {
-      ProgPath = A;
-    } else if (GraphPath.empty()) {
-      GraphPath = A;
-    }
-  }
-  if (ProgPath.empty() || GraphPath.empty()) {
-    errs() << "usage: lud-analyze <program.lud> <gcost.graph> "
-              "[--depth N] [--top K]\n";
+  ClientOptions CO;
+  cli::OptionSet P("lud-analyze", "<program.lud> <gcost.graph>");
+  P.number("--depth", CO.Depth, "N  reference-tree height n (default 4)");
+  P.number("--top", CO.TopK, "K  rows per report (default 15)");
+  if (!P.parse(argc, argv) || P.positionals().size() != 2) {
+    P.usage();
     return 2;
   }
+  const std::string &ProgPath = P.positionals()[0];
+  const std::string &GraphPath = P.positionals()[1];
+  unsigned Depth = CO.Depth;
+  size_t TopK = CO.TopK;
 
   std::string ProgText, GraphText;
   if (!readFile(ProgPath, ProgText) || !readFile(GraphPath, GraphText)) {

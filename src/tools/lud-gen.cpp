@@ -17,35 +17,60 @@
 
 #include "ir/Printer.h"
 #include "support/OutStream.h"
+#include "tools/CliOptions.h"
 #include "workloads/DaCapo.h"
 #include "workloads/RandomProgram.h"
 
 #include <cstdlib>
-#include <cstring>
 #include <string>
 
 using namespace lud;
 
+namespace {
+
+void listWorkloads() {
+  errs() << "  workloads:";
+  for (const std::string &N : dacapoNames())
+    errs() << " " << N;
+  errs() << "\n";
+}
+
+} // namespace
+
 int main(int argc, char **argv) {
-  if (argc < 2) {
-    errs() << "usage: lud-gen <workload|--random SEED> [scale] "
-              "[--optimized]\n  workloads:";
-    for (const std::string &N : dacapoNames())
-      errs() << " " << N;
-    errs() << "\n";
+  bool Random = false;
+  uint64_t Seed = 0;
+  bool Optimized = false;
+  cli::OptionSet P("lud-gen", "<workload> [scale]");
+  P.custom("--random", cli::ValueMode::Required,
+           "SEED  generate a random program from SEED instead",
+           [&](const std::string &S) {
+             Random = true;
+             Seed = std::strtoull(S.c_str(), nullptr, 10);
+             return true;
+           });
+  P.flag("--optimized", Optimized,
+         "emit the workload's hand-optimized variant");
+  if (!P.parse(argc, argv)) {
+    P.usage();
+    listWorkloads();
     return 2;
   }
 
-  if (std::strcmp(argv[1], "--random") == 0) {
+  if (Random) {
     RandomProgramOptions Opts;
-    if (argc > 2)
-      Opts.Seed = std::strtoull(argv[2], nullptr, 10);
+    Opts.Seed = Seed;
     std::unique_ptr<Module> M = generateRandomProgram(Opts);
     printModule(*M, outs());
     return 0;
   }
 
-  std::string Name = argv[1];
+  if (P.positionals().empty()) {
+    P.usage();
+    listWorkloads();
+    return 2;
+  }
+  const std::string &Name = P.positionals()[0];
   bool Known = false;
   for (const std::string &N : dacapoNames())
     Known |= N == Name;
@@ -53,10 +78,9 @@ int main(int argc, char **argv) {
     errs() << "unknown workload '" << Name << "'\n";
     return 2;
   }
-  int64_t Scale = argc > 2 ? std::strtoll(argv[2], nullptr, 10) : 500;
-  bool Optimized = false;
-  for (int I = 2; I < argc; ++I)
-    Optimized |= std::strcmp(argv[I], "--optimized") == 0;
+  int64_t Scale = P.positionals().size() > 1
+                      ? std::strtoll(P.positionals()[1].c_str(), nullptr, 10)
+                      : 500;
   if (Optimized && !hasOptimizedVariant(Name)) {
     errs() << "'" << Name << "' has no optimized variant\n";
     return 2;

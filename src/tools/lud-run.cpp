@@ -15,6 +15,7 @@
 ///   lud-run --report program.lud              # low-utility ranking
 ///   lud-run --all --slots 32 program.lud      # every Gcost analysis
 ///   lud-run --clients=copy,nullness,typestate --report program.lud
+///   lud-run --stats=json --stats-out=s.json --report program.lud
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,16 +28,18 @@
 #include "ir/Printer.h"
 #include "profiling/GraphIO.h"
 #include "support/OutStream.h"
-#include "workloads/Driver.h"
+#include "tools/CliOptions.h"
+#include "workloads/ParallelDriver.h"
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
 using namespace lud;
 
 namespace {
+
+enum class StatsMode { Off, Text, Json, Csv };
 
 struct Options {
   std::string File;
@@ -49,33 +52,15 @@ struct Options {
   bool PrintIR = false;
   bool Baseline = false;
   uint32_t Clients = 0;
-  uint32_t Slots = 16;
-  unsigned Depth = 4;
-  size_t TopK = 15;
+  int64_t Slots = 16;
+  ClientOptions Client;
   std::string DumpGraph;
   std::string OptimizeOut;
+  StatsMode Stats = StatsMode::Off;
+  std::string StatsOut;
+  int64_t Shards = 1;
+  int64_t Threads = 1;
 };
-
-void usage() {
-  errs() << "usage: lud-run [options] <program.lud>\n"
-            "  --report        rank data structures by cost/benefit\n"
-            "  --dead          print IPD/IPP/NLD bloat metrics\n"
-            "  --overwrites    rank locations rewritten before read\n"
-            "  --predicates    list always-constant predicates\n"
-            "  --methods       rank methods by return-value cost\n"
-            "  --caches        rank structures by cache effectiveness\n"
-            "  --all           everything above\n"
-            "  --clients LIST  client analyses to run in the same pass,\n"
-            "                  comma-separated: copy, nullness, typestate,\n"
-            "                  or all\n"
-            "  --baseline      run without instrumentation (timing)\n"
-            "  --print-ir      echo the parsed program and exit\n"
-            "  --dump-graph F  serialize Gcost to file F (offline use)\n"
-            "  --optimize F    write a profile-optimized program to F\n"
-            "  --slots N       context slots s (default 16)\n"
-            "  --depth N       reference-tree height n (default 4)\n"
-            "  --top K         rows per report (default 15)\n";
-}
 
 bool parseClients(const std::string &List, uint32_t &Mask) {
   size_t Pos = 0;
@@ -104,104 +89,116 @@ bool parseClients(const std::string &List, uint32_t &Mask) {
 
 bool isPowerOfTwo(uint32_t N) { return N != 0 && (N & (N - 1)) == 0; }
 
-bool parseArgs(int argc, char **argv, Options &O) {
-  for (int I = 1; I < argc; ++I) {
-    std::string A = argv[I];
-    // Options below take a value in the next argv slot; a missing value is
-    // its own diagnostic, not an "unknown option".
-    auto NextArg = [&]() -> const char * {
-      if (I + 1 >= argc) {
-        errs() << "option '" << A << "' requires an argument\n";
-        return nullptr;
-      }
-      return argv[++I];
-    };
-    auto NextInt = [&](int64_t &Out) {
-      const char *V = NextArg();
-      if (!V)
-        return false;
-      Out = std::strtoll(V, nullptr, 10);
-      return true;
-    };
-    int64_t V = 0;
-    if (A == "--report") {
-      O.Report = true;
-    } else if (A == "--dead") {
-      O.Dead = true;
-    } else if (A == "--overwrites") {
-      O.Overwrites = true;
-    } else if (A == "--predicates") {
-      O.Predicates = true;
-    } else if (A == "--methods") {
-      O.Methods = true;
-    } else if (A == "--caches") {
-      O.Caches = true;
-    } else if (A == "--all") {
-      O.Report = O.Dead = O.Overwrites = O.Predicates = O.Methods =
-          O.Caches = true;
-    } else if (A == "--baseline") {
-      O.Baseline = true;
-    } else if (A == "--print-ir") {
-      O.PrintIR = true;
-    } else if (A == "--clients" || A.rfind("--clients=", 0) == 0) {
-      std::string List;
-      if (A == "--clients") {
-        const char *Arg = NextArg();
-        if (!Arg)
-          return false;
-        List = Arg;
-      } else {
-        List = A.substr(std::strlen("--clients="));
-      }
-      if (!parseClients(List, O.Clients))
-        return false;
-    } else if (A == "--dump-graph") {
-      const char *Arg = NextArg();
-      if (!Arg)
-        return false;
-      O.DumpGraph = Arg;
-    } else if (A == "--optimize") {
-      const char *Arg = NextArg();
-      if (!Arg)
-        return false;
-      O.OptimizeOut = Arg;
-    } else if (A == "--slots") {
-      if (!NextInt(V))
-        return false;
-      if (V <= 0) {
-        errs() << "option '--slots' requires a positive value\n";
-        return false;
-      }
-      O.Slots = uint32_t(V);
-      if (!isPowerOfTwo(O.Slots))
-        errs() << "warning: --slots " << O.Slots
-               << " is not a power of two; contexts fold by modulo either "
-                  "way, but results won't line up with the paper's s = 2^k "
-                  "sweeps\n";
-    } else if (A == "--depth") {
-      if (!NextInt(V))
-        return false;
-      O.Depth = unsigned(V);
-    } else if (A == "--top") {
-      if (!NextInt(V))
-        return false;
-      O.TopK = size_t(V);
-    } else if (!A.empty() && A[0] == '-') {
-      errs() << "unknown option '" << A << "'\n";
-      return false;
-    } else if (O.File.empty()) {
-      O.File = A;
-    } else {
-      errs() << "multiple input files\n";
-      return false;
-    }
+void declareOptions(cli::OptionSet &P, Options &O) {
+  P.flag("--report", O.Report, "rank data structures by cost/benefit");
+  P.flag("--dead", O.Dead, "print IPD/IPP/NLD bloat metrics");
+  P.flag("--overwrites", O.Overwrites,
+         "rank locations rewritten before read");
+  P.flag("--predicates", O.Predicates, "list always-constant predicates");
+  P.flag("--methods", O.Methods, "rank methods by return-value cost");
+  P.flag("--caches", O.Caches, "rank structures by cache effectiveness");
+  P.custom("--all", cli::ValueMode::None, "everything above",
+           [&O](const std::string &) {
+             O.Report = O.Dead = O.Overwrites = O.Predicates = O.Methods =
+                 O.Caches = true;
+             return true;
+           });
+  P.custom("--clients", cli::ValueMode::Required,
+           "LIST  client analyses to run in the same pass, comma-separated: "
+           "copy, nullness, typestate, or all",
+           [&O](const std::string &List) {
+             return parseClients(List, O.Clients);
+           });
+  P.flag("--baseline", O.Baseline, "run without instrumentation (timing)");
+  P.flag("--print-ir", O.PrintIR, "echo the parsed program and exit");
+  P.str("--dump-graph", O.DumpGraph,
+        "F  serialize Gcost to file F (offline use)");
+  P.str("--optimize", O.OptimizeOut,
+        "F  write a profile-optimized program to F");
+  P.number("--slots", O.Slots, "N  context slots s (default 16)", /*Min=*/1);
+  P.number("--depth", O.Client.Depth,
+           "N  reference-tree height n (default 4)");
+  P.number("--top", O.Client.TopK, "K  rows per report (default 15)");
+  P.number("--shards", O.Shards,
+           "N  profile N sharded runs and merge them (default 1)",
+           /*Min=*/1);
+  P.number("--threads", O.Threads, "N  worker threads for --shards",
+           /*Min=*/1);
+  P.custom("--stats", cli::ValueMode::Optional,
+           "[=json|csv]  emit the profiler's own telemetry (default: text)",
+           [&O](const std::string &V) {
+             if (V.empty())
+               O.Stats = StatsMode::Text;
+             else if (V == "json")
+               O.Stats = StatsMode::Json;
+             else if (V == "csv")
+               O.Stats = StatsMode::Csv;
+             else {
+               errs() << "option '--stats' expects 'json' or 'csv'\n";
+               return false;
+             }
+             return true;
+           });
+  P.str("--stats-out", O.StatsOut,
+        "F  write the telemetry to file F instead of stdout");
+}
+
+bool parseArgs(cli::OptionSet &P, int argc, char **argv, Options &O) {
+  if (!P.parse(argc, argv))
+    return false;
+  if (P.positionals().size() > 1) {
+    errs() << "multiple input files\n";
+    return false;
   }
+  if (!P.positionals().empty())
+    O.File = P.positionals()[0];
+  if (!isPowerOfTwo(uint32_t(O.Slots)))
+    errs() << "warning: --slots " << uint64_t(O.Slots)
+           << " is not a power of two; contexts fold by modulo either "
+              "way, but results won't line up with the paper's s = 2^k "
+              "sweeps\n";
   if (O.Baseline && O.Clients) {
     errs() << "--baseline runs without instrumentation; it cannot be "
               "combined with --clients\n";
     return false;
   }
   return !O.File.empty();
+}
+
+/// Writes the session's registry in the requested format, to --stats-out
+/// or stdout. Timing metrics are included — this is the human/CI surface,
+/// not the determinism-test surface.
+bool emitStats(const ProfileSession &S, const Options &O) {
+  const obs::MetricsRegistry *R = S.stats();
+  if (!R)
+    return true;
+  std::FILE *F = nullptr;
+  if (!O.StatsOut.empty()) {
+    F = std::fopen(O.StatsOut.c_str(), "wb");
+    if (!F) {
+      errs() << "cannot write '" << O.StatsOut << "'\n";
+      return false;
+    }
+  }
+  {
+    FileOutStream FOS(F ? F : stdout);
+    switch (O.Stats) {
+    case StatsMode::Off:
+      break;
+    case StatsMode::Text:
+      R->writeText(FOS);
+      break;
+    case StatsMode::Json:
+      R->writeJson(FOS);
+      break;
+    case StatsMode::Csv:
+      R->writeCsv(FOS);
+      break;
+    }
+  }
+  if (F)
+    std::fclose(F);
+  return true;
 }
 
 bool readFile(const std::string &Path, std::string &Out) {
@@ -220,8 +217,10 @@ bool readFile(const std::string &Path, std::string &Out) {
 
 int main(int argc, char **argv) {
   Options O;
-  if (!parseArgs(argc, argv, O)) {
-    usage();
+  cli::OptionSet Cli("lud-run", "<program.lud>");
+  declareOptions(Cli, O);
+  if (!parseArgs(Cli, argc, argv, O)) {
+    Cli.usage();
     return 2;
   }
 
@@ -248,24 +247,36 @@ int main(int argc, char **argv) {
   RCfg.PrintStream = &OS;
 
   if (O.Baseline) {
-    TimedRun R = runBaseline(*M, RCfg);
+    SessionConfig BCfg;
+    BCfg.Instrument = false;
+    BCfg.Run = RCfg;
+    BCfg.CollectStats = O.Stats != StatsMode::Off;
+    ProfileSession Session(std::move(BCfg));
+    TimedRun R = Session.run(*M);
     OS << "status: "
        << (R.Run.Status == RunStatus::Finished ? "finished"
                                                : trapKindName(R.Run.Trap))
        << ", " << R.Run.ExecutedInstrs << " instructions, ";
     OS.printFixed(R.Seconds * 1e3, 2);
     OS << " ms, result " << R.Run.ReturnValue.asInt() << "\n";
+    if (!emitStats(Session, O))
+      return 1;
     return R.Run.Status == RunStatus::Finished ? 0 : 1;
   }
 
-  // One interpretation pass: the slicing substrate plus every requested
-  // client rides the same composed pipeline.
+  // One interpretation pass per shard: the slicing substrate plus every
+  // requested client rides the same composed pipeline. --shards 1 (the
+  // default) is a plain single session.
   SessionConfig SCfg;
-  SCfg.Slicing.ContextSlots = O.Slots;
+  SCfg.Slicing.ContextSlots = uint32_t(O.Slots);
   SCfg.Clients = O.Clients;
   SCfg.Run = RCfg;
-  ProfileSession Session(std::move(SCfg));
-  TimedRun P = Session.run(*M);
+  SCfg.CollectStats = O.Stats != StatsMode::Off;
+  ShardedSession SR =
+      runShardedSession(*M, unsigned(O.Shards), std::move(SCfg),
+                        unsigned(O.Threads));
+  ProfileSession &Session = *SR.Session;
+  TimedRun P{SR.Run, SR.Seconds};
   OS << "status: "
      << (P.Run.Status == RunStatus::Finished ? "finished"
                                              : trapKindName(P.Run.Trap))
@@ -295,39 +306,29 @@ int main(int argc, char **argv) {
   CostModel CM(G);
   if (O.Report) {
     ReportOptions Opts;
-    Opts.Depth = O.Depth;
+    Opts.Depth = O.Client.Depth;
     LowUtilityReport Report(CM, *M, Opts);
     OS << "\n=== low-utility data structures ===\n";
-    Report.print(OS, O.TopK);
+    Report.print(OS, O.Client.TopK);
   }
   if (O.Overwrites) {
     OS << "\n=== locations rewritten before read ===\n";
-    printOverwrites(rankOverwrites(Prof, *M), OS, O.TopK);
+    printOverwrites(rankOverwrites(Prof, *M, O.Client), OS, O.Client.TopK);
   }
   if (O.Predicates) {
     OS << "\n=== always-constant predicates ===\n";
-    std::vector<ConstantPredicateRow> Rows =
-        findConstantPredicates(Prof, CM, *M);
-    for (size_t I = 0; I != Rows.size() && I != O.TopK; ++I)
-      OS << "  " << (Rows[I].AlwaysTrue ? "always-true " : "always-false")
-         << " x" << Rows[I].Executions << "  " << Rows[I].Text << "\n";
-    if (Rows.empty())
-      OS << "  (none)\n";
+    printConstantPredicates(findConstantPredicates(Prof, CM, *M, O.Client),
+                            OS, O.Client.TopK);
   }
   if (O.Methods) {
     OS << "\n=== costliest method return values ===\n";
-    std::vector<MethodCostRow> Rows = computeMethodCosts(CM, *M);
-    for (size_t I = 0; I != Rows.size() && I != O.TopK; ++I) {
-      OS << "  ";
-      OS.printFixed(Rows[I].ReturnCost, 1);
-      OS << "  " << Rows[I].Name << "\n";
-    }
+    printMethodCosts(computeMethodCosts(CM, *M), OS, O.Client.TopK);
   }
   if (O.Caches) {
     OS << "\n=== cache effectiveness (least effective first) ===\n";
-    printCacheScores(rankCacheEffectiveness(CM, *M), OS, O.TopK);
+    printCacheScores(rankCacheEffectiveness(CM, *M), OS, O.Client.TopK);
   }
-  Session.printClientReports(*M, OS, O.TopK);
+  Session.printClientReports(*M, OS, O.Client.TopK);
   if (!O.OptimizeOut.empty()) {
     DeadValueAnalysis DV = computeDeadValues(G, P.Run.ExecutedInstrs);
     OptimizeResult R = removeProfiledDeadCode(*M, G, DV);
@@ -358,5 +359,7 @@ int main(int argc, char **argv) {
     OS.printFixed(100.0 * DV.Metrics.nld(), 1);
     OS << "%\n";
   }
+  if (!emitStats(Session, O))
+    return 1;
   return P.Run.Status == RunStatus::Finished ? 0 : 1;
 }

@@ -3,6 +3,7 @@
 #include "workloads/Driver.h"
 
 #include "analysis/Report.h"
+#include "obs/PhaseTimer.h"
 #include "runtime/ComposedProfiler.h"
 #include "support/OutStream.h"
 
@@ -20,6 +21,8 @@ double secondsSince(std::chrono::steady_clock::time_point T0) {
 } // namespace
 
 void ProfileSession::ensureProfilers(const Module &M) {
+  if (Cfg.CollectStats && !Stats)
+    Stats = std::make_unique<obs::MetricsRegistry>();
   if (Cfg.Clients)
     Cfg.Instrument = true; // Clients read the substrate's heap tags.
   if (Cfg.Instrument && !Slicing)
@@ -39,6 +42,7 @@ TimedRun ProfileSession::run(const Module &M) {
   ensureProfilers(M);
   Heap H;
   TimedRun Out;
+  obs::PhaseTimer Span(Stats.get(), "interpret");
   auto T0 = std::chrono::steady_clock::now();
   if (!Slicing) {
     // Empty pipeline: the stock-JVM baseline, bit-identical in behavior to
@@ -61,7 +65,33 @@ TimedRun ProfileSession::run(const Module &M) {
     Out.Run = Interp.run();
   }
   Out.Seconds = secondsSince(T0);
+  Span.stop();
+  if (Stats) {
+    obs::MetricsRegistry &R = *Stats;
+    R.add(R.counter("run.count"), 1);
+    R.add(R.counter("run.instructions"), Out.Run.ExecutedInstrs);
+    R.add(R.counter("run.calls"), Out.Run.Calls);
+    R.add(R.counter("run.objects_allocated"), Out.Run.ObjectsAllocated);
+    R.setMax(R.gauge("run.peak_frame_depth", obs::Unit::Count,
+                     obs::Merge::Max),
+             Out.Run.PeakFrameDepth);
+    refreshDerivedStats();
+  }
   return Out;
+}
+
+void ProfileSession::refreshDerivedStats() {
+  if (!Stats)
+    return;
+  obs::PhaseTimer Span(Stats.get(), "collect");
+  if (Slicing)
+    Slicing->accountStats(*Stats);
+  if (Copy)
+    Copy->accountStats(*Stats);
+  if (Null)
+    Null->accountStats(*Stats);
+  if (Type)
+    Type->accountStats(*Stats);
 }
 
 void ProfileSession::mergeFrom(const ProfileSession &O) {
@@ -73,6 +103,12 @@ void ProfileSession::mergeFrom(const ProfileSession &O) {
     Null->mergeFrom(*O.Null);
   if (Type && O.Type)
     Type->mergeFrom(*O.Type);
+  if (Stats && O.Stats) {
+    Stats->mergeFrom(*O.Stats);
+    // Gauges and histograms must describe the *merged* profilers, not a
+    // fold of per-shard snapshots; re-derive them now.
+    refreshDerivedStats();
+  }
 }
 
 void ProfileSession::printClientReports(const Module &M, OutStream &OS,

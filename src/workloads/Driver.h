@@ -24,6 +24,7 @@
 #ifndef LUD_WORKLOADS_DRIVER_H
 #define LUD_WORKLOADS_DRIVER_H
 
+#include "obs/Metrics.h"
 #include "profiling/CopyProfiler.h"
 #include "profiling/NullnessProfiler.h"
 #include "profiling/SlicingProfiler.h"
@@ -61,6 +62,11 @@ struct SessionConfig {
   /// Protocol for the typestate client; when empty (NumStates == 0) the
   /// session derives lifecycleSpec(M) from the module at run time.
   TypestateSpec Typestate;
+  /// Own a MetricsRegistry and keep it current: per-phase spans, run.*
+  /// counters from every run(), and the profilers' state-derived gauges
+  /// refreshed after each run and merge. Off by default — the off state is
+  /// one pointer test per phase boundary, nothing on the event hot path.
+  bool CollectStats = false;
 };
 
 /// One profiling session: configure, run (one pass), consume the
@@ -86,10 +92,21 @@ public:
   TypestateProfiler *typestate() { return Type.get(); }
   const TypestateProfiler *typestate() const { return Type.get(); }
 
+  /// The session's telemetry registry (null unless Cfg.CollectStats).
+  /// Event counters (run.*, phase.*) accumulate across runs and merges;
+  /// state-derived gauges and histograms (gcost.*, heap.*, mem.*, client
+  /// metrics) always describe the profilers' current — possibly merged —
+  /// state, so after the sharded fold they are identical at any thread
+  /// count (docs/OBSERVABILITY.md).
+  obs::MetricsRegistry *stats() { return Stats.get(); }
+  const obs::MetricsRegistry *stats() const { return Stats.get(); }
+
   /// Folds another session's profilers into this one, client state
   /// included, treating \p O as the later of two sequential runs. Both
   /// sessions must share the configuration and module (the parallel
-  /// driver's shards); profiler sets must match.
+  /// driver's shards); profiler sets must match. Telemetry registries fold
+  /// too, and the state-derived metrics are re-derived from the merged
+  /// profilers afterwards.
   void mergeFrom(const ProfileSession &O);
 
   /// Renders the enabled clients' report sections ("=== ... ===" headed),
@@ -102,12 +119,16 @@ public:
 
 private:
   void ensureProfilers(const Module &M);
+  /// Re-derives every state-based metric from the profilers (idempotent
+  /// set()s). Called after each run and each merge.
+  void refreshDerivedStats();
 
   SessionConfig Cfg;
   std::unique_ptr<SlicingProfiler> Slicing;
   std::unique_ptr<CopyProfiler> Copy;
   std::unique_ptr<NullnessProfiler> Null;
   std::unique_ptr<TypestateProfiler> Type;
+  std::unique_ptr<obs::MetricsRegistry> Stats;
 };
 
 /// Executes with the empty profiler pipeline (the stock-JVM stand-in).

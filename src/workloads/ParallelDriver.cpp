@@ -2,6 +2,8 @@
 
 #include "workloads/ParallelDriver.h"
 
+#include "obs/PhaseTimer.h"
+
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -58,8 +60,11 @@ ShardedSession lud::runShardedSession(const Module &M, unsigned Shards,
   // of two sequential runs, so this reproduces one session observing the
   // shards back to back — for the substrate and every client alike.
   Out.Session = std::move(Sessions[0]);
-  for (unsigned S = 1; S != Shards; ++S)
-    Out.Session->mergeFrom(*Sessions[S]);
+  {
+    obs::PhaseTimer Span(Out.Session->stats(), "merge");
+    for (unsigned S = 1; S != Shards; ++S)
+      Out.Session->mergeFrom(*Sessions[S]);
+  }
   Out.Seconds = secondsSince(T0);
   Out.Run = Results[0];
   for (const RunResult &R : Results)

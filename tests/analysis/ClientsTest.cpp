@@ -3,6 +3,7 @@
 #include "../TestUtil.h"
 
 #include "analysis/Clients.h"
+#include "analysis/Report.h"
 #include "ir/IRBuilder.h"
 #include "support/OutStream.h"
 
@@ -208,8 +209,12 @@ TEST(PredicateConstancyClientTest, MinCountFiltersOneShots) {
 
   SlicingProfiler P = profileRun(M);
   CostModel CM(P.graph());
-  EXPECT_TRUE(findConstantPredicates(P, CM, M, /*MinCount=*/2).empty());
-  EXPECT_EQ(findConstantPredicates(P, CM, M, /*MinCount=*/1).size(), 1u);
+  ClientOptions AtLeastTwo;
+  AtLeastTwo.MinCount = 2;
+  ClientOptions AtLeastOne;
+  AtLeastOne.MinCount = 1;
+  EXPECT_TRUE(findConstantPredicates(P, CM, M, AtLeastTwo).empty());
+  EXPECT_EQ(findConstantPredicates(P, CM, M, AtLeastOne).size(), 1u);
 }
 
 } // namespace

@@ -1,0 +1,191 @@
+//===- tests/obs/MetricsTest.cpp - Telemetry registry ----------------------===//
+
+#include "obs/Metrics.h"
+#include "obs/PhaseTimer.h"
+#include "support/OutStream.h"
+#include "workloads/DaCapo.h"
+#include "workloads/ParallelDriver.h"
+
+#include <gtest/gtest.h>
+
+using namespace lud;
+using namespace lud::obs;
+
+namespace {
+
+TEST(MetricsRegistryTest, CountersAccumulate) {
+  MetricsRegistry R;
+  MetricId C = R.counter("run.instructions");
+  EXPECT_EQ(R.value(C), 0u);
+  R.add(C, 5);
+  R.add(C, 7);
+  EXPECT_EQ(R.value(C), 12u);
+  EXPECT_EQ(R.kind(C), MetricKind::Counter);
+  EXPECT_EQ(R.name(C), "run.instructions");
+}
+
+TEST(MetricsRegistryTest, ReRegistrationReturnsSameId) {
+  MetricsRegistry R;
+  MetricId A = R.counter("x");
+  MetricId B = R.counter("x");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(R.numMetrics(), 1u);
+  EXPECT_EQ(R.find("x"), A);
+  EXPECT_EQ(R.find("missing"), kNoMetric);
+}
+
+TEST(MetricsRegistryTest, GaugesSetAndTrackPeaks) {
+  MetricsRegistry R;
+  MetricId G = R.gauge("gcost.nodes");
+  R.set(G, 10);
+  R.set(G, 4);
+  EXPECT_EQ(R.value(G), 4u);
+  MetricId P = R.gauge("run.peak_frame_depth", Unit::Count, Merge::Max);
+  R.setMax(P, 3);
+  R.setMax(P, 9);
+  R.setMax(P, 5);
+  EXPECT_EQ(R.value(P), 9u);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsArePowersOfTwo) {
+  MetricsRegistry R;
+  MetricId H = R.histogram("shadow.object_slots");
+  // Bucket i holds [2^(i-1), 2^i): 0 -> bucket 0, 1 -> 1, 2..3 -> 2,
+  // 1024 -> 11.
+  R.observe(H, 0);
+  R.observe(H, 1);
+  R.observe(H, 2);
+  R.observe(H, 3);
+  R.observe(H, 1024);
+  EXPECT_EQ(R.histCount(H), 5u);
+  EXPECT_EQ(R.histSum(H), 1030u);
+
+  StringOutStream OS;
+  R.writeJson(OS);
+  // Sparse [bucket, count] pairs.
+  EXPECT_NE(OS.str().find("[0, 1]"), std::string::npos);
+  EXPECT_NE(OS.str().find("[1, 1]"), std::string::npos);
+  EXPECT_NE(OS.str().find("[2, 2]"), std::string::npos);
+  EXPECT_NE(OS.str().find("[11, 1]"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ClearSupportsIdempotentRecomputation) {
+  MetricsRegistry R;
+  MetricId G = R.gauge("g");
+  MetricId H = R.histogram("h");
+  for (int Pass = 0; Pass != 3; ++Pass) {
+    R.clear(G);
+    R.clear(H);
+    R.set(G, 42);
+    R.observe(H, 8);
+    R.observe(H, 16);
+  }
+  EXPECT_EQ(R.value(G), 42u);
+  EXPECT_EQ(R.histCount(H), 2u);
+  EXPECT_EQ(R.histSum(H), 24u);
+}
+
+TEST(MetricsRegistryTest, MergeAppliesDeclaredPolicies) {
+  MetricsRegistry A, B;
+  MetricId C = A.counter("c");
+  MetricId GS = A.gauge("sum", Unit::Count, Merge::Sum);
+  MetricId GM = A.gauge("max", Unit::Count, Merge::Max);
+  MetricId GL = A.gauge("last", Unit::Count, Merge::Last);
+  MetricId H = A.histogram("h");
+  A.add(C, 10);
+  A.set(GS, 3);
+  A.set(GM, 7);
+  A.set(GL, 1);
+  A.observe(H, 4);
+  B.counter("c");
+  B.gauge("sum", Unit::Count, Merge::Sum);
+  B.gauge("max", Unit::Count, Merge::Max);
+  B.gauge("last", Unit::Count, Merge::Last);
+  B.histogram("h");
+  B.counter("only_in_b");
+  B.add(B.find("c"), 5);
+  B.set(B.find("sum"), 4);
+  B.set(B.find("max"), 2);
+  B.set(B.find("last"), 99);
+  B.observe(B.find("h"), 4);
+  B.add(B.find("only_in_b"), 8);
+
+  A.mergeFrom(B);
+  EXPECT_EQ(A.value(C), 15u);
+  EXPECT_EQ(A.value(GS), 7u);
+  EXPECT_EQ(A.value(GM), 7u);
+  EXPECT_EQ(A.value(GL), 99u);
+  EXPECT_EQ(A.histCount(H), 2u);
+  EXPECT_EQ(A.histSum(H), 8u);
+  // Metrics absent in the destination are appended.
+  ASSERT_NE(A.find("only_in_b"), kNoMetric);
+  EXPECT_EQ(A.value(A.find("only_in_b")), 8u);
+}
+
+TEST(MetricsRegistryTest, JsonExportFiltersWallTime) {
+  MetricsRegistry R;
+  R.add(R.counter("phase.interpret.nanos", Unit::Nanos), 1234);
+  R.add(R.counter("run.count"), 1);
+
+  StringOutStream Full, Det;
+  R.writeJson(Full);
+  R.writeJson(Det, /*IncludeTiming=*/false);
+  EXPECT_NE(Full.str().find("lud.stats.v1"), std::string::npos);
+  EXPECT_NE(Full.str().find("phase.interpret.nanos"), std::string::npos);
+  EXPECT_NE(Det.str().find("lud.stats.v1"), std::string::npos);
+  EXPECT_EQ(Det.str().find("phase.interpret.nanos"), std::string::npos);
+  EXPECT_NE(Det.str().find("run.count"), std::string::npos);
+
+  StringOutStream Csv;
+  R.writeCsv(Csv, /*IncludeTiming=*/false);
+  EXPECT_EQ(Csv.str().find("nanos"), std::string::npos);
+}
+
+TEST(PhaseTimerTest, RecordsSpansAndToleratesNullRegistry) {
+  MetricsRegistry R;
+  {
+    PhaseTimer T(&R, "collect");
+    (void)T;
+  }
+  {
+    PhaseTimer T(&R, "collect");
+    T.stop();
+    T.stop(); // idempotent
+  }
+  EXPECT_EQ(R.value(R.find("phase.collect.spans")), 2u);
+  EXPECT_NE(R.find("phase.collect.nanos"), kNoMetric);
+
+  PhaseTimer Null(nullptr, "ignored"); // must be a no-op
+  Null.stop();
+}
+
+// The acceptance bar for the telemetry fold: the registry a sharded
+// session produces is byte-identical (wall time excluded) whatever the
+// thread count, because shards fold in shard-index order and every merge
+// policy is order-insensitive.
+TEST(StatsDeterminismTest, ShardFoldIndependentOfThreadCount) {
+  Workload W = buildWorkload("eclipse", 60);
+  SessionConfig Cfg;
+  Cfg.Clients = kClientCopy | kClientNullness | kClientTypestate;
+  Cfg.CollectStats = true;
+
+  std::string Ref;
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    ShardedSession S = runShardedSession(*W.M, 8, Cfg, Threads);
+    ASSERT_TRUE(S.Session);
+    ASSERT_TRUE(S.Session->stats());
+    StringOutStream OS;
+    S.Session->stats()->writeJson(OS, /*IncludeTiming=*/false);
+    if (Ref.empty())
+      Ref = OS.str();
+    else
+      EXPECT_EQ(Ref, OS.str()) << "divergence at Threads=" << Threads;
+  }
+  // Sanity: the folded registry saw all 8 shards.
+  EXPECT_NE(Ref.find("\"name\": \"run.count\", \"kind\": \"counter\", "
+                     "\"unit\": \"count\", \"value\": 8"),
+            std::string::npos)
+      << Ref;
+}
+
+} // namespace

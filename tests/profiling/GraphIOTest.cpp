@@ -85,6 +85,27 @@ TEST(GraphIOTest, OfflineAnalysesMatchOnline) {
   EXPECT_EQ(On.DeadNodes, Off.DeadNodes);
 }
 
+TEST(GraphIOTest, MergedGraphRoundTripsByteIdentical) {
+  // The parallel driver serializes graphs that went through mergeFrom;
+  // the merged form must survive a serialize -> parse -> serialize cycle
+  // byte for byte, or offline analyses of sharded runs drift.
+  Workload W = buildWorkload("eclipse", 48);
+  ProfiledRun A = runProfiled(*W.M);
+  ProfiledRun B = runProfiled(*W.M);
+  A.Prof->mergeFrom(*B.Prof);
+
+  StringOutStream First;
+  writeGraph(A.Prof->graph(), First);
+  std::vector<std::string> Errors;
+  std::unique_ptr<DepGraph> G2 = readGraph(First.str(), Errors);
+  for (const std::string &E : Errors)
+    ADD_FAILURE() << E;
+  ASSERT_TRUE(G2);
+  StringOutStream Second;
+  writeGraph(*G2, Second);
+  EXPECT_EQ(First.str(), Second.str());
+}
+
 TEST(GraphIOTest, RejectsMalformedInput) {
   struct Case {
     const char *Text;
