@@ -1,0 +1,142 @@
+//===- bench/replay_bench.cpp - Live vs record vs replay -------------------===//
+//
+// The trace layer's cost model, measured three ways per workload:
+//
+//   live        — the ordinary profiled run (all clients), recording off.
+//                 With recording disabled the session instantiates exactly
+//                 the pre-trace pipelines, so this is also the "<2% when
+//                 off" reference: there is no recorder branch on the hot
+//                 path to pay for.
+//   record      — the same run with a TraceRecorder composed ahead of the
+//                 clients, encoding every hook into an in-memory sink.
+//   replay-only — re-driving the same analyses from the recorded bytes,
+//                 with no interpreter: the marginal cost of the analyses
+//                 themselves, and the speedup ceiling for re-running a
+//                 different client mix offline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "support/OutStream.h"
+#include "trace/TraceRecorder.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lud;
+using namespace lud::bench;
+
+namespace {
+
+constexpr uint32_t kAllClients =
+    kClientCopy | kClientNullness | kClientTypestate;
+
+double liveSeconds(const Module &M) {
+  SessionConfig Cfg;
+  Cfg.Clients = kAllClients;
+  ProfileSession S(Cfg);
+  return S.run(M).Seconds;
+}
+
+double recordSeconds(const Module &M, std::string *TraceOut) {
+  StringOutStream Sink;
+  SessionConfig Cfg;
+  Cfg.Clients = kAllClients;
+  Cfg.RecordSink = &Sink;
+  ProfileSession S(Cfg);
+  double Sec = S.run(M).Seconds;
+  if (TraceOut)
+    *TraceOut = Sink.str();
+  return Sec;
+}
+
+double replaySeconds(const Module &M, const std::string &Trace) {
+  SessionConfig Cfg;
+  Cfg.Clients = kAllClients;
+  ProfileSession S(Cfg);
+  ReplayRun R = S.replay(M, Trace);
+  if (!R.Ok) {
+    std::fprintf(stderr, "replay failed: %s\n", R.Error.c_str());
+    std::exit(1);
+  }
+  return R.Seconds;
+}
+
+void printTable() {
+  const int64_t S = tableScale() / 2;
+  std::printf("=== Trace layer: live vs record vs replay-only "
+              "(scale %lld) ===\n",
+              (long long)S);
+  std::printf("%-12s %10s %10s %12s %10s %10s\n", "workload", "live",
+              "record", "replay-only", "rec-cost", "trace-KB");
+  for (const std::string &Name : dacapoNames()) {
+    Workload W = buildWorkload(Name, S);
+    double Live = liveSeconds(*W.M);
+    std::string Trace;
+    double Rec = recordSeconds(*W.M, &Trace);
+    double Rep = replaySeconds(*W.M, Trace);
+    std::printf("%-12s %9.3fs %9.3fs %11.3fs %9.2fx %9.1f\n", Name.c_str(),
+                Live, Rec, Rep, Live > 0 ? Rec / Live : 0,
+                double(Trace.size()) / 1024.0);
+    emitJsonRow("replay/live/" + Name, S, Live, 0, 0);
+    emitJsonRow("replay/record/" + Name, S, Rec, 0, 0);
+    emitJsonRow("replay/replay_only/" + Name, S, Rep, 0, 0);
+  }
+  std::printf("\n");
+
+  // Telemetry export: a recording session's registry carries the trace.*
+  // gauges (events, bytes, per-phase attribution, compression).
+  if (statsEnabled()) {
+    Workload W = buildWorkload("eclipse", S);
+    StringOutStream Sink;
+    SessionConfig Cfg;
+    Cfg.Clients = kAllClients;
+    Cfg.RecordSink = &Sink;
+    Cfg.CollectStats = true;
+    ProfileSession Sess(Cfg);
+    Sess.run(*W.M);
+    emitStats(Sess);
+  }
+}
+
+/// Timing aspect: the live run, recording off (the overhead reference).
+void BM_LiveAllClients(benchmark::State &State) {
+  Workload W = buildWorkload("eclipse", tableScale() / 4);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(liveSeconds(*W.M));
+  }
+}
+
+/// Timing aspect: the same run with the recorder composed in.
+void BM_RecordAllClients(benchmark::State &State) {
+  Workload W = buildWorkload("eclipse", tableScale() / 4);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(recordSeconds(*W.M, nullptr));
+  }
+}
+
+/// Timing aspect: replaying the recorded hook stream, no interpreter.
+void BM_ReplayAllClients(benchmark::State &State) {
+  Workload W = buildWorkload("eclipse", tableScale() / 4);
+  std::string Trace;
+  recordSeconds(*W.M, &Trace);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(replaySeconds(*W.M, Trace));
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_LiveAllClients)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RecordAllClients)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReplayAllClients)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  initJsonRows(&argc, argv);
+  initStats(&argc, argv);
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -78,6 +78,12 @@ std::unique_ptr<DepGraph> lud::readGraph(std::string_view Text,
   std::string LineStr;
   unsigned LineNo = 0;
   bool SawHeader = false, SawEnd = false;
+  // Fixed-arity records must end where their last field does — trailing
+  // tokens mean a corrupted or mis-spliced line, not extra data to ignore.
+  auto AtLineEnd = [](std::istringstream &L) {
+    std::string Rest;
+    return !(L >> Rest);
+  };
   while (std::getline(In, LineStr)) {
     ++LineNo;
     if (LineStr.empty())
@@ -94,15 +100,30 @@ std::unique_ptr<DepGraph> lud::readGraph(std::string_view Text,
     }
     if (Kind == "slots") {
       uint32_t S = 0;
-      if (!(L >> S) || S == 0)
+      if (!(L >> S) || S == 0 || !AtLineEnd(L))
         return Fail(LineNo, "bad slot count");
       G->setContextSlots(S);
     } else if (Kind == "node") {
       uint64_t Id, Instr, Domain, Freq, Consumer, Effect, Tag, Slot;
       int Reads, Writes, Alloc, StoredRef;
       if (!(L >> Id >> Instr >> Domain >> Freq >> Consumer >> Effect >>
-            Tag >> Slot >> Reads >> Writes >> Alloc >> StoredRef))
+            Tag >> Slot >> Reads >> Writes >> Alloc >> StoredRef) ||
+          !AtLineEnd(L))
         return Fail(LineNo, "malformed node");
+      // Every narrowing cast below is validated first: a clipped or
+      // bit-flipped dump must fail with a diagnostic, never wrap into a
+      // silently different graph.
+      if (Instr > 0xFFFFFFFFull || Domain > 0xFFFFFFFFull ||
+          Slot > 0xFFFFFFFFull)
+        return Fail(LineNo, "node field out of 32-bit range");
+      if (Consumer > uint64_t(ConsumerKind::Native))
+        return Fail(LineNo, "bad consumer kind " + std::to_string(Consumer));
+      if (Effect > uint64_t(EffectKind::Load))
+        return Fail(LineNo, "bad effect kind " + std::to_string(Effect));
+      auto IsBool = [](int V) { return V == 0 || V == 1; };
+      if (!IsBool(Reads) || !IsBool(Writes) || !IsBool(Alloc) ||
+          !IsBool(StoredRef))
+        return Fail(LineNo, "node flag out of range");
       NodeId N = G->getOrCreate(InstrId(Instr), uint32_t(Domain));
       if (N != NodeId(Id))
         return Fail(LineNo, "node ids out of order");
@@ -117,7 +138,8 @@ std::unique_ptr<DepGraph> lud::readGraph(std::string_view Text,
       Node.StoredRef = StoredRef;
     } else if (Kind == "edge" || Kind == "refedge") {
       uint64_t From, To;
-      if (!(L >> From >> To) || From >= G->numNodes() || To >= G->numNodes())
+      if (!(L >> From >> To) || From >= G->numNodes() ||
+          To >= G->numNodes() || !AtLineEnd(L))
         return Fail(LineNo, "malformed edge");
       if (Kind == "edge")
         G->addEdge(NodeId(From), NodeId(To));
@@ -125,12 +147,12 @@ std::unique_ptr<DepGraph> lud::readGraph(std::string_view Text,
         G->addRefEdge(NodeId(From), NodeId(To));
     } else if (Kind == "allocnode") {
       uint64_t Tag, N;
-      if (!(L >> Tag >> N) || N >= G->numNodes())
+      if (!(L >> Tag >> N) || N >= G->numNodes() || !AtLineEnd(L))
         return Fail(LineNo, "malformed allocnode");
       G->noteAlloc(Tag, NodeId(N));
     } else if (Kind == "writer" || Kind == "reader") {
       uint64_t Tag, Slot, N;
-      if (!(L >> Tag >> Slot))
+      if (!(L >> Tag >> Slot) || Slot > 0xFFFFFFFFull)
         return Fail(LineNo, "malformed location");
       HeapLoc Loc{Tag, FieldSlot(Slot)};
       while (L >> N) {
@@ -141,14 +163,20 @@ std::unique_ptr<DepGraph> lud::readGraph(std::string_view Text,
         else
           G->noteReader(Loc, NodeId(N));
       }
+      if (!L.eof())
+        return Fail(LineNo, "junk token in location map");
     } else if (Kind == "refchild") {
       uint64_t Tag, Slot, Child;
-      if (!(L >> Tag >> Slot))
+      if (!(L >> Tag >> Slot) || Slot > 0xFFFFFFFFull)
         return Fail(LineNo, "malformed refchild");
       HeapLoc Loc{Tag, FieldSlot(Slot)};
       while (L >> Child)
         G->noteRefChild(Loc, Child);
+      if (!L.eof())
+        return Fail(LineNo, "junk token in refchild");
     } else if (Kind == "end") {
+      if (!AtLineEnd(L))
+        return Fail(LineNo, "junk after 'end'");
       SawEnd = true;
       break;
     } else {

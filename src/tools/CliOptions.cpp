@@ -64,6 +64,18 @@ bool OptionSet::parse(int argc, char **argv) {
       Positional.push_back(std::move(A));
       continue;
     }
+    // Built-in informational options, shared by every tool. Exact-match
+    // only: `--help=x` falls through to the unknown-option diagnostic.
+    if (A == "--help") {
+      usage(outs());
+      ExitNow = true;
+      return true;
+    }
+    if (A == "--version") {
+      outs() << Tool << " (lud) " << kVersionString << "\n";
+      ExitNow = true;
+      return true;
+    }
     size_t Eq = A.find('=');
     bool HasEq = Eq != std::string::npos;
     std::string Name = HasEq ? A.substr(0, Eq) : A;
@@ -101,15 +113,21 @@ bool OptionSet::parse(int argc, char **argv) {
   return true;
 }
 
-void OptionSet::usage() const {
-  errs() << "usage: " << Tool << " [options] " << Operands << "\n";
-  size_t Width = 0;
+void OptionSet::usage() const { usage(errs()); }
+
+void OptionSet::usage(OutStream &OS) const {
+  OS << "usage: " << Tool << " [options] " << Operands << "\n";
+  size_t Width = sizeof("--version") - 1;
   for (const Option &O : Options)
     Width = O.Name.size() > Width ? O.Name.size() : Width;
-  for (const Option &O : Options) {
-    errs() << "  " << O.Name;
-    for (size_t P = O.Name.size(); P != Width + 2; ++P)
-      errs() << " ";
-    errs() << O.Help << "\n";
-  }
+  auto Line = [&](const std::string &Name, std::string_view Help) {
+    OS << "  " << Name;
+    for (size_t P = Name.size(); P != Width + 2; ++P)
+      OS << " ";
+    OS << Help << "\n";
+  };
+  for (const Option &O : Options)
+    Line(O.Name, O.Help);
+  Line("--help", "print this help and exit");
+  Line("--version", "print the version and exit");
 }

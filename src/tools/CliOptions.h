@@ -29,7 +29,13 @@
 #include <vector>
 
 namespace lud {
+
+class OutStream;
+
 namespace cli {
+
+/// One version string for every lud tool; --version prints it.
+inline constexpr char kVersionString[] = "0.4.0";
 
 /// Whether and how an option consumes a value.
 enum class ValueMode : uint8_t {
@@ -72,8 +78,14 @@ public:
               std::function<bool(const std::string &)> Fn);
 
   /// Parses \p argv. Returns false after printing a diagnostic to errs();
-  /// the caller then prints usage() and exits.
+  /// the caller then prints usage() and exits. `--help` and `--version` are
+  /// built in: both print to stdout, set exitRequested(), and return true —
+  /// the caller exits 0 without running.
   bool parse(int argc, char **argv);
+
+  /// True after parse() handled a built-in informational option (--help,
+  /// --version); the tool should exit 0 immediately.
+  bool exitRequested() const { return ExitNow; }
 
   /// Non-dash arguments, in command-line order.
   const std::vector<std::string> &positionals() const { return Positional; }
@@ -81,6 +93,8 @@ public:
   /// "usage: <tool> [options] <operands>" plus one aligned line per option,
   /// in declaration order, written to errs().
   void usage() const;
+  /// Same, to an arbitrary stream (--help routes this to stdout).
+  void usage(OutStream &OS) const;
 
 private:
   struct Option {
@@ -98,6 +112,7 @@ private:
   std::string Operands;
   std::vector<Option> Options;
   std::vector<std::string> Positional;
+  bool ExitNow = false;
 };
 
 } // namespace cli

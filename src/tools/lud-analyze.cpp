@@ -52,7 +52,13 @@ int main(int argc, char **argv) {
   cli::OptionSet P("lud-analyze", "<program.lud> <gcost.graph>");
   P.number("--depth", CO.Depth, "N  reference-tree height n (default 4)");
   P.number("--top", CO.TopK, "K  rows per report (default 15)");
-  if (!P.parse(argc, argv) || P.positionals().size() != 2) {
+  if (!P.parse(argc, argv)) {
+    P.usage();
+    return 2;
+  }
+  if (P.exitRequested())
+    return 0;
+  if (P.positionals().size() != 2) {
     P.usage();
     return 2;
   }

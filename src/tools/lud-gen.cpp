@@ -56,6 +56,8 @@ int main(int argc, char **argv) {
     listWorkloads();
     return 2;
   }
+  if (P.exitRequested())
+    return 0;
 
   if (Random) {
     RandomProgramOptions Opts;

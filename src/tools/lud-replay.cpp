@@ -1,0 +1,241 @@
+//===- tools/lud-replay.cpp - Re-drive analyses from a trace ---*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The offline twin of `lud-run --record`: replays one or more
+/// `lud.trace.v1` files through a fresh profiling session and prints the
+/// same reports the live run would have, without interpreting a single
+/// instruction. Multiple traces fold in argument order, exactly like the
+/// recording run's shards:
+///
+///   lud-run --record=p.trace --clients=all p.lud
+///   lud-replay --clients=all --report p.lud p.trace
+///
+///   lud-run --record=p.trace --shards 8 p.lud
+///   lud-replay p.lud p.trace.shard0 ... p.trace.shard7
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CacheCost.h"
+#include "analysis/Clients.h"
+#include "analysis/DeadValues.h"
+#include "analysis/Report.h"
+#include "ir/Parser.h"
+#include "profiling/GraphIO.h"
+#include "support/OutStream.h"
+#include "tools/CliOptions.h"
+#include "workloads/ParallelDriver.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace lud;
+
+namespace {
+
+enum class StatsMode { Off, Text, Json, Csv };
+
+struct Options {
+  std::string Program;
+  std::vector<std::string> Traces;
+  bool Report = false;
+  bool Dead = false;
+  bool Caches = false;
+  uint32_t Clients = 0;
+  int64_t Slots = 16;
+  int64_t Threads = 1;
+  ClientOptions Client;
+  std::string DumpGraph;
+  StatsMode Stats = StatsMode::Off;
+  std::string StatsOut;
+};
+
+void declareOptions(cli::OptionSet &P, Options &O) {
+  P.flag("--report", O.Report, "rank data structures by cost/benefit");
+  P.flag("--dead", O.Dead, "print IPD/IPP/NLD bloat metrics");
+  P.flag("--caches", O.Caches, "rank structures by cache effectiveness");
+  P.custom("--clients", cli::ValueMode::Required,
+           "LIST  client analyses to re-drive from the trace: copy, "
+           "nullness, typestate, or all",
+           [&O](const std::string &List) {
+             std::string Err;
+             if (parseClientMask(List, O.Clients, Err))
+               return true;
+             errs() << Err << "\n";
+             return false;
+           });
+  P.number("--slots", O.Slots, "N  context slots s (default 16)", /*Min=*/1);
+  P.number("--depth", O.Client.Depth,
+           "N  reference-tree height n (default 4)");
+  P.number("--top", O.Client.TopK, "K  rows per report (default 15)");
+  P.number("--threads", O.Threads, "N  worker threads for multiple traces",
+           /*Min=*/1);
+  P.str("--dump-graph", O.DumpGraph,
+        "F  serialize the replayed Gcost to file F");
+  P.custom("--stats", cli::ValueMode::Optional,
+           "[=json|csv]  emit the session's telemetry (default: text)",
+           [&O](const std::string &V) {
+             if (V.empty())
+               O.Stats = StatsMode::Text;
+             else if (V == "json")
+               O.Stats = StatsMode::Json;
+             else if (V == "csv")
+               O.Stats = StatsMode::Csv;
+             else {
+               errs() << "option '--stats' expects 'json' or 'csv'\n";
+               return false;
+             }
+             return true;
+           });
+  P.str("--stats-out", O.StatsOut,
+        "F  write the telemetry to file F instead of stdout");
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  std::fclose(F);
+  return true;
+}
+
+bool emitStats(const ProfileSession &S, const Options &O) {
+  const obs::MetricsRegistry *R = S.stats();
+  if (!R)
+    return true;
+  std::FILE *F = nullptr;
+  if (!O.StatsOut.empty()) {
+    F = std::fopen(O.StatsOut.c_str(), "wb");
+    if (!F) {
+      errs() << "cannot write '" << O.StatsOut << "'\n";
+      return false;
+    }
+  }
+  {
+    FileOutStream FOS(F ? F : stdout);
+    switch (O.Stats) {
+    case StatsMode::Off:
+      break;
+    case StatsMode::Text:
+      R->writeText(FOS);
+      break;
+    case StatsMode::Json:
+      R->writeJson(FOS);
+      break;
+    case StatsMode::Csv:
+      R->writeCsv(FOS);
+      break;
+    }
+  }
+  if (F)
+    std::fclose(F);
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options O;
+  cli::OptionSet Cli("lud-replay", "<program.lud> <trace>...");
+  declareOptions(Cli, O);
+  if (!Cli.parse(argc, argv)) {
+    Cli.usage();
+    return 2;
+  }
+  if (Cli.exitRequested())
+    return 0;
+  if (Cli.positionals().size() < 2) {
+    errs() << "expected a program and at least one trace\n";
+    Cli.usage();
+    return 2;
+  }
+  O.Program = Cli.positionals()[0];
+  O.Traces.assign(Cli.positionals().begin() + 1, Cli.positionals().end());
+
+  std::string Text;
+  if (!readFile(O.Program, Text)) {
+    errs() << "cannot read '" << O.Program << "'\n";
+    return 1;
+  }
+  std::vector<std::string> Errors;
+  std::unique_ptr<Module> M = parseModule(Text, Errors);
+  if (!M) {
+    for (const std::string &E : Errors)
+      errs() << O.Program << ": " << E << "\n";
+    return 1;
+  }
+
+  SessionConfig SCfg;
+  SCfg.Slicing.ContextSlots = uint32_t(O.Slots);
+  SCfg.Clients = O.Clients;
+  SCfg.CollectStats = O.Stats != StatsMode::Off;
+  ShardedSession SR =
+      replayShardedSession(*M, O.Traces, std::move(SCfg),
+                           unsigned(O.Threads));
+  if (!SR.Error.empty()) {
+    errs() << SR.Error << "\n";
+    return 1;
+  }
+
+  OutStream &OS = outs();
+  ProfileSession &Session = *SR.Session;
+  const SlicingProfiler &Prof = *Session.slicing();
+  const DepGraph &G = Prof.graph();
+  OS << "replayed " << SR.Events << " events from "
+     << uint64_t(O.Traces.size())
+     << (O.Traces.size() == 1 ? " trace\n" : " traces\n");
+  OS << "Gcost: " << uint64_t(G.numNodes()) << " nodes, "
+     << uint64_t(G.numEdges()) << " edges, ";
+  OS.printFixed(double(G.memoryFootprint().total()) / 1024.0, 1);
+  OS << " KB, CR ";
+  OS.printFixed(Prof.averageCR(), 3);
+  OS << "\n";
+
+  if (!O.DumpGraph.empty()) {
+    std::FILE *F = std::fopen(O.DumpGraph.c_str(), "wb");
+    if (!F) {
+      errs() << "cannot write '" << O.DumpGraph << "'\n";
+      return 1;
+    }
+    FileOutStream FOS(F);
+    writeGraph(G, FOS);
+    std::fclose(F);
+    OS << "Gcost written to " << O.DumpGraph << "\n";
+  }
+
+  CostModel CM(G);
+  if (O.Report) {
+    ReportOptions Opts;
+    Opts.Depth = O.Client.Depth;
+    LowUtilityReport Report(CM, *M, Opts);
+    OS << "\n=== low-utility data structures ===\n";
+    Report.print(OS, O.Client.TopK);
+  }
+  if (O.Caches) {
+    OS << "\n=== cache effectiveness (least effective first) ===\n";
+    printCacheScores(rankCacheEffectiveness(CM, *M), OS, O.Client.TopK);
+  }
+  Session.printClientReports(*M, OS, O.Client.TopK);
+  if (O.Dead) {
+    DeadValueAnalysis DV = computeDeadValues(G, G.totalFreq());
+    OS << "\n=== bloat metrics ===\nIPD ";
+    OS.printFixed(100.0 * DV.Metrics.ipd(), 1);
+    OS << "%   IPP ";
+    OS.printFixed(100.0 * DV.Metrics.ipp(), 1);
+    OS << "%   NLD ";
+    OS.printFixed(100.0 * DV.Metrics.nld(), 1);
+    OS << "%\n";
+  }
+  if (!emitStats(Session, O))
+    return 1;
+  return 0;
+}

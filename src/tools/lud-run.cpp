@@ -16,6 +16,8 @@
 ///   lud-run --all --slots 32 program.lud      # every Gcost analysis
 ///   lud-run --clients=copy,nullness,typestate --report program.lud
 ///   lud-run --stats=json --stats-out=s.json --report program.lud
+///   lud-run --record=p.trace program.lud      # record the hook stream
+///   lud-run --replay=p.trace --report program.lud  # same reports, no run
 ///
 //===----------------------------------------------------------------------===//
 
@@ -56,36 +58,13 @@ struct Options {
   ClientOptions Client;
   std::string DumpGraph;
   std::string OptimizeOut;
+  std::string RecordPath;
+  std::string ReplayPath;
   StatsMode Stats = StatsMode::Off;
   std::string StatsOut;
   int64_t Shards = 1;
   int64_t Threads = 1;
 };
-
-bool parseClients(const std::string &List, uint32_t &Mask) {
-  size_t Pos = 0;
-  while (Pos <= List.size()) {
-    size_t Comma = List.find(',', Pos);
-    if (Comma == std::string::npos)
-      Comma = List.size();
-    std::string Name = List.substr(Pos, Comma - Pos);
-    if (Name == "copy")
-      Mask |= kClientCopy;
-    else if (Name == "nullness")
-      Mask |= kClientNullness;
-    else if (Name == "typestate")
-      Mask |= kClientTypestate;
-    else if (Name == "all")
-      Mask |= kClientCopy | kClientNullness | kClientTypestate;
-    else {
-      errs() << "unknown client '" << Name
-             << "' (valid: copy, nullness, typestate, all)\n";
-      return false;
-    }
-    Pos = Comma + 1;
-  }
-  return true;
-}
 
 bool isPowerOfTwo(uint32_t N) { return N != 0 && (N & (N - 1)) == 0; }
 
@@ -107,9 +86,17 @@ void declareOptions(cli::OptionSet &P, Options &O) {
            "LIST  client analyses to run in the same pass, comma-separated: "
            "copy, nullness, typestate, or all",
            [&O](const std::string &List) {
-             return parseClients(List, O.Clients);
+             std::string Err;
+             if (parseClientMask(List, O.Clients, Err))
+               return true;
+             errs() << Err << "\n";
+             return false;
            });
   P.flag("--baseline", O.Baseline, "run without instrumentation (timing)");
+  P.str("--record", O.RecordPath,
+        "F  record the hook stream to trace file F (one file per shard)");
+  P.str("--replay", O.ReplayPath,
+        "F  re-drive the analyses from trace F instead of interpreting");
   P.flag("--print-ir", O.PrintIR, "echo the parsed program and exit");
   P.str("--dump-graph", O.DumpGraph,
         "F  serialize Gcost to file F (offline use)");
@@ -146,6 +133,8 @@ void declareOptions(cli::OptionSet &P, Options &O) {
 bool parseArgs(cli::OptionSet &P, int argc, char **argv, Options &O) {
   if (!P.parse(argc, argv))
     return false;
+  if (P.exitRequested())
+    return true; // --help/--version already printed; skip validation.
   if (P.positionals().size() > 1) {
     errs() << "multiple input files\n";
     return false;
@@ -161,6 +150,18 @@ bool parseArgs(cli::OptionSet &P, int argc, char **argv, Options &O) {
     errs() << "--baseline runs without instrumentation; it cannot be "
               "combined with --clients\n";
     return false;
+  }
+  if (!O.ReplayPath.empty()) {
+    if (O.Baseline || !O.RecordPath.empty()) {
+      errs() << "--replay re-drives a recorded run; it cannot be combined "
+                "with --baseline or --record\n";
+      return false;
+    }
+    if (!O.OptimizeOut.empty()) {
+      errs() << "--optimize validates against the live run's output; it "
+                "cannot be combined with --replay\n";
+      return false;
+    }
   }
   return !O.File.empty();
 }
@@ -223,6 +224,8 @@ int main(int argc, char **argv) {
     Cli.usage();
     return 2;
   }
+  if (Cli.exitRequested())
+    return 0;
 
   std::string Text;
   if (!readFile(O.File, Text)) {
@@ -251,8 +254,13 @@ int main(int argc, char **argv) {
     BCfg.Instrument = false;
     BCfg.Run = RCfg;
     BCfg.CollectStats = O.Stats != StatsMode::Off;
+    BCfg.RecordPath = O.RecordPath;
     ProfileSession Session(std::move(BCfg));
     TimedRun R = Session.run(*M);
+    if (!Session.recordError().empty()) {
+      errs() << Session.recordError() << "\n";
+      return 1;
+    }
     OS << "status: "
        << (R.Run.Status == RunStatus::Finished ? "finished"
                                                : trapKindName(R.Run.Trap))
@@ -272,16 +280,39 @@ int main(int argc, char **argv) {
   SCfg.Clients = O.Clients;
   SCfg.Run = RCfg;
   SCfg.CollectStats = O.Stats != StatsMode::Off;
-  ShardedSession SR =
-      runShardedSession(*M, unsigned(O.Shards), std::move(SCfg),
-                        unsigned(O.Threads));
+  SCfg.RecordPath = O.RecordPath;
+  ShardedSession SR;
+  if (!O.ReplayPath.empty()) {
+    // Re-drive the same analyses from the recorded hook stream; shard N
+    // reads the file shard N of the recording run wrote.
+    std::vector<std::string> Paths;
+    for (unsigned S = 0; S != unsigned(O.Shards); ++S)
+      Paths.push_back(shardTracePath(O.ReplayPath, S, unsigned(O.Shards)));
+    SR = replayShardedSession(*M, Paths, std::move(SCfg),
+                              unsigned(O.Threads));
+  } else {
+    SR = runShardedSession(*M, unsigned(O.Shards), std::move(SCfg),
+                           unsigned(O.Threads));
+  }
+  if (!SR.Error.empty()) {
+    errs() << SR.Error << "\n";
+    return 1;
+  }
   ProfileSession &Session = *SR.Session;
   TimedRun P{SR.Run, SR.Seconds};
-  OS << "status: "
-     << (P.Run.Status == RunStatus::Finished ? "finished"
-                                             : trapKindName(P.Run.Trap))
-     << ", " << P.Run.ExecutedInstrs << " instructions, result "
-     << P.Run.ReturnValue.asInt() << "\n";
+  if (!O.ReplayPath.empty()) {
+    OS << "replayed " << SR.Events << " events from " << uint64_t(O.Shards)
+       << (O.Shards == 1 ? " trace\n" : " traces\n");
+  } else {
+    OS << "status: "
+       << (P.Run.Status == RunStatus::Finished ? "finished"
+                                               : trapKindName(P.Run.Trap))
+       << ", " << P.Run.ExecutedInstrs << " instructions, result "
+       << P.Run.ReturnValue.asInt() << "\n";
+    if (!O.RecordPath.empty())
+      OS << "trace written to " << O.RecordPath
+         << (O.Shards > 1 ? " (one .shardN file per shard)\n" : "\n");
+  }
   const SlicingProfiler &Prof = *Session.slicing();
   const DepGraph &G = Prof.graph();
   OS << "Gcost: " << uint64_t(G.numNodes()) << " nodes, "
@@ -350,7 +381,11 @@ int main(int argc, char **argv) {
        << ")\n";
   }
   if (O.Dead) {
-    DeadValueAnalysis DV = computeDeadValues(G, P.Run.ExecutedInstrs);
+    // Under --replay there is no RunResult; the graph's own frequency total
+    // is the denominator, as in offline lud-analyze.
+    uint64_t ExecInstrs =
+        O.ReplayPath.empty() ? P.Run.ExecutedInstrs : G.totalFreq();
+    DeadValueAnalysis DV = computeDeadValues(G, ExecInstrs);
     OS << "\n=== bloat metrics ===\nIPD ";
     OS.printFixed(100.0 * DV.Metrics.ipd(), 1);
     OS << "%   IPP ";
@@ -361,5 +396,7 @@ int main(int argc, char **argv) {
   }
   if (!emitStats(Session, O))
     return 1;
+  if (!O.ReplayPath.empty())
+    return 0; // Replay has no run status of its own.
   return P.Run.Status == RunStatus::Finished ? 0 : 1;
 }

@@ -1,0 +1,238 @@
+//===- trace/TraceRecorder.h - Recording profiler stage --------*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A profiler stage that serializes the hook stream as a `lud.trace.v1`
+/// segment. It composes through ComposedProfiler like any client — beside
+/// live analyses or alone on an otherwise uninstrumented run — and because
+/// hooks receive the same arguments at every pipeline position, the recorded
+/// bytes are identical wherever the recorder sits and whatever else runs
+/// (tests/trace/RecordReplayTest.cpp pins this).
+///
+/// The recorder is phase-agnostic: it records every event, including the
+/// phase markers themselves, and leaves selective-tracking decisions to the
+/// substrate that replays the trace. It reads the heap only to capture each
+/// allocation's slot count (hooks fire after the operation, so the object
+/// exists), which is what lets the replayer rebuild an equivalent heap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_TRACE_TRACERECORDER_H
+#define LUD_TRACE_TRACERECORDER_H
+
+#include "ir/Function.h"
+#include "obs/Metrics.h"
+#include "runtime/Heap.h"
+#include "runtime/ProfilerConcept.h"
+#include "trace/TraceIO.h"
+
+namespace lud {
+namespace trace {
+
+class TraceRecorder {
+public:
+  /// \p Sink receives the encoded segments; it must outlive the recorder.
+  explicit TraceRecorder(OutStream &Sink) : W(Sink) {}
+
+  uint64_t events() const { return Events; }
+  uint64_t bytes() const { return W.bytes(); }
+
+  /// Writes the recorder's telemetry (`trace.*`) into \p R: total events
+  /// and bytes, per-kind event counts, per-phase event/byte attribution,
+  /// and the encoded-vs-nominal compression ratio. Idempotent set()s, like
+  /// the client profilers' accountStats.
+  void accountStats(obs::MetricsRegistry &R) const {
+    R.set(R.gauge("trace.events", obs::Unit::Count, obs::Merge::Sum), Events);
+    R.set(R.gauge("trace.bytes", obs::Unit::Bytes, obs::Merge::Sum),
+          W.bytes());
+    R.set(R.gauge("trace.segments", obs::Unit::Count, obs::Merge::Sum),
+          Segments);
+    for (unsigned K = 1; K != kNumEventKinds; ++K)
+      if (KindCount[K])
+        R.set(R.gauge(std::string("trace.events.") +
+                          eventKindName(EventKind(K)),
+                      obs::Unit::Count, obs::Merge::Sum),
+              KindCount[K]);
+    for (unsigned P = 0; P != kPhaseBuckets; ++P) {
+      if (!PhaseEvents[P])
+        continue;
+      std::string Name = P + 1 == kPhaseBuckets
+                             ? std::string("other")
+                             : std::to_string(P);
+      R.set(R.gauge("trace.phase." + Name + ".events", obs::Unit::Count,
+                    obs::Merge::Sum),
+            PhaseEvents[P]);
+      R.set(R.gauge("trace.phase." + Name + ".bytes", obs::Unit::Bytes,
+                    obs::Merge::Sum),
+            PhaseBytes[P]);
+    }
+    // Encoded bytes per million nominal bytes: < 1e6 means the varint
+    // encoding beats the fixed-width reference record.
+    if (Nominal)
+      R.set(R.gauge("trace.compression_ppm", obs::Unit::Count,
+                    obs::Merge::Last),
+            W.bytes() * 1000000 / Nominal);
+  }
+
+  // Profiler hooks.
+  void onRunStart(const Module &Mod, Heap &H) {
+    this->H = &H;
+    ++Segments;
+    W.beginTrace(Mod);
+  }
+  void onRunEnd() { W.endTrace(); }
+  void onEntryFrame(const Function &F) {
+    begin(EventKind::EntryFrame);
+    W.varint(F.getId());
+    finish(EventKind::EntryFrame);
+  }
+  void onPhase(int64_t P) {
+    begin(EventKind::Phase);
+    W.svarint(P);
+    finish(EventKind::Phase);
+    Bucket = P >= 0 && P < int64_t(kPhaseBuckets) - 1 ? unsigned(P)
+                                                      : kPhaseBuckets - 1;
+  }
+
+  void onConst(const ConstInst &I) { instrOnly(EventKind::Const, I); }
+  void onAssign(const AssignInst &I) { instrOnly(EventKind::Assign, I); }
+  void onBin(const BinInst &I) { instrOnly(EventKind::Bin, I); }
+  void onUn(const UnInst &I) { instrOnly(EventKind::Un, I); }
+
+  void onAlloc(const AllocInst &I, ObjId O) {
+    begin(EventKind::Alloc);
+    W.varint(I.getId());
+    W.varint(O);
+    W.varint(uint32_t(H->obj(O).Slots.size()));
+    finish(EventKind::Alloc);
+  }
+  void onAllocArray(const AllocArrayInst &I, ObjId O) {
+    begin(EventKind::AllocArray);
+    W.varint(I.getId());
+    W.varint(O);
+    W.varint(uint32_t(H->obj(O).Slots.size()));
+    finish(EventKind::AllocArray);
+  }
+
+  void onLoadField(const LoadFieldInst &I, ObjId Base, const Value &Loaded) {
+    heapAccess(EventKind::LoadField, I.getId(), Base, Loaded);
+  }
+  void onStoreField(const StoreFieldInst &I, ObjId Base,
+                    const Value &Stored) {
+    heapAccess(EventKind::StoreField, I.getId(), Base, Stored);
+  }
+  void onLoadStatic(const LoadStaticInst &I, const Value &Loaded) {
+    begin(EventKind::LoadStatic);
+    W.varint(I.getId());
+    W.value(Loaded);
+    finish(EventKind::LoadStatic);
+  }
+  void onStoreStatic(const StoreStaticInst &I, const Value &Stored) {
+    begin(EventKind::StoreStatic);
+    W.varint(I.getId());
+    W.value(Stored);
+    finish(EventKind::StoreStatic);
+  }
+  void onLoadElem(const LoadElemInst &I, ObjId Base, uint32_t Index,
+                  const Value &Loaded) {
+    elemAccess(EventKind::LoadElem, I.getId(), Base, Index, Loaded);
+  }
+  void onStoreElem(const StoreElemInst &I, ObjId Base, uint32_t Index,
+                   const Value &Stored) {
+    elemAccess(EventKind::StoreElem, I.getId(), Base, Index, Stored);
+  }
+  void onArrayLen(const ArrayLenInst &I, ObjId Base) {
+    begin(EventKind::ArrayLen);
+    W.varint(I.getId());
+    W.varint(Base);
+    finish(EventKind::ArrayLen);
+  }
+
+  void onPredicate(const CondBrInst &I, bool Taken) {
+    EventKind K =
+        Taken ? EventKind::PredicateTaken : EventKind::PredicateNotTaken;
+    instrOnly(K, I);
+  }
+  void onNativeCall(const NativeCallInst &I) {
+    instrOnly(EventKind::NativeCall, I);
+  }
+  void onCallEnter(const CallInst &I, const Function &Callee,
+                   ObjId Receiver) {
+    begin(EventKind::CallEnter);
+    W.varint(I.getId());
+    W.varint(Callee.getId());
+    W.varint(Receiver);
+    finish(EventKind::CallEnter);
+  }
+  void onReturn(const ReturnInst &I) { instrOnly(EventKind::Return, I); }
+  void onReturnBound(Reg Dst) {
+    begin(EventKind::ReturnBound);
+    W.varint(Dst);
+    finish(EventKind::ReturnBound);
+  }
+  void onTrap(const Instruction &I, TrapKind K, Reg FaultReg) {
+    begin(EventKind::Trap);
+    W.varint(I.getId());
+    W.u8(uint8_t(K));
+    W.varint(FaultReg);
+    finish(EventKind::Trap);
+  }
+
+private:
+  /// Phase-attribution buckets: phase ids 0..6 get their own bucket,
+  /// everything else lands in "other".
+  static constexpr unsigned kPhaseBuckets = 8;
+
+  void begin(EventKind K) {
+    EventStart = W.bytes();
+    W.u8(uint8_t(K));
+  }
+  void finish(EventKind K) {
+    ++Events;
+    ++KindCount[unsigned(K)];
+    ++PhaseEvents[Bucket];
+    PhaseBytes[Bucket] += W.bytes() - EventStart;
+    Nominal += nominalEventBytes(K);
+  }
+  void instrOnly(EventKind K, const Instruction &I) {
+    begin(K);
+    W.varint(I.getId());
+    finish(K);
+  }
+  void heapAccess(EventKind K, InstrId I, ObjId Base, const Value &V) {
+    begin(K);
+    W.varint(I);
+    W.varint(Base);
+    W.value(V);
+    finish(K);
+  }
+  void elemAccess(EventKind K, InstrId I, ObjId Base, uint32_t Index,
+                  const Value &V) {
+    begin(K);
+    W.varint(I);
+    W.varint(Base);
+    W.varint(Index);
+    W.value(V);
+    finish(K);
+  }
+
+  TraceWriter W;
+  Heap *H = nullptr;
+  uint64_t Events = 0;
+  uint64_t Segments = 0;
+  uint64_t Nominal = 0;
+  uint64_t EventStart = 0;
+  unsigned Bucket = 0;
+  uint64_t KindCount[kNumEventKinds] = {};
+  uint64_t PhaseEvents[kPhaseBuckets] = {};
+  uint64_t PhaseBytes[kPhaseBuckets] = {};
+};
+
+} // namespace trace
+} // namespace lud
+
+#endif // LUD_TRACE_TRACERECORDER_H

@@ -6,8 +6,11 @@
 #include "obs/PhaseTimer.h"
 #include "runtime/ComposedProfiler.h"
 #include "support/OutStream.h"
+#include "trace/TraceRecorder.h"
+#include "trace/TraceReplayer.h"
 
 #include <chrono>
+#include <cstdio>
 
 using namespace lud;
 
@@ -20,9 +23,35 @@ double secondsSince(std::chrono::steady_clock::time_point T0) {
 
 } // namespace
 
+ProfileSession::ProfileSession(SessionConfig Cfg) : Cfg(std::move(Cfg)) {}
+
+ProfileSession::~ProfileSession() {
+  // Flush order matters: the recorder's writer drains into the stream,
+  // which writes into the file.
+  Recorder.reset();
+  RecordStream.reset();
+  if (RecordFile)
+    std::fclose(RecordFile);
+}
+
 void ProfileSession::ensureProfilers(const Module &M) {
   if (Cfg.CollectStats && !Stats)
     Stats = std::make_unique<obs::MetricsRegistry>();
+  if ((Cfg.RecordSink || !Cfg.RecordPath.empty()) && !Recorder &&
+      RecordErr.empty()) {
+    OutStream *Sink = Cfg.RecordSink;
+    if (!Sink) {
+      RecordFile = std::fopen(Cfg.RecordPath.c_str(), "wb");
+      if (!RecordFile) {
+        RecordErr = "cannot write '" + Cfg.RecordPath + "'";
+      } else {
+        RecordStream = std::make_unique<FileOutStream>(RecordFile);
+        Sink = RecordStream.get();
+      }
+    }
+    if (Sink)
+      Recorder = std::make_unique<trace::TraceRecorder>(*Sink);
+  }
   if (Cfg.Clients)
     Cfg.Instrument = true; // Clients read the substrate's heap tags.
   if (Cfg.Instrument && !Slicing)
@@ -44,7 +73,20 @@ TimedRun ProfileSession::run(const Module &M) {
   TimedRun Out;
   obs::PhaseTimer Span(Stats.get(), "interpret");
   auto T0 = std::chrono::steady_clock::now();
-  if (!Slicing) {
+  if (Recorder) {
+    // Recording run: the recorder leads the pipeline so the trace captures
+    // the hook stream regardless of which analyses ride along (a hook's
+    // arguments are identical at every stage position; the order is only a
+    // convention). Null stages are skipped, so this one instantiation
+    // covers recorded baselines, substrate-only runs and full client sets.
+    using Pipeline =
+        ComposedProfiler<trace::TraceRecorder, SlicingProfiler, CopyProfiler,
+                         NullnessProfiler, TypestateProfiler>;
+    Pipeline P(Recorder.get(), Slicing.get(), Copy.get(), Null.get(),
+               Type.get());
+    Interpreter<Pipeline> Interp(M, H, P, Cfg.Run);
+    Out.Run = Interp.run();
+  } else if (!Slicing) {
     // Empty pipeline: the stock-JVM baseline, bit-identical in behavior to
     // the old NoopProfiler path.
     ComposedProfiler<> P;
@@ -66,6 +108,13 @@ TimedRun ProfileSession::run(const Module &M) {
   }
   Out.Seconds = secondsSince(T0);
   Span.stop();
+  // The recorder's TraceWriter drained into the stream at endTrace, but a
+  // file sink still has stdio buffering between it and the disk. Flush so
+  // the trace is replayable as soon as run() returns, not only when the
+  // session dies — the sharded driver keeps shard 0 alive as the fold
+  // target while its trace file is already being consumed.
+  if (RecordFile)
+    std::fflush(RecordFile);
   if (Stats) {
     obs::MetricsRegistry &R = *Stats;
     R.add(R.counter("run.count"), 1);
@@ -80,10 +129,57 @@ TimedRun ProfileSession::run(const Module &M) {
   return Out;
 }
 
+ReplayRun ProfileSession::replay(const Module &M, std::string_view Bytes) {
+  ensureProfilers(M);
+  ReplayRun Out;
+  obs::PhaseTimer Span(Stats.get(), "replay");
+  auto T0 = std::chrono::steady_clock::now();
+  trace::ReplayStats RS;
+  // Same pipeline shapes as run(), minus the recorder: replay feeds the
+  // analyses, it does not transcode the trace.
+  if (!Slicing) {
+    ComposedProfiler<> P;
+    Out.Ok = trace::replayTrace(M, Bytes, P, Out.Error, &RS);
+  } else if (!Cfg.Clients) {
+    Out.Ok = trace::replayTrace(M, Bytes, *Slicing, Out.Error, &RS);
+  } else {
+    using Pipeline = ComposedProfiler<SlicingProfiler, CopyProfiler,
+                                      NullnessProfiler, TypestateProfiler>;
+    Pipeline P(Slicing.get(), Copy.get(), Null.get(), Type.get());
+    Out.Ok = trace::replayTrace(M, Bytes, P, Out.Error, &RS);
+  }
+  Out.Events = RS.Events;
+  Out.Segments = RS.Segments;
+  Out.Seconds = secondsSince(T0);
+  Span.stop();
+  if (Stats) {
+    obs::MetricsRegistry &R = *Stats;
+    R.add(R.counter("replay.count"), 1);
+    R.add(R.counter("replay.events"), RS.Events);
+    R.add(R.counter("replay.segments"), RS.Segments);
+    R.add(R.counter("replay.bytes"), Bytes.size());
+    refreshDerivedStats();
+  }
+  return Out;
+}
+
+ReplayRun ProfileSession::replayFile(const Module &M,
+                                     const std::string &Path) {
+  std::string Bytes;
+  if (!trace::readFileBytes(Path, Bytes)) {
+    ReplayRun Out;
+    Out.Error = "cannot read '" + Path + "'";
+    return Out;
+  }
+  return replay(M, Bytes);
+}
+
 void ProfileSession::refreshDerivedStats() {
   if (!Stats)
     return;
   obs::PhaseTimer Span(Stats.get(), "collect");
+  if (Recorder)
+    Recorder->accountStats(*Stats);
   if (Slicing)
     Slicing->accountStats(*Stats);
   if (Copy)
@@ -125,6 +221,32 @@ void ProfileSession::printClientReports(const Module &M, OutStream &OS,
     OS << "\n=== typestate history ===\n";
     printTypestateFindings(*Type, M, OS, TopK);
   }
+}
+
+bool lud::parseClientMask(const std::string &List, uint32_t &Mask,
+                          std::string &Err) {
+  size_t Pos = 0;
+  while (Pos <= List.size()) {
+    size_t Comma = List.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = List.size();
+    std::string Name = List.substr(Pos, Comma - Pos);
+    if (Name == "copy")
+      Mask |= kClientCopy;
+    else if (Name == "nullness")
+      Mask |= kClientNullness;
+    else if (Name == "typestate")
+      Mask |= kClientTypestate;
+    else if (Name == "all")
+      Mask |= kClientCopy | kClientNullness | kClientTypestate;
+    else {
+      Err = "unknown client '" + Name +
+            "' (valid: copy, nullness, typestate, all)";
+      return false;
+    }
+    Pos = Comma + 1;
+  }
+  return true;
 }
 
 TimedRun lud::runBaseline(const Module &M, RunConfig Cfg) {

@@ -31,11 +31,19 @@
 #include "profiling/TypestateProfiler.h"
 #include "runtime/Interpreter.h"
 
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <string_view>
 
 namespace lud {
 
 class OutStream;
+class FileOutStream;
+
+namespace trace {
+class TraceRecorder;
+}
 
 /// Wall-clock seconds plus the run outcome.
 struct TimedRun {
@@ -67,6 +75,26 @@ struct SessionConfig {
   /// refreshed after each run and merge. Off by default — the off state is
   /// one pointer test per phase boundary, nothing on the event hot path.
   bool CollectStats = false;
+  /// When non-empty, record the hook stream of every run() to this file as
+  /// `lud.trace.v1` segments (trace/TraceRecorder.h). Recording composes a
+  /// TraceRecorder ahead of whatever pipeline the session would run anyway;
+  /// with recording off the pipeline instantiations are exactly the
+  /// pre-trace ones, so the feature costs nothing when unused.
+  std::string RecordPath;
+  /// Record into a caller-owned stream instead of RecordPath (tests; takes
+  /// precedence). Must outlive the session.
+  OutStream *RecordSink = nullptr;
+};
+
+/// Outcome of re-driving the session's profilers from a recorded trace.
+struct ReplayRun {
+  bool Ok = false;
+  /// Diagnostic when !Ok (corrupt trace, module mismatch, unreadable file).
+  std::string Error;
+  /// Events replayed and segments (one per recorded run()) consumed.
+  uint64_t Events = 0;
+  uint64_t Segments = 0;
+  double Seconds = 0;
 };
 
 /// One profiling session: configure, run (one pass), consume the
@@ -74,11 +102,28 @@ struct SessionConfig {
 /// matching the sequential-reuse semantics mergeFrom reproduces.
 class ProfileSession {
 public:
-  explicit ProfileSession(SessionConfig Cfg = {}) : Cfg(std::move(Cfg)) {}
+  explicit ProfileSession(SessionConfig Cfg = {});
+  ~ProfileSession();
 
   /// Executes \p M once with every enabled profiler attached to the single
   /// interpreter pass.
   TimedRun run(const Module &M);
+
+  /// Re-drives the enabled profilers from an in-memory `lud.trace.v1`
+  /// stream instead of interpreting: same hooks, same order, same
+  /// arguments, so the resulting profiler state — Gcost and client state
+  /// alike — is identical to the live run's. On failure the profilers are
+  /// partially updated; discard the session.
+  ReplayRun replay(const Module &M, std::string_view Bytes);
+  /// replay() over the contents of \p Path.
+  ReplayRun replayFile(const Module &M, const std::string &Path);
+
+  /// The recording stage, when Cfg requested one and its sink opened.
+  trace::TraceRecorder *recorder() { return Recorder.get(); }
+  const trace::TraceRecorder *recorder() const { return Recorder.get(); }
+  /// Non-empty when the record sink could not be opened (the run itself
+  /// still proceeds, unrecorded).
+  const std::string &recordError() const { return RecordErr; }
 
   const SessionConfig &config() const { return Cfg; }
 
@@ -129,7 +174,17 @@ private:
   std::unique_ptr<NullnessProfiler> Null;
   std::unique_ptr<TypestateProfiler> Type;
   std::unique_ptr<obs::MetricsRegistry> Stats;
+  std::unique_ptr<trace::TraceRecorder> Recorder;
+  std::unique_ptr<FileOutStream> RecordStream;
+  std::FILE *RecordFile = nullptr;
+  std::string RecordErr;
 };
+
+/// Parses a --clients specification — "all" or a comma-separated list of
+/// copy, nullness, typestate — OR-ing the kClient* bits into \p Mask.
+/// Returns false with \p Err set on an unknown name.
+bool parseClientMask(const std::string &List, uint32_t &Mask,
+                     std::string &Err);
 
 /// Executes with the empty profiler pipeline (the stock-JVM stand-in).
 TimedRun runBaseline(const Module &M, RunConfig Cfg = {});

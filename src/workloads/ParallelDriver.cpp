@@ -3,6 +3,7 @@
 #include "workloads/ParallelDriver.h"
 
 #include "obs/PhaseTimer.h"
+#include "trace/TraceRecorder.h"
 
 #include <atomic>
 #include <chrono>
@@ -44,6 +45,11 @@ template <class Fn> void forEachJob(unsigned Jobs, unsigned Threads, Fn Body) {
 
 } // namespace
 
+std::string lud::shardTracePath(const std::string &Path, unsigned Shard,
+                                unsigned Shards) {
+  return Shards <= 1 ? Path : Path + ".shard" + std::to_string(Shard);
+}
+
 ShardedSession lud::runShardedSession(const Module &M, unsigned Shards,
                                       SessionConfig Cfg, unsigned Threads) {
   ShardedSession Out;
@@ -53,9 +59,18 @@ ShardedSession lud::runShardedSession(const Module &M, unsigned Shards,
   std::vector<RunResult> Results(Shards);
   auto T0 = std::chrono::steady_clock::now();
   forEachJob(Shards, Threads, [&](unsigned S) {
-    Sessions[S] = std::make_unique<ProfileSession>(Cfg);
+    SessionConfig SC = Cfg;
+    if (!SC.RecordPath.empty() && !SC.RecordSink)
+      SC.RecordPath = shardTracePath(Cfg.RecordPath, S, Shards);
+    Sessions[S] = std::make_unique<ProfileSession>(std::move(SC));
     Results[S] = Sessions[S]->run(M).Run;
   });
+  for (const auto &S : Sessions) {
+    if (Out.Error.empty() && !S->recordError().empty())
+      Out.Error = S->recordError();
+    if (const trace::TraceRecorder *R = S->recorder())
+      Out.Events += R->events();
+  }
   // Fold in shard-index order: mergeFrom treats its argument as the later
   // of two sequential runs, so this reproduces one session observing the
   // shards back to back — for the substrate and every client alike.
@@ -69,6 +84,41 @@ ShardedSession lud::runShardedSession(const Module &M, unsigned Shards,
   Out.Run = Results[0];
   for (const RunResult &R : Results)
     Out.TotalInstrs += R.ExecutedInstrs;
+  return Out;
+}
+
+ShardedSession
+lud::replayShardedSession(const Module &M,
+                          const std::vector<std::string> &TracePaths,
+                          SessionConfig Cfg, unsigned Threads) {
+  ShardedSession Out;
+  unsigned Shards = unsigned(TracePaths.size());
+  if (Shards == 0)
+    return Out;
+  Cfg.RecordPath.clear(); // Replay sessions never record.
+  Cfg.RecordSink = nullptr;
+  std::vector<std::unique_ptr<ProfileSession>> Sessions(Shards);
+  std::vector<ReplayRun> Results(Shards);
+  auto T0 = std::chrono::steady_clock::now();
+  forEachJob(Shards, Threads, [&](unsigned S) {
+    Sessions[S] = std::make_unique<ProfileSession>(Cfg);
+    Results[S] = Sessions[S]->replayFile(M, TracePaths[S]);
+  });
+  for (unsigned S = 0; S != Shards; ++S) {
+    Out.Events += Results[S].Events;
+    if (Out.Error.empty() && !Results[S].Ok)
+      Out.Error = TracePaths[S] + ": " + Results[S].Error;
+  }
+  Out.Seconds = secondsSince(T0);
+  if (!Out.Error.empty())
+    return Out; // A half-replayed shard must not fold into the result.
+  Out.Session = std::move(Sessions[0]);
+  {
+    obs::PhaseTimer Span(Out.Session->stats(), "merge");
+    for (unsigned S = 1; S != Shards; ++S)
+      Out.Session->mergeFrom(*Sessions[S]);
+  }
+  Out.Seconds = secondsSince(T0);
   return Out;
 }
 

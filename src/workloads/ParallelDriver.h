@@ -69,15 +69,41 @@ struct ShardedSession {
   uint64_t TotalInstrs = 0;
   /// Wall time for the whole batch, pool included.
   double Seconds = 0;
+  /// Trace events recorded (live + record) or replayed, summed over shards.
+  uint64_t Events = 0;
+  /// First record/replay failure across the shards ("" when all succeeded).
+  /// Live runs always leave this empty.
+  std::string Error;
   /// Shard 0's session after folding shards 1..N-1 into it in index order;
-  /// null when Shards == 0.
+  /// null when Shards == 0, or when a sharded replay failed (a partially
+  /// replayed session must not be consumed).
   std::unique_ptr<ProfileSession> Session;
 };
 
 /// Runs \p Shards sessions configured by \p Cfg over \p M, at most
-/// \p Threads at once, and folds them into one.
+/// \p Threads at once, and folds them into one. When Cfg.RecordPath is set
+/// each shard records to its own file, shardTracePath(RecordPath, S,
+/// Shards); a caller-provided Cfg.RecordSink is handed to every shard
+/// unchanged, which interleaves segments unless Shards == 1 or Threads ==
+/// 1 (sequential shards append whole segments, which replays as the merged
+/// session).
 ShardedSession runShardedSession(const Module &M, unsigned Shards,
                                  SessionConfig Cfg = {}, unsigned Threads = 4);
+
+/// Re-drives a sharded recording: one session per trace file in
+/// \p TracePaths, replayed Threads at a time, folded in index order —
+/// the same deterministic fold as the live sharded run, so the result is
+/// identical to it (and independent of Threads).
+ShardedSession replayShardedSession(const Module &M,
+                                    const std::vector<std::string> &TracePaths,
+                                    SessionConfig Cfg = {},
+                                    unsigned Threads = 4);
+
+/// Per-shard trace file name: \p Path itself for a single shard, otherwise
+/// "<Path>.shardN". Both the recording and replaying sides derive names
+/// through this, so a record/replay pair only shares the base path.
+std::string shardTracePath(const std::string &Path, unsigned Shard,
+                           unsigned Shards);
 
 /// Result of profiling a batch of distinct workload modules in parallel.
 struct ParallelResult {

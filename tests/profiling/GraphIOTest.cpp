@@ -129,6 +129,87 @@ TEST(GraphIOTest, RejectsMalformedInput) {
   }
 }
 
+TEST(GraphIOTest, RejectsOutOfRangeFields) {
+  // A valid two-node prefix every case builds on.
+  const std::string Head = "ludgraph 1\nslots 4\n"
+                           "node 0 1 0 5 0 0 0 0 0 0 0 0\n"
+                           "node 1 2 0 5 0 0 0 0 0 0 0 0\n";
+  struct Case {
+    const char *Line;
+    const char *Expect;
+  };
+  const Case Cases[] = {
+      // Enum discriminants past the last enumerator.
+      {"node 2 3 0 5 3 0 0 0 0 0 0 0", "bad consumer kind"},
+      {"node 2 3 0 5 0 4 0 0 0 0 0 0", "bad effect kind"},
+      // 32-bit fields fed 2^32.
+      {"node 2 4294967296 0 5 0 0 0 0 0 0 0 0", "out of 32-bit range"},
+      {"node 2 3 4294967296 5 0 0 0 0 0 0 0 0", "out of 32-bit range"},
+      {"node 2 3 0 5 0 0 0 4294967296 0 0 0 0", "out of 32-bit range"},
+      // Flags must be 0/1.
+      {"node 2 3 0 5 0 0 0 0 2 0 0 0", "node flag out of range"},
+      {"node 2 3 0 5 0 0 0 0 0 0 0 7", "node flag out of range"},
+      // Trailing junk on fixed-arity records.
+      {"node 2 3 0 5 0 0 0 0 0 0 0 0 junk", "malformed node"},
+      {"edge 0 1 junk", "malformed edge"},
+      {"refedge 0 1 2", "malformed edge"},
+      {"allocnode 7 0 junk", "malformed allocnode"},
+      {"slots 4 junk", "bad slot count"},
+      {"end junk", "junk after 'end'"},
+      // Junk tokens inside var-arity location maps.
+      {"writer 7 0 1 junk", "junk token in location map"},
+      {"reader 7 0 junk", "junk token in location map"},
+      {"refchild 7 0 1 junk", "junk token in refchild"},
+  };
+  for (const Case &C : Cases) {
+    std::vector<std::string> Errors;
+    std::string Text = Head + C.Line + "\nend\n";
+    std::unique_ptr<DepGraph> G = readGraph(Text, Errors);
+    EXPECT_EQ(G, nullptr) << C.Line;
+    ASSERT_FALSE(Errors.empty()) << C.Line;
+    EXPECT_NE(Errors[0].find(C.Expect), std::string::npos)
+        << "for '" << C.Line << "' got: " << Errors[0];
+  }
+}
+
+TEST(GraphIOTest, ClippedDumpFailsWithDiagnostic) {
+  // Truncating a real dump at any line boundary must produce an error (a
+  // diagnostic, never a crash or a silently smaller graph).
+  Workload W = buildWorkload("chart", 64);
+  ProfiledRun P = runProfiled(*W.M);
+  StringOutStream OS;
+  writeGraph(P.Prof->graph(), OS);
+  const std::string &Full = OS.str();
+  for (size_t Frac = 1; Frac != 8; ++Frac) {
+    size_t Cut = Full.find('\n', Full.size() * Frac / 8);
+    if (Cut == std::string::npos || Cut + 1 == Full.size())
+      continue;
+    std::vector<std::string> Errors;
+    std::unique_ptr<DepGraph> G =
+        readGraph(std::string_view(Full).substr(0, Cut + 1), Errors);
+    EXPECT_EQ(G, nullptr) << "cut at " << Cut;
+    EXPECT_FALSE(Errors.empty()) << "cut at " << Cut;
+  }
+}
+
+TEST(GraphIOTest, BitFlippedDumpNeverCrashes) {
+  // Deterministically corrupt single characters across the dump: parsing
+  // must either succeed (the flip hit a don't-care byte) or fail cleanly.
+  Workload W = buildWorkload("fop", 48);
+  ProfiledRun P = runProfiled(*W.M);
+  StringOutStream OS;
+  writeGraph(P.Prof->graph(), OS);
+  std::string Text = OS.str();
+  for (size_t I = 0; I < Text.size(); I += 97) {
+    std::string Mutated = Text;
+    Mutated[I] = char(Mutated[I] ^ 0x15);
+    std::vector<std::string> Errors;
+    std::unique_ptr<DepGraph> G = readGraph(Mutated, Errors);
+    if (!G)
+      EXPECT_FALSE(Errors.empty()) << "flip at " << I;
+  }
+}
+
 TEST(GraphIOTest, EmptyGraphRoundTrips) {
   DepGraph G;
   G.setContextSlots(8);

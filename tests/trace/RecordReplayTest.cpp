@@ -1,0 +1,259 @@
+//===- tests/trace/RecordReplayTest.cpp - Replay fidelity ------------------===//
+//
+// Pins the PR's central invariant: a replayed session is byte-identical to
+// the live session it was recorded from — canonical Gcost serialization and
+// client reports alike — at any shard and thread count, and the recorder
+// stage itself is position-invariant in the pipeline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiling/GraphIO.h"
+#include "profiling/NullnessProfiler.h"
+#include "profiling/SlicingProfiler.h"
+#include "runtime/ComposedProfiler.h"
+#include "runtime/Interpreter.h"
+#include "support/OutStream.h"
+#include "trace/TraceRecorder.h"
+#include "workloads/DaCapo.h"
+#include "workloads/Driver.h"
+#include "workloads/ParallelDriver.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace lud;
+
+namespace {
+
+constexpr uint32_t kAllClients =
+    kClientCopy | kClientNullness | kClientTypestate;
+
+std::string graphBytes(const DepGraph &G) {
+  StringOutStream OS;
+  writeGraph(G, OS);
+  return OS.str();
+}
+
+std::string clientReports(const ProfileSession &S, const Module &M) {
+  StringOutStream OS;
+  S.printClientReports(M, OS);
+  return OS.str();
+}
+
+TEST(RecordReplayTest, ReplayedSessionIsByteIdenticalToLive) {
+  Workload W = buildWorkload("chart", 96);
+  StringOutStream Sink;
+  SessionConfig RecCfg;
+  RecCfg.Clients = kAllClients;
+  RecCfg.RecordSink = &Sink;
+  ProfileSession Live(RecCfg);
+  Live.run(*W.M);
+  ASSERT_TRUE(Live.recordError().empty()) << Live.recordError();
+  ASSERT_NE(Live.recorder(), nullptr);
+  EXPECT_GT(Live.recorder()->events(), 0u);
+  EXPECT_EQ(Live.recorder()->bytes(), Sink.str().size());
+
+  SessionConfig RepCfg;
+  RepCfg.Clients = kAllClients;
+  ProfileSession Replayed(RepCfg);
+  ReplayRun R = Replayed.replay(*W.M, Sink.str());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Events, Live.recorder()->events());
+  EXPECT_EQ(R.Segments, 1u);
+
+  // The headline acceptance check: canonical Gcost serialization and the
+  // client report sections match byte for byte.
+  EXPECT_EQ(graphBytes(Replayed.slicing()->graph()),
+            graphBytes(Live.slicing()->graph()));
+  EXPECT_EQ(clientReports(Replayed, *W.M), clientReports(Live, *W.M));
+}
+
+TEST(RecordReplayTest, BaselineRecordingReplaysIntoFullAnalyses) {
+  // Record an uninstrumented run — the recorder alone in the pipeline —
+  // then attach every analysis at replay time. The result must match a
+  // fully instrumented live run: the trace captures the hook stream, not
+  // any profiler's view of it.
+  Workload W = buildWorkload("fop", 64);
+  StringOutStream Sink;
+  SessionConfig RecCfg;
+  RecCfg.Instrument = false;
+  RecCfg.RecordSink = &Sink;
+  ProfileSession Baseline(RecCfg);
+  Baseline.run(*W.M);
+  ASSERT_TRUE(Baseline.recordError().empty());
+  EXPECT_EQ(Baseline.slicing(), nullptr);
+
+  SessionConfig LiveCfg;
+  LiveCfg.Clients = kAllClients;
+  ProfileSession Live(LiveCfg);
+  Live.run(*W.M);
+
+  ProfileSession Replayed(LiveCfg);
+  ReplayRun R = Replayed.replay(*W.M, Sink.str());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(graphBytes(Replayed.slicing()->graph()),
+            graphBytes(Live.slicing()->graph()));
+  EXPECT_EQ(clientReports(Replayed, *W.M), clientReports(Live, *W.M));
+}
+
+TEST(RecordReplayTest, RepeatedRunsAppendSegmentsThatReplayAsOneSession) {
+  Workload W = buildWorkload("fop", 32);
+  StringOutStream Sink;
+  SessionConfig RecCfg;
+  RecCfg.Clients = kClientNullness;
+  RecCfg.RecordSink = &Sink;
+  ProfileSession Live(RecCfg);
+  Live.run(*W.M);
+  Live.run(*W.M);
+
+  SessionConfig RepCfg;
+  RepCfg.Clients = kClientNullness;
+  ProfileSession Replayed(RepCfg);
+  ReplayRun R = Replayed.replay(*W.M, Sink.str());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Segments, 2u);
+  EXPECT_EQ(graphBytes(Replayed.slicing()->graph()),
+            graphBytes(Live.slicing()->graph()));
+  EXPECT_EQ(clientReports(Replayed, *W.M), clientReports(Live, *W.M));
+}
+
+TEST(RecordReplayTest, RecorderPositionDoesNotChangeTraceOrClients) {
+  // Hooks receive identical arguments at every pipeline position, so the
+  // recorded bytes must not depend on where the recorder sits — and the
+  // live stages must not notice it at all.
+  Workload W = buildWorkload("fop", 64);
+  const Module &M = *W.M;
+
+  SlicingProfiler S0;
+  NullnessProfiler N0;
+  ComposedProfiler<SlicingProfiler, NullnessProfiler> P0(&S0, &N0);
+  runModule(M, P0);
+  const std::string RefGraph = graphBytes(S0.graph());
+  const std::string RefNull = graphBytes(N0.graph());
+
+  StringOutStream A, B, C;
+  {
+    SlicingProfiler S;
+    NullnessProfiler N;
+    trace::TraceRecorder R(A);
+    ComposedProfiler<trace::TraceRecorder, SlicingProfiler, NullnessProfiler>
+        P(&R, &S, &N);
+    runModule(M, P);
+    EXPECT_EQ(graphBytes(S.graph()), RefGraph);
+    EXPECT_EQ(graphBytes(N.graph()), RefNull);
+  }
+  {
+    SlicingProfiler S;
+    NullnessProfiler N;
+    trace::TraceRecorder R(B);
+    ComposedProfiler<SlicingProfiler, trace::TraceRecorder, NullnessProfiler>
+        P(&S, &R, &N);
+    runModule(M, P);
+    EXPECT_EQ(graphBytes(S.graph()), RefGraph);
+    EXPECT_EQ(graphBytes(N.graph()), RefNull);
+  }
+  {
+    SlicingProfiler S;
+    NullnessProfiler N;
+    trace::TraceRecorder R(C);
+    ComposedProfiler<SlicingProfiler, NullnessProfiler, trace::TraceRecorder>
+        P(&S, &N, &R);
+    runModule(M, P);
+    EXPECT_EQ(graphBytes(S.graph()), RefGraph);
+    EXPECT_EQ(graphBytes(N.graph()), RefNull);
+  }
+  ASSERT_FALSE(A.str().empty());
+  EXPECT_EQ(A.str(), B.str());
+  EXPECT_EQ(A.str(), C.str());
+}
+
+TEST(RecordReplayTest, ShardedReplayMatchesLiveAtAnyThreadCount) {
+  Workload W = buildWorkload("eclipse", 64);
+  const std::string Base = ::testing::TempDir() + "lud_rr_trace";
+  for (unsigned Shards : {1u, 8u}) {
+    SessionConfig Cfg;
+    Cfg.Clients = kAllClients;
+
+    SessionConfig RecCfg = Cfg;
+    RecCfg.RecordPath = Base;
+    ShardedSession Live = runShardedSession(*W.M, Shards, RecCfg, 4);
+    ASSERT_TRUE(Live.Error.empty()) << Live.Error;
+    ASSERT_TRUE(Live.Session);
+    EXPECT_GT(Live.Events, 0u);
+    const std::string LiveGraph = graphBytes(Live.Session->slicing()->graph());
+    const std::string LiveReports = clientReports(*Live.Session, *W.M);
+
+    std::vector<std::string> Paths;
+    for (unsigned S = 0; S != Shards; ++S)
+      Paths.push_back(shardTracePath(Base, S, Shards));
+
+    for (unsigned Threads : {1u, 4u}) {
+      ShardedSession Rep = replayShardedSession(*W.M, Paths, Cfg, Threads);
+      ASSERT_TRUE(Rep.Error.empty()) << Rep.Error;
+      ASSERT_TRUE(Rep.Session);
+      EXPECT_EQ(Rep.Events, Live.Events);
+      EXPECT_EQ(graphBytes(Rep.Session->slicing()->graph()), LiveGraph)
+          << Shards << " shards, " << Threads << " threads";
+      EXPECT_EQ(clientReports(*Rep.Session, *W.M), LiveReports);
+    }
+    for (const std::string &P : Paths)
+      std::remove(P.c_str());
+  }
+}
+
+TEST(RecordReplayTest, TelemetryCoversRecordAndReplay) {
+  Workload W = buildWorkload("fop", 32);
+  StringOutStream Sink;
+  SessionConfig RecCfg;
+  RecCfg.CollectStats = true;
+  RecCfg.RecordSink = &Sink;
+  ProfileSession Live(RecCfg);
+  Live.run(*W.M);
+  ASSERT_NE(Live.stats(), nullptr);
+  StringOutStream Text;
+  Live.stats()->writeText(Text);
+  EXPECT_NE(Text.str().find("trace.events"), std::string::npos);
+  EXPECT_NE(Text.str().find("trace.bytes"), std::string::npos);
+  EXPECT_NE(Text.str().find("trace.compression_ppm"), std::string::npos);
+
+  SessionConfig RepCfg;
+  RepCfg.CollectStats = true;
+  ProfileSession Replayed(RepCfg);
+  ReplayRun R = Replayed.replay(*W.M, Sink.str());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  StringOutStream RText;
+  Replayed.stats()->writeText(RText);
+  EXPECT_NE(RText.str().find("replay.events"), std::string::npos);
+  EXPECT_NE(RText.str().find("replay.segments"), std::string::npos);
+}
+
+TEST(RecordReplayTest, FileErrorsAreReported) {
+  Workload W = buildWorkload("fop", 8);
+  SessionConfig Cfg;
+  ProfileSession S(Cfg);
+  ReplayRun R = S.replayFile(*W.M, "/nonexistent/trace.bin");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("cannot read"), std::string::npos);
+
+  ShardedSession Sharded = replayShardedSession(
+      *W.M, {std::string("/nonexistent/trace.bin")}, SessionConfig{}, 1);
+  EXPECT_FALSE(Sharded.Error.empty());
+  EXPECT_EQ(Sharded.Session, nullptr);
+}
+
+TEST(RecordReplayTest, UnwritableRecordPathIsSurfacedNotFatal) {
+  Workload W = buildWorkload("fop", 8);
+  SessionConfig Cfg;
+  Cfg.RecordPath = "/nonexistent-dir/trace.bin";
+  ProfileSession S(Cfg);
+  TimedRun T = S.run(*W.M);
+  // The run proceeds unrecorded; the error is available for the caller.
+  EXPECT_GT(T.Run.ExecutedInstrs, 0u);
+  EXPECT_NE(S.recordError().find("cannot write"), std::string::npos);
+  EXPECT_EQ(S.recorder(), nullptr);
+}
+
+} // namespace
