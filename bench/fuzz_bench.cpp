@@ -1,0 +1,104 @@
+//===- bench/fuzz_bench.cpp - Differential oracle throughput --------------===//
+//
+// What a fuzzing budget buys: the cost of one full oracle pass (every
+// execution mode cross-checked) per candidate program, the share of that
+// spent generating and verifying the candidate, and the ddmin minimizer's
+// cost on a planted failure. Together these size the nightly job: runs
+// per minute at the default knobs, and how much a divergence costs to
+// shrink when one appears.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "fuzz/Fuzzer.h"
+#include "fuzz/Minimizer.h"
+#include "fuzz/Oracle.h"
+#include "ir/Verifier.h"
+#include "support/RNG.h"
+#include "workloads/RandomProgram.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace lud;
+using namespace lud::bench;
+
+namespace {
+
+RandomProgramOptions benchShape(uint64_t Seed) {
+  RandomProgramOptions P;
+  P.Seed = Seed;
+  P.NumFunctions = 6;
+  P.OpsPerFunction = 45;
+  P.NumGlobals = 3;
+  return P;
+}
+
+void BM_GenerateAndVerify(benchmark::State &State) {
+  uint64_t Seed = 1;
+  for (auto _ : State) {
+    std::unique_ptr<Module> M = generateRandomProgram(benchShape(Seed++));
+    std::vector<std::string> Errors;
+    bool Ok = verifyGeneratedModule(*M, Errors);
+    benchmark::DoNotOptimize(Ok);
+  }
+}
+
+void BM_OracleFullSweep(benchmark::State &State) {
+  std::unique_ptr<Module> M = generateRandomProgram(benchShape(11));
+  fuzz::OracleConfig Cfg;
+  for (auto _ : State) {
+    fuzz::OracleResult R = fuzz::runOracle(*M, Cfg);
+    benchmark::DoNotOptimize(R.Ok);
+  }
+}
+
+void BM_OracleSequentialModesOnly(benchmark::State &State) {
+  // The sharded mode dominates the sweep; this is the floor without it.
+  std::unique_ptr<Module> M = generateRandomProgram(benchShape(11));
+  fuzz::OracleConfig Cfg;
+  Cfg.CheckSharded = false;
+  for (auto _ : State) {
+    fuzz::OracleResult R = fuzz::runOracle(*M, Cfg);
+    benchmark::DoNotOptimize(R.Ok);
+  }
+}
+
+void BM_MinimizePlantedFailure(benchmark::State &State) {
+  // A ~200-instruction candidate whose failure needs one specific
+  // instruction kind to survive: the common shape of a real repro.
+  RandomProgramOptions P = benchShape(29);
+  P.OpsPerFunction = 60;
+  std::unique_ptr<Module> M = generateRandomProgram(P);
+  auto HasAlloc = [](const Module &C) {
+    for (const auto &F : C.functions())
+      for (const auto &BB : F->blocks())
+        for (const auto &IPtr : BB->insts())
+          if (IPtr->isAlloc())
+            return true;
+    return false;
+  };
+  for (auto _ : State) {
+    fuzz::MinimizeResult R = fuzz::minimizeModule(*M, HasAlloc);
+    benchmark::DoNotOptimize(R.FinalInstrs);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_GenerateAndVerify)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OracleFullSweep)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OracleSequentialModesOnly)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MinimizePlantedFailure)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  initJsonRows(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

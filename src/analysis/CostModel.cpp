@@ -22,6 +22,15 @@ CostModel::CostModel(const DepGraph &G) : G(G) {
 
 namespace {
 
+/// Frequency sums saturate instead of wrapping: a fuzzed program can pile
+/// enough executions onto one closure that the uint64 accumulator
+/// overflows, and a wrapped cost would rank a hot structure as nearly
+/// free. Saturation keeps the ordering sane ("at least this expensive").
+uint64_t saturatingAdd(uint64_t A, uint64_t B) {
+  uint64_t S = A + B;
+  return S < A ? ~uint64_t(0) : S;
+}
+
 /// Shared BFS worker. Follows Out edges when Forward, else In edges.
 /// Neighbors for which \p Blocked returns true are neither counted nor
 /// expanded. Returns the frequency sum over visited nodes (start included)
@@ -38,7 +47,7 @@ uint64_t closureFreq(const DepGraph &G, NodeId Start, bool Forward,
     NodeId N = Work.back();
     Work.pop_back();
     const DepGraph::Node &Node = G.node(N);
-    Sum += G.freq(N);
+    Sum = saturatingAdd(Sum, G.freq(N));
     OnVisit(Node);
     const std::vector<NodeId> &Next = Forward ? Node.Out : Node.In;
     for (NodeId M : Next) {
@@ -98,7 +107,7 @@ LocCostBenefit CostModel::locCostBenefit(const HeapLoc &L) const {
   if (WIt != G.writers().end() && !WIt->second.empty()) {
     uint64_t Sum = 0;
     for (NodeId W : WIt->second)
-      Sum += hrac(W);
+      Sum = saturatingAdd(Sum, hrac(W));
     CB.NumWriters = WIt->second.size();
     CB.Rac = double(Sum) / double(CB.NumWriters);
   }
@@ -107,7 +116,7 @@ LocCostBenefit CostModel::locCostBenefit(const HeapLoc &L) const {
     uint64_t Sum = 0;
     for (NodeId R : RIt->second) {
       const BenefitInfo &B = hrab(R);
-      Sum += B.Benefit;
+      Sum = saturatingAdd(Sum, B.Benefit);
       CB.ReachesPredicate |= B.ReachesPredicate;
       CB.ReachesNative |= B.ReachesNative;
     }

@@ -1,0 +1,233 @@
+//===- fuzz/Oracle.cpp - Differential execution-mode oracle ----------------===//
+
+#include "fuzz/Oracle.h"
+
+#include "ir/Module.h"
+#include "profiling/GraphIO.h"
+#include "support/OutStream.h"
+#include "workloads/ParallelDriver.h"
+
+using namespace lud;
+using namespace lud::fuzz;
+
+namespace {
+
+std::string graphBytes(const ProfileSession &S) {
+  StringOutStream OS;
+  if (S.slicing())
+    writeGraph(S.slicing()->graph(), OS);
+  return OS.str();
+}
+
+std::string clientReports(const ProfileSession &S, const Module &M) {
+  StringOutStream OS;
+  S.printClientReports(M, OS);
+  return OS.str();
+}
+
+/// Everything one mode produces that another mode must reproduce.
+struct Snapshot {
+  RunResult Run;
+  std::string Graph;
+  std::string Reports;
+};
+
+Snapshot snapshot(const ProfileSession &S, const Module &M,
+                  const RunResult &Run) {
+  return {Run, graphBytes(S), clientReports(S, M)};
+}
+
+/// Locates the first differing byte and shows both sides around it.
+std::string firstDiff(const std::string &What, const std::string &Ref,
+                      const std::string &Got) {
+  size_t N = std::min(Ref.size(), Got.size());
+  size_t At = 0;
+  while (At != N && Ref[At] == Got[At])
+    ++At;
+  auto Excerpt = [&](const std::string &S) {
+    size_t Lo = At > 24 ? At - 24 : 0;
+    std::string E = S.substr(Lo, 48);
+    for (char &C : E)
+      if (C == '\n')
+        C = ' ';
+    return E;
+  };
+  std::string Out = What + " differs at byte " + std::to_string(At) +
+                    " (sizes " + std::to_string(Ref.size()) + " vs " +
+                    std::to_string(Got.size()) + ")";
+  if (At != Ref.size() || At != Got.size())
+    Out += "\n  reference: ..." + Excerpt(Ref) + "...\n  candidate: ..." +
+           Excerpt(Got) + "...";
+  return Out;
+}
+
+/// Compares the deterministic RunResult facts; timing fields are excluded.
+std::string diffRuns(const RunResult &Ref, const RunResult &Got) {
+  auto Field = [](const char *Name, uint64_t A, uint64_t B) -> std::string {
+    if (A == B)
+      return "";
+    return std::string(Name) + " " + std::to_string(A) + " vs " +
+           std::to_string(B);
+  };
+  if (Ref.Status != Got.Status)
+    return "status " + std::to_string(int(Ref.Status)) + " vs " +
+           std::to_string(int(Got.Status));
+  for (std::string D :
+       {Field("executed-instrs", Ref.ExecutedInstrs, Got.ExecutedInstrs),
+        Field("calls", Ref.Calls, Got.Calls),
+        Field("objects-allocated", Ref.ObjectsAllocated,
+              Got.ObjectsAllocated),
+        Field("peak-frame-depth", Ref.PeakFrameDepth, Got.PeakFrameDepth),
+        Field("sink-hash", Ref.SinkHash, Got.SinkHash)})
+    if (!D.empty())
+      return D;
+  return "";
+}
+
+std::string diffSnapshots(const Snapshot &Ref, const Snapshot &Got) {
+  if (std::string D = diffRuns(Ref.Run, Got.Run); !D.empty())
+    return D;
+  if (Ref.Graph != Got.Graph)
+    return firstDiff("Gcost serialization", Ref.Graph, Got.Graph);
+  if (Ref.Reports != Got.Reports)
+    return firstDiff("client reports", Ref.Reports, Got.Reports);
+  return "";
+}
+
+SessionConfig sessionConfig(const OracleConfig &Cfg) {
+  SessionConfig SC;
+  SC.Instrument = true;
+  SC.Clients = Cfg.Clients;
+  SC.Slicing = Cfg.Slicing;
+  SC.Run.MaxInstructions = Cfg.MaxInstructions;
+  return SC;
+}
+
+} // namespace
+
+OracleResult fuzz::runOracle(const Module &M, const OracleConfig &Cfg) {
+  OracleResult Out;
+  auto Fail = [&](const std::string &Mode, const std::string &Detail) {
+    Out.Ok = false;
+    Out.Mode = Mode;
+    Out.Detail = Detail;
+    return Out;
+  };
+
+  // Reference: one live session, recording the hook stream on the side so
+  // the replay mode consumes exactly this execution.
+  StringOutStream Sink;
+  SessionConfig RefCfg = sessionConfig(Cfg);
+  if (Cfg.CheckReplay)
+    RefCfg.RecordSink = &Sink;
+  ProfileSession Ref(RefCfg);
+  TimedRun RefRun = Ref.run(M);
+  if (!Ref.recordError().empty())
+    return Fail("record", Ref.recordError());
+  Snapshot RefSnap = snapshot(Ref, M, RefRun.Run);
+
+  // Mode 1: hot-path caches flipped. The caches must be observation-free.
+  if (Cfg.CheckCachesFlip) {
+    OracleConfig Flip = Cfg;
+    Flip.Slicing.HotPathCaches = !Cfg.Slicing.HotPathCaches;
+    ProfileSession S(sessionConfig(Flip));
+    TimedRun R = S.run(M);
+    if (std::string D = diffSnapshots(RefSnap, snapshot(S, M, R.Run));
+        !D.empty())
+      return Fail("caches-flip", D);
+  }
+
+  // Mode 2: record -> replay. Replaying the reference's trace into a fresh
+  // session must rebuild identical profiler state.
+  if (Cfg.CheckReplay) {
+    ProfileSession S(sessionConfig(Cfg));
+    ReplayRun R = S.replay(M, Sink.str());
+    if (!R.Ok)
+      return Fail("replay", R.Error);
+    Snapshot Got = snapshot(S, M, RefSnap.Run); // replay has no RunResult
+    if (std::string D = diffSnapshots(RefSnap, Got); !D.empty())
+      return Fail("replay", D);
+  }
+
+  // Mode 3: sharded runs. For every shard count S the fold must equal one
+  // session running the module S times sequentially, at any thread count.
+  if (Cfg.CheckSharded) {
+    for (unsigned Shards : Cfg.ShardCounts) {
+      ProfileSession Seq(sessionConfig(Cfg));
+      TimedRun SeqRun{};
+      for (unsigned I = 0; I != Shards; ++I)
+        SeqRun = Seq.run(M);
+      Snapshot SeqSnap = snapshot(Seq, M, SeqRun.Run);
+      // A repeated run is deterministic, so the sequential reference's
+      // last RunResult must itself match the single-run reference.
+      if (std::string D = diffRuns(RefSnap.Run, SeqSnap.Run); !D.empty())
+        return Fail("sequential-reuse(" + std::to_string(Shards) + ")", D);
+      for (unsigned Threads : Cfg.ThreadCounts) {
+        ShardedSession Sh =
+            runShardedSession(M, Shards, sessionConfig(Cfg), Threads);
+        std::string Mode = "sharded(" + std::to_string(Shards) +
+                           ", threads=" + std::to_string(Threads) + ")";
+        if (!Sh.Error.empty())
+          return Fail(Mode, Sh.Error);
+        if (!Sh.Session)
+          return Fail(Mode, "sharded session missing");
+        if (Sh.TotalInstrs != uint64_t(Shards) * RefSnap.Run.ExecutedInstrs)
+          return Fail(Mode,
+                      "total-instrs " + std::to_string(Sh.TotalInstrs) +
+                          " != shards * " +
+                          std::to_string(RefSnap.Run.ExecutedInstrs));
+        Snapshot Got = snapshot(*Sh.Session, M, Sh.Run);
+        if (std::string D = diffSnapshots(SeqSnap, Got); !D.empty())
+          return Fail(Mode, D);
+      }
+    }
+  }
+
+  // Mode 4: GraphIO round trip — parse the canonical serialization and
+  // re-serialize; the bytes must be reproduced exactly.
+  if (Cfg.CheckGraphIO && !RefSnap.Graph.empty()) {
+    std::vector<std::string> Errors;
+    std::unique_ptr<DepGraph> G = readGraph(RefSnap.Graph, Errors);
+    if (!G) {
+      std::string D = "readGraph rejected writeGraph output";
+      for (const std::string &E : Errors)
+        D += "\n  " + E;
+      return Fail("graphio-roundtrip", D);
+    }
+    StringOutStream OS;
+    writeGraph(*G, OS);
+    if (OS.str() != RefSnap.Graph)
+      return Fail("graphio-roundtrip",
+                  firstDiff("re-serialized graph", RefSnap.Graph, OS.str()));
+  }
+
+  return Out;
+}
+
+std::string fuzz::clientMaskName(uint32_t Mask) {
+  if (!Mask)
+    return "none";
+  std::string Out;
+  auto Add = [&](const char *Name) {
+    if (!Out.empty())
+      Out += ",";
+    Out += Name;
+  };
+  if (Mask & kClientCopy)
+    Add("copy");
+  if (Mask & kClientNullness)
+    Add("nullness");
+  if (Mask & kClientTypestate)
+    Add("typestate");
+  return Out;
+}
+
+std::string fuzz::configFlags(const OracleConfig &Cfg) {
+  std::string Out = "--slots=" + std::to_string(Cfg.Slicing.ContextSlots);
+  Out += " --clients=" + clientMaskName(Cfg.Clients);
+  Out += " --thin-slicing=" + std::to_string(int(Cfg.Slicing.ThinSlicing));
+  Out += " --context-sensitive=" +
+         std::to_string(int(Cfg.Slicing.ContextSensitive));
+  Out += " --caches=" + std::to_string(int(Cfg.Slicing.HotPathCaches));
+  return Out;
+}

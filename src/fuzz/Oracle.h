@@ -1,0 +1,85 @@
+//===- fuzz/Oracle.h - Differential execution-mode oracle ------*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential oracle behind lud-fuzz: one module, every execution
+/// mode, byte-for-byte agreement. The reference is a live single-thread
+/// ProfileSession; against it the oracle checks
+///
+///   - the same session with SlicingConfig::HotPathCaches flipped (the
+///     caches promise to be observation-free),
+///   - record -> replay through an in-memory trace sink,
+///   - sharded runs (runShardedSession) at each configured shard count and
+///     thread count, against a sequential-reuse reference session that
+///     run()s the module Shards times — the fold invariant the parallel
+///     driver documents,
+///   - a GraphIO round trip: writeGraph -> readGraph -> writeGraph must
+///     reproduce the exact bytes.
+///
+/// Compared artifacts: the canonical Gcost serialization, every client
+/// report section, and the RunResult facts of the execution (status,
+/// executed instructions, calls, allocations, sink hash). Any mismatch is
+/// reported with the failing mode and a first-difference diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_FUZZ_ORACLE_H
+#define LUD_FUZZ_ORACLE_H
+
+#include "profiling/SlicingProfiler.h"
+#include "workloads/Driver.h"
+
+#include <string>
+#include <vector>
+
+namespace lud {
+
+class Module;
+
+namespace fuzz {
+
+struct OracleConfig {
+  /// Base slicing knobs; the caches-flip mode toggles HotPathCaches.
+  SlicingConfig Slicing;
+  /// kClient* mask driven through every mode.
+  uint32_t Clients = kClientCopy | kClientNullness | kClientTypestate;
+  /// Shard counts the sharded mode exercises.
+  std::vector<unsigned> ShardCounts = {2, 4, 8};
+  /// Thread counts per shard count (1 is the sequential reference pool).
+  std::vector<unsigned> ThreadCounts = {1, 4};
+  /// Interpreter budget safety valve for runaway candidates. Budget
+  /// exhaustion is deterministic, so it cross-checks like any other run.
+  uint64_t MaxInstructions = 50'000'000;
+  bool CheckCachesFlip = true;
+  bool CheckReplay = true;
+  bool CheckSharded = true;
+  bool CheckGraphIO = true;
+};
+
+struct OracleResult {
+  bool Ok = true;
+  /// The cross-check that diverged, e.g. "caches-flip", "replay",
+  /// "sharded(4, threads=4)", "graphio-roundtrip", "verifier".
+  std::string Mode;
+  /// First-difference diagnostic: artifact, byte offset, excerpts.
+  std::string Detail;
+};
+
+/// Drives \p M through every enabled mode and cross-checks the results.
+OracleResult runOracle(const Module &M, const OracleConfig &Cfg);
+
+/// Renders \p Cfg as the `lud-fuzz --check` flags that reproduce it, e.g.
+/// "--slots=8 --clients=copy,nullness --thin-slicing=1 ...".
+std::string configFlags(const OracleConfig &Cfg);
+
+/// Renders a client mask as the --clients spelling ("none" when empty).
+std::string clientMaskName(uint32_t Mask);
+
+} // namespace fuzz
+} // namespace lud
+
+#endif // LUD_FUZZ_ORACLE_H

@@ -25,6 +25,13 @@ class Module;
 /// Appends one message per defect to \p Errors. Returns true when clean.
 bool verifyModule(const Module &M, std::vector<std::string> &Errors);
 
+/// verifyModule plus the generator post-condition: every register an
+/// instruction reads must be a parameter or written somewhere in the same
+/// function. Hand-written and minimized modules may legitimately read
+/// default-initialized registers, so this is a separate, stricter entry
+/// point used on generated programs only.
+bool verifyGeneratedModule(const Module &M, std::vector<std::string> &Errors);
+
 } // namespace lud
 
 #endif // LUD_IR_VERIFIER_H

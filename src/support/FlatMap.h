@@ -182,17 +182,21 @@ public:
   /// values' own heap allocations are the caller's to add).
   size_t memoryBytes() const { return Slots.capacity() * sizeof(Slot); }
 
-private:
-  friend iterator;
-  friend const_iterator;
-
+  /// Smallest power-of-two capacity holding \p N keys at 3/4 load. Pure and
+  /// public so the overflow boundary is unit-testable without allocating.
   static size_t capacityFor(size_t N) {
-    // Max load factor 3/4.
+    // Max load factor 3/4: grow while N > 3*Cap/4, phrased so neither
+    // side can overflow — the old `Cap * 3 < N * 4` form wrapped for
+    // N > SIZE_MAX / 4 and spun forever at a stuck capacity.
     size_t Cap = 8;
-    while (Cap * 3 < N * 4)
+    while (N > Cap - Cap / 4 && Cap <= (SIZE_MAX >> 1))
       Cap <<= 1;
     return Cap;
   }
+
+private:
+  friend iterator;
+  friend const_iterator;
 
   Slot &slotAt(size_t Idx) {
     return Idx == Slots.size() ? EmptySlot : Slots[Idx];
@@ -224,7 +228,7 @@ private:
   void growIfNeeded() {
     if (Slots.empty())
       rehash(8);
-    else if ((Count + 1) * 4 > Slots.size() * 3)
+    else if (Count + 1 > Slots.size() - Slots.size() / 4)
       rehash(Slots.size() * 2);
   }
 

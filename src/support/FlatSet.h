@@ -43,8 +43,9 @@ public:
   }
 
   void reserve(size_t N) {
+    // Max load factor 3/4, phrased overflow-free (see FlatMap::capacityFor).
     size_t Cap = 8;
-    while (Cap * 3 < N * 4)
+    while (N > Cap - Cap / 4 && Cap <= (SIZE_MAX >> 1))
       Cap <<= 1;
     if (Cap > Keys.size())
       rehash(Cap);
@@ -122,7 +123,7 @@ private:
   void growIfNeeded() {
     if (Keys.empty())
       rehash(8);
-    else if ((Count + 1) * 4 > Keys.size() * 3)
+    else if (Count + 1 > Keys.size() - Keys.size() / 4)
       rehash(Keys.size() * 2);
   }
 

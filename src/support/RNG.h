@@ -46,6 +46,18 @@ public:
     return Lo + int64_t(nextBelow(uint64_t(Hi - Lo) + 1));
   }
 
+  /// Derives an independent child generator for stream \p StreamId. Pure in
+  /// (current state, StreamId): splitting the same parent with the same id
+  /// yields the same child no matter how many draws other streams have
+  /// taken, so a fuzzing run can hand stream k to run k and reproduce any
+  /// single run in isolation.
+  RNG split(uint64_t StreamId) const {
+    uint64_t Z = State + (StreamId + 1) * 0x9E3779B97F4A7C15ULL;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return RNG(Z ^ (Z >> 31));
+  }
+
 private:
   uint64_t State;
 };

@@ -21,6 +21,7 @@
 #include "workloads/DaCapo.h"
 #include "workloads/RandomProgram.h"
 
+#include <charconv>
 #include <cstdlib>
 #include <string>
 
@@ -45,8 +46,23 @@ int main(int argc, char **argv) {
   P.custom("--random", cli::ValueMode::Required,
            "SEED  generate a random program from SEED instead",
            [&](const std::string &S) {
+             // strtoull would silently accept "12abc" and wrap values past
+             // 2^64; both made "the same seed" mean different programs.
+             auto [Ptr, Ec] =
+                 std::from_chars(S.data(), S.data() + S.size(), Seed, 10);
+             if (Ec == std::errc::result_out_of_range) {
+               errs() << "option '--random' seed '" << S
+                      << "' does not fit in 64 bits\n";
+               return false;
+             }
+             if (Ec != std::errc() || Ptr != S.data() + S.size() ||
+                 S.empty()) {
+               errs() << "option '--random' wants a non-negative integer "
+                         "seed, got '"
+                      << S << "'\n";
+               return false;
+             }
              Random = true;
-             Seed = std::strtoull(S.c_str(), nullptr, 10);
              return true;
            });
   P.flag("--optimized", Optimized,

@@ -197,6 +197,11 @@ bool TraceReader::varint(uint64_t &V) {
     if (Pos >= Buf.size())
       return fail("truncated varint");
     uint8_t B = uint8_t(Buf[Pos++]);
+    // The 10th byte carries bit 63 only; a larger payload there would
+    // silently shift out of the 64-bit result, making two different byte
+    // sequences decode to the same value. Reject instead of truncating.
+    if (Shift == 63 && (B & 0x7E))
+      return fail("varint overflows 64 bits");
     V |= uint64_t(B & 0x7F) << Shift;
     if (!(B & 0x80))
       return true;

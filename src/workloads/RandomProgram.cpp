@@ -20,8 +20,8 @@ class FunctionGen {
 public:
   FunctionGen(IRBuilder &B, Module &M, RNG &R,
               const std::vector<FuncId> &Callees,
-              const RandomProgramOptions &Opts)
-      : B(B), M(M), R(R), Callees(Callees), Opts(Opts) {}
+              const RandomProgramOptions &Opts, FuncId Self = kNoFunc)
+      : B(B), M(M), R(R), Callees(Callees), Opts(Opts), Self(Self) {}
 
   /// Emits OpsPerFunction random operations followed by `ret <int>`.
   void emitBody() {
@@ -34,6 +34,7 @@ public:
     if (RefRegs.empty() && !M.classes().empty())
       allocObject(M.classes()[R.nextBelow(M.classes().size())]->getId());
 
+    maybeEmitRecursion();
     for (unsigned I = 0; I != Opts.OpsPerFunction; ++I)
       emitRandomOp(/*Depth=*/0);
     B.ret(anyInt());
@@ -76,8 +77,29 @@ private:
     return true;
   }
 
+  /// Bounded self-recursion: recurse on (r0 & 7) - 1 while positive, so
+  /// the first argument strictly decreases and the depth is at most 8
+  /// whatever the caller passed. Emitted ahead of the op loop so every
+  /// recursion level runs the full body.
+  void maybeEmitRecursion() {
+    if (!Opts.Recursion || Self == kNoFunc ||
+        M.getFunction(Self)->getNumParams() == 0 || R.nextBelow(2))
+      return;
+    Reg Mask = B.iconst(7);
+    Reg Bounded = B.bin(BinOp::And, /*r0=*/Reg(0), Mask);
+    Reg Zero = B.iconst(0);
+    emitIf(B, CmpOp::Lt, Zero, Bounded, [&] {
+      Reg One = B.iconst(1);
+      Reg Dec = B.bin(BinOp::Sub, Bounded, One);
+      std::vector<Reg> Args{Dec};
+      for (unsigned A = 1; A != M.getFunction(Self)->getNumParams(); ++A)
+        Args.push_back(anyInt());
+      IntRegs.push_back(B.call(Self, std::move(Args)));
+    });
+  }
+
   void emitRandomOp(unsigned Depth) {
-    switch (R.nextBelow(12)) {
+    switch (R.nextBelow(16)) {
     case 0: { // fresh constant
       IntRegs.push_back(B.iconst(int64_t(R.nextInRange(-50, 200))));
       break;
@@ -193,6 +215,74 @@ private:
         B.ncallVoid("sink", {anyInt()});
       break;
     }
+    case 12: { // global store / load
+      if (M.globals().empty())
+        break;
+      GlobalId G = GlobalId(R.nextBelow(M.globals().size()));
+      if (R.nextBelow(2))
+        B.storeStatic(G, anyInt());
+      else
+        IntRegs.push_back(B.loadStatic(G));
+      break;
+    }
+    case 13: { // dead store: the same location written twice in a row
+      if (!Opts.DeadStores)
+        break;
+      if (!M.globals().empty() && R.nextBelow(2) == 0) {
+        GlobalId G = GlobalId(R.nextBelow(M.globals().size()));
+        B.storeStatic(G, anyInt());
+        B.storeStatic(G, anyInt());
+        break;
+      }
+      if (RefRegs.empty())
+        break;
+      const RefInfo &RI = RefRegs[R.nextBelow(RefRegs.size())];
+      FieldSlot Slot;
+      Type Ty;
+      if (!pickField(RI.Class, Slot, Ty) || Ty.Kind != TypeKind::Int)
+        break;
+      B.append(new StoreFieldInst(RI.R, RI.Class, Slot, anyInt()));
+      B.append(new StoreFieldInst(RI.R, RI.Class, Slot, anyInt()));
+      break;
+    }
+    case 14: { // aliasing: ref move, or field store loaded straight back
+      if (!Opts.Aliasing || RefRegs.empty())
+        break;
+      const RefInfo &RI = RefRegs[R.nextBelow(RefRegs.size())];
+      if (R.nextBelow(2)) {
+        RefRegs.push_back({B.move(RI.R), RI.Class});
+        break;
+      }
+      FieldSlot Slot;
+      Type Ty;
+      if (!pickField(RI.Class, Slot, Ty) || Ty.Kind != TypeKind::Ref ||
+          Ty.Class == kNoClass)
+        break;
+      // Store a known-non-null object, then load it back: the loaded ref
+      // aliases the stored one and is safe to dereference later.
+      for (const RefInfo &Cand : RefRegs)
+        if (Cand.Class == Ty.Class) {
+          B.append(new StoreFieldInst(RI.R, RI.Class, Slot, Cand.R));
+          Reg Dst = B.newReg();
+          B.append(new LoadFieldInst(Dst, RI.R, RI.Class, Slot));
+          RefRegs.push_back({Dst, Ty.Class});
+          break;
+        }
+      break;
+    }
+    case 15: { // null flow: a null constant stored into a ref field
+      if (!Opts.NullFlows || RefRegs.empty())
+        break;
+      const RefInfo &RI = RefRegs[R.nextBelow(RefRegs.size())];
+      FieldSlot Slot;
+      Type Ty;
+      if (!pickField(RI.Class, Slot, Ty) || Ty.Kind != TypeKind::Ref)
+        break;
+      // The field is never loaded back as a base unless case 14 re-stores
+      // a non-null object into it first, so the null never traps.
+      B.append(new StoreFieldInst(RI.R, RI.Class, Slot, B.nullconst()));
+      break;
+    }
     }
   }
 
@@ -201,6 +291,7 @@ private:
   RNG &R;
   const std::vector<FuncId> &Callees;
   const RandomProgramOptions &Opts;
+  FuncId Self = kNoFunc;
   std::vector<Reg> IntRegs;
   std::vector<RefInfo> RefRegs;
   std::vector<Reg> Arrays;
@@ -229,13 +320,17 @@ std::unique_ptr<Module> lud::generateRandomProgram(RandomProgramOptions O) {
     }
   }
 
-  // Functions in call-DAG order.
+  // Int globals shared by every function's static load/store shapes.
+  for (unsigned G = 0; G != O.NumGlobals; ++G)
+    M->addGlobal("g" + std::to_string(G), Type::makeInt());
+
+  // Functions in call-DAG order (plus bounded self-recursion).
   std::vector<FuncId> Funcs;
   for (unsigned F = 0; F != O.NumFunctions; ++F) {
     unsigned NumParams = unsigned(R.nextBelow(3));
     Function *Fn =
         B.beginFunction("fn" + std::to_string(F), NumParams);
-    FunctionGen Gen(B, *M, R, Funcs, O);
+    FunctionGen Gen(B, *M, R, Funcs, O, Fn->getId());
     Gen.emitBody();
     B.endFunction();
     Funcs.push_back(Fn->getId());
@@ -260,7 +355,7 @@ std::unique_ptr<Module> lud::generateRandomProgram(RandomProgramOptions O) {
 
   M->finalize();
   std::vector<std::string> Errors;
-  if (!verifyModule(*M, Errors))
+  if (!verifyGeneratedModule(*M, Errors))
     lud_unreachable("random program failed verification");
   return M;
 }

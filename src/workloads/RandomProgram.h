@@ -14,8 +14,11 @@
 ///
 /// Guarantees, by construction:
 ///   - every loop has a constant trip count (termination);
-///   - the call graph is acyclic (termination);
-///   - references are allocated before use and never null (no NPE traps);
+///   - the call graph is acyclic except for bounded self-recursion on a
+///     strictly decreasing masked argument (termination);
+///   - references are allocated before use and dereferenced only when
+///     known non-null; null constants flow into fields but are never
+///     loaded back as bases (no NPE traps);
 ///   - array indices are masked into range (no bounds traps);
 ///   - no integer division (no div-by-zero traps).
 ///
@@ -37,9 +40,25 @@ struct RandomProgramOptions {
   unsigned OpsPerFunction = 30;
   /// Loop trip counts are drawn from [2, MaxTrip].
   unsigned MaxTrip = 6;
+  /// Int globals available for static load/store shapes.
+  unsigned NumGlobals = 2;
+  /// Bounded self-recursion: a function may call itself on a masked,
+  /// strictly decreasing argument (depth <= 8).
+  bool Recursion = true;
+  /// Aliasing shapes the copy client consumes: register-to-register ref
+  /// moves, and a ref field store immediately loaded back.
+  bool Aliasing = true;
+  /// Null constants stored into ref fields (never dereferenced) — the
+  /// flows the nullness client consumes.
+  bool NullFlows = true;
+  /// Immediately-overwritten field/global stores — dead writes the cost
+  /// model should discount.
+  bool DeadStores = true;
 };
 
-/// Generates a finalized, verified module whose entry runs to completion.
+/// Generates a finalized module whose entry runs to completion. The result
+/// always passes ir::verifyGeneratedModule (the strict def-before-use
+/// post-condition), which the generator asserts before returning.
 std::unique_ptr<Module> generateRandomProgram(RandomProgramOptions Opts);
 
 } // namespace lud

@@ -317,4 +317,37 @@ TEST(CostModelTest, HracOfPredicateDirectlyAfterLoadIsItsFrequency) {
   EXPECT_EQ(CM.hrac(NPred), 1u);
 }
 
+TEST(CostModelTest, ClosureFrequenciesSaturateInsteadOfWrapping) {
+  // A fuzzed program can pile near-2^64 executions onto one closure. A
+  // wrapped accumulator would rank the hottest structure as nearly free;
+  // saturation pins the cost at "at least UINT64_MAX".
+  DepGraph G;
+  NodeId A = G.getOrCreate(1, 0);
+  NodeId B = G.getOrCreate(2, 0);
+  G.addEdge(A, B);
+  G.freq(A) = ~uint64_t(0);
+  G.freq(B) = 12345;
+  CostModel CM(G);
+  // Wrapping would report 12344 here.
+  EXPECT_EQ(CM.abstractCost(B), ~uint64_t(0));
+  EXPECT_EQ(CM.abstractCost(A), ~uint64_t(0));
+}
+
+TEST(CostModelTest, LocCostsSaturateAcrossWriterSums) {
+  DepGraph G;
+  NodeId W1 = G.getOrCreate(1, 0);
+  NodeId W2 = G.getOrCreate(2, 0);
+  G.freq(W1) = uint64_t(1) << 63;
+  G.freq(W2) = (uint64_t(1) << 63) + 9;
+  HeapLoc L{42, 3};
+  G.noteWriter(L, W1);
+  G.noteWriter(L, W2);
+  CostModel CM(G);
+  LocCostBenefit CB = CM.locCostBenefit(L);
+  EXPECT_EQ(CB.NumWriters, 2u);
+  // The per-writer hrac sum wraps to 9 without saturation; the average
+  // must instead sit at the ceiling.
+  EXPECT_EQ(CB.Rac, double(~uint64_t(0)) / 2.0);
+}
+
 } // namespace

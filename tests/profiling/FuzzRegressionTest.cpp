@@ -1,0 +1,91 @@
+//===- tests/profiling/FuzzRegressionTest.cpp - Caches-flip pins ----------===//
+//
+// Fuzz-derived regression pins for SlicingConfig::HotPathCaches. The
+// caches document a hard promise: bit-identical results on and off. The
+// differential fuzzer exercises this across random programs; these fixed
+// seeds pin the promise in the tier-1 suite so a cache that starts
+// observing its own presence fails here with a byte diff, not only in a
+// nightly fuzz job. Seeds were picked from fuzz corpus sweeps to cover
+// recursion, aliasing through ref fields, null flows, dead stores, and
+// global traffic — the shapes most likely to disturb memoization.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiling/GraphIO.h"
+#include "support/OutStream.h"
+#include "workloads/Driver.h"
+#include "workloads/RandomProgram.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+using namespace lud;
+
+namespace {
+
+constexpr uint32_t kAllClients =
+    kClientCopy | kClientNullness | kClientTypestate;
+
+struct Artifacts {
+  RunResult Run;
+  std::string Graph;
+  std::string Reports;
+};
+
+Artifacts runWithCaches(const Module &M, bool Caches, uint32_t Slots) {
+  SessionConfig Cfg;
+  Cfg.Instrument = true;
+  Cfg.Clients = kAllClients;
+  Cfg.Slicing.HotPathCaches = Caches;
+  Cfg.Slicing.ContextSlots = Slots;
+  ProfileSession S(Cfg);
+  Artifacts A;
+  A.Run = S.run(M).Run;
+  StringOutStream GS;
+  if (S.slicing())
+    writeGraph(S.slicing()->graph(), GS);
+  A.Graph = GS.str();
+  StringOutStream RS;
+  S.printClientReports(M, RS);
+  A.Reports = RS.str();
+  return A;
+}
+
+std::unique_ptr<Module> fuzzShape(uint64_t Seed) {
+  RandomProgramOptions P;
+  P.Seed = Seed;
+  P.NumClasses = 3;
+  P.NumFunctions = 6;
+  P.OpsPerFunction = 45;
+  P.NumGlobals = 3;
+  P.Recursion = true;
+  P.Aliasing = true;
+  P.NullFlows = true;
+  P.DeadStores = true;
+  return generateRandomProgram(P);
+}
+
+TEST(FuzzRegressionTest, HotPathCachesAreObservationFree) {
+  for (uint64_t Seed : {3u, 17u, 44u, 71u}) {
+    for (uint32_t Slots : {1u, 16u}) {
+      std::unique_ptr<Module> M = fuzzShape(Seed);
+      Artifacts On = runWithCaches(*M, /*Caches=*/true, Slots);
+      Artifacts Off = runWithCaches(*M, /*Caches=*/false, Slots);
+
+      EXPECT_EQ(On.Run.Status, Off.Run.Status) << "seed " << Seed;
+      EXPECT_EQ(On.Run.ExecutedInstrs, Off.Run.ExecutedInstrs)
+          << "seed " << Seed;
+      EXPECT_EQ(On.Run.SinkHash, Off.Run.SinkHash) << "seed " << Seed;
+      EXPECT_EQ(On.Graph, Off.Graph)
+          << "seed " << Seed << " slots " << Slots
+          << ": Gcost depends on HotPathCaches";
+      EXPECT_EQ(On.Reports, Off.Reports)
+          << "seed " << Seed << " slots " << Slots
+          << ": client reports depend on HotPathCaches";
+    }
+  }
+}
+
+} // namespace

@@ -252,4 +252,49 @@ TEST(DepGraphMergeTest, MergeEqualsSequentialBuild) {
   }
 }
 
+TEST(FlatMapTest, CapacityForHoldsLoadFactorWithoutOverflow) {
+  using M = FlatMap<uint64_t, int>;
+  // 3/4 load: 8 slots hold 6 keys, 16 hold 12, 32 hold 24.
+  EXPECT_EQ(M::capacityFor(0), 8u);
+  EXPECT_EQ(M::capacityFor(6), 8u);
+  EXPECT_EQ(M::capacityFor(7), 16u);
+  EXPECT_EQ(M::capacityFor(12), 16u);
+  EXPECT_EQ(M::capacityFor(13), 32u);
+
+  // The old `Cap * 3 < N * 4` phrasing wrapped for N > SIZE_MAX / 4 and
+  // reported the minimum capacity, silently under-reserving. The
+  // overflow-free form keeps growing to the largest power of two.
+  size_t Huge = SIZE_MAX / 4 + 1;
+  size_t Cap = M::capacityFor(Huge);
+  EXPECT_EQ(Cap, size_t(1) << (sizeof(size_t) * 8 - 1));
+  EXPECT_GE(Cap - Cap / 4, Huge);
+  // And it terminates even when no capacity can satisfy the request.
+  EXPECT_EQ(M::capacityFor(SIZE_MAX), size_t(1) << (sizeof(size_t) * 8 - 1));
+}
+
+TEST(FlatMapTest, ReserveAvoidsRehashUpToTheReservedCount) {
+  FlatMap<uint64_t, int> M;
+  M.reserve(100);
+  uint64_t Gen = M.generation();
+  for (uint64_t K = 0; K != 100; ++K)
+    M.insert(K + 1, int(K));
+  EXPECT_EQ(M.generation(), Gen) << "reserve(100) did not pre-size for 100";
+  EXPECT_EQ(M.size(), 100u);
+}
+
+TEST(FlatSetTest, GrowthAcrossLoadFactorBoundariesKeepsAllKeys) {
+  // Walk insert counts across several grow boundaries (6, 12, 24, ...)
+  // and verify membership stays exact through each rehash.
+  FlatSet<uint64_t> S;
+  S.reserve(5);
+  for (uint64_t K = 0; K != 200; ++K) {
+    EXPECT_TRUE(S.insert(K * 11 + 1));
+    EXPECT_FALSE(S.insert(K * 11 + 1));
+    for (uint64_t J = 0; J <= K; ++J)
+      ASSERT_TRUE(S.contains(J * 11 + 1)) << "lost key after insert " << K;
+    EXPECT_FALSE(S.contains(K * 11 + 2));
+  }
+  EXPECT_EQ(S.size(), 200u);
+}
+
 } // namespace

@@ -106,8 +106,10 @@ TEST(TraceIOTest, ReaderDiagnosesBadPrimitives) {
     EXPECT_NE(R.error().find("truncated varint"), std::string::npos);
   }
   {
-    // Over-long varint (11 continuation bytes).
-    std::string Bytes(11, '\xff');
+    // Over-long varint: a continuation bit on the 10th byte. The payload
+    // bytes are zero so this trips the length check, not the 64-bit
+    // overflow check (which fires first for 0xff padding).
+    std::string Bytes(10, '\x80');
     Bytes.push_back('\0');
     TraceReader R(Bytes);
     uint64_t V;
@@ -247,6 +249,36 @@ TEST(TraceIOTest, NominalBytesAndNamesCoverAllKinds) {
     EXPECT_STRNE(eventKindName(EventKind(K)), "unknown");
     EXPECT_GE(nominalEventBytes(EventKind(K)), 1u);
   }
+}
+
+TEST(TraceIOTest, VarintRejectsPayloadBeyond64Bits) {
+  // Nine 0xFF bytes carry bits 0..62; the 10th byte may only add bit 63.
+  // Exactly that is UINT64_MAX and must decode.
+  std::string Max(9, char(0xFF));
+  Max += char(0x01);
+  TraceReader Ok(Max);
+  uint64_t V = 0;
+  ASSERT_TRUE(Ok.varint(V));
+  EXPECT_EQ(V, std::numeric_limits<uint64_t>::max());
+  EXPECT_TRUE(Ok.atEnd());
+
+  // Any further payload bit in the 10th byte used to shift out silently,
+  // decoding to the same value as a different byte sequence. Rejected now.
+  for (uint8_t Tenth : {uint8_t(0x02), uint8_t(0x7E), uint8_t(0x7F)}) {
+    std::string Over(9, char(0xFF));
+    Over += char(Tenth);
+    TraceReader R(Over);
+    EXPECT_FALSE(R.varint(V)) << "tenth byte " << unsigned(Tenth);
+    EXPECT_NE(R.error().find("overflows 64 bits"), std::string::npos)
+        << R.error();
+  }
+
+  // A continuation bit on the 10th byte runs past the maximum length.
+  std::string Long(10, char(0x81));
+  TraceReader R(Long);
+  EXPECT_FALSE(R.varint(V));
+  EXPECT_NE(R.error().find("longer than 10 bytes"), std::string::npos)
+      << R.error();
 }
 
 } // namespace
