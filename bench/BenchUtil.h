@@ -37,10 +37,12 @@ inline int64_t tableScale() {
 
 /// Machine-readable table output: when `--json` is on the command line or
 /// LUD_BENCH_JSON is set, each table row is also appended as a one-line
-/// JSON object `{name, scale, seconds, nodes, edges}` to
+/// JSON object `{name, scale, engine, seconds, nodes, edges}` to
 /// BENCH_results.json (or to the file LUD_BENCH_JSON names, when its value
 /// is a path rather than "1"). Appending lets a CI job accumulate rows
-/// from several bench binaries into one file.
+/// from several bench binaries into one file. `engine` is the execution
+/// backend the row measured — the session default (LUD_ENGINE) unless the
+/// bench pinned one explicitly.
 inline bool &jsonRowsEnabled() {
   static bool On = std::getenv("LUD_BENCH_JSON") != nullptr;
   return On;
@@ -68,14 +70,16 @@ inline void initJsonRows(int *Argc, char **Argv) {
 }
 
 inline void emitJsonRow(const std::string &Name, int64_t Scale,
-                        double Seconds, size_t Nodes, size_t Edges) {
+                        double Seconds, size_t Nodes, size_t Edges,
+                        EngineKind Engine = defaultEngineKind()) {
   if (!jsonRowsEnabled())
     return;
   if (FILE *F = std::fopen(jsonRowsPath(), "a")) {
     std::fprintf(F,
-                 "{\"name\": \"%s\", \"scale\": %lld, \"seconds\": %.6f, "
-                 "\"nodes\": %zu, \"edges\": %zu}\n",
-                 Name.c_str(), (long long)Scale, Seconds, Nodes, Edges);
+                 "{\"name\": \"%s\", \"scale\": %lld, \"engine\": \"%s\", "
+                 "\"seconds\": %.6f, \"nodes\": %zu, \"edges\": %zu}\n",
+                 Name.c_str(), (long long)Scale, engineKindName(Engine),
+                 Seconds, Nodes, Edges);
     std::fclose(F);
   }
 }

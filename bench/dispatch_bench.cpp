@@ -1,0 +1,227 @@
+//===- bench/dispatch_bench.cpp - Per-opcode engine dispatch cost ----------===//
+//
+// Measures the raw cost of executing one instruction — dispatch plus the
+// operation itself — per opcode family, on both execution backends: the
+// reference tree-walking interpreter and the direct-threaded engine
+// (runtime/ThreadedEngine.h). Each micro-workload is a counted loop whose
+// body is eight copies of one opcode shape, run under the empty profiler
+// pipeline, so the numbers isolate what the engines add on top of the
+// semantic work. The table reports ns/instruction per engine and the
+// speedup; `--json` appends one row per (opcode, engine) pair with the
+// engine field distinguishing them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "ir/IRBuilder.h"
+#include "runtime/ComposedProfiler.h"
+#include "runtime/ThreadedEngine.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+
+using namespace lud;
+using namespace lud::bench;
+
+namespace {
+
+/// One instruction-family micro-workload: `main` runs Iters loop
+/// iterations whose body holds eight payload instructions of one shape
+/// (plus the shared loop scaffolding of one add, one compare-branch and
+/// one back-edge, identical across workloads so differences between rows
+/// are the payload's).
+struct MicroShape {
+  const char *Name;
+  /// Emits the pre-loop setup; returns context registers for emitBody.
+  void (*Setup)(IRBuilder &B, Reg Ctx[4]);
+  /// Emits one payload instruction.
+  void (*Payload)(IRBuilder &B, Reg Ctx[4]);
+};
+
+void setupInt(IRBuilder &B, Reg Ctx[4]) {
+  Ctx[0] = B.iconst(7);
+  Ctx[1] = B.iconst(9);
+  Ctx[2] = B.newReg();
+  B.iconstInto(Ctx[2], 0);
+}
+
+void setupObject(IRBuilder &B, Reg Ctx[4]) {
+  setupInt(B, Ctx);
+  Ctx[3] = B.alloc(ClassId(0));
+  B.storeField(Ctx[3], ClassId(0), "v", Ctx[0]);
+}
+
+void setupArray(IRBuilder &B, Reg Ctx[4]) {
+  setupInt(B, Ctx);
+  Reg Len = B.iconst(8);
+  Ctx[3] = B.allocArray(TypeKind::Int, Len);
+  B.storeElem(Ctx[3], Ctx[0], Ctx[1]); // index 7 in range
+}
+
+const MicroShape kShapes[] = {
+    {"const-int", setupInt,
+     [](IRBuilder &B, Reg Ctx[4]) { B.iconstInto(Ctx[2], 42); }},
+    {"assign", setupInt,
+     [](IRBuilder &B, Reg Ctx[4]) { B.moveInto(Ctx[2], Ctx[0]); }},
+    {"bin-add", setupInt,
+     [](IRBuilder &B, Reg Ctx[4]) {
+       B.binInto(Ctx[2], BinOp::Add, Ctx[0], Ctx[1]);
+     }},
+    {"bin-mul", setupInt,
+     [](IRBuilder &B, Reg Ctx[4]) {
+       B.binInto(Ctx[2], BinOp::Mul, Ctx[0], Ctx[1]);
+     }},
+    {"bin-xor", setupInt,
+     [](IRBuilder &B, Reg Ctx[4]) {
+       B.binInto(Ctx[2], BinOp::Xor, Ctx[0], Ctx[1]);
+     }},
+    {"bin-cmp", setupInt,
+     [](IRBuilder &B, Reg Ctx[4]) {
+       B.binInto(Ctx[2], BinOp::CmpLt, Ctx[0], Ctx[1]);
+     }},
+    {"load-field", setupObject,
+     [](IRBuilder &B, Reg Ctx[4]) {
+       (void)B.loadField(Ctx[3], ClassId(0), "v");
+     }},
+    {"store-field", setupObject,
+     [](IRBuilder &B, Reg Ctx[4]) {
+       B.storeField(Ctx[3], ClassId(0), "v", Ctx[0]);
+     }},
+    {"load-elem", setupArray,
+     [](IRBuilder &B, Reg Ctx[4]) { (void)B.loadElem(Ctx[3], Ctx[0]); }},
+    {"store-elem", setupArray,
+     [](IRBuilder &B, Reg Ctx[4]) {
+       B.storeElem(Ctx[3], Ctx[0], Ctx[1]);
+     }},
+    {"load-static", setupInt,
+     [](IRBuilder &B, Reg Ctx[4]) {
+       (void)Ctx;
+       (void)B.loadStatic(GlobalId(0));
+     }},
+    {"store-static", setupInt,
+     [](IRBuilder &B, Reg Ctx[4]) { B.storeStatic(GlobalId(0), Ctx[0]); }},
+    {"call-return", setupInt,
+     [](IRBuilder &B, Reg Ctx[4]) { B.callVoid("id", {Ctx[0]}); }},
+};
+
+std::unique_ptr<Module> makeMicro(const MicroShape &Shape, int64_t Iters) {
+  auto M = std::make_unique<Module>();
+  IRBuilder B(*M);
+  ClassDecl *Box = M->addClass("Box");
+  Box->addField("v", Type::makeInt());
+  M->addGlobal("g", Type::makeInt());
+
+  B.beginFunction("id", 1);
+  B.ret(Reg(0));
+  B.endFunction();
+
+  B.beginFunction("main", 0);
+  Reg Ctx[4] = {kNoReg, kNoReg, kNoReg, kNoReg};
+  Shape.Setup(B, Ctx);
+  Reg I = B.iconst(0), One = B.iconst(1), Lim = B.iconst(Iters);
+  BasicBlock *Head = B.newBlock(), *Body = B.newBlock(), *Exit = B.newBlock();
+  B.br(Head);
+  B.setBlock(Head);
+  B.condBr(CmpOp::Lt, I, Lim, Body, Exit);
+  B.setBlock(Body);
+  for (int K = 0; K != 8; ++K)
+    Shape.Payload(B, Ctx);
+  B.binInto(I, BinOp::Add, I, One);
+  B.br(Head);
+  B.setBlock(Exit);
+  B.ret(I);
+  B.endFunction();
+  M->finalize();
+  return M;
+}
+
+struct Measured {
+  double Seconds = 0;
+  uint64_t Instrs = 0;
+};
+
+/// Minimum-of-reps wall time for an uninstrumented (empty-pipeline) run on
+/// one engine; the moral equivalent of baselineSeconds with the backend
+/// pinned.
+Measured timeOn(const Module &M, EngineKind E, int Reps = 3) {
+  Measured Out;
+  Out.Seconds = 1e100;
+  for (int I = 0; I != Reps; ++I) {
+    ComposedProfiler<> P;
+    Heap H;
+    auto T0 = std::chrono::steady_clock::now();
+    RunResult R = runWithEngine(E, M, H, P, RunConfig{});
+    double S =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+            .count();
+    Out.Instrs = R.ExecutedInstrs;
+    if (S < Out.Seconds)
+      Out.Seconds = S;
+  }
+  return Out;
+}
+
+void printTable() {
+  // tableScale() iterations x 8 payload instructions keeps each row's
+  // instruction count proportional to the shared LUD_SCALE convention while
+  // staying micro (scale 2000 -> ~5M payload instances per row).
+  const int64_t Iters = tableScale() * 300;
+  std::printf("=== engine dispatch cost per opcode family (%lld iterations, "
+              "8 payload instrs each) ===\n",
+              (long long)Iters);
+  std::printf("%-14s %12s %14s %14s %10s\n", "opcode", "instrs",
+              "interp(ns/i)", "threaded(ns/i)", "speedup");
+  for (const MicroShape &Shape : kShapes) {
+    std::unique_ptr<Module> M = makeMicro(Shape, Iters);
+    Measured In = timeOn(*M, EngineKind::Interp);
+    Measured Th = timeOn(*M, EngineKind::Threaded);
+    std::printf("%-14s %12llu %14.2f %14.2f %9.2fx\n", Shape.Name,
+                (unsigned long long)In.Instrs,
+                In.Seconds / double(In.Instrs) * 1e9,
+                Th.Seconds / double(Th.Instrs) * 1e9,
+                In.Seconds / Th.Seconds);
+    emitJsonRow(std::string("dispatch/") + Shape.Name, Iters, In.Seconds, 0,
+                0, EngineKind::Interp);
+    emitJsonRow(std::string("dispatch/") + Shape.Name, Iters, Th.Seconds, 0,
+                0, EngineKind::Threaded);
+  }
+  std::printf("(empty profiler pipeline; loop scaffolding of +1 add, "
+              "1 cond-branch and 1 back-edge per 8 payloads is included "
+              "in every row)\n\n");
+}
+
+void BM_Dispatch(benchmark::State &State) {
+  const MicroShape &Shape = kShapes[State.range(0)];
+  EngineKind E =
+      State.range(1) ? EngineKind::Threaded : EngineKind::Interp;
+  std::unique_ptr<Module> M = makeMicro(Shape, tableScale() * 30);
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    ComposedProfiler<> P;
+    Heap H;
+    RunResult R = runWithEngine(E, *M, H, P, RunConfig{});
+    Instrs = R.ExecutedInstrs;
+    benchmark::DoNotOptimize(R.SinkHash);
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * int64_t(Instrs));
+  State.SetLabel(std::string(Shape.Name) + "/" + engineKindName(E));
+}
+
+} // namespace
+
+BENCHMARK(BM_Dispatch)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, 12, 1), {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  initJsonRows(&argc, argv);
+  initStats(&argc, argv);
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

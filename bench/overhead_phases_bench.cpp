@@ -12,7 +12,12 @@
 
 #include "BenchUtil.h"
 
+#include "runtime/ComposedProfiler.h"
+#include "runtime/ThreadedEngine.h"
+
 #include <benchmark/benchmark.h>
+
+#include <chrono>
 
 using namespace lud;
 using namespace lud::bench;
@@ -20,6 +25,57 @@ using namespace lud::bench;
 namespace {
 
 const char *kApps[] = {"tradebeans", "tradesoap"};
+
+/// Minimum-of-reps uninstrumented (Noop-profiled) wall time with the
+/// execution backend pinned, plus the run's instruction count.
+double engineSeconds(const Module &M, EngineKind E, uint64_t &Instrs,
+                     int Reps = 3) {
+  double Best = 1e100;
+  for (int I = 0; I != Reps; ++I) {
+    ComposedProfiler<> P;
+    Heap H;
+    auto T0 = std::chrono::steady_clock::now();
+    RunResult R = runWithEngine(E, M, H, P, RunConfig{});
+    double S =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+            .count();
+    Instrs = R.ExecutedInstrs;
+    if (S < Best)
+      Best = S;
+  }
+  return Best;
+}
+
+/// The engine comparison the threaded backend exists for: every DaCapo
+/// analogue's uninstrumented run on both backends. `--json` appends one
+/// row per (program, engine) pair, so the speedup table in
+/// docs/PERFORMANCE.md can be regenerated from the artifact.
+void printEngineTable() {
+  const int64_t S = tableScale();
+  std::printf("=== execution engines: uninstrumented runs, interp vs "
+              "threaded (scale %lld) ===\n",
+              (long long)S);
+  std::printf("%-12s %12s %12s %12s %9s\n", "program", "instrs",
+              "interp(ms)", "threaded(ms)", "speedup");
+  double TotalI = 0, TotalT = 0;
+  for (const std::string &Name : dacapoNames()) {
+    Workload W = buildWorkload(Name, S);
+    uint64_t Instrs = 0;
+    double TI = engineSeconds(*W.M, EngineKind::Interp, Instrs);
+    double TT = engineSeconds(*W.M, EngineKind::Threaded, Instrs);
+    TotalI += TI;
+    TotalT += TT;
+    std::printf("%-12s %12llu %12.2f %12.2f %8.2fx\n", Name.c_str(),
+                (unsigned long long)Instrs, TI * 1e3, TT * 1e3, TI / TT);
+    emitJsonRow("engine/" + Name, S, TI, 0, 0, EngineKind::Interp);
+    emitJsonRow("engine/" + Name, S, TT, 0, 0, EngineKind::Threaded);
+  }
+  std::printf("%-12s %12s %12.2f %12.2f %8.2fx\n", "TOTAL", "", TotalI * 1e3,
+              TotalT * 1e3, TotalI / TotalT);
+  emitJsonRow("engine/TOTAL", S, TotalI, 0, 0, EngineKind::Interp);
+  emitJsonRow("engine/TOTAL", S, TotalT, 0, 0, EngineKind::Threaded);
+  std::printf("\n");
+}
 
 void printTable() {
   const int64_t S = tableScale();
@@ -87,7 +143,10 @@ BENCHMARK(BM_FullTracking)->DenseRange(0, 1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_LoadOnlyTracking)->DenseRange(0, 1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char **argv) {
+  initJsonRows(&argc, argv);
+  initStats(&argc, argv);
   printTable();
+  printEngineTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -61,6 +61,9 @@ OracleConfig fuzz::randomOracleConfig(RNG &R) {
   C.Slicing.TrackCR = R.nextBelow(2) != 0;
   C.Slicing.HotPathCaches = R.nextBelow(2) != 0;
   C.Clients = uint32_t(R.nextBelow(8));
+  // Either backend may be the reference; the engines mode always runs the
+  // other one, so both orderings of the cross-check get fuzzed.
+  C.Engine = R.nextBelow(2) != 0 ? EngineKind::Threaded : EngineKind::Interp;
   return C;
 }
 

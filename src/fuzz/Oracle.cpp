@@ -96,6 +96,7 @@ std::string diffSnapshots(const Snapshot &Ref, const Snapshot &Got) {
 
 SessionConfig sessionConfig(const OracleConfig &Cfg) {
   SessionConfig SC;
+  SC.Engine = Cfg.Engine;
   SC.Instrument = true;
   SC.Clients = Cfg.Clients;
   SC.Slicing = Cfg.Slicing;
@@ -137,7 +138,23 @@ OracleResult fuzz::runOracle(const Module &M, const OracleConfig &Cfg) {
       return Fail("caches-flip", D);
   }
 
-  // Mode 2: record -> replay. Replaying the reference's trace into a fresh
+  // Mode 2: the other execution engine. The threaded backend promises the
+  // interpreter's exact hook stream, trap ordering and budget accounting,
+  // so every artifact — run facts included — must be byte-identical.
+  if (Cfg.CheckEngines) {
+    EngineKind Other = Cfg.Engine == EngineKind::Threaded
+                           ? EngineKind::Interp
+                           : EngineKind::Threaded;
+    SessionConfig SC = sessionConfig(Cfg);
+    SC.Engine = Other;
+    ProfileSession S(SC);
+    TimedRun R = S.run(M);
+    if (std::string D = diffSnapshots(RefSnap, snapshot(S, M, R.Run));
+        !D.empty())
+      return Fail(std::string("engines(") + engineKindName(Other) + ")", D);
+  }
+
+  // Mode 3: record -> replay. Replaying the reference's trace into a fresh
   // session must rebuild identical profiler state.
   if (Cfg.CheckReplay) {
     ProfileSession S(sessionConfig(Cfg));
@@ -149,7 +166,7 @@ OracleResult fuzz::runOracle(const Module &M, const OracleConfig &Cfg) {
       return Fail("replay", D);
   }
 
-  // Mode 3: sharded runs. For every shard count S the fold must equal one
+  // Mode 4: sharded runs. For every shard count S the fold must equal one
   // session running the module S times sequentially, at any thread count.
   if (Cfg.CheckSharded) {
     for (unsigned Shards : Cfg.ShardCounts) {
@@ -183,7 +200,7 @@ OracleResult fuzz::runOracle(const Module &M, const OracleConfig &Cfg) {
     }
   }
 
-  // Mode 4: GraphIO round trip — parse the canonical serialization and
+  // Mode 5: GraphIO round trip — parse the canonical serialization and
   // re-serialize; the bytes must be reproduced exactly.
   if (Cfg.CheckGraphIO && !RefSnap.Graph.empty()) {
     std::vector<std::string> Errors;
@@ -229,5 +246,7 @@ std::string fuzz::configFlags(const OracleConfig &Cfg) {
   Out += " --context-sensitive=" +
          std::to_string(int(Cfg.Slicing.ContextSensitive));
   Out += " --caches=" + std::to_string(int(Cfg.Slicing.HotPathCaches));
+  Out += std::string(" --engine=") + engineKindName(Cfg.Engine);
+  Out += " --engines=" + std::to_string(int(Cfg.CheckEngines));
   return Out;
 }

@@ -12,6 +12,9 @@
 ///
 ///   - the same session with SlicingConfig::HotPathCaches flipped (the
 ///     caches promise to be observation-free),
+///   - the same session on the other execution engine (threaded vs
+///     interpreted — runtime/ThreadedEngine.h promises a byte-identical
+///     hook stream, so Gcost, reports and run facts must agree),
 ///   - record -> replay through an in-memory trace sink,
 ///   - sharded runs (runShardedSession) at each configured shard count and
 ///     thread count, against a sequential-reuse reference session that
@@ -45,6 +48,9 @@ namespace fuzz {
 struct OracleConfig {
   /// Base slicing knobs; the caches-flip mode toggles HotPathCaches.
   SlicingConfig Slicing;
+  /// Engine the reference session (and every non-engine mode) runs on; the
+  /// engines mode runs the *other* backend and diffs against the reference.
+  EngineKind Engine = defaultEngineKind();
   /// kClient* mask driven through every mode.
   uint32_t Clients = kClientCopy | kClientNullness | kClientTypestate;
   /// Shard counts the sharded mode exercises.
@@ -55,6 +61,7 @@ struct OracleConfig {
   /// exhaustion is deterministic, so it cross-checks like any other run.
   uint64_t MaxInstructions = 50'000'000;
   bool CheckCachesFlip = true;
+  bool CheckEngines = true;
   bool CheckReplay = true;
   bool CheckSharded = true;
   bool CheckGraphIO = true;
@@ -62,8 +69,8 @@ struct OracleConfig {
 
 struct OracleResult {
   bool Ok = true;
-  /// The cross-check that diverged, e.g. "caches-flip", "replay",
-  /// "sharded(4, threads=4)", "graphio-roundtrip", "verifier".
+  /// The cross-check that diverged, e.g. "caches-flip", "engines(threaded)",
+  /// "replay", "sharded(4, threads=4)", "graphio-roundtrip", "verifier".
   std::string Mode;
   /// First-difference diagnostic: artifact, byte offset, excerpts.
   std::string Detail;

@@ -1,0 +1,52 @@
+//===- runtime/Engine.h - Execution engine selection -----------*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// EngineKind names the two execution backends behind the profiler policy
+/// template: the tree-walking reference interpreter (runtime/Interpreter.h)
+/// and the pre-decoded direct-threaded engine (runtime/ThreadedEngine.h).
+/// Both produce byte-identical Gcosts, client reports and run facts; the
+/// threaded engine is the fast baseline the overhead experiment of
+/// EXPERIMENTS.md divides by. Sessions default to defaultEngineKind(), which
+/// honors the LUD_ENGINE environment variable so a whole test run can be
+/// flipped onto either backend without touching any call site.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_RUNTIME_ENGINE_H
+#define LUD_RUNTIME_ENGINE_H
+
+#include <cstdint>
+#include <string>
+
+namespace lud {
+
+enum class EngineKind : uint8_t {
+  /// Tree-walking reference interpreter (runtime/Interpreter.h).
+  Interp,
+  /// Pre-decoded direct-threaded engine (runtime/ThreadedEngine.h).
+  Threaded,
+};
+
+/// Printable engine name: "interp" or "threaded".
+const char *engineKindName(EngineKind K);
+
+/// Comma-separated list of accepted engine names, for diagnostics.
+const char *validEngineNames();
+
+/// Parses an engine name ("interp" or "threaded") into \p Out. Returns
+/// false on an unknown name.
+bool parseEngineKind(const std::string &Name, EngineKind &Out);
+
+/// The engine sessions use when nothing is requested explicitly: the value
+/// of the LUD_ENGINE environment variable when set to a valid engine name,
+/// otherwise EngineKind::Interp. Read once and cached.
+EngineKind defaultEngineKind();
+
+} // namespace lud
+
+#endif // LUD_RUNTIME_ENGINE_H

@@ -45,6 +45,46 @@ struct RunConfig {
 
 enum class RunStatus : uint8_t { Finished, Trapped, BudgetExceeded };
 
+/// Comparison semantics shared by every execution engine: promote to float
+/// when either side is a float, otherwise compare as int64 (refs compare by
+/// id). Both Interpreter and ThreadedEngine evaluate predicates and cmp*
+/// instructions through this one definition, so the engines cannot drift.
+inline bool evalValueCmp(CmpOp Op, const Value &L, const Value &R) {
+  if (L.Kind == ValueKind::Float || R.Kind == ValueKind::Float) {
+    double A = L.asFloat(), B = R.asFloat();
+    switch (Op) {
+    case CmpOp::Eq:
+      return A == B;
+    case CmpOp::Ne:
+      return A != B;
+    case CmpOp::Lt:
+      return A < B;
+    case CmpOp::Le:
+      return A <= B;
+    case CmpOp::Gt:
+      return A > B;
+    case CmpOp::Ge:
+      return A >= B;
+    }
+  }
+  int64_t A = L.asInt(), B = R.asInt();
+  switch (Op) {
+  case CmpOp::Eq:
+    return A == B;
+  case CmpOp::Ne:
+    return A != B;
+  case CmpOp::Lt:
+    return A < B;
+  case CmpOp::Le:
+    return A <= B;
+  case CmpOp::Gt:
+    return A > B;
+  case CmpOp::Ge:
+    return A >= B;
+  }
+  lud_unreachable("unknown CmpOp");
+}
+
 struct RunResult {
   RunStatus Status = RunStatus::Finished;
   TrapKind Trap = TrapKind::None;
@@ -159,39 +199,7 @@ private:
   }
 
   static bool evalCmp(CmpOp Op, const Value &L, const Value &R) {
-    if (L.Kind == ValueKind::Float || R.Kind == ValueKind::Float) {
-      double A = L.asFloat(), B = R.asFloat();
-      switch (Op) {
-      case CmpOp::Eq:
-        return A == B;
-      case CmpOp::Ne:
-        return A != B;
-      case CmpOp::Lt:
-        return A < B;
-      case CmpOp::Le:
-        return A <= B;
-      case CmpOp::Gt:
-        return A > B;
-      case CmpOp::Ge:
-        return A >= B;
-      }
-    }
-    int64_t A = L.asInt(), B = R.asInt();
-    switch (Op) {
-    case CmpOp::Eq:
-      return A == B;
-    case CmpOp::Ne:
-      return A != B;
-    case CmpOp::Lt:
-      return A < B;
-    case CmpOp::Le:
-      return A <= B;
-    case CmpOp::Gt:
-      return A > B;
-    case CmpOp::Ge:
-      return A >= B;
-    }
-    lud_unreachable("unknown CmpOp");
+    return evalValueCmp(Op, L, R);
   }
 
   /// The fetch-execute loop. Returns the final status; on Finished the

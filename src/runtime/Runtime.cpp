@@ -1,10 +1,47 @@
 //===- runtime/Runtime.cpp - Misc runtime helpers --------------------------===//
 
+#include "runtime/Engine.h"
 #include "runtime/ProfilerConcept.h"
 
 #include "support/ErrorHandling.h"
 
+#include <cstdlib>
+
 using namespace lud;
+
+const char *lud::engineKindName(EngineKind K) {
+  switch (K) {
+  case EngineKind::Interp:
+    return "interp";
+  case EngineKind::Threaded:
+    return "threaded";
+  }
+  lud_unreachable("unknown EngineKind");
+}
+
+const char *lud::validEngineNames() { return "interp, threaded"; }
+
+bool lud::parseEngineKind(const std::string &Name, EngineKind &Out) {
+  if (Name == "interp") {
+    Out = EngineKind::Interp;
+    return true;
+  }
+  if (Name == "threaded") {
+    Out = EngineKind::Threaded;
+    return true;
+  }
+  return false;
+}
+
+EngineKind lud::defaultEngineKind() {
+  static const EngineKind Cached = [] {
+    EngineKind K = EngineKind::Interp;
+    if (const char *Env = std::getenv("LUD_ENGINE"))
+      parseEngineKind(Env, K);
+    return K;
+  }();
+  return Cached;
+}
 
 const char *lud::trapKindName(TrapKind K) {
   switch (K) {

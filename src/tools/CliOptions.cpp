@@ -113,6 +113,17 @@ bool OptionSet::parse(int argc, char **argv) {
   return true;
 }
 
+void cli::engineOption(OptionSet &P, EngineKind &E, std::string Help) {
+  P.custom("--engine", ValueMode::Required, std::move(Help),
+           [&E](const std::string &V) {
+             if (parseEngineKind(V, E))
+               return true;
+             errs() << "unknown engine '" << V
+                    << "' (valid: " << validEngineNames() << ")\n";
+             return false;
+           });
+}
+
 void OptionSet::usage() const { usage(errs()); }
 
 void OptionSet::usage(OutStream &OS) const {

@@ -22,6 +22,8 @@
 #ifndef LUD_TOOLS_CLIOPTIONS_H
 #define LUD_TOOLS_CLIOPTIONS_H
 
+#include "runtime/Engine.h"
+
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -114,6 +116,16 @@ private:
   std::vector<std::string> Positional;
   bool ExitNow = false;
 };
+
+/// Declares the shared `--engine` option on \p P: parses the value with
+/// parseEngineKind into \p E and rejects anything else with a diagnostic
+/// listing the valid engine names. Every executing tool (and lud-replay,
+/// where the knob is accepted-but-inert) declares it through this helper so
+/// the spelling, validation and diagnostic never drift between tools.
+void engineOption(OptionSet &P, EngineKind &E,
+                  std::string Help = "E  execution backend: interp "
+                                     "(reference) or threaded (fast; "
+                                     "default from LUD_ENGINE)");
 
 } // namespace cli
 } // namespace lud

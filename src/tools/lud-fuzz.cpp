@@ -7,9 +7,10 @@
 ///
 /// \file
 /// Randomized differential testing of every execution mode: live
-/// single-thread, HotPathCaches flipped, sharded at 2/4/8 shards and
-/// several thread counts, record -> replay, and the GraphIO round trip,
-/// all cross-checked for byte-identical Gcost and client reports.
+/// single-thread, HotPathCaches flipped, threaded vs interpreted execution,
+/// sharded at 2/4/8 shards and several thread counts, record -> replay, and
+/// the GraphIO round trip, all cross-checked for byte-identical Gcost and
+/// client reports.
 ///
 ///   lud-fuzz --runs=500 --seed=1                     # fuzz, exit 1 on bug
 ///   lud-fuzz --runs=200 --time-budget=120s           # bounded nightly job
@@ -122,6 +123,14 @@ int main(int argc, char **argv) {
            "0|1  base HotPathCaches setting for --check (default 1)",
            [&](const std::string &S) {
              return parseBool("--caches", S, Check.Slicing.HotPathCaches);
+           });
+  cli::engineOption(P, Check.Engine,
+                    "E  reference engine for --check: interp or threaded "
+                    "(the engines mode cross-checks the other one)");
+  P.custom("--engines", cli::ValueMode::Required,
+           "0|1  cross-check threaded vs interpreted execution (default 1)",
+           [&](const std::string &S) {
+             return parseBool("--engines", S, Check.CheckEngines);
            });
   if (!P.parse(argc, argv)) {
     P.usage();

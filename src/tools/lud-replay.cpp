@@ -53,6 +53,7 @@ struct Options {
   std::string DumpGraph;
   StatsMode Stats = StatsMode::Off;
   std::string StatsOut;
+  EngineKind Engine = defaultEngineKind();
 };
 
 void declareOptions(cli::OptionSet &P, Options &O) {
@@ -70,6 +71,10 @@ void declareOptions(cli::OptionSet &P, Options &O) {
              return false;
            });
   P.number("--slots", O.Slots, "N  context slots s (default 16)", /*Min=*/1);
+  cli::engineOption(P, O.Engine,
+                    "E  execution backend name (validated for symmetry "
+                    "with lud-run; replay never executes code, so the "
+                    "replayed results are engine-independent)");
   P.number("--depth", O.Client.Depth,
            "N  reference-tree height n (default 4)");
   P.number("--top", O.Client.TopK, "K  rows per report (default 15)");

@@ -64,6 +64,7 @@ struct Options {
   std::string StatsOut;
   int64_t Shards = 1;
   int64_t Threads = 1;
+  EngineKind Engine = defaultEngineKind();
 };
 
 bool isPowerOfTwo(uint32_t N) { return N != 0 && (N & (N - 1)) == 0; }
@@ -93,6 +94,7 @@ void declareOptions(cli::OptionSet &P, Options &O) {
              return false;
            });
   P.flag("--baseline", O.Baseline, "run without instrumentation (timing)");
+  cli::engineOption(P, O.Engine);
   P.str("--record", O.RecordPath,
         "F  record the hook stream to trace file F (one file per shard)");
   P.str("--replay", O.ReplayPath,
@@ -251,6 +253,7 @@ int main(int argc, char **argv) {
 
   if (O.Baseline) {
     SessionConfig BCfg;
+    BCfg.Engine = O.Engine;
     BCfg.Instrument = false;
     BCfg.Run = RCfg;
     BCfg.CollectStats = O.Stats != StatsMode::Off;
@@ -276,6 +279,7 @@ int main(int argc, char **argv) {
   // requested client rides the same composed pipeline. --shards 1 (the
   // default) is a plain single session.
   SessionConfig SCfg;
+  SCfg.Engine = O.Engine;
   SCfg.Slicing.ContextSlots = uint32_t(O.Slots);
   SCfg.Clients = O.Clients;
   SCfg.Run = RCfg;

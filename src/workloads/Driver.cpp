@@ -5,6 +5,7 @@
 #include "analysis/Report.h"
 #include "obs/PhaseTimer.h"
 #include "runtime/ComposedProfiler.h"
+#include "runtime/ThreadedEngine.h"
 #include "support/OutStream.h"
 #include "trace/TraceRecorder.h"
 #include "trace/TraceReplayer.h"
@@ -84,27 +85,23 @@ TimedRun ProfileSession::run(const Module &M) {
                          NullnessProfiler, TypestateProfiler>;
     Pipeline P(Recorder.get(), Slicing.get(), Copy.get(), Null.get(),
                Type.get());
-    Interpreter<Pipeline> Interp(M, H, P, Cfg.Run);
-    Out.Run = Interp.run();
+    Out.Run = runWithEngine(Cfg.Engine, M, H, P, Cfg.Run);
   } else if (!Slicing) {
     // Empty pipeline: the stock-JVM baseline, bit-identical in behavior to
     // the old NoopProfiler path.
     ComposedProfiler<> P;
-    Interpreter<ComposedProfiler<>> Interp(M, H, P, Cfg.Run);
-    Out.Run = Interp.run();
+    Out.Run = runWithEngine(Cfg.Engine, M, H, P, Cfg.Run);
   } else if (!Cfg.Clients) {
     // Substrate only: keep the single-profiler instantiation so Table 1
     // overhead numbers measure the substrate, not pipeline dispatch.
-    Interpreter<SlicingProfiler> Interp(M, H, *Slicing, Cfg.Run);
-    Out.Run = Interp.run();
+    Out.Run = runWithEngine(Cfg.Engine, M, H, *Slicing, Cfg.Run);
   } else {
     // One pass, every client: substrate first (it writes the heap tags the
     // clients read), then the clients; disabled stages are null and skipped.
     using Pipeline = ComposedProfiler<SlicingProfiler, CopyProfiler,
                                       NullnessProfiler, TypestateProfiler>;
     Pipeline P(Slicing.get(), Copy.get(), Null.get(), Type.get());
-    Interpreter<Pipeline> Interp(M, H, P, Cfg.Run);
-    Out.Run = Interp.run();
+    Out.Run = runWithEngine(Cfg.Engine, M, H, P, Cfg.Run);
   }
   Out.Seconds = secondsSince(T0);
   Span.stop();

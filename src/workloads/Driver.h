@@ -29,6 +29,7 @@
 #include "profiling/NullnessProfiler.h"
 #include "profiling/SlicingProfiler.h"
 #include "profiling/TypestateProfiler.h"
+#include "runtime/Engine.h"
 #include "runtime/Interpreter.h"
 
 #include <cstdio>
@@ -59,6 +60,13 @@ enum : uint32_t {
 };
 
 struct SessionConfig {
+  /// Execution backend for live runs: the reference interpreter or the
+  /// direct-threaded engine (runtime/ThreadedEngine.h). Both drive the same
+  /// profiler pipelines with an identical hook stream, so Gcost, client
+  /// reports and run facts are byte-identical either way; only the speed
+  /// differs. Defaults from the LUD_ENGINE environment variable. Replays
+  /// never execute code, so this knob does not affect them.
+  EngineKind Engine = defaultEngineKind();
   /// Build Gcost (the slicing substrate). False with no clients is the
   /// uninstrumented baseline; any enabled client forces the substrate on,
   /// since clients read the heap tags it writes.
