@@ -35,13 +35,15 @@ void printTable() {
   for (const char *Name : kApps) {
     Workload W = buildWorkload(Name, S);
     ProfiledRun P = runProfiled(*W.M);
-    const DepGraph &G = P.Prof->graph();
+    FrozenGraph G(P.Prof->graph());
     for (unsigned K = 1; K <= 3; ++K) {
       auto T0 = std::chrono::steady_clock::now();
       double RacSum = 0;
       uint64_t Locs = 0, NativeLocs = 0;
-      for (const auto &[Loc, Writers] : G.writers()) {
-        LocCostBenefit CB = multiHopLocCostBenefit(G, Loc, K);
+      for (size_t LI = 0; LI != G.numLocs(); ++LI) {
+        if (G.writersAt(LI).empty())
+          continue;
+        LocCostBenefit CB = multiHopLocCostBenefit(G, G.loc(LI), K);
         RacSum += CB.Rac;
         ++Locs;
         NativeLocs += CB.ReachesNative ? 1 : 0;
@@ -63,12 +65,15 @@ void printTable() {
 void BM_MultiHopSweep(benchmark::State &State) {
   Workload W = buildWorkload("eclipse", tableScale() / 4);
   ProfiledRun P = runProfiled(*W.M);
-  const DepGraph &G = P.Prof->graph();
+  FrozenGraph G(P.Prof->graph());
   unsigned K = unsigned(State.range(0));
   for (auto _ : State) {
     double Sum = 0;
-    for (const auto &[Loc, Writers] : G.writers())
-      Sum += multiHopLocCostBenefit(G, Loc, K).Rac;
+    for (size_t LI = 0; LI != G.numLocs(); ++LI) {
+      if (G.writersAt(LI).empty())
+        continue;
+      Sum += multiHopLocCostBenefit(G, G.loc(LI), K).Rac;
+    }
     benchmark::DoNotOptimize(Sum);
   }
   State.SetLabel("k=" + std::to_string(K));

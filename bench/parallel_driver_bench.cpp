@@ -52,8 +52,15 @@ void printTable() {
   std::printf("suite of %zu: sequential %.3fs, %u threads %.3fs (%.2fx)\n",
               Mods.size(), RSeq.Seconds, Threads, RPar.Seconds,
               RPar.Seconds > 0 ? RSeq.Seconds / RPar.Seconds : 0);
-  emitJsonRow("parallel_driver/suite_seq", S, RSeq.Seconds, 0, 0);
-  emitJsonRow("parallel_driver/suite_par", S, RPar.Seconds, 0, 0);
+  size_t SuiteNodes = 0, SuiteEdges = 0;
+  for (const ProfiledRun &R : RPar.Runs) {
+    SuiteNodes += R.Prof->graph().numNodes();
+    SuiteEdges += R.Prof->graph().numEdges();
+  }
+  emitJsonRow("parallel_driver/suite_seq", S, RSeq.Seconds, SuiteNodes,
+              SuiteEdges);
+  emitJsonRow("parallel_driver/suite_par", S, RPar.Seconds, SuiteNodes,
+              SuiteEdges);
 
   // Sharded merge on one workload: graphs must agree with sequential.
   Workload W = buildWorkload("eclipse", S);

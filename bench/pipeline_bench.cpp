@@ -22,22 +22,34 @@ namespace {
 constexpr uint32_t kAllClients =
     kClientCopy | kClientNullness | kClientTypestate;
 
-double singlePassSeconds(const Module &M) {
+struct PassResult {
+  double Seconds = 0;
+  size_t Nodes = 0;
+  size_t Edges = 0;
+};
+
+PassResult singlePassSeconds(const Module &M) {
   SessionConfig Cfg;
   Cfg.Clients = kAllClients;
   ProfileSession S(Cfg);
-  return S.run(M).Seconds;
+  PassResult R;
+  R.Seconds = S.run(M).Seconds;
+  R.Nodes = S.slicing()->graph().numNodes();
+  R.Edges = S.slicing()->graph().numEdges();
+  return R;
 }
 
-double nPassSeconds(const Module &M) {
-  double Total = 0;
+PassResult nPassSeconds(const Module &M) {
+  PassResult R;
   for (uint32_t Client : {kClientCopy, kClientNullness, kClientTypestate}) {
     SessionConfig Cfg;
     Cfg.Clients = Client;
     ProfileSession S(Cfg);
-    Total += S.run(M).Seconds;
+    R.Seconds += S.run(M).Seconds;
+    R.Nodes = S.slicing()->graph().numNodes();
+    R.Edges = S.slicing()->graph().numEdges();
   }
-  return Total;
+  return R;
 }
 
 void printTable() {
@@ -49,12 +61,13 @@ void printTable() {
               "speedup");
   for (const std::string &Name : dacapoNames()) {
     Workload W = buildWorkload(Name, S);
-    double One = singlePassSeconds(*W.M);
-    double N = nPassSeconds(*W.M);
-    std::printf("%-12s %11.3fs %11.3fs %7.2fx\n", Name.c_str(), One, N,
-                One > 0 ? N / One : 0);
-    emitJsonRow("pipeline/single_pass/" + Name, S, One, 0, 0);
-    emitJsonRow("pipeline/n_pass/" + Name, S, N, 0, 0);
+    PassResult One = singlePassSeconds(*W.M);
+    PassResult N = nPassSeconds(*W.M);
+    std::printf("%-12s %11.3fs %11.3fs %7.2fx\n", Name.c_str(), One.Seconds,
+                N.Seconds, One.Seconds > 0 ? N.Seconds / One.Seconds : 0);
+    emitJsonRow("pipeline/single_pass/" + Name, S, One.Seconds, One.Nodes,
+                One.Edges);
+    emitJsonRow("pipeline/n_pass/" + Name, S, N.Seconds, N.Nodes, N.Edges);
   }
   std::printf("\n");
 

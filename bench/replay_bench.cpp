@@ -31,11 +31,17 @@ namespace {
 constexpr uint32_t kAllClients =
     kClientCopy | kClientNullness | kClientTypestate;
 
-double liveSeconds(const Module &M) {
+double liveSeconds(const Module &M, size_t *Nodes = nullptr,
+                   size_t *Edges = nullptr) {
   SessionConfig Cfg;
   Cfg.Clients = kAllClients;
   ProfileSession S(Cfg);
-  return S.run(M).Seconds;
+  double Sec = S.run(M).Seconds;
+  if (Nodes)
+    *Nodes = S.slicing()->graph().numNodes();
+  if (Edges)
+    *Edges = S.slicing()->graph().numEdges();
+  return Sec;
 }
 
 double recordSeconds(const Module &M, std::string *TraceOut) {
@@ -71,16 +77,17 @@ void printTable() {
               "record", "replay-only", "rec-cost", "trace-KB");
   for (const std::string &Name : dacapoNames()) {
     Workload W = buildWorkload(Name, S);
-    double Live = liveSeconds(*W.M);
+    size_t Nodes = 0, Edges = 0;
+    double Live = liveSeconds(*W.M, &Nodes, &Edges);
     std::string Trace;
     double Rec = recordSeconds(*W.M, &Trace);
     double Rep = replaySeconds(*W.M, Trace);
     std::printf("%-12s %9.3fs %9.3fs %11.3fs %9.2fx %9.1f\n", Name.c_str(),
                 Live, Rec, Rep, Live > 0 ? Rec / Live : 0,
                 double(Trace.size()) / 1024.0);
-    emitJsonRow("replay/live/" + Name, S, Live, 0, 0);
-    emitJsonRow("replay/record/" + Name, S, Rec, 0, 0);
-    emitJsonRow("replay/replay_only/" + Name, S, Rep, 0, 0);
+    emitJsonRow("replay/live/" + Name, S, Live, Nodes, Edges);
+    emitJsonRow("replay/record/" + Name, S, Rec, Nodes, Edges);
+    emitJsonRow("replay/replay_only/" + Name, S, Rep, Nodes, Edges);
   }
   std::printf("\n");
 

@@ -13,11 +13,11 @@ using namespace lud;
 std::vector<CacheScore> lud::rankCacheEffectiveness(const CostModel &CM,
                                                     const Module &M,
                                                     CacheOptions Opts) {
-  const DepGraph &G = CM.graph();
+  const FrozenGraph &G = CM.graph();
   std::map<AllocSiteId, CacheScore> BySite;
 
   for (uint64_t Tag : CM.allTags()) {
-    if (DepGraph::isStaticTag(Tag))
+    if (FrozenGraph::isStaticTag(Tag))
       continue;
     AllocSiteId Site = G.tagSite(Tag);
     CacheScore &S = BySite[Site];
@@ -33,14 +33,10 @@ std::vector<CacheScore> lud::rankCacheEffectiveness(const CostModel &CM,
     for (FieldSlot Slot : CM.fieldsOf(Tag)) {
       HeapLoc L{Tag, Slot};
       uint64_t Writes = 0, Reads = 0;
-      auto WIt = G.writers().find(L);
-      if (WIt != G.writers().end())
-        for (NodeId W : WIt->second)
-          Writes += G.freq(W);
-      auto RIt = G.readers().find(L);
-      if (RIt != G.readers().end())
-        for (NodeId R : RIt->second)
-          Reads += G.freq(R);
+      for (NodeId W : G.writersOf(L))
+        Writes += G.freq(W);
+      for (NodeId R : G.readersOf(L))
+        Reads += G.freq(R);
       S.Writes += Writes;
       S.Reads += Reads;
       // ...plus the store instances maintaining it (one instance each;

@@ -79,13 +79,13 @@ int lud::overwriteRankOf(const std::vector<OverwriteRow> &Rows,
 
 std::vector<MethodCostRow> lud::computeMethodCosts(const CostModel &CM,
                                                    const Module &M) {
-  const DepGraph &G = CM.graph();
+  const FrozenGraph &G = CM.graph();
   std::map<FuncId, MethodCostRow> Agg;
   std::map<FuncId, uint64_t> RetHracSum;
   for (NodeId N = 0; N != NodeId(G.numNodes()); ++N) {
-    const DepGraph::Node &Node = G.node(N);
-    const Instruction *I = M.getInstr(Node.Instr);
-    FuncId F = M.getInstrFunction(Node.Instr)->getId();
+    InstrId Instr = G.instr(N);
+    const Instruction *I = M.getInstr(Instr);
+    FuncId F = M.getInstrFunction(Instr)->getId();
     MethodCostRow &Row = Agg[F];
     if (Row.Func == kNoFunc) {
       Row.Func = F;
@@ -124,7 +124,7 @@ lud::findConstantPredicates(const SlicingProfiler &P, const CostModel &CM,
       continue;
     ConstantPredicateRow Row;
     Row.Node = Node;
-    Row.Instr = P.graph().node(Node).Instr;
+    Row.Instr = CM.graph().instr(Node);
     Row.Executions = Total;
     Row.AlwaysTrue = Outcome.TakenCount != 0;
     Row.OperandCost = CM.hrac(Node);

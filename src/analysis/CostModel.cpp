@@ -6,18 +6,31 @@
 
 using namespace lud;
 
-CostModel::CostModel(const DepGraph &G) : G(G) {
-  auto Note = [&](const HeapLoc &L) {
+CostModel::CostModel(const FrozenGraph &G) : G(G) { init(); }
+
+CostModel::CostModel(const DepGraph &DG)
+    : Owned(std::make_unique<FrozenGraph>(DG)), G(*Owned) {
+  init();
+}
+
+void CostModel::init() {
+  // The location universe is sorted by (Tag, Slot), so each tag's slots
+  // arrive in ascending order and adjacent-dedup reproduces the sorted
+  // unique slot list directly.
+  for (size_t I = 0; I != G.numLocs(); ++I) {
+    if (G.writersAt(I).empty() && G.readersAt(I).empty())
+      continue; // refchild-only location: not an observed field access.
+    HeapLoc L = G.loc(I);
     std::vector<FieldSlot> &Slots = FieldsByTag[L.Tag];
-    if (std::find(Slots.begin(), Slots.end(), L.Slot) == Slots.end())
+    if (Slots.empty() || Slots.back() != L.Slot)
       Slots.push_back(L.Slot);
-  };
-  for (const auto &[Loc, Writers] : G.writers())
-    Note(Loc);
-  for (const auto &[Loc, Readers] : G.readers())
-    Note(Loc);
-  for (auto &[Tag, Slots] : FieldsByTag)
-    std::sort(Slots.begin(), Slots.end());
+  }
+  const size_t N = G.numNodes();
+  HracCache.resize(N);
+  HracValid.assign(N, 0);
+  HrabCache.resize(N);
+  HrabValid.assign(N, 0);
+  VisitMark.assign(N, 0);
 }
 
 namespace {
@@ -31,30 +44,33 @@ uint64_t saturatingAdd(uint64_t A, uint64_t B) {
   return S < A ? ~uint64_t(0) : S;
 }
 
-/// Shared BFS worker. Follows Out edges when Forward, else In edges.
-/// Neighbors for which \p Blocked returns true are neither counted nor
-/// expanded. Returns the frequency sum over visited nodes (start included)
-/// and invokes \p OnVisit for each visited node.
+} // namespace
+
+/// Shared BFS worker over the CSR adjacency. Follows out() when Forward,
+/// else in(). Neighbors for which \p Blocked returns true are neither
+/// counted nor expanded. Returns the frequency sum over visited nodes
+/// (start included) and invokes \p OnVisit for each visited node. Visited
+/// state is the epoch-stamped dense column, so a query costs no O(N)
+/// clear and no hashing.
 template <typename BlockedFn, typename VisitFn>
-uint64_t closureFreq(const DepGraph &G, NodeId Start, bool Forward,
-                     BlockedFn Blocked, VisitFn OnVisit) {
-  std::vector<NodeId> Work;
-  std::unordered_map<NodeId, bool> Visited;
+static uint64_t closureFreq(const FrozenGraph &G, NodeId Start, bool Forward,
+                            std::vector<uint32_t> &Mark, uint32_t Epoch,
+                            std::vector<NodeId> &Work, BlockedFn Blocked,
+                            VisitFn OnVisit) {
+  Work.clear();
   Work.push_back(Start);
-  Visited[Start] = true;
+  Mark[Start] = Epoch;
   uint64_t Sum = 0;
   while (!Work.empty()) {
     NodeId N = Work.back();
     Work.pop_back();
-    const DepGraph::Node &Node = G.node(N);
     Sum = saturatingAdd(Sum, G.freq(N));
-    OnVisit(Node);
-    const std::vector<NodeId> &Next = Forward ? Node.Out : Node.In;
-    for (NodeId M : Next) {
-      if (Visited.count(M))
+    OnVisit(N);
+    for (NodeId M : Forward ? G.out(N) : G.in(N)) {
+      if (Mark[M] == Epoch)
         continue;
-      Visited[M] = true;
-      if (Blocked(G.node(M)))
+      Mark[M] = Epoch;
+      if (Blocked(M))
         continue;
       Work.push_back(M);
     }
@@ -62,65 +78,64 @@ uint64_t closureFreq(const DepGraph &G, NodeId Start, bool Forward,
   return Sum;
 }
 
-} // namespace
-
 uint64_t CostModel::abstractCost(NodeId N) const {
   return closureFreq(
-      G, N, /*Forward=*/false, [](const DepGraph::Node &) { return false; },
-      [](const DepGraph::Node &) {});
+      G, N, /*Forward=*/false, VisitMark, ++VisitEpoch, WorkScratch,
+      [](NodeId) { return false; }, [](NodeId) {});
 }
 
 uint64_t CostModel::hrac(NodeId N) const {
-  auto It = HracCache.find(N);
-  if (It != HracCache.end())
-    return It->second;
+  if (HracValid[N])
+    return HracCache[N];
   // Definition 5: no node on the path may read from a static or object
   // field, so heap-reading predecessors are not entered (and not counted).
   uint64_t Cost = closureFreq(
-      G, N, /*Forward=*/false,
-      [](const DepGraph::Node &M) { return M.ReadsHeap; },
-      [](const DepGraph::Node &) {});
-  HracCache.emplace(N, Cost);
+      G, N, /*Forward=*/false, VisitMark, ++VisitEpoch, WorkScratch,
+      [this](NodeId M) { return G.readsHeap(M); }, [](NodeId) {});
+  HracCache[N] = Cost;
+  HracValid[N] = 1;
   return Cost;
 }
 
 const BenefitInfo &CostModel::hrab(NodeId N) const {
-  auto It = HrabCache.find(N);
-  if (It != HrabCache.end())
-    return It->second;
+  if (HrabValid[N])
+    return HrabCache[N];
   BenefitInfo Info;
   Info.Benefit = closureFreq(
-      G, N, /*Forward=*/true,
-      [](const DepGraph::Node &M) { return M.WritesHeap; },
-      [&Info](const DepGraph::Node &M) {
-        if (M.Consumer == ConsumerKind::Predicate)
+      G, N, /*Forward=*/true, VisitMark, ++VisitEpoch, WorkScratch,
+      [this](NodeId M) { return G.writesHeap(M); },
+      [this, &Info](NodeId M) {
+        ConsumerKind C = G.consumer(M);
+        if (C == ConsumerKind::Predicate)
           Info.ReachesPredicate = true;
-        else if (M.Consumer == ConsumerKind::Native)
+        else if (C == ConsumerKind::Native)
           Info.ReachesNative = true;
       });
-  return HrabCache.emplace(N, Info).first->second;
+  HrabCache[N] = Info;
+  HrabValid[N] = 1;
+  return HrabCache[N];
 }
 
 LocCostBenefit CostModel::locCostBenefit(const HeapLoc &L) const {
   LocCostBenefit CB;
-  auto WIt = G.writers().find(L);
-  if (WIt != G.writers().end() && !WIt->second.empty()) {
+  auto Writers = G.writersOf(L);
+  if (!Writers.empty()) {
     uint64_t Sum = 0;
-    for (NodeId W : WIt->second)
+    for (NodeId W : Writers)
       Sum = saturatingAdd(Sum, hrac(W));
-    CB.NumWriters = WIt->second.size();
+    CB.NumWriters = Writers.size();
     CB.Rac = double(Sum) / double(CB.NumWriters);
   }
-  auto RIt = G.readers().find(L);
-  if (RIt != G.readers().end() && !RIt->second.empty()) {
+  auto Readers = G.readersOf(L);
+  if (!Readers.empty()) {
     uint64_t Sum = 0;
-    for (NodeId R : RIt->second) {
+    for (NodeId R : Readers) {
       const BenefitInfo &B = hrab(R);
       Sum = saturatingAdd(Sum, B.Benefit);
       CB.ReachesPredicate |= B.ReachesPredicate;
       CB.ReachesNative |= B.ReachesNative;
     }
-    CB.NumReaders = RIt->second.size();
+    CB.NumReaders = Readers.size();
     CB.Rab = double(Sum) / double(CB.NumReaders);
   }
   return CB;
@@ -134,11 +149,10 @@ const std::vector<FieldSlot> &CostModel::fieldsOf(uint64_t Tag) const {
 
 std::vector<uint64_t> CostModel::allTags() const {
   std::vector<uint64_t> Tags;
-  Tags.reserve(G.allocNodes().size());
-  for (const auto &[Tag, Node] : G.allocNodes())
+  Tags.reserve(G.allocEntries().size());
+  for (const auto &[Tag, Node] : G.allocEntries())
     Tags.push_back(Tag);
-  std::sort(Tags.begin(), Tags.end());
-  return Tags;
+  return Tags; // allocEntries() is already tag-sorted.
 }
 
 ObjectCostBenefit CostModel::objectCostBenefit(uint64_t RootTag,
@@ -156,10 +170,7 @@ ObjectCostBenefit CostModel::objectCostBenefit(uint64_t RootTag,
     if (D >= Depth)
       continue;
     for (FieldSlot Slot : fieldsOf(Tag)) {
-      auto It = G.refChildren().find(HeapLoc{Tag, Slot});
-      if (It == G.refChildren().end())
-        continue;
-      for (uint64_t Child : It->second) {
+      for (uint64_t Child : G.refChildrenOf(HeapLoc{Tag, Slot})) {
         if (DepthOf.count(Child))
           continue; // Cycle / diamond: keep the first (shallowest) depth.
         DepthOf[Child] = D + 1;
@@ -179,10 +190,10 @@ ObjectCostBenefit CostModel::objectCostBenefit(uint64_t RootTag,
       HeapLoc L{Tag, Slot};
       // Reference fields count only when a pointed-to object is in the
       // tree as well (Definition 7); scalar fields always count.
-      auto RC = G.refChildren().find(L);
-      if (RC != G.refChildren().end()) {
+      auto RC = G.refChildrenOf(L);
+      if (!RC.empty()) {
         bool AnyChildInTree = false;
-        for (uint64_t Child : RC->second) {
+        for (uint64_t Child : RC) {
           if (DepthOf.count(Child)) {
             AnyChildInTree = true;
             break;

@@ -16,13 +16,19 @@
 ///   - n-RAC / n-RAB (Definition 7): aggregation over an object reference
 ///     tree of bounded height (default n = 4, the HashSet chain length).
 ///
+/// The model reads the sealed graph representation (profiling/FrozenGraph.h):
+/// closures stream CSR adjacency and SoA attribute columns, and the
+/// per-node memo/visited state is dense arrays indexed by NodeId, so the
+/// traversals stay cache-resident at the paper's 139K-860K node scale.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LUD_ANALYSIS_COSTMODEL_H
 #define LUD_ANALYSIS_COSTMODEL_H
 
-#include "profiling/DepGraph.h"
+#include "profiling/FrozenGraph.h"
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -58,13 +64,20 @@ struct ObjectCostBenefit {
   bool ReachesNative = false;
 };
 
-/// Query object over a finished Gcost. All traversal results are memoized;
-/// the graph must not change afterwards.
+/// Query object over a sealed Gcost. All traversal results are memoized;
+/// the graph must outlive the model.
 class CostModel {
 public:
-  explicit CostModel(const DepGraph &G);
+  /// Reads \p G directly — the seal-once pipeline the tools use.
+  explicit CostModel(const FrozenGraph &G);
 
-  const DepGraph &graph() const { return G; }
+  /// Convenience: seals a copy of \p DG and owns the result. Analysis
+  /// results and serialization are byte-identical to sealing at the call
+  /// site; prefer the FrozenGraph overload when several consumers share
+  /// one graph.
+  explicit CostModel(const DepGraph &DG);
+
+  const FrozenGraph &graph() const { return G; }
 
   /// Definition 4: sum of frequencies of all nodes that reach \p N
   /// (including N itself).
@@ -92,11 +105,24 @@ public:
   std::vector<uint64_t> allTags() const;
 
 private:
-  const DepGraph &G;
+  void init();
+
+  /// Set when this model sealed its own graph (DepGraph constructor).
+  std::unique_ptr<FrozenGraph> Owned;
+  const FrozenGraph &G;
   /// tag -> observed field slots (sorted).
   std::unordered_map<uint64_t, std::vector<FieldSlot>> FieldsByTag;
-  mutable std::unordered_map<NodeId, uint64_t> HracCache;
-  mutable std::unordered_map<NodeId, BenefitInfo> HrabCache;
+  /// Dense per-node memo columns; Valid bitmaps gate them (a saturated
+  /// cost is a legal value, so no sentinel encoding).
+  mutable std::vector<uint64_t> HracCache;
+  mutable std::vector<uint8_t> HracValid;
+  mutable std::vector<BenefitInfo> HrabCache;
+  mutable std::vector<uint8_t> HrabValid;
+  /// Epoch-stamped visited marks: a closure bumps the epoch instead of
+  /// clearing N bytes per query.
+  mutable std::vector<uint32_t> VisitMark;
+  mutable uint32_t VisitEpoch = 0;
+  mutable std::vector<NodeId> WorkScratch;
 };
 
 } // namespace lud

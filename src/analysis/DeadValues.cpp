@@ -7,7 +7,7 @@ using namespace lud;
 namespace {
 
 /// Marks everything backward-reachable (via In edges) from the seed set.
-void backwardMark(const DepGraph &G, const std::vector<NodeId> &Seeds,
+void backwardMark(const FrozenGraph &G, const std::vector<NodeId> &Seeds,
                   std::vector<bool> &Mark) {
   std::vector<NodeId> Work(Seeds);
   for (NodeId S : Seeds)
@@ -15,7 +15,7 @@ void backwardMark(const DepGraph &G, const std::vector<NodeId> &Seeds,
   while (!Work.empty()) {
     NodeId N = Work.back();
     Work.pop_back();
-    for (NodeId P : G.node(N).In) {
+    for (NodeId P : G.in(N)) {
       if (Mark[P])
         continue;
       Mark[P] = true;
@@ -26,7 +26,7 @@ void backwardMark(const DepGraph &G, const std::vector<NodeId> &Seeds,
 
 } // namespace
 
-DeadValueAnalysis lud::computeDeadValues(const DepGraph &G,
+DeadValueAnalysis lud::computeDeadValues(const FrozenGraph &G,
                                          uint64_t ExecutedInstrs) {
   const size_t N = G.numNodes();
   DeadValueAnalysis Out;
@@ -35,8 +35,7 @@ DeadValueAnalysis lud::computeDeadValues(const DepGraph &G,
 
   std::vector<NodeId> Predicates, Natives, DeadSinks;
   for (NodeId I = 0; I != NodeId(N); ++I) {
-    const DepGraph::Node &Node = G.node(I);
-    switch (Node.Consumer) {
+    switch (G.consumer(I)) {
     case ConsumerKind::Predicate:
       Predicates.push_back(I);
       break;
@@ -44,7 +43,7 @@ DeadValueAnalysis lud::computeDeadValues(const DepGraph &G,
       Natives.push_back(I);
       break;
     case ConsumerKind::None:
-      if (Node.Out.empty())
+      if (G.outDegree(I) == 0)
         DeadSinks.push_back(I); // The set D.
       break;
     }
@@ -59,8 +58,7 @@ DeadValueAnalysis lud::computeDeadValues(const DepGraph &G,
   Out.Metrics.TotalInstrInstances = ExecutedInstrs;
   Out.Metrics.TotalNodes = N;
   for (NodeId I = 0; I != NodeId(N); ++I) {
-    const DepGraph::Node &Node = G.node(I);
-    bool IsConsumer = Node.Consumer != ConsumerKind::None;
+    bool IsConsumer = G.consumer(I) != ConsumerKind::None;
     // D*: leads only to dead sinks, i.e. reaches no consumer at all.
     if (!IsConsumer && !ReachesPred[I] && !ReachesNative[I]) {
       Out.Dead[I] = true;
@@ -77,4 +75,9 @@ DeadValueAnalysis lud::computeDeadValues(const DepGraph &G,
     }
   }
   return Out;
+}
+
+DeadValueAnalysis lud::computeDeadValues(const DepGraph &G,
+                                         uint64_t ExecutedInstrs) {
+  return computeDeadValues(FrozenGraph(G), ExecutedInstrs);
 }

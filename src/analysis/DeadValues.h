@@ -17,7 +17,7 @@
 #ifndef LUD_ANALYSIS_DEADVALUES_H
 #define LUD_ANALYSIS_DEADVALUES_H
 
-#include "profiling/DepGraph.h"
+#include "profiling/FrozenGraph.h"
 
 #include <vector>
 
@@ -61,8 +61,15 @@ struct DeadValueAnalysis {
   std::vector<bool> PredicateOnly;
 };
 
-/// Runs the analysis over a finished graph. \p ExecutedInstrs is the run's
-/// instruction count (RunResult::ExecutedInstrs).
+/// Runs the analysis over a sealed graph. \p ExecutedInstrs is the run's
+/// instruction count (RunResult::ExecutedInstrs). The sweep touches only
+/// the meta and frequency columns plus CSR In edges. Dead/PredicateOnly
+/// are indexed by NodeId, which sealing preserves.
+DeadValueAnalysis computeDeadValues(const FrozenGraph &G,
+                                    uint64_t ExecutedInstrs);
+
+/// Convenience for build-phase graphs: seals a copy and runs the analysis
+/// on it (identical classification — node ids survive sealing).
 DeadValueAnalysis computeDeadValues(const DepGraph &G,
                                     uint64_t ExecutedInstrs);
 

@@ -2,7 +2,6 @@
 
 #include "analysis/MultiHop.h"
 
-#include <unordered_map>
 #include <vector>
 
 using namespace lud;
@@ -12,42 +11,39 @@ namespace {
 /// Budgeted closure: from Start, follow In (backward) or Out (forward)
 /// edges; entering a boundary node (heap read backward / heap write
 /// forward) costs one hop of budget and boundary nodes are counted.
-/// Revisits are allowed when they carry a larger remaining budget.
+/// Revisits are allowed when they carry a larger remaining budget. The
+/// per-node best-budget table is a dense column (budget+1 encoded, 0 =
+/// unvisited) so paper-scale traversals skip hashing.
 template <typename BoundaryFn, typename VisitFn>
-uint64_t budgetedClosure(const DepGraph &G, NodeId Start, bool Forward,
+uint64_t budgetedClosure(const FrozenGraph &G, NodeId Start, bool Forward,
                          unsigned Budget, BoundaryFn IsBoundary,
                          VisitFn OnVisit) {
-  std::unordered_map<NodeId, unsigned> BestBudget;
+  std::vector<unsigned> BestBudget(G.numNodes(), 0);
   std::vector<std::pair<NodeId, unsigned>> Work;
-  BestBudget[Start] = Budget;
+  BestBudget[Start] = Budget + 1;
   Work.push_back({Start, Budget});
   uint64_t Sum = G.freq(Start);
-  OnVisit(G.node(Start));
+  OnVisit(Start);
 
   while (!Work.empty()) {
     auto [N, H] = Work.back();
     Work.pop_back();
-    if (BestBudget[N] > H)
+    if (BestBudget[N] > H + 1)
       continue; // A better path already processed this node.
-    const std::vector<NodeId> &Next =
-        Forward ? G.node(N).Out : G.node(N).In;
-    for (NodeId M : Next) {
+    for (NodeId M : Forward ? G.out(N) : G.in(N)) {
       unsigned NextBudget = H;
-      if (IsBoundary(G.node(M))) {
+      if (IsBoundary(M)) {
         if (H == 0)
           continue;
         NextBudget = H - 1;
       }
-      auto It = BestBudget.find(M);
-      if (It != BestBudget.end() && It->second >= NextBudget)
+      if (BestBudget[M] >= NextBudget + 1)
         continue;
-      if (It == BestBudget.end()) {
+      if (BestBudget[M] == 0) {
         Sum += G.freq(M);
-        OnVisit(G.node(M));
-        BestBudget.emplace(M, NextBudget);
-      } else {
-        It->second = NextBudget;
+        OnVisit(M);
       }
+      BestBudget[M] = NextBudget + 1;
       Work.push_back({M, NextBudget});
     }
   }
@@ -56,50 +52,51 @@ uint64_t budgetedClosure(const DepGraph &G, NodeId Start, bool Forward,
 
 } // namespace
 
-uint64_t lud::multiHopCost(const DepGraph &G, NodeId N, unsigned Hops) {
+uint64_t lud::multiHopCost(const FrozenGraph &G, NodeId N, unsigned Hops) {
   unsigned Budget = Hops == 0 ? 0 : Hops - 1;
   return budgetedClosure(
       G, N, /*Forward=*/false, Budget,
-      [](const DepGraph::Node &M) { return M.ReadsHeap; },
-      [](const DepGraph::Node &) {});
+      [&G](NodeId M) { return G.readsHeap(M); }, [](NodeId) {});
 }
 
-BenefitInfo lud::multiHopBenefit(const DepGraph &G, NodeId N, unsigned Hops) {
+BenefitInfo lud::multiHopBenefit(const FrozenGraph &G, NodeId N,
+                                 unsigned Hops) {
   unsigned Budget = Hops == 0 ? 0 : Hops - 1;
   BenefitInfo Info;
   Info.Benefit = budgetedClosure(
       G, N, /*Forward=*/true, Budget,
-      [](const DepGraph::Node &M) { return M.WritesHeap; },
-      [&Info](const DepGraph::Node &M) {
-        if (M.Consumer == ConsumerKind::Predicate)
+      [&G](NodeId M) { return G.writesHeap(M); },
+      [&G, &Info](NodeId M) {
+        ConsumerKind C = G.consumer(M);
+        if (C == ConsumerKind::Predicate)
           Info.ReachesPredicate = true;
-        else if (M.Consumer == ConsumerKind::Native)
+        else if (C == ConsumerKind::Native)
           Info.ReachesNative = true;
       });
   return Info;
 }
 
-LocCostBenefit lud::multiHopLocCostBenefit(const DepGraph &G,
+LocCostBenefit lud::multiHopLocCostBenefit(const FrozenGraph &G,
                                            const HeapLoc &L, unsigned Hops) {
   LocCostBenefit CB;
-  auto WIt = G.writers().find(L);
-  if (WIt != G.writers().end() && !WIt->second.empty()) {
+  auto Writers = G.writersOf(L);
+  if (!Writers.empty()) {
     uint64_t Sum = 0;
-    for (NodeId W : WIt->second)
+    for (NodeId W : Writers)
       Sum += multiHopCost(G, W, Hops);
-    CB.NumWriters = WIt->second.size();
+    CB.NumWriters = Writers.size();
     CB.Rac = double(Sum) / double(CB.NumWriters);
   }
-  auto RIt = G.readers().find(L);
-  if (RIt != G.readers().end() && !RIt->second.empty()) {
+  auto Readers = G.readersOf(L);
+  if (!Readers.empty()) {
     uint64_t Sum = 0;
-    for (NodeId R : RIt->second) {
+    for (NodeId R : Readers) {
       BenefitInfo B = multiHopBenefit(G, R, Hops);
       Sum += B.Benefit;
       CB.ReachesPredicate |= B.ReachesPredicate;
       CB.ReachesNative |= B.ReachesNative;
     }
-    CB.NumReaders = RIt->second.size();
+    CB.NumReaders = Readers.size();
     CB.Rab = double(Sum) / double(CB.NumReaders);
   }
   return CB;

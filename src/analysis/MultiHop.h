@@ -26,16 +26,16 @@ namespace lud {
 /// k-hop heap-relative abstract cost: like Definition 5, but a path may
 /// pass through up to \p Hops - 1 heap-reading nodes (each read continues
 /// into the hop that produced that heap value). Hops >= 1.
-uint64_t multiHopCost(const DepGraph &G, NodeId N, unsigned Hops);
+uint64_t multiHopCost(const FrozenGraph &G, NodeId N, unsigned Hops);
 
 /// k-hop dual of Definition 6: forward traversal crossing up to
 /// \p Hops - 1 heap-writing nodes (each write continues into the hop that
 /// consumes the written location).
-BenefitInfo multiHopBenefit(const DepGraph &G, NodeId N, unsigned Hops);
+BenefitInfo multiHopBenefit(const FrozenGraph &G, NodeId N, unsigned Hops);
 
 /// RAC/RAB of one abstract heap location under k-hop traversal (means over
 /// its writer/reader nodes, as in CostModel::locCostBenefit).
-LocCostBenefit multiHopLocCostBenefit(const DepGraph &G, const HeapLoc &L,
+LocCostBenefit multiHopLocCostBenefit(const FrozenGraph &G, const HeapLoc &L,
                                       unsigned Hops);
 
 } // namespace lud

@@ -121,7 +121,7 @@ Reg droppableDst(const Instruction &I) {
 } // namespace
 
 OptimizeResult lud::removeProfiledDeadCode(const Module &M,
-                                           const DepGraph &G,
+                                           const FrozenGraph &G,
                                            const DeadValueAnalysis &DV) {
   OptimizeResult Out;
   std::vector<bool> Kept(M.getNumInstrs(), true);
@@ -134,12 +134,12 @@ OptimizeResult lud::removeProfiledDeadCode(const Module &M,
   std::vector<bool> AllDead(M.getNumInstrs(), true);
   std::vector<bool> StoredRef(M.getNumInstrs(), false);
   for (NodeId N = 0; N != NodeId(G.numNodes()); ++N) {
-    const DepGraph::Node &Node = G.node(N);
-    Executed[Node.Instr] = true;
+    InstrId I = G.instr(N);
+    Executed[I] = true;
     if (!DV.Dead[N])
-      AllDead[Node.Instr] = false;
-    if (Node.StoredRef)
-      StoredRef[Node.Instr] = true;
+      AllDead[I] = false;
+    if (G.storedRef(N))
+      StoredRef[I] = true;
   }
 
   // Phase 1: drop heap/static stores whose every profiled instance fed
@@ -193,4 +193,9 @@ OptimizeResult lud::removeProfiledDeadCode(const Module &M,
   Out.M = cloneModule(
       M, [&](const Instruction &I) { return Kept[I.getId()]; });
   return Out;
+}
+
+OptimizeResult lud::removeProfiledDeadCode(const Module &M, const DepGraph &G,
+                                           const DeadValueAnalysis &DV) {
+  return removeProfiledDeadCode(M, FrozenGraph(G), DV);
 }

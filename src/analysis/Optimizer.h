@@ -51,6 +51,10 @@ struct OptimizeResult {
 /// and without the computation that only fed them. \p G and \p DV must
 /// come from a whole-program profile of \p M (no phase masking), or dead
 /// classifications would be partial.
+OptimizeResult removeProfiledDeadCode(const Module &M, const FrozenGraph &G,
+                                      const DeadValueAnalysis &DV);
+
+/// Convenience for build-phase graphs: seals a copy of \p G first.
 OptimizeResult removeProfiledDeadCode(const Module &M, const DepGraph &G,
                                       const DeadValueAnalysis &DV);
 

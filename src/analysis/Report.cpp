@@ -18,12 +18,12 @@ using namespace lud;
 LowUtilityReport::LowUtilityReport(const CostModel &CM, const Module &M,
                                    ReportOptions Opts)
     : Opts(Opts) {
-  const DepGraph &G = CM.graph();
+  const FrozenGraph &G = CM.graph();
 
   // Aggregate tag-level cost/benefit per allocation site.
   std::map<AllocSiteId, SiteScore> BySite;
   for (uint64_t Tag : CM.allTags()) {
-    if (DepGraph::isStaticTag(Tag))
+    if (FrozenGraph::isStaticTag(Tag))
       continue;
     ObjectCostBenefit CB = CM.objectCostBenefit(Tag, Opts.Depth);
     AllocSiteId Site = G.tagSite(Tag);
@@ -38,14 +38,10 @@ LowUtilityReport::LowUtilityReport(const CostModel &CM, const Module &M,
     ++S.NumContexts;
     // Raw activity for the report columns.
     for (FieldSlot Slot : CM.fieldsOf(Tag)) {
-      auto WIt = G.writers().find(HeapLoc{Tag, Slot});
-      if (WIt != G.writers().end())
-        for (NodeId W : WIt->second)
-          S.Writes += G.freq(W);
-      auto RIt = G.readers().find(HeapLoc{Tag, Slot});
-      if (RIt != G.readers().end())
-        for (NodeId R : RIt->second)
-          S.Reads += G.freq(R);
+      for (NodeId W : G.writersOf(HeapLoc{Tag, Slot}))
+        S.Writes += G.freq(W);
+      for (NodeId R : G.readersOf(HeapLoc{Tag, Slot}))
+        S.Reads += G.freq(R);
     }
   }
 

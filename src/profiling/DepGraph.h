@@ -36,6 +36,7 @@
 #include "support/FlatSet.h"
 
 #include <array>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -236,7 +237,13 @@ public:
   uint32_t contextSlots() const { return ContextSlots; }
 
   uint64_t makeTag(AllocSiteId Site, uint32_t Slot) const {
-    return uint64_t(Site) * ContextSlots + Slot;
+    uint64_t Tag = uint64_t(Site) * ContextSlots + Slot;
+    // site x slots must stay below the static pseudo-tag range: a
+    // collision would silently alias an object field with a global.
+    // 2^62 / 2^32 leaves 2^30 context slots before this can trip.
+    assert(!isStaticTag(Tag) &&
+           "allocation tag collides with the static-tag range");
+    return Tag;
   }
   static uint64_t makeStaticTag(GlobalId G) { return kStaticTagBase + G; }
   static bool isStaticTag(uint64_t Tag) { return Tag >= kStaticTagBase; }
@@ -291,15 +298,21 @@ private:
   template <typename T>
   static void insertUnique(std::vector<T> &V, const T &X) {
     // Fast path: the profiler notes the same (location, node) pair on
-    // every dynamic instance, so the duplicate is almost always the entry
-    // appended last.
-    if (!V.empty() && V.back() == X)
-      return;
-    for (const T &E : V)
-      if (E == X)
+    // every dynamic instance, so the duplicate is almost always among the
+    // entries appended last. Only a bounded window is checked — a full
+    // scan made many-writer locations quadratic in the number of distinct
+    // writers, which paper-scale composed workloads hit hard. A duplicate
+    // older than the window is appended again; FrozenGraph::seal performs
+    // the exact first-occurrence dedup once, after profiling, so every
+    // observable consumer (serialization, analyses, reports) still sees
+    // the historical exact-dedup sequence.
+    size_t Stop = V.size() > kDedupWindow ? V.size() - kDedupWindow : 0;
+    for (size_t I = V.size(); I != Stop; --I)
+      if (V[I - 1] == X)
         return;
     V.push_back(X);
   }
+  static constexpr size_t kDedupWindow = 8;
 
   std::vector<Node> Nodes;
   /// Execution frequencies, parallel to Nodes (see the Node doc comment).

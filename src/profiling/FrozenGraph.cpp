@@ -1,0 +1,220 @@
+//===- profiling/FrozenGraph.cpp - Sealed immutable Gcost ------------------===//
+
+#include "profiling/FrozenGraph.h"
+
+#include "obs/Metrics.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace lud;
+
+namespace {
+
+/// Appends \p V to \p Out keeping the first occurrence of each element, in
+/// order — exactly the sequence the build phase's historical exact-dedup
+/// insertUnique produced, so the canonical serialization is unchanged.
+/// (Since the O(n^2) interning fix, build-phase vectors may carry
+/// duplicates past the recent-entry window; this is where they go away.)
+template <typename T>
+void appendFirstOccurrences(const std::vector<T> &V, std::vector<T> &Out) {
+  if (V.size() <= 16) {
+    const size_t Start = Out.size();
+    for (const T &X : V) {
+      bool Seen = false;
+      for (size_t I = Start; I != Out.size(); ++I)
+        if (Out[I] == X) {
+          Seen = true;
+          break;
+        }
+      if (!Seen)
+        Out.push_back(X);
+    }
+    return;
+  }
+  std::unordered_set<T> Seen;
+  Seen.reserve(V.size());
+  for (const T &X : V)
+    if (Seen.insert(X).second)
+      Out.push_back(X);
+}
+
+bool locLess(const HeapLoc &A, const HeapLoc &B) {
+  return A.Tag != B.Tag ? A.Tag < B.Tag : A.Slot < B.Slot;
+}
+
+} // namespace
+
+FrozenGraph::FrozenGraph(const DepGraph &G) {
+  const size_t N = G.numNodes();
+  if (N >= size_t(kNoNode))
+    lud_unreachable("graph too large to seal");
+  ContextSlots = G.contextSlots();
+
+  // SoA node columns.
+  Instrs.resize(N);
+  Domains.resize(N);
+  Freqs.resize(N);
+  Meta.resize(N);
+  EffectTags.resize(N);
+  EffectSlots.resize(N);
+  for (NodeId I = 0; I != NodeId(N); ++I) {
+    const DepGraph::Node &Node = G.node(I);
+    Instrs[I] = Node.Instr;
+    Domains[I] = Node.Domain;
+    Freqs[I] = G.freq(I);
+    uint8_t M = 0;
+    M |= Node.ReadsHeap ? kReadsHeap : 0;
+    M |= Node.WritesHeap ? kWritesHeap : 0;
+    M |= Node.IsAlloc ? kIsAlloc : 0;
+    M |= Node.StoredRef ? kStoredRef : 0;
+    M |= uint8_t(Node.Consumer) << kConsumerShift;
+    M |= uint8_t(Node.Effect) << kEffectShift;
+    Meta[I] = M;
+    EffectTags[I] = Node.EffectLoc.Tag;
+    EffectSlots[I] = Node.EffectLoc.Slot;
+    TotalFreq += G.freq(I);
+  }
+
+  // CSR adjacency, preserving per-node insertion order.
+  size_t TotalOut = 0, TotalIn = 0;
+  for (NodeId I = 0; I != NodeId(N); ++I) {
+    TotalOut += G.node(I).Out.size();
+    TotalIn += G.node(I).In.size();
+  }
+  if (TotalOut > 0xFFFFFFFFull || TotalIn > 0xFFFFFFFFull)
+    lud_unreachable("edge count exceeds CSR offset range");
+  OutOffsets.resize(N + 1);
+  InOffsets.resize(N + 1);
+  OutTargets.reserve(TotalOut);
+  InTargets.reserve(TotalIn);
+  for (NodeId I = 0; I != NodeId(N); ++I) {
+    OutOffsets[I] = uint32_t(OutTargets.size());
+    InOffsets[I] = uint32_t(InTargets.size());
+    const DepGraph::Node &Node = G.node(I);
+    OutTargets.insert(OutTargets.end(), Node.Out.begin(), Node.Out.end());
+    InTargets.insert(InTargets.end(), Node.In.begin(), Node.In.end());
+  }
+  OutOffsets[N] = uint32_t(OutTargets.size());
+  InOffsets[N] = uint32_t(InTargets.size());
+  RefEdges = G.refEdges();
+
+  // Frozen node-key table.
+  {
+    std::vector<std::pair<uint64_t, NodeId>> Pairs;
+    Pairs.reserve(N);
+    for (NodeId I = 0; I != NodeId(N); ++I)
+      Pairs.emplace_back((uint64_t(Instrs[I]) << 32) | Domains[I], I);
+    std::sort(Pairs.begin(), Pairs.end());
+    std::vector<uint64_t> Keys;
+    Keys.reserve(N);
+    NodeByRank.resize(N);
+    for (size_t I = 0; I != Pairs.size(); ++I) {
+      Keys.push_back(Pairs[I].first);
+      NodeByRank[I] = Pairs[I].second;
+    }
+    NodeIndex = EytzingerIndex(Keys);
+  }
+
+  // Frozen allocation-tag table.
+  {
+    AllocEntries.reserve(G.allocNodes().size());
+    for (const auto &Entry : G.allocNodes())
+      AllocEntries.push_back(Entry);
+    std::sort(AllocEntries.begin(), AllocEntries.end());
+    std::vector<uint64_t> Tags;
+    Tags.reserve(AllocEntries.size());
+    for (const auto &[Tag, Node] : AllocEntries)
+      Tags.push_back(Tag);
+    AllocIndex = EytzingerIndex(Tags);
+  }
+
+  // Heap-location universe: union of the three maps' keys, sorted by
+  // (Tag, Slot). Presence in a map is "non-empty span": the build phase
+  // only materializes a vector when it inserts into it.
+  {
+    std::vector<HeapLoc> Universe;
+    Universe.reserve(G.writers().size() + G.readers().size() +
+                     G.refChildren().size());
+    for (const auto &[Loc, Vals] : G.writers())
+      Universe.push_back(Loc);
+    for (const auto &[Loc, Vals] : G.readers())
+      Universe.push_back(Loc);
+    for (const auto &[Loc, Vals] : G.refChildren())
+      Universe.push_back(Loc);
+    std::sort(Universe.begin(), Universe.end(), locLess);
+    Universe.erase(std::unique(Universe.begin(), Universe.end()),
+                   Universe.end());
+
+    const size_t L = Universe.size();
+    LocTags.resize(L);
+    LocSlots.resize(L);
+    for (size_t I = 0; I != L; ++I) {
+      LocTags[I] = Universe[I].Tag;
+      LocSlots[I] = Universe[I].Slot;
+    }
+    LocIndex = LocEytzingerIndex(LocTags, LocSlots);
+
+    WriterOffsets.resize(L + 1);
+    ReaderOffsets.resize(L + 1);
+    RefChildOffsets.resize(L + 1);
+    for (size_t I = 0; I != L; ++I) {
+      WriterOffsets[I] = uint32_t(WriterVals.size());
+      ReaderOffsets[I] = uint32_t(ReaderVals.size());
+      RefChildOffsets[I] = uint32_t(RefChildVals.size());
+      const HeapLoc &Loc = Universe[I];
+      if (auto It = G.writers().find(Loc); It != G.writers().end())
+        appendFirstOccurrences(It->second, WriterVals);
+      if (auto It = G.readers().find(Loc); It != G.readers().end())
+        appendFirstOccurrences(It->second, ReaderVals);
+      if (auto It = G.refChildren().find(Loc); It != G.refChildren().end())
+        appendFirstOccurrences(It->second, RefChildVals);
+    }
+    WriterOffsets[L] = uint32_t(WriterVals.size());
+    ReaderOffsets[L] = uint32_t(ReaderVals.size());
+    RefChildOffsets[L] = uint32_t(RefChildVals.size());
+    WriterVals.shrink_to_fit();
+    ReaderVals.shrink_to_fit();
+    RefChildVals.shrink_to_fit();
+  }
+}
+
+FrozenGraph::MemoryFootprint FrozenGraph::memoryFootprint() const {
+  MemoryFootprint FP;
+  FP.NodeBytes = Instrs.capacity() * sizeof(InstrId) +
+                 Domains.capacity() * sizeof(uint32_t) +
+                 Freqs.capacity() * sizeof(uint64_t) +
+                 Meta.capacity() * sizeof(uint8_t) +
+                 EffectTags.capacity() * sizeof(uint64_t) +
+                 EffectSlots.capacity() * sizeof(FieldSlot);
+  FP.EdgeBytes = (OutOffsets.capacity() + InOffsets.capacity()) *
+                     sizeof(uint32_t) +
+                 (OutTargets.capacity() + InTargets.capacity()) *
+                     sizeof(NodeId) +
+                 RefEdges.capacity() * sizeof(std::pair<NodeId, NodeId>);
+  FP.LocBytes = LocTags.capacity() * sizeof(uint64_t) +
+                LocSlots.capacity() * sizeof(FieldSlot) +
+                (WriterOffsets.capacity() + ReaderOffsets.capacity() +
+                 RefChildOffsets.capacity()) *
+                    sizeof(uint32_t) +
+                (WriterVals.capacity() + ReaderVals.capacity()) *
+                    sizeof(NodeId) +
+                RefChildVals.capacity() * sizeof(uint64_t);
+  FP.IndexBytes = NodeIndex.memoryBytes() +
+                  NodeByRank.capacity() * sizeof(NodeId) +
+                  AllocIndex.memoryBytes() +
+                  AllocEntries.capacity() * sizeof(std::pair<uint64_t, NodeId>) +
+                  LocIndex.memoryBytes();
+  return FP;
+}
+
+void FrozenGraph::accountStats(obs::MetricsRegistry &R) const {
+  using obs::Unit;
+  MemoryFootprint FP = memoryFootprint();
+  R.set(R.gauge("mem.frozen.node_bytes", Unit::Bytes), FP.NodeBytes);
+  R.set(R.gauge("mem.frozen.edge_bytes", Unit::Bytes), FP.EdgeBytes);
+  R.set(R.gauge("mem.frozen.locmap_bytes", Unit::Bytes), FP.LocBytes);
+  R.set(R.gauge("mem.frozen.index_bytes", Unit::Bytes), FP.IndexBytes);
+  R.set(R.gauge("mem.frozen.total_bytes", Unit::Bytes), FP.total());
+}

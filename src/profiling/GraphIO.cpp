@@ -3,6 +3,7 @@
 #include "profiling/GraphIO.h"
 
 #include "profiling/DepGraph.h"
+#include "profiling/FrozenGraph.h"
 #include "support/OutStream.h"
 
 #include <algorithm>
@@ -12,58 +13,52 @@
 
 using namespace lud;
 
-void lud::writeGraph(const DepGraph &G, OutStream &OS) {
+void lud::writeGraph(const FrozenGraph &G, OutStream &OS) {
   OS << "ludgraph 1\n";
   OS << "slots " << uint64_t(G.contextSlots()) << "\n";
   for (NodeId N = 0; N != NodeId(G.numNodes()); ++N) {
-    const DepGraph::Node &Node = G.node(N);
+    HeapLoc EL = G.effectLoc(N);
     char Buf[192];
     std::snprintf(
         Buf, sizeof(Buf),
         "node %u %u %u %" PRIu64 " %u %u %" PRIu64 " %u %d %d %d %d\n", N,
-        Node.Instr, Node.Domain, G.freq(N), unsigned(Node.Consumer),
-        unsigned(Node.Effect), Node.EffectLoc.Tag, Node.EffectLoc.Slot,
-        int(Node.ReadsHeap), int(Node.WritesHeap), int(Node.IsAlloc),
-        int(Node.StoredRef));
+        G.instr(N), G.domain(N), G.freq(N), unsigned(G.consumer(N)),
+        unsigned(G.effect(N)), EL.Tag, EL.Slot, int(G.readsHeap(N)),
+        int(G.writesHeap(N)), int(G.isAlloc(N)), int(G.storedRef(N)));
     OS << Buf;
   }
   for (NodeId N = 0; N != NodeId(G.numNodes()); ++N)
-    for (NodeId S : G.node(N).Out)
+    for (NodeId S : G.out(N))
       OS << "edge " << uint64_t(N) << " " << uint64_t(S) << "\n";
   for (auto [Store, Alloc] : G.refEdges())
     OS << "refedge " << uint64_t(Store) << " " << uint64_t(Alloc) << "\n";
-  // The map-backed records are emitted in key order: FlatMap iteration
-  // order depends on insertion history (a merged graph and its parsed
-  // copy would serialize differently), and a canonical order makes
-  // serialize -> parse -> serialize byte-stable.
-  {
-    std::vector<std::pair<uint64_t, NodeId>> Allocs;
-    Allocs.reserve(G.allocNodes().size());
-    for (const auto &Entry : G.allocNodes())
-      Allocs.push_back(Entry);
-    std::sort(Allocs.begin(), Allocs.end());
-    for (const auto &[Tag, N] : Allocs)
-      OS << "allocnode " << Tag << " " << uint64_t(N) << "\n";
-  }
-  auto WriteLocMap = [&](const char *Kind, const auto &Map) {
-    std::vector<HeapLoc> Keys;
-    Keys.reserve(Map.size());
-    for (const auto &Entry : Map)
-      Keys.push_back(Entry.first);
-    std::sort(Keys.begin(), Keys.end(), [](HeapLoc A, HeapLoc B) {
-      return A.Tag != B.Tag ? A.Tag < B.Tag : A.Slot < B.Slot;
-    });
-    for (HeapLoc Loc : Keys) {
+  // The frozen representation already holds the map-backed records in the
+  // canonical order the format requires: allocation entries and the
+  // location universe are sorted at seal time, and per-location value
+  // sequences are the first-occurrence dedup of the build phase's inserts,
+  // so serialize -> parse -> seal -> serialize is byte-stable.
+  for (const auto &[Tag, N] : G.allocEntries())
+    OS << "allocnode " << Tag << " " << uint64_t(N) << "\n";
+  auto WriteLocMap = [&](const char *Kind, auto ValuesAt) {
+    for (size_t I = 0; I != G.numLocs(); ++I) {
+      auto Vals = ValuesAt(I);
+      if (Vals.empty())
+        continue;
+      HeapLoc Loc = G.loc(I);
       OS << Kind << " " << Loc.Tag << " " << uint64_t(Loc.Slot);
-      for (const auto &Item : Map.find(Loc)->second)
+      for (const auto &Item : Vals)
         OS << " " << uint64_t(Item);
       OS << "\n";
     }
   };
-  WriteLocMap("writer", G.writers());
-  WriteLocMap("reader", G.readers());
-  WriteLocMap("refchild", G.refChildren());
+  WriteLocMap("writer", [&](size_t I) { return G.writersAt(I); });
+  WriteLocMap("reader", [&](size_t I) { return G.readersAt(I); });
+  WriteLocMap("refchild", [&](size_t I) { return G.refChildrenAt(I); });
   OS << "end\n";
+}
+
+void lud::writeGraph(const DepGraph &G, OutStream &OS) {
+  writeGraph(FrozenGraph(G), OS);
 }
 
 std::unique_ptr<DepGraph> lud::readGraph(std::string_view Text,

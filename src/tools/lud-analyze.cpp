@@ -82,12 +82,17 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  // The build-phase graph is done mutating: seal it and analyze the packed
+  // representation only.
+  FrozenGraph FG = FrozenGraph::seal(std::move(*G));
+  G.reset();
+
   OutStream &OS = outs();
-  OS << "offline Gcost: " << uint64_t(G->numNodes()) << " nodes, "
-     << uint64_t(G->numEdges()) << " edges, covering " << G->totalFreq()
+  OS << "offline Gcost: " << uint64_t(FG.numNodes()) << " nodes, "
+     << uint64_t(FG.numEdges()) << " edges, covering " << FG.totalFreq()
      << " instruction instances\n";
 
-  CostModel CM(*G);
+  CostModel CM(FG);
   ReportOptions Opts;
   Opts.Depth = Depth;
   LowUtilityReport Report(CM, *M, Opts);
@@ -97,7 +102,7 @@ int main(int argc, char **argv) {
   OS << "\n=== cache effectiveness (least effective first) ===\n";
   printCacheScores(rankCacheEffectiveness(CM, *M), OS, TopK);
 
-  DeadValueAnalysis DV = computeDeadValues(*G, G->totalFreq());
+  DeadValueAnalysis DV = computeDeadValues(FG, FG.totalFreq());
   OS << "\n=== bloat metrics (relative to covered instances) ===\nIPD ";
   OS.printFixed(100.0 * DV.Metrics.ipd(), 1);
   OS << "%   IPP ";

@@ -205,6 +205,11 @@ int main(int argc, char **argv) {
   OS.printFixed(Prof.averageCR(), 3);
   OS << "\n";
 
+  // Replay is done mutating the graph: seal once for every read path.
+  FrozenGraph FG(G);
+  if (obs::MetricsRegistry *Stats = Session.stats())
+    FG.accountStats(*Stats);
+
   if (!O.DumpGraph.empty()) {
     std::FILE *F = std::fopen(O.DumpGraph.c_str(), "wb");
     if (!F) {
@@ -212,12 +217,12 @@ int main(int argc, char **argv) {
       return 1;
     }
     FileOutStream FOS(F);
-    writeGraph(G, FOS);
+    writeGraph(FG, FOS);
     std::fclose(F);
     OS << "Gcost written to " << O.DumpGraph << "\n";
   }
 
-  CostModel CM(G);
+  CostModel CM(FG);
   if (O.Report) {
     ReportOptions Opts;
     Opts.Depth = O.Client.Depth;
@@ -231,7 +236,7 @@ int main(int argc, char **argv) {
   }
   Session.printClientReports(*M, OS, O.Client.TopK);
   if (O.Dead) {
-    DeadValueAnalysis DV = computeDeadValues(G, G.totalFreq());
+    DeadValueAnalysis DV = computeDeadValues(FG, FG.totalFreq());
     OS << "\n=== bloat metrics ===\nIPD ";
     OS.printFixed(100.0 * DV.Metrics.ipd(), 1);
     OS << "%   IPP ";

@@ -31,7 +31,10 @@
 #include "profiling/GraphIO.h"
 #include "support/OutStream.h"
 #include "tools/CliOptions.h"
+#include "workloads/Composed.h"
 #include "workloads/ParallelDriver.h"
+
+#include <algorithm>
 
 #include <cstdio>
 #include <string>
@@ -45,6 +48,8 @@ enum class StatsMode { Off, Text, Json, Csv };
 
 struct Options {
   std::string File;
+  std::string WorkloadName;
+  int64_t WorkloadScale = 2000;
   bool Report = false;
   bool Dead = false;
   bool Overwrites = false;
@@ -100,6 +105,11 @@ void declareOptions(cli::OptionSet &P, Options &O) {
   P.str("--replay", O.ReplayPath,
         "F  re-drive the analyses from trace F instead of interpreting");
   P.flag("--print-ir", O.PrintIR, "echo the parsed program and exit");
+  P.str("--workload", O.WorkloadName,
+        "NAME  run a generated workload instead of a program file: one of "
+        "the 18 DaCapo analogues, or 'composed' (the paper-scale tier)");
+  P.number("--scale", O.WorkloadScale,
+           "N  scale for --workload (default 2000)", /*Min=*/1);
   P.str("--dump-graph", O.DumpGraph,
         "F  serialize Gcost to file F (offline use)");
   P.str("--optimize", O.OptimizeOut,
@@ -165,7 +175,12 @@ bool parseArgs(cli::OptionSet &P, int argc, char **argv, Options &O) {
       return false;
     }
   }
-  return !O.File.empty();
+  if (!O.WorkloadName.empty() && !O.File.empty()) {
+    errs() << "--workload generates the program; it cannot be combined "
+              "with an input file\n";
+    return false;
+  }
+  return !O.File.empty() || !O.WorkloadName.empty();
 }
 
 /// Writes the session's registry in the requested format, to --stats-out
@@ -229,17 +244,32 @@ int main(int argc, char **argv) {
   if (Cli.exitRequested())
     return 0;
 
-  std::string Text;
-  if (!readFile(O.File, Text)) {
-    errs() << "cannot read '" << O.File << "'\n";
-    return 1;
-  }
-  std::vector<std::string> Errors;
-  std::unique_ptr<Module> M = parseModule(Text, Errors);
-  if (!M) {
-    for (const std::string &E : Errors)
-      errs() << O.File << ": " << E << "\n";
-    return 1;
+  std::unique_ptr<Module> M;
+  if (!O.WorkloadName.empty()) {
+    const std::vector<std::string> &Names = dacapoNames();
+    if (O.WorkloadName == "composed") {
+      M = std::move(buildComposedWorkload(O.WorkloadScale).M);
+    } else if (std::find(Names.begin(), Names.end(), O.WorkloadName) !=
+               Names.end()) {
+      M = std::move(buildWorkload(O.WorkloadName, O.WorkloadScale).M);
+    } else {
+      errs() << "unknown workload '" << O.WorkloadName
+             << "' (expected a DaCapo analogue or 'composed')\n";
+      return 2;
+    }
+  } else {
+    std::string Text;
+    if (!readFile(O.File, Text)) {
+      errs() << "cannot read '" << O.File << "'\n";
+      return 1;
+    }
+    std::vector<std::string> Errors;
+    M = parseModule(Text, Errors);
+    if (!M) {
+      for (const std::string &E : Errors)
+        errs() << O.File << ": " << E << "\n";
+      return 1;
+    }
   }
 
   OutStream &OS = outs();
@@ -326,6 +356,15 @@ int main(int argc, char **argv) {
   OS.printFixed(Prof.averageCR(), 3);
   OS << "\n";
 
+  // Profiling is over: seal once, and every read path below — serializer,
+  // cost model, dead-value sweep, optimizer — consumes the packed form.
+  // (The profiler keeps its build graph for non-graph state such as
+  // location activity; serialization and reports are byte-identical
+  // either way.)
+  FrozenGraph FG(G);
+  if (obs::MetricsRegistry *Stats = Session.stats())
+    FG.accountStats(*Stats);
+
   if (!O.DumpGraph.empty()) {
     std::FILE *F = std::fopen(O.DumpGraph.c_str(), "wb");
     if (!F) {
@@ -333,12 +372,12 @@ int main(int argc, char **argv) {
       return 1;
     }
     FileOutStream FOS(F);
-    writeGraph(G, FOS);
+    writeGraph(FG, FOS);
     std::fclose(F);
     OS << "Gcost written to " << O.DumpGraph << "\n";
   }
 
-  CostModel CM(G);
+  CostModel CM(FG);
   if (O.Report) {
     ReportOptions Opts;
     Opts.Depth = O.Client.Depth;
@@ -365,8 +404,8 @@ int main(int argc, char **argv) {
   }
   Session.printClientReports(*M, OS, O.Client.TopK);
   if (!O.OptimizeOut.empty()) {
-    DeadValueAnalysis DV = computeDeadValues(G, P.Run.ExecutedInstrs);
-    OptimizeResult R = removeProfiledDeadCode(*M, G, DV);
+    DeadValueAnalysis DV = computeDeadValues(FG, P.Run.ExecutedInstrs);
+    OptimizeResult R = removeProfiledDeadCode(*M, FG, DV);
     TimedRun Check = runBaseline(*R.M);
     std::FILE *F = std::fopen(O.OptimizeOut.c_str(), "wb");
     if (!F) {
@@ -388,8 +427,8 @@ int main(int argc, char **argv) {
     // Under --replay there is no RunResult; the graph's own frequency total
     // is the denominator, as in offline lud-analyze.
     uint64_t ExecInstrs =
-        O.ReplayPath.empty() ? P.Run.ExecutedInstrs : G.totalFreq();
-    DeadValueAnalysis DV = computeDeadValues(G, ExecInstrs);
+        O.ReplayPath.empty() ? P.Run.ExecutedInstrs : FG.totalFreq();
+    DeadValueAnalysis DV = computeDeadValues(FG, ExecInstrs);
     OS << "\n=== bloat metrics ===\nIPD ";
     OS.printFixed(100.0 * DV.Metrics.ipd(), 1);
     OS << "%   IPP ";

@@ -1,0 +1,23 @@
+//===- workloads/Composed.cpp - Paper-scale composed workload --------------===//
+
+#include "workloads/Composed.h"
+
+#include "workloads/Recipes.h"
+
+using namespace lud;
+using namespace lud::recipes;
+
+Workload lud::buildComposedWorkload(int64_t Scale, int64_t Tiles) {
+  const std::vector<std::string> &Names = dacapoNames();
+  if (Tiles <= 0)
+    Tiles = atLeast(Scale / 2, int64_t(Names.size()));
+
+  Assembler A("composed", Scale, /*Optimized=*/false, StdLibOptions{});
+  // Every tile runs the same small dynamic scale: the knob grows code, not
+  // per-tile work, so wall clock stays linear in the tile count.
+  const int64_t TileScale = 16;
+  for (int64_t T = 0; T != Tiles; ++T)
+    scheduleRecipe(A, Names[size_t(T % int64_t(Names.size()))], TileScale,
+                   /*Optimized=*/false, "_t" + std::to_string(T));
+  return A.finish();
+}

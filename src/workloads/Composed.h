@@ -1,0 +1,43 @@
+//===- workloads/Composed.h - Paper-scale composed workload ----*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper-scale workload tier. The 18 standalone DaCapo analogues grow
+/// their *dynamic* work with scale but keep a fixed, small static shape —
+/// a few dozen functions — so their Gcosts top out far below the paper's
+/// 139K-860K nodes (Table 1): graph nodes are (instruction, context)
+/// pairs, and the node count is bounded by static code size times the
+/// context-slot count.
+///
+/// The composed workload grows the static dimension instead: it tiles
+/// many tagged instances of the 18 recipes into one module ("the
+/// application plus every framework it links"), each tile a distinct set
+/// of functions and allocation sites running at a small fixed dynamic
+/// scale. Graph nodes then scale linearly with the tile count while the
+/// run stays short enough for CI — the shape the FrozenGraph read path is
+/// sized for.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_WORKLOADS_COMPOSED_H
+#define LUD_WORKLOADS_COMPOSED_H
+
+#include "workloads/DaCapo.h"
+
+namespace lud {
+
+/// Builds the composed workload. \p Scale drives the number of recipe
+/// tiles (static code growth): tiles = max(Scale / 2, 18), cycling the 18
+/// recipes round-robin, each instance at a small fixed dynamic scale.
+/// Pass \p Tiles > 0 to pin the tile count directly (Scale is then only
+/// recorded as metadata). At the default bench scale (LUD_SCALE = 2000,
+/// 1000 tiles) the sealed graph exceeds 100K nodes with 16 context slots.
+Workload buildComposedWorkload(int64_t Scale, int64_t Tiles = 0);
+
+} // namespace lud
+
+#endif // LUD_WORKLOADS_COMPOSED_H

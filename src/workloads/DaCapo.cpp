@@ -2,95 +2,12 @@
 
 #include "workloads/DaCapo.h"
 
-#include "ir/Verifier.h"
-#include "support/ErrorHandling.h"
-#include "workloads/EmitUtil.h"
-#include "workloads/Patterns.h"
+#include "workloads/Recipes.h"
 
-#include <algorithm>
+#include <cassert>
 
 using namespace lud;
-
-namespace {
-
-/// Assembly state for one workload: module, stdlib, builder, patterns.
-class Assembler {
-public:
-  Assembler(const std::string &Name, int64_t Scale, bool Optimized,
-            StdLibOptions LibOpts)
-      : Scale(Scale), Optimized(Optimized), M(std::make_unique<Module>()),
-        Lib(*M, LibOpts), B(*M), Ctx{Lib, B, {}} {
-    W.Name = Name;
-    W.Scale = Scale;
-    W.Optimized = Optimized;
-  }
-
-  int64_t Scale;
-  bool Optimized;
-  std::unique_ptr<Module> M;
-  StdLib Lib;
-  IRBuilder B;
-  PatternContext Ctx;
-  Workload W;
-
-  /// Pattern calls queued for each phase: (function, scale arguments).
-  struct Call {
-    FuncId Fn;
-    std::vector<int64_t> Args;
-  };
-  std::vector<Call> Startup, Load, Shutdown;
-
-  void inStartup(FuncId Fn, std::vector<int64_t> Args) {
-    Startup.push_back({Fn, std::move(Args)});
-  }
-  void inLoad(FuncId Fn, std::vector<int64_t> Args) {
-    Load.push_back({Fn, std::move(Args)});
-  }
-  void inShutdown(FuncId Fn, std::vector<int64_t> Args) {
-    Shutdown.push_back({Fn, std::move(Args)});
-  }
-
-  /// Emits main with the three-phase structure, finalizes and verifies.
-  Workload finish() {
-    B.beginFunction("main", 0);
-    Reg Acc = B.iconst(0);
-    auto EmitPhase = [&](int64_t Phase, const std::vector<Call> &Calls) {
-      Reg Ph = B.iconst(Phase);
-      B.ncallVoid("phase", {Ph});
-      for (const Call &C : Calls) {
-        std::vector<Reg> Args;
-        Args.reserve(C.Args.size());
-        for (int64_t A : C.Args)
-          Args.push_back(B.iconst(A));
-        Reg R = B.call(C.Fn, std::move(Args));
-        B.binInto(Acc, BinOp::Add, Acc, R);
-      }
-    };
-    EmitPhase(0, Startup);
-    EmitPhase(1, Load);
-    EmitPhase(2, Shutdown);
-    B.ncallVoid("sink", {Acc});
-    B.ret(Acc);
-    B.endFunction();
-
-    M->finalize();
-    std::vector<std::string> Errors;
-    if (!verifyModule(*M, Errors))
-      lud_unreachable("generated workload failed verification");
-    for (const Instruction *I : Ctx.Planted) {
-      if (const auto *A = dyn_cast<AllocInst>(I))
-        W.PlantedSites.push_back(A->Site);
-      else if (const auto *AA = dyn_cast<AllocArrayInst>(I))
-        W.PlantedSites.push_back(AA->Site);
-    }
-    W.M = std::move(M);
-    return std::move(W);
-  }
-};
-
-int64_t atLeast(int64_t V, int64_t Lo) { return std::max(V, Lo); }
-
-} // namespace
+using namespace lud::recipes;
 
 const std::vector<std::string> &lud::dacapoNames() {
   static const std::vector<std::string> Names = {
@@ -119,143 +36,6 @@ Workload lud::buildWorkload(const std::string &Name, int64_t Scale,
     LibOpts.InPlaceMatrixOps = true; // The clone-elimination fix.
 
   Assembler A(Name, S, Optimized, LibOpts);
-  PatternContext &C = A.Ctx;
-
-  if (Name == "antlr") {
-    A.inStartup(emitUsefulWork(C, "an_init"), {S / 8});
-    A.inLoad(emitTokenScanner(C, "an"), {S});
-    A.inLoad(emitTempBoxes(C, "an"), {S / 2});
-    A.inLoad(emitScoreTopOne(C, "an"), {S / 4});
-    A.inLoad(emitUsefulWork(C, "an"), {S / 2});
-    A.inShutdown(emitUsefulWork(C, "an_fini"), {S / 8});
-  } else if (Name == "bloat") {
-    // Case study: debug-string churn + per-comparison visitor objects.
-    A.inStartup(emitUsefulWork(C, "bl_init"), {S / 8});
-    A.inLoad(emitStringChurn(C, "bl", Optimized), {S, /*flag=*/0});
-    A.inLoad(emitVisitorChurn(C, "bl", Optimized), {S});
-    // The rest of the application (an AST-processing tool), sized so the
-    // fix wins roughly the paper's 37%.
-    A.inLoad(emitAstBuildTraverse(C, "bl"), {S / 40});
-    A.inLoad(emitUsefulWork(C, "bl"), {4 * S});
-    A.inShutdown(emitUsefulWork(C, "bl_fini"), {S / 8});
-  } else if (Name == "chart") {
-    // The introduction's example: lists filled only to be size-checked.
-    A.inStartup(emitUsefulWork(C, "ch_init"), {S / 8});
-    A.inLoad(emitListSizeOnly(C, "ch"), {S});
-    A.inLoad(emitUsefulWork(C, "ch"), {S / 2});
-    A.inShutdown(emitUsefulWork(C, "ch_fini"), {S / 8});
-  } else if (Name == "fop") {
-    A.inStartup(emitUsefulWork(C, "fo_init"), {S / 8});
-    A.inLoad(emitPredicateHeavy(C, "fo"), {2 * S});
-    A.inLoad(emitTemplateTable(C, "fo"), {S / 4});
-    A.inLoad(emitUsefulWork(C, "fo"), {S / 4});
-    A.inShutdown(emitUsefulWork(C, "fo_fini"), {S / 8});
-  } else if (Name == "pmd") {
-    A.inStartup(emitUsefulWork(C, "pm_init"), {S / 8});
-    A.inLoad(emitAstBuildTraverse(C, "pm"), {atLeast(S / 16, 2)});
-    A.inLoad(emitVisitorChurn(C, "pm", false), {S / 2});
-    A.inLoad(emitTempBoxes(C, "pm"), {S / 2});
-    A.inLoad(emitUsefulWork(C, "pm"), {S / 4});
-    A.inShutdown(emitUsefulWork(C, "pm_fini"), {S / 8});
-  } else if (Name == "jython") {
-    A.inStartup(emitUsefulWork(C, "jy_init"), {S / 8});
-    A.inLoad(emitDispatchLoop(C, "jy"), {S});
-    A.inLoad(emitTempBoxes(C, "jy"), {2 * S});
-    A.inLoad(emitUsefulWork(C, "jy"), {S / 4});
-    A.inShutdown(emitUsefulWork(C, "jy_fini"), {S / 8});
-  } else if (Name == "xalan") {
-    A.inStartup(emitUsefulWork(C, "xa_init"), {S / 8});
-    A.inLoad(emitBufferCopy(C, "xa"), {atLeast(S / 16, 4)});
-    A.inLoad(emitTemplateTable(C, "xa"), {S / 2});
-    A.inLoad(emitUsefulWork(C, "xa"), {S / 8});
-    A.inShutdown(emitUsefulWork(C, "xa_fini"), {S / 8});
-  } else if (Name == "hsqldb") {
-    A.inStartup(emitUsefulWork(C, "hs_init"), {S / 4});
-    A.inLoad(emitPageIndex(C, "hs"), {S / 4});
-    A.inLoad(emitCacheRarelyRead(C, "hs"), {S});
-    A.inLoad(emitUsefulWork(C, "hs"), {S / 2});
-    A.inShutdown(emitUsefulWork(C, "hs_fini"), {S / 8});
-  } else if (Name == "luindex") {
-    A.inStartup(emitUsefulWork(C, "li_init"), {S / 8});
-    A.inLoad(emitPostings(C, "li"), {S});
-    A.inLoad(emitUsefulWork(C, "li"), {S});
-    A.inLoad(emitTempBoxes(C, "li"), {S / 8});
-    A.inShutdown(emitUsefulWork(C, "li_fini"), {S / 8});
-  } else if (Name == "lusearch") {
-    A.inStartup(emitUsefulWork(C, "lu_init"), {S / 8});
-    A.inLoad(emitTopK(C, "lu"), {S});
-    A.inLoad(emitScoreTopOne(C, "lu"), {2 * S});
-    A.inLoad(emitUsefulWork(C, "lu"), {S / 4});
-    A.inShutdown(emitUsefulWork(C, "lu_fini"), {S / 8});
-  } else if (Name == "eclipse") {
-    // Case study: Figure 6's directoryList + hashtable rehash churn.
-    A.inStartup(emitUsefulWork(C, "ec_init"), {S / 8});
-    A.inLoad(emitDirectoryList(C, "ec", Optimized), {S / 4});
-    A.inLoad(emitRehashGrowth(C, "ec"), {S / 2});
-    A.inLoad(emitVisitorChurn(C, "ec", Optimized), {S / 2});
-    // The surrounding IDE machinery, sized for the paper's ~14.5% win.
-    A.inLoad(emitAstBuildTraverse(C, "ec"), {S / 8});
-    A.inLoad(emitUsefulWork(C, "ec"), {24 * S});
-    A.inShutdown(emitUsefulWork(C, "ec_fini"), {S / 8});
-  } else if (Name == "avrora") {
-    A.inStartup(emitUsefulWork(C, "av_init"), {S / 8});
-    A.inLoad(emitEventRing(C, "av"), {2 * S});
-    A.inLoad(emitUsefulWork(C, "av"), {S / 2});
-    A.inLoad(emitCacheRarelyRead(C, "av"), {S / 4});
-    A.inShutdown(emitUsefulWork(C, "av_fini"), {S / 8});
-  } else if (Name == "batik") {
-    A.inStartup(emitUsefulWork(C, "ba_init"), {S / 8});
-    A.inLoad(emitBitsRoundTrip(C, "ba", false), {S});
-    A.inLoad(emitUsefulWork(C, "ba"), {S / 2});
-    A.inShutdown(emitUsefulWork(C, "ba_fini"), {S / 8});
-  } else if (Name == "derby") {
-    // Case study: metadata rewritten before read + string context ids.
-    A.inStartup(emitUsefulWork(C, "de_init"), {S / 8});
-    A.inLoad(emitRewriteBeforeRead(C, "de", Optimized), {S / 6});
-    A.inLoad(emitStringKeyLookup(C, "de", Optimized), {S / 6});
-    // The surrounding database engine, sized for the paper's ~6% win.
-    A.inLoad(emitPageIndex(C, "de"), {S});
-    A.inLoad(emitUsefulWork(C, "de"), {27 * S});
-    A.inShutdown(emitUsefulWork(C, "de_fini"), {S / 8});
-  } else if (Name == "sunflow") {
-    // Case study: clone-per-op matrices + float<->int bit round trips.
-    A.inStartup(emitUsefulWork(C, "su_init"), {S / 8});
-    A.inLoad(emitClonePerOp(C, "su"), {atLeast(S / 8, 8), /*msize=*/12});
-    A.inLoad(emitBitsRoundTrip(C, "su", Optimized), {S});
-    // The surrounding renderer, sized for the paper's 9-15% win.
-    A.inLoad(emitTopK(C, "su"), {S / 2});
-    A.inLoad(emitUsefulWork(C, "su"), {29 * S});
-    A.inShutdown(emitUsefulWork(C, "su_fini"), {S / 8});
-  } else if (Name == "tomcat") {
-    // Case study: mapper array copied per update + string-compare
-    // property dispatch.
-    A.inStartup(emitUsefulWork(C, "to_init"), {S / 8});
-    A.inLoad(emitArrayCopyUpdate(C, "to", Optimized),
-             {std::min<int64_t>(atLeast(S / 16, 8), 200)});
-    A.inLoad(emitStringCompareDispatch(C, "to", Optimized), {S / 8});
-    // The surrounding servlet container, sized for the paper's ~2% win.
-    A.inLoad(emitTemplateTable(C, "to"), {S});
-    A.inLoad(emitUsefulWork(C, "to"), {30 * S});
-    A.inShutdown(emitUsefulWork(C, "to_fini"), {S / 8});
-  } else if (Name == "tradebeans") {
-    // Case study: KeyBlock wrappers. Heavy startup/shutdown phases make
-    // this (with tradesoap) the selective-tracking experiment's subject.
-    // Server startup and shutdown dominate the run (they are what the
-    // paper's selective tracking skips); the ballast lives there so the
-    // fix's win stays near the paper's ~2.5%.
-    A.inStartup(emitUsefulWork(C, "tb_init"), {4 * S});
-    A.inLoad(emitWrapperIterator(C, "tb", Optimized), {S});
-    A.inLoad(emitEventRing(C, "tb"), {S / 4});
-    A.inShutdown(emitUsefulWork(C, "tb_fini"), {3 * S});
-  } else if (Name == "tradesoap") {
-    A.inStartup(emitUsefulWork(C, "ts_init"), {4 * S});
-    A.inLoad(emitBeanCopy(C, "ts"), {S / 2});
-    A.inLoad(emitWrapperIterator(C, "ts", false), {S / 4});
-    A.inLoad(emitEventRing(C, "ts"), {S / 4});
-    A.inShutdown(emitUsefulWork(C, "ts_fini"), {4 * S});
-  } else {
-    lud_unreachable("unknown workload name");
-  }
-
+  scheduleRecipe(A, Name, S, Optimized, /*Tag=*/"");
   return A.finish();
 }

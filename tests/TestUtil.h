@@ -3,6 +3,7 @@
 #ifndef LUD_TESTS_TESTUTIL_H
 #define LUD_TESTS_TESTUTIL_H
 
+#include "profiling/FrozenGraph.h"
 #include "profiling/SlicingProfiler.h"
 #include "runtime/Interpreter.h"
 
@@ -32,9 +33,22 @@ inline std::vector<NodeId> nodesFor(const DepGraph &G, InstrId I) {
   return Out;
 }
 
+inline std::vector<NodeId> nodesFor(const FrozenGraph &G, InstrId I) {
+  std::vector<NodeId> Out;
+  for (NodeId N = 0; N != NodeId(G.numNodes()); ++N)
+    if (G.instr(N) == I)
+      Out.push_back(N);
+  return Out;
+}
+
 /// The unique node for instruction \p I; fails the test context if the
 /// instruction has zero or multiple nodes.
 inline NodeId soleNodeFor(const DepGraph &G, InstrId I) {
+  std::vector<NodeId> All = nodesFor(G, I);
+  return All.size() == 1 ? All[0] : kNoNode;
+}
+
+inline NodeId soleNodeFor(const FrozenGraph &G, InstrId I) {
   std::vector<NodeId> All = nodesFor(G, I);
   return All.size() == 1 ? All[0] : kNoNode;
 }

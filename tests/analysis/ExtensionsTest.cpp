@@ -74,7 +74,7 @@ TwoHopProgram buildTwoHop(SlicingProfiler &P) {
 TEST(MultiHopTest, OneHopEqualsDefinition5and6) {
   SlicingProfiler P;
   TwoHopProgram Prog = buildTwoHop(P);
-  const DepGraph &G = P.graph();
+  FrozenGraph G(P.graph());
   CostModel CM(G);
   for (NodeId N = 0; N != NodeId(G.numNodes()); ++N) {
     EXPECT_EQ(multiHopCost(G, N, 1), CM.hrac(N));
@@ -85,7 +85,7 @@ TEST(MultiHopTest, OneHopEqualsDefinition5and6) {
 TEST(MultiHopTest, SecondHopIncludesUpstreamWork) {
   SlicingProfiler P;
   TwoHopProgram Prog = buildTwoHop(P);
-  const DepGraph &G = P.graph();
+  FrozenGraph G(P.graph());
   NodeId NStore = soleNodeFor(G, Prog.StoreG);
   ASSERT_NE(NStore, kNoNode);
   // 1-hop: store + add + one = 3.
@@ -99,7 +99,7 @@ TEST(MultiHopTest, SecondHopIncludesUpstreamWork) {
 TEST(MultiHopTest, ForwardHopsReachTheConsumer) {
   SlicingProfiler P;
   TwoHopProgram Prog = buildTwoHop(P);
-  const DepGraph &G = P.graph();
+  FrozenGraph G(P.graph());
   // From the first hop's store (a.f), one hop sees nothing past the
   // write; the reader side: a.f's load reaches b.g's store at hop 1 but
   // the final sink only at hop 2.
@@ -132,7 +132,7 @@ TEST(MultiHopTest, MonotoneInHops) {
   // On a generated workload: k-hop costs/benefits never decrease with k.
   SlicingProfiler P;
   TwoHopProgram Prog = buildTwoHop(P);
-  const DepGraph &G = P.graph();
+  FrozenGraph G(P.graph());
   for (NodeId N = 0; N != NodeId(G.numNodes()); ++N) {
     uint64_t Prev = 0;
     for (unsigned K = 1; K <= 4; ++K) {

@@ -1,0 +1,267 @@
+//===- tests/profiling/FrozenGraphTest.cpp - Sealed representation ---------===//
+//
+// Covers the build -> seal boundary: every FrozenGraph accessor must agree
+// with the DepGraph it was sealed from, at unit size, at power-of-two
+// boundary sizes (the Eytzinger tree pads to a full level), and at the
+// paper-scale 100K+ node tier, including merged shards and an
+// Eytzinger-lookup-vs-FlatMap-find equivalence sweep over every interned
+// key plus deliberate miss probes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiling/DepGraph.h"
+#include "profiling/FrozenGraph.h"
+#include "profiling/GraphIO.h"
+#include "support/OutStream.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+using namespace lud;
+
+namespace {
+
+/// Builds a deterministic pseudo-random graph with \p NumNodes nodes and
+/// the full attribute/edge/location surface exercised.
+DepGraph buildSynthetic(size_t NumNodes, uint64_t Seed) {
+  DepGraph G;
+  G.setContextSlots(16);
+  RNG R(Seed);
+  std::vector<NodeId> Ids;
+  Ids.reserve(NumNodes);
+  for (size_t I = 0; I != NumNodes; ++I) {
+    // Non-contiguous instr ids and varying domains: the sealed index must
+    // not rely on density.
+    InstrId Instr = InstrId(I * 3 + (I % 5));
+    uint32_t Domain = uint32_t(R.nextBelow(16));
+    NodeId N = G.getOrCreate(Instr, Domain);
+    Ids.push_back(N);
+    G.freq(N) += R.nextBelow(1000) + 1;
+    DepGraph::Node &Node = G.node(N);
+    Node.ReadsHeap = R.nextBelow(2) != 0;
+    Node.WritesHeap = R.nextBelow(2) != 0;
+    Node.StoredRef = R.nextBelow(8) == 0;
+    Node.Consumer = ConsumerKind(R.nextBelow(3));
+    if (R.nextBelow(4) == 0) {
+      Node.Effect = EffectKind(1 + R.nextBelow(3));
+      Node.EffectLoc = HeapLoc{R.nextBelow(5000), FieldSlot(R.nextBelow(8))};
+    }
+  }
+  for (size_t I = 1; I < Ids.size(); ++I) {
+    G.addEdge(Ids[R.nextBelow(I)], Ids[I]);
+    if (R.nextBelow(4) == 0)
+      G.addEdge(Ids[I], Ids[R.nextBelow(I)]);
+  }
+  // Allocation sites: every ~20th node is an allocation with a tag.
+  for (size_t I = 0; I < Ids.size(); I += 20) {
+    uint64_t Tag = G.makeTag(AllocSiteId(I / 20), uint32_t(I % 16));
+    G.node(Ids[I]).IsAlloc = true;
+    G.noteAlloc(Tag, Ids[I]);
+    G.addRefEdge(Ids[R.nextBelow(Ids.size())], Ids[I]);
+  }
+  // Heap locations: ~NumNodes/4 distinct locs, each with a handful of
+  // writers/readers and the occasional ref child.
+  size_t NumLocs = NumNodes / 4 + 1;
+  for (size_t L = 0; L != NumLocs; ++L) {
+    HeapLoc Loc{R.nextBelow(1u << 20), FieldSlot(R.nextBelow(8))};
+    for (size_t K = 0, E = 1 + R.nextBelow(4); K != E; ++K)
+      G.noteWriter(Loc, Ids[R.nextBelow(Ids.size())]);
+    for (size_t K = 0, E = R.nextBelow(4); K != E; ++K)
+      G.noteReader(Loc, Ids[R.nextBelow(Ids.size())]);
+    if (R.nextBelow(8) == 0)
+      G.noteRefChild(Loc, R.nextBelow(1u << 20));
+  }
+  return G;
+}
+
+/// Full accessor-equivalence check between a build graph and its seal.
+void expectEquivalent(const DepGraph &G, const FrozenGraph &F) {
+  ASSERT_EQ(F.numNodes(), G.numNodes());
+  ASSERT_EQ(F.numEdges(), G.numEdges());
+  ASSERT_EQ(F.numRefEdges(), G.numRefEdges());
+  ASSERT_EQ(F.contextSlots(), G.contextSlots());
+
+  uint64_t Total = 0;
+  for (NodeId N = 0; N != G.numNodes(); ++N) {
+    const DepGraph::Node &Src = G.node(N);
+    ASSERT_EQ(F.instr(N), Src.Instr);
+    ASSERT_EQ(F.domain(N), Src.Domain);
+    ASSERT_EQ(F.freq(N), G.freq(N));
+    ASSERT_EQ(F.consumer(N), Src.Consumer);
+    ASSERT_EQ(F.effect(N), Src.Effect);
+    if (Src.Effect != EffectKind::None) {
+      ASSERT_EQ(F.effectLoc(N).Tag, Src.EffectLoc.Tag);
+      ASSERT_EQ(F.effectLoc(N).Slot, Src.EffectLoc.Slot);
+    }
+    ASSERT_EQ(F.readsHeap(N), Src.ReadsHeap);
+    ASSERT_EQ(F.writesHeap(N), Src.WritesHeap);
+    ASSERT_EQ(F.isAlloc(N), Src.IsAlloc);
+    ASSERT_EQ(F.storedRef(N), Src.StoredRef);
+    // CSR adjacency preserves per-node insertion order.
+    ASSERT_EQ(F.outDegree(N), Src.Out.size());
+    ASSERT_EQ(F.inDegree(N), Src.In.size());
+    ASSERT_TRUE(std::equal(F.out(N).begin(), F.out(N).end(),
+                           Src.Out.begin(), Src.Out.end()));
+    ASSERT_TRUE(std::equal(F.in(N).begin(), F.in(N).end(),
+                           Src.In.begin(), Src.In.end()));
+    Total += G.freq(N);
+  }
+  ASSERT_EQ(F.totalFreq(), Total);
+
+  // Eytzinger vs FlatMap::find: every interned key must resolve to the
+  // same node id through both representations...
+  for (NodeId N = 0; N != G.numNodes(); ++N) {
+    InstrId Instr = G.node(N).Instr;
+    uint32_t Domain = G.node(N).Domain;
+    ASSERT_EQ(F.lookup(Instr, Domain), N);
+    ASSERT_EQ(F.lookup(Instr, Domain), G.lookup(Instr, Domain));
+  }
+  // ... and perturbed keys must miss through both.
+  for (NodeId N = 0; N < G.numNodes(); N += 3) {
+    InstrId Instr = G.node(N).Instr;
+    uint32_t Domain = G.node(N).Domain;
+    ASSERT_EQ(F.lookup(Instr, Domain + 100), G.lookup(Instr, Domain + 100));
+    ASSERT_EQ(F.lookup(Instr | 0x40000000u, Domain), kNoNode);
+    ASSERT_EQ(F.lookup(Instr | 0x40000000u, Domain),
+              G.lookup(Instr | 0x40000000u, Domain));
+  }
+
+  // Allocation tags, hits and misses.
+  for (const auto &[Tag, N] : G.allocNodes()) {
+    ASSERT_EQ(F.allocNodeFor(Tag), N);
+    ASSERT_EQ(F.allocNodeFor(Tag + (1ull << 40)), kNoNode);
+  }
+  ASSERT_EQ(F.allocEntries().size(), G.allocNodes().size());
+
+  // Heap-location maps: identical contents per key, empty spans on miss.
+  auto checkMap = [&](const auto &Map, auto Spans) {
+    for (const auto &[Loc, Vals] : Map) {
+      auto Span = Spans(Loc);
+      ASSERT_EQ(Span.size(), Vals.size());
+      ASSERT_TRUE(std::equal(Span.begin(), Span.end(), Vals.begin()));
+    }
+  };
+  checkMap(G.writers(), [&](const HeapLoc &L) { return F.writersOf(L); });
+  checkMap(G.readers(), [&](const HeapLoc &L) { return F.readersOf(L); });
+  checkMap(G.refChildren(),
+           [&](const HeapLoc &L) { return F.refChildrenOf(L); });
+  ASSERT_TRUE(F.writersOf(HeapLoc{0xDEADBEEFull << 21, 7}).empty());
+
+  // The universe iteration view agrees with the keyed view.
+  for (size_t LI = 0; LI != F.numLocs(); ++LI) {
+    HeapLoc L = F.loc(LI);
+    ASSERT_TRUE(std::equal(F.writersAt(LI).begin(), F.writersAt(LI).end(),
+                           F.writersOf(L).begin(), F.writersOf(L).end()));
+    ASSERT_TRUE(std::equal(F.readersAt(LI).begin(), F.readersAt(LI).end(),
+                           F.readersOf(L).begin(), F.readersOf(L).end()));
+  }
+}
+
+TEST(FrozenGraphTest, EmptyGraphSeals) {
+  DepGraph G;
+  FrozenGraph F(G);
+  EXPECT_EQ(F.numNodes(), 0u);
+  EXPECT_EQ(F.lookup(0, 0), kNoNode);
+  EXPECT_EQ(F.allocNodeFor(42), kNoNode);
+  EXPECT_TRUE(F.writersOf(HeapLoc{1, 2}).empty());
+}
+
+TEST(FrozenGraphTest, BoundarySizesSealExactly) {
+  // Sizes straddling Eytzinger's power-of-two padding boundaries.
+  for (size_t N : {1u, 2u, 3u, 7u, 8u, 9u, 63u, 64u, 65u, 1023u, 1024u,
+                   1025u}) {
+    DepGraph G = buildSynthetic(N, /*Seed=*/N);
+    FrozenGraph F(G);
+    expectEquivalent(G, F);
+  }
+}
+
+TEST(FrozenGraphTest, SealMovesAndClearsTheBuildGraph) {
+  DepGraph G = buildSynthetic(100, 7);
+  DepGraph Copy = buildSynthetic(100, 7);
+  FrozenGraph F = FrozenGraph::seal(std::move(G));
+  expectEquivalent(Copy, F);
+}
+
+TEST(FrozenGraphTest, PaperScaleSealEquivalence) {
+  DepGraph G = buildSynthetic(120000, 0xF00D);
+  ASSERT_GE(G.numNodes(), 100000u);
+  FrozenGraph F(G);
+  expectEquivalent(G, F);
+}
+
+TEST(FrozenGraphTest, PaperScaleMergeThenSeal) {
+  // Two overlapping shards folded build-side, then sealed once: the frozen
+  // view must match the merged graph, and merging into an empty graph must
+  // reproduce the source numbering (the shard-fold contract).
+  DepGraph A = buildSynthetic(70000, 1);
+  DepGraph B = buildSynthetic(80000, 2);
+  DepGraph Merged;
+  std::vector<NodeId> RemapA = Merged.mergeFrom(A);
+  for (NodeId N = 0; N != A.numNodes(); ++N)
+    ASSERT_EQ(RemapA[N], N);
+  std::vector<NodeId> RemapB = Merged.mergeFrom(B);
+  ASSERT_GE(Merged.numNodes(), 100000u);
+
+  // Frequencies accumulate across shards.
+  for (NodeId N = 0; N != B.numNodes(); ++N) {
+    NodeId M = RemapB[N];
+    NodeId InA = A.lookup(B.node(N).Instr, B.node(N).Domain);
+    uint64_t Expect = B.freq(N) + (InA != kNoNode ? A.freq(InA) : 0);
+    ASSERT_EQ(Merged.freq(M), Expect);
+  }
+
+  FrozenGraph F(Merged);
+  expectEquivalent(Merged, F);
+}
+
+TEST(FrozenGraphTest, SealDeduplicatesBeyondTheInsertWindow) {
+  // DepGraph::insertUnique only scans a bounded window, so a build-side
+  // list can hold duplicates when more than kDedupWindow distinct nodes
+  // interleave; the seal must still produce an exact first-occurrence
+  // sequence.
+  DepGraph G;
+  G.setContextSlots(16);
+  HeapLoc Loc{99, 1};
+  std::vector<NodeId> Distinct;
+  for (InstrId I = 0; I != 12; ++I)
+    Distinct.push_back(G.getOrCreate(I, 0));
+  for (int Round = 0; Round != 3; ++Round)
+    for (NodeId N : Distinct)
+      G.noteWriter(Loc, N);
+  // The window (8) is smaller than the cycle (12): duplicates leak into
+  // the build-side list.
+  ASSERT_GT(G.writers().at(Loc).size(), Distinct.size());
+  FrozenGraph F(G);
+  auto Span = F.writersOf(Loc);
+  ASSERT_EQ(Span.size(), Distinct.size());
+  ASSERT_TRUE(std::equal(Span.begin(), Span.end(), Distinct.begin()));
+}
+
+TEST(FrozenGraphTest, LegacyWriterPathMatchesFrozenWriter) {
+  // writeGraph(DepGraph) seals internally; both entry points must emit
+  // byte-identical serializations.
+  DepGraph G = buildSynthetic(5000, 0xCAFE);
+  FrozenGraph F(G);
+  StringOutStream A, B;
+  writeGraph(G, A);
+  writeGraph(F, B);
+  EXPECT_EQ(A.str(), B.str());
+}
+
+TEST(FrozenGraphTest, FootprintCoversEveryColumn) {
+  DepGraph G = buildSynthetic(10000, 3);
+  FrozenGraph F(G);
+  FrozenGraph::MemoryFootprint MF = F.memoryFootprint();
+  EXPECT_GT(MF.NodeBytes, 0u);
+  EXPECT_GT(MF.EdgeBytes, 0u);
+  EXPECT_GT(MF.LocBytes, 0u);
+  EXPECT_GT(MF.IndexBytes, 0u);
+  EXPECT_EQ(MF.total(),
+            MF.NodeBytes + MF.EdgeBytes + MF.LocBytes + MF.IndexBytes);
+}
+
+} // namespace

@@ -185,7 +185,7 @@ TEST_P(RandomProgramTest, ReportIsWellFormed) {
 TEST_P(RandomProgramTest, MultiHopIsMonotoneAndAnchoredAtDefinition5) {
   auto M = makeProgram();
   ProfiledRun P = runProfiled(*M);
-  const DepGraph &G = P.Prof->graph();
+  FrozenGraph G(P.Prof->graph());
   CostModel CM(G);
   for (NodeId N = 0; N != NodeId(G.numNodes()); ++N) {
     EXPECT_EQ(multiHopCost(G, N, 1), CM.hrac(N));
