@@ -166,11 +166,31 @@ inline void emitStats(const ProfileSession &S) {
     std::fclose(F);
 }
 
+/// Uninstrumented run through the session lifecycle — the spelling of the
+/// retired runBaseline() free function, for the bench binaries.
+inline TimedRun baselineRun(const Module &M, RunConfig RC = {}) {
+  ProfileSession S(SessionConfig::baseline(RC));
+  return S.run(M);
+}
+
+/// Substrate-only profiled run through the session lifecycle — the
+/// spelling of the retired runProfiled() free function.
+inline ProfiledRun profiledRun(const Module &M, SlicingConfig SCfg = {},
+                               RunConfig RC = {}) {
+  ProfileSession S(SessionConfig::profiled(SCfg, RC));
+  TimedRun T = S.run(M);
+  ProfiledRun Out;
+  Out.Run = T.Run;
+  Out.Seconds = T.Seconds;
+  Out.Prof = S.takeSlicing();
+  return Out;
+}
+
 /// Minimum wall time over \p Reps baseline runs (de-noised).
 inline double baselineSeconds(const Module &M, int Reps = 3) {
   double Best = 1e100;
   for (int I = 0; I != Reps; ++I) {
-    TimedRun R = runBaseline(M);
+    TimedRun R = baselineRun(M);
     if (R.Seconds < Best)
       Best = R.Seconds;
   }

@@ -31,7 +31,7 @@ void printTable() {
     for (uint32_t Slots : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
       SlicingConfig Cfg;
       Cfg.ContextSlots = Slots;
-      ProfiledRun P = runProfiled(*W.M, Cfg);
+      ProfiledRun P = profiledRun(*W.M, Cfg);
       const DepGraph &G = P.Prof->graph();
       std::printf("%-12s %4u %10zu %10zu %10.1f %8.3f %10llu\n", Name, Slots,
                   G.numNodes(), G.numEdges(),
@@ -49,7 +49,7 @@ void BM_SlotsSweep(benchmark::State &State) {
   SlicingConfig Cfg;
   Cfg.ContextSlots = uint32_t(State.range(0));
   for (auto _ : State) {
-    ProfiledRun P = runProfiled(*W.M, Cfg);
+    ProfiledRun P = profiledRun(*W.M, Cfg);
     benchmark::DoNotOptimize(P.Prof->graph().numNodes());
   }
   State.SetLabel("s=" + std::to_string(State.range(0)));

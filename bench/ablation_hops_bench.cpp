@@ -34,7 +34,7 @@ void printTable() {
               "native-reaching", "time(ms)");
   for (const char *Name : kApps) {
     Workload W = buildWorkload(Name, S);
-    ProfiledRun P = runProfiled(*W.M);
+    ProfiledRun P = profiledRun(*W.M);
     FrozenGraph G(P.Prof->graph());
     for (unsigned K = 1; K <= 3; ++K) {
       auto T0 = std::chrono::steady_clock::now();
@@ -64,7 +64,7 @@ void printTable() {
 
 void BM_MultiHopSweep(benchmark::State &State) {
   Workload W = buildWorkload("eclipse", tableScale() / 4);
-  ProfiledRun P = runProfiled(*W.M);
+  ProfiledRun P = profiledRun(*W.M);
   FrozenGraph G(P.Prof->graph());
   unsigned K = unsigned(State.range(0));
   for (auto _ : State) {

@@ -68,8 +68,8 @@ void printTable() {
     SlicingConfig Thin;
     SlicingConfig Trad;
     Trad.ThinSlicing = false;
-    ProfiledRun PThin = runProfiled(*W.M, Thin);
-    ProfiledRun PTrad = runProfiled(*W.M, Trad);
+    ProfiledRun PThin = profiledRun(*W.M, Thin);
+    ProfiledRun PTrad = profiledRun(*W.M, Trad);
     std::printf("%-12s %10zu %10zu %12.1f %12.1f %12zu %12llu\n",
                 Name.c_str(), PThin.Prof->graph().numEdges(),
                 PTrad.Prof->graph().numEdges(),
@@ -86,7 +86,7 @@ void printTable() {
 void BM_ThinProfiled(benchmark::State &State) {
   Workload W = buildWorkload("eclipse", tableScale() / 2);
   for (auto _ : State) {
-    ProfiledRun P = runProfiled(*W.M);
+    ProfiledRun P = profiledRun(*W.M);
     benchmark::DoNotOptimize(P.Prof->graph().numEdges());
   }
 }
@@ -96,7 +96,7 @@ void BM_TraditionalProfiled(benchmark::State &State) {
   SlicingConfig Cfg;
   Cfg.ThinSlicing = false;
   for (auto _ : State) {
-    ProfiledRun P = runProfiled(*W.M, Cfg);
+    ProfiledRun P = profiledRun(*W.M, Cfg);
     benchmark::DoNotOptimize(P.Prof->graph().numEdges());
   }
 }

@@ -36,12 +36,12 @@ void printTable() {
               "auto-%", "manual-%", "removed-st", "removed-dce");
   for (const char *Name : kApps) {
     Workload W = buildWorkload(Name, S);
-    TimedRun Before = runBaseline(*W.M);
-    ProfiledRun P = runProfiled(*W.M);
+    TimedRun Before = baselineRun(*W.M);
+    ProfiledRun P = profiledRun(*W.M);
     DeadValueAnalysis DV =
         computeDeadValues(P.Prof->graph(), P.Run.ExecutedInstrs);
     OptimizeResult R = removeProfiledDeadCode(*W.M, P.Prof->graph(), DV);
-    TimedRun After = runBaseline(*R.M);
+    TimedRun After = baselineRun(*R.M);
     bool OutputOk = After.Run.SinkHash == Before.Run.SinkHash;
     double AutoPct = 100.0 *
                      (1.0 - double(After.Run.ExecutedInstrs) /
@@ -49,7 +49,7 @@ void printTable() {
     double ManualPct = 0;
     if (hasOptimizedVariant(Name)) {
       Workload Opt = buildWorkload(Name, S, /*Optimized=*/true);
-      TimedRun Manual = runBaseline(*Opt.M);
+      TimedRun Manual = baselineRun(*Opt.M);
       ManualPct = 100.0 * (1.0 - double(Manual.Run.ExecutedInstrs) /
                                      double(Before.Run.ExecutedInstrs));
     }
@@ -66,7 +66,7 @@ void printTable() {
 void BM_ProfileOptimizeCycle(benchmark::State &State) {
   Workload W = buildWorkload("chart", tableScale() / 4);
   for (auto _ : State) {
-    ProfiledRun P = runProfiled(*W.M);
+    ProfiledRun P = profiledRun(*W.M);
     DeadValueAnalysis DV =
         computeDeadValues(P.Prof->graph(), P.Run.ExecutedInstrs);
     OptimizeResult R = removeProfiledDeadCode(*W.M, P.Prof->graph(), DV);

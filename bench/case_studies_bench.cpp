@@ -38,10 +38,10 @@ void printTable() {
     Workload Opt = buildWorkload(Name, S, /*Optimized=*/true);
     double TOrig = baselineSeconds(*Orig.M, 5);
     double TOpt = baselineSeconds(*Opt.M, 5);
-    TimedRun RO = runBaseline(*Orig.M);
-    TimedRun RF = runBaseline(*Opt.M);
+    TimedRun RO = baselineRun(*Orig.M);
+    TimedRun RF = baselineRun(*Opt.M);
 
-    ProfiledRun P = runProfiled(*Orig.M);
+    ProfiledRun P = profiledRun(*Orig.M);
     CostModel CM(P.Prof->graph());
     LowUtilityReport Report(CM, *Orig.M);
     int BestRank = -1;
@@ -76,7 +76,7 @@ void printTable() {
 void BM_Original(benchmark::State &State) {
   Workload W = buildWorkload(kCaseStudies[State.range(0)], tableScale() / 2);
   for (auto _ : State) {
-    TimedRun R = runBaseline(*W.M);
+    TimedRun R = baselineRun(*W.M);
     benchmark::DoNotOptimize(R.Run.SinkHash);
   }
   State.SetLabel(std::string(kCaseStudies[State.range(0)]) + "/orig");
@@ -86,7 +86,7 @@ void BM_Optimized(benchmark::State &State) {
   Workload W = buildWorkload(kCaseStudies[State.range(0)], tableScale() / 2,
                              /*Optimized=*/true);
   for (auto _ : State) {
-    TimedRun R = runBaseline(*W.M);
+    TimedRun R = baselineRun(*W.M);
     benchmark::DoNotOptimize(R.Run.SinkHash);
   }
   State.SetLabel(std::string(kCaseStudies[State.range(0)]) + "/fixed");

@@ -52,7 +52,7 @@ struct SealedRun {
 /// build graph stays alive in Run.Prof as the FlatMap baseline.
 SealedRun profileComposed(int64_t Scale) {
   Workload W = buildComposedWorkload(Scale);
-  ProfiledRun P = runProfiled(*W.M);
+  ProfiledRun P = profiledRun(*W.M);
   auto T0 = std::chrono::steady_clock::now();
   FrozenGraph F(P.Prof->graph());
   double Seal = secondsSince(T0);
@@ -235,7 +235,7 @@ BENCHMARK(BM_NodeLookup)->Arg(0)->Arg(1);
 /// Timing aspect: sealing the composed build graph.
 void BM_Seal(benchmark::State &State) {
   static Workload W = buildComposedWorkload(tableScale() / 4);
-  static ProfiledRun P = runProfiled(*W.M);
+  static ProfiledRun P = profiledRun(*W.M);
   for (auto _ : State) {
     FrozenGraph F(P.Prof->graph());
     benchmark::DoNotOptimize(F.numNodes());

@@ -35,7 +35,7 @@ void printTable() {
   std::printf("\n");
   for (const char *Name : kApps) {
     Workload W = buildWorkload(Name, S);
-    ProfiledRun P = runProfiled(*W.M);
+    ProfiledRun P = profiledRun(*W.M);
     CostModel CM(P.Prof->graph());
     std::printf("%-12s", Name);
     for (unsigned N = 1; N <= 6; ++N) {
@@ -61,7 +61,7 @@ void printTable() {
 
 void BM_ReportDepth(benchmark::State &State) {
   Workload W = buildWorkload("eclipse", tableScale() / 2);
-  ProfiledRun P = runProfiled(*W.M);
+  ProfiledRun P = profiledRun(*W.M);
   CostModel CM(P.Prof->graph());
   ReportOptions Opts;
   Opts.Depth = unsigned(State.range(0));

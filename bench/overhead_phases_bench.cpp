@@ -95,8 +95,8 @@ void printTable() {
     double TFull = 1e100, TLoad = 1e100;
     uint64_t FullFreq = 0, LoadFreq = 0;
     for (int I = 0; I != 3; ++I) {
-      ProfiledRun PF = runProfiled(*W.M, Full);
-      ProfiledRun PL = runProfiled(*W.M, LoadOnly);
+      ProfiledRun PF = profiledRun(*W.M, Full);
+      ProfiledRun PL = profiledRun(*W.M, LoadOnly);
       TFull = std::min(TFull, PF.Seconds);
       TLoad = std::min(TLoad, PL.Seconds);
       FullFreq = PF.Prof->graph().totalFreq();
@@ -120,7 +120,7 @@ void printTable() {
 void BM_FullTracking(benchmark::State &State) {
   Workload W = buildWorkload(kApps[State.range(0)], tableScale() / 2);
   for (auto _ : State) {
-    ProfiledRun P = runProfiled(*W.M);
+    ProfiledRun P = profiledRun(*W.M);
     benchmark::DoNotOptimize(P.Prof->graph().totalFreq());
   }
   State.SetLabel(std::string(kApps[State.range(0)]) + "/full");
@@ -131,7 +131,7 @@ void BM_LoadOnlyTracking(benchmark::State &State) {
   SlicingConfig Cfg;
   Cfg.TrackedPhaseMask = 1ull << 1;
   for (auto _ : State) {
-    ProfiledRun P = runProfiled(*W.M, Cfg);
+    ProfiledRun P = profiledRun(*W.M, Cfg);
     benchmark::DoNotOptimize(P.Prof->graph().totalFreq());
   }
   State.SetLabel(std::string(kApps[State.range(0)]) + "/load-only");

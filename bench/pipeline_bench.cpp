@@ -19,8 +19,7 @@ using namespace lud::bench;
 
 namespace {
 
-constexpr uint32_t kAllClients =
-    kClientCopy | kClientNullness | kClientTypestate;
+constexpr ClientSet kAllClients = ClientSet::all();
 
 struct PassResult {
   double Seconds = 0;
@@ -41,7 +40,8 @@ PassResult singlePassSeconds(const Module &M) {
 
 PassResult nPassSeconds(const Module &M) {
   PassResult R;
-  for (uint32_t Client : {kClientCopy, kClientNullness, kClientTypestate}) {
+  for (ClientSet Client : {ClientSet::copy(), ClientSet::nullness(),
+                           ClientSet::typestate()}) {
     SessionConfig Cfg;
     Cfg.Clients = Client;
     ProfileSession S(Cfg);

@@ -28,8 +28,7 @@ using namespace lud::bench;
 
 namespace {
 
-constexpr uint32_t kAllClients =
-    kClientCopy | kClientNullness | kClientTypestate;
+constexpr ClientSet kAllClients = ClientSet::all();
 
 double liveSeconds(const Module &M, size_t *Nodes = nullptr,
                    size_t *Edges = nullptr) {

@@ -29,7 +29,7 @@ void printTable() {
               "NLD%");
   for (const std::string &Name : dacapoNames()) {
     Workload W = buildWorkload(Name, S);
-    ProfiledRun P = runProfiled(*W.M);
+    ProfiledRun P = profiledRun(*W.M);
     DeadValueAnalysis DV =
         computeDeadValues(P.Prof->graph(), P.Run.ExecutedInstrs);
     std::printf("%-12s %12llu %8.1f %8.1f %8.1f\n", Name.c_str(),
@@ -44,7 +44,7 @@ void printTable() {
 void BM_DeadValueAnalysis(benchmark::State &State) {
   const std::string &Name = dacapoNames()[State.range(0)];
   Workload W = buildWorkload(Name, tableScale() / 4);
-  ProfiledRun P = runProfiled(*W.M);
+  ProfiledRun P = profiledRun(*W.M);
   for (auto _ : State) {
     DeadValueAnalysis DV =
         computeDeadValues(P.Prof->graph(), P.Run.ExecutedInstrs);

@@ -33,7 +33,7 @@ void printTable() {
     for (uint32_t Slots : {8u, 16u}) {
       SlicingConfig Cfg;
       Cfg.ContextSlots = Slots;
-      ProfiledRun P = runProfiled(*W.M, Cfg);
+      ProfiledRun P = profiledRun(*W.M, Cfg);
       const DepGraph &G = P.Prof->graph();
       double MemKB = double(G.memoryFootprint().total()) / 1024.0;
       double Overhead = Base > 0 ? P.Seconds / Base : 0;
@@ -55,7 +55,7 @@ void BM_ProfiledRun(benchmark::State &State) {
   Workload W = buildWorkload(Name, tableScale() / 4);
   uint64_t Instrs = 0;
   for (auto _ : State) {
-    ProfiledRun P = runProfiled(*W.M);
+    ProfiledRun P = profiledRun(*W.M);
     Instrs = P.Run.ExecutedInstrs;
     benchmark::DoNotOptimize(P.Prof->graph().numNodes());
   }
@@ -68,7 +68,7 @@ void BM_BaselineRun(benchmark::State &State) {
   const std::string &Name = dacapoNames()[State.range(0)];
   Workload W = buildWorkload(Name, tableScale() / 4);
   for (auto _ : State) {
-    TimedRun R = runBaseline(*W.M);
+    TimedRun R = baselineRun(*W.M);
     benchmark::DoNotOptimize(R.Run.SinkHash);
   }
   State.SetLabel(Name);

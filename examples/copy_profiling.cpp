@@ -72,7 +72,7 @@ int main() {
   // The copy client rides the slicing substrate (which provides the heap
   // tags); ProfileSession composes both into one interpretation pass.
   SessionConfig SCfg;
-  SCfg.Clients = kClientCopy;
+  SCfg.Clients = ClientSet::copy();
   ProfileSession Session(std::move(SCfg));
   RunResult R = Session.run(M).Run;
   CopyProfiler &P = *Session.copy();

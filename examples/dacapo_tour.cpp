@@ -39,21 +39,26 @@ int main(int argc, char **argv) {
 
   Workload W = buildWorkload(Name, Scale);
   OS << "=== " << Name << " (scale " << Scale << ") ===\n";
-  TimedRun Base = runBaseline(*W.M);
-  ProfiledRun P = runProfiled(*W.M);
+  // Two sessions through the shared lifecycle: one uninstrumented for
+  // the overhead denominator, one carrying the slicing substrate.
+  ProfileSession BaseSession(SessionConfig::baseline());
+  TimedRun Base = BaseSession.run(*W.M);
+  ProfileSession Session(SessionConfig::profiled());
+  TimedRun Prof = Session.run(*W.M);
+  SlicingProfiler &SP = *Session.slicing();
   OS << "baseline: " << Base.Run.ExecutedInstrs << " instructions in ";
   OS.printFixed(Base.Seconds * 1e3, 2);
   OS << " ms;  profiled: ";
-  OS.printFixed(P.Seconds * 1e3, 2);
+  OS.printFixed(Prof.Seconds * 1e3, 2);
   OS << " ms (";
-  OS.printFixed(P.Seconds / Base.Seconds, 1);
+  OS.printFixed(Prof.Seconds / Base.Seconds, 1);
   OS << "x overhead)\n";
-  const DepGraph &G = P.Prof->graph();
+  const DepGraph &G = SP.graph();
   OS << "Gcost: " << uint64_t(G.numNodes()) << " nodes, "
      << uint64_t(G.numEdges()) << " edges, ";
   OS.printFixed(double(G.memoryFootprint().total()) / 1024.0, 1);
   OS << " KB retained; CR = ";
-  OS.printFixed(P.Prof->averageCR(), 3);
+  OS.printFixed(SP.averageCR(), 3);
   OS << "\n\n";
 
   CostModel CM(G);
@@ -70,12 +75,12 @@ int main(int argc, char **argv) {
   }
 
   OS << "\n--- locations rewritten before being read ---\n";
-  printOverwrites(rankOverwrites(*P.Prof, *W.M), OS, 5);
+  printOverwrites(rankOverwrites(SP, *W.M), OS, 5);
 
   OS << "\n--- always-constant predicates ---\n";
   ClientOptions Busy;
   Busy.MinCount = 16;
-  printConstantPredicates(findConstantPredicates(*P.Prof, CM, *W.M, Busy),
+  printConstantPredicates(findConstantPredicates(SP, CM, *W.M, Busy),
                           OS, 5);
 
   OS << "\n--- costliest method return values ---\n";
@@ -90,7 +95,7 @@ int main(int argc, char **argv) {
   OS << "\n--- cache effectiveness (least effective first) ---\n";
   printCacheScores(rankCacheEffectiveness(CM, *W.M), OS, 5);
 
-  DeadValueAnalysis DV = computeDeadValues(G, P.Run.ExecutedInstrs);
+  DeadValueAnalysis DV = computeDeadValues(G, Prof.Run.ExecutedInstrs);
   OS << "\n--- bloat metrics ---\nIPD ";
   OS.printFixed(100.0 * DV.Metrics.ipd(), 1);
   OS << "%   IPP ";

@@ -115,12 +115,16 @@ int main() {
     return 1;
   }
 
-  ProfiledRun P = runProfiled(*M);
-  OS << "isPackage() answered " << P.Run.ReturnValue.asInt() << " of 300 "
-     << "queries positively, executing " << P.Run.ExecutedInstrs
+  // One profiled pass through the session lifecycle: the session
+  // prepares the slicing substrate, runs the module, and hands the
+  // finished Gcost to the cost model below.
+  ProfileSession Session(SessionConfig::profiled());
+  RunResult Run = Session.run(*M).Run;
+  OS << "isPackage() answered " << Run.ReturnValue.asInt() << " of 300 "
+     << "queries positively, executing " << Run.ExecutedInstrs
      << " instructions.\n\n";
 
-  CostModel CM(P.Prof->graph());
+  CostModel CM(Session.slicing()->graph());
   LowUtilityReport Report(CM, *M);
   OS << "=== Low-utility data structures ===\n";
   Report.print(OS, 5);

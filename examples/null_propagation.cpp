@@ -66,7 +66,7 @@ int main() {
 
   // Run the nullness client through the composed pipeline (one pass).
   SessionConfig SCfg;
-  SCfg.Clients = kClientNullness;
+  SCfg.Clients = ClientSet::nullness();
   ProfileSession Session(std::move(SCfg));
   RunResult R = Session.run(M).Run;
   NullnessProfiler &P = *Session.nullness();

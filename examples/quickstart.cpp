@@ -64,21 +64,25 @@ int main() {
   M.finalize();
 
   // 2. Execute under the slicing profiler: this builds Gcost online,
-  //    following the inference rules of the paper's Figure 4.
-  ProfiledRun P = runProfiled(M);
-  OS << "executed " << P.Run.ExecutedInstrs << " instructions; Gcost has "
-     << uint64_t(P.Prof->graph().numNodes()) << " nodes and "
-     << uint64_t(P.Prof->graph().numEdges()) << " edges\n\n";
+  //    following the inference rules of the paper's Figure 4. A
+  //    ProfileSession owns the whole lifecycle — prepare, run, report —
+  //    the same arc lud-run, lud-replay, and the lud-serve daemon share.
+  ProfileSession Session(SessionConfig::profiled());
+  RunResult Run = Session.run(M).Run;
+  const DepGraph &G = Session.slicing()->graph();
+  OS << "executed " << Run.ExecutedInstrs << " instructions; Gcost has "
+     << uint64_t(G.numNodes()) << " nodes and "
+     << uint64_t(G.numEdges()) << " edges\n\n";
 
   // 3. Rank data structures by relative cost/benefit (Definitions 5-7).
-  CostModel CM(P.Prof->graph());
+  CostModel CM(G);
   LowUtilityReport Report(CM, M);
   OS << "=== Low-utility data structures (most suspicious first) ===\n";
   Report.print(OS, 5);
 
   // 4. The ultimately-dead value measurement (Table 1(c)).
   DeadValueAnalysis DV =
-      computeDeadValues(P.Prof->graph(), P.Run.ExecutedInstrs);
+      computeDeadValues(G, Run.ExecutedInstrs);
   OS << "\nIPD (instances producing only dead values): ";
   OS.printFixed(100.0 * DV.Metrics.ipd(), 1);
   OS << "%\nNLD (dead graph nodes):                     ";

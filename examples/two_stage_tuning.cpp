@@ -45,14 +45,14 @@ int main() {
   OS << "\n=== stage 2: cost-benefit tracking of phase 1 only ===\n";
   SlicingConfig Cfg;
   Cfg.TrackedPhaseMask = 1ull << 1;
-  ProfiledRun P = runProfiled(*W.M, Cfg);
-  OS << "tracked " << P.Prof->graph().totalFreq() << " of "
-     << P.Run.ExecutedInstrs << " instruction instances ("
-     << uint64_t(100 * P.Prof->graph().totalFreq() /
-                 P.Run.ExecutedInstrs)
-     << "%)\n\n";
+  ProfileSession Stage2(SessionConfig::profiled(Cfg));
+  RunResult Run = Stage2.run(*W.M).Run;
+  const DepGraph &G = Stage2.slicing()->graph();
+  OS << "tracked " << G.totalFreq() << " of " << Run.ExecutedInstrs
+     << " instruction instances ("
+     << uint64_t(100 * G.totalFreq() / Run.ExecutedInstrs) << "%)\n\n";
 
-  CostModel CM(P.Prof->graph());
+  CostModel CM(G);
   LowUtilityReport Report(CM, *W.M);
   Report.print(OS, 5);
   OS << "\nThe KeyBlock/KeyIter wrappers surface immediately once the\n"

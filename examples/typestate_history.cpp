@@ -80,7 +80,7 @@ int main() {
   // The typestate client reads receiver sites from the substrate's heap
   // tags; ProfileSession runs both stages in one interpretation pass.
   SessionConfig SCfg;
-  SCfg.Clients = kClientTypestate;
+  SCfg.Clients = ClientSet::typestate();
   SCfg.Typestate = Spec;
   ProfileSession Session(std::move(SCfg));
   RunResult R = Session.run(M).Run;

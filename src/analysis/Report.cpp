@@ -233,3 +233,21 @@ void lud::printMethodCosts(const std::vector<MethodCostRow> &Rows,
     OS << "  " << Rows[I].Name << "\n";
   }
 }
+
+void lud::printClientSections(ClientSet Clients, const CopyProfiler *Copy,
+                              const NullnessProfiler *Null,
+                              const TypestateProfiler *Type, const Module &M,
+                              OutStream &OS, size_t TopK) {
+  if (Clients.hasCopy() && Copy) {
+    OS << "\n=== copy chains ===\n";
+    printCopyChains(*Copy, M, OS, TopK);
+  }
+  if (Clients.hasNullness() && Null) {
+    OS << "\n=== null propagation ===\n";
+    printNullPropagation(*Null, M, OS);
+  }
+  if (Clients.hasTypestate() && Type) {
+    OS << "\n=== typestate history ===\n";
+    printTypestateFindings(*Type, M, OS, TopK);
+  }
+}

@@ -20,6 +20,7 @@
 #include "analysis/Clients.h"
 #include "analysis/CostModel.h"
 #include "ir/Ids.h"
+#include "profiling/ClientSet.h"
 
 #include <string>
 #include <vector>
@@ -142,6 +143,18 @@ void printConstantPredicates(const std::vector<ConstantPredicateRow> &Rows,
 /// Method return-value costs (computeMethodCosts rows), costliest first.
 void printMethodCosts(const std::vector<MethodCostRow> &Rows, OutStream &OS,
                       size_t TopK = 10);
+
+/// Renders the enabled clients' "=== ... ===" headed report sections in
+/// the canonical order (copy, nullness, typestate). A client's section
+/// prints only when its bit is set in \p Clients AND its profiler pointer
+/// is live, so an unprepared or partially configured session degrades to
+/// fewer sections rather than a crash. ProfileSession::printClientReports
+/// and the service's report renderer both route through this — the one
+/// place the section headers are spelled.
+void printClientSections(ClientSet Clients, const CopyProfiler *Copy,
+                         const NullnessProfiler *Null,
+                         const TypestateProfiler *Type, const Module &M,
+                         OutStream &OS, size_t TopK = 15);
 
 } // namespace lud
 

@@ -60,7 +60,7 @@ OracleConfig fuzz::randomOracleConfig(RNG &R) {
   C.Slicing.ContextSensitive = R.nextBelow(2) != 0;
   C.Slicing.TrackCR = R.nextBelow(2) != 0;
   C.Slicing.HotPathCaches = R.nextBelow(2) != 0;
-  C.Clients = uint32_t(R.nextBelow(8));
+  C.Clients = ClientSet(uint32_t(R.nextBelow(8)));
   // Either backend may be the reference; the engines mode always runs the
   // other one, so both orderings of the cross-check get fuzzed.
   C.Engine = R.nextBelow(2) != 0 ? EngineKind::Threaded : EngineKind::Interp;

@@ -51,8 +51,8 @@ struct OracleConfig {
   /// Engine the reference session (and every non-engine mode) runs on; the
   /// engines mode runs the *other* backend and diffs against the reference.
   EngineKind Engine = defaultEngineKind();
-  /// kClient* mask driven through every mode.
-  uint32_t Clients = kClientCopy | kClientNullness | kClientTypestate;
+  /// Client analyses driven through every mode.
+  ClientSet Clients = ClientSet::all();
   /// Shard counts the sharded mode exercises.
   std::vector<unsigned> ShardCounts = {2, 4, 8};
   /// Thread counts per shard count (1 is the sequential reference pool).
@@ -84,6 +84,9 @@ OracleResult runOracle(const Module &M, const OracleConfig &Cfg);
 std::string configFlags(const OracleConfig &Cfg);
 
 /// Renders a client mask as the --clients spelling ("none" when empty).
+/// Deprecated spelling of clientSetName (profiling/ClientSet.h); unlike
+/// it, this never abbreviates the full set to "all".
+[[deprecated("use clientSetName (profiling/ClientSet.h)")]]
 std::string clientMaskName(uint32_t Mask);
 
 } // namespace fuzz

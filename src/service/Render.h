@@ -1,0 +1,66 @@
+//===- service/Render.h - Shared replay-report renderer --------*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one place the replayed report is rendered. `lud-replay` printing to
+/// stdout and the `lud-serve` daemon answering GET /report must produce
+/// byte-identical text for the same folded session — the ISSUE's
+/// acceptance test diffs them — so both call these functions rather than
+/// owning format strings. The summary prints the sealed FrozenGraph
+/// footprint ("sealed X KB"): unlike the mutable DepGraph's
+/// capacity-dependent number, the sealed CSR footprint is a pure function
+/// of the graph's contents, hence identical however the sessions were
+/// buffered on the way in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_SERVICE_RENDER_H
+#define LUD_SERVICE_RENDER_H
+
+#include "analysis/Clients.h"
+
+#include <cstdint>
+
+namespace lud {
+
+class Module;
+class OutStream;
+class ProfileSession;
+class FrozenGraph;
+
+namespace serve {
+
+/// Which report sections to render, mirroring lud-replay's flags; client
+/// sections follow the session's own ClientSet.
+struct ReportSpec {
+  bool Report = false;
+  bool Dead = false;
+  bool Caches = false;
+  ClientOptions Client;
+};
+
+/// The two-line replay summary: events/trace counts and the Gcost size
+/// line ("Gcost: N nodes, E edges, sealed X KB, CR c").
+void renderReplaySummary(const ProfileSession &S, const FrozenGraph &FG,
+                         uint64_t Events, uint64_t NumTraces, OutStream &OS);
+
+/// The "===" report sections in lud-replay's order: low-utility report,
+/// cache effectiveness, client sections, bloat metrics.
+void renderReportSections(const Module &M, const ProfileSession &S,
+                          const FrozenGraph &FG, const ReportSpec &Spec,
+                          OutStream &OS);
+
+/// Summary plus sections — the whole report, as GET /report serves it.
+void renderReplayReport(const Module &M, const ProfileSession &S,
+                        const FrozenGraph &FG, uint64_t Events,
+                        uint64_t NumTraces, const ReportSpec &Spec,
+                        OutStream &OS);
+
+} // namespace serve
+} // namespace lud
+
+#endif // LUD_SERVICE_RENDER_H

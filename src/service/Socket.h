@@ -1,0 +1,97 @@
+//===- service/Socket.h - Minimal local-socket plumbing --------*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's transport layer, kept deliberately small: an fd RAII
+/// wrapper, unix-domain and loopback-TCP listen/connect helpers, a
+/// robust writeAll, and a buffered line/exact reader for the framed
+/// ingest protocol. Everything is blocking — the daemon is
+/// thread-per-connection — and local-only: the TCP listener binds
+/// 127.0.0.1, never a routable address.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_SERVICE_SOCKET_H
+#define LUD_SERVICE_SOCKET_H
+
+#include <cstdint>
+#include <string>
+
+namespace lud {
+namespace serve {
+
+/// Owning file descriptor; -1 when empty.
+class Fd {
+public:
+  Fd() = default;
+  explicit Fd(int RawFd) : RawFd(RawFd) {}
+  Fd(Fd &&O) noexcept : RawFd(O.RawFd) { O.RawFd = -1; }
+  Fd &operator=(Fd &&O) noexcept;
+  ~Fd() { reset(); }
+
+  Fd(const Fd &) = delete;
+  Fd &operator=(const Fd &) = delete;
+
+  int get() const { return RawFd; }
+  bool valid() const { return RawFd >= 0; }
+  explicit operator bool() const { return valid(); }
+  /// Closes the held descriptor (if any) and takes ownership of \p NewFd.
+  void reset(int NewFd = -1);
+  /// Releases ownership without closing.
+  int release() {
+    int R = RawFd;
+    RawFd = -1;
+    return R;
+  }
+
+private:
+  int RawFd = -1;
+};
+
+/// Makes SIGPIPE a write error instead of process death. Idempotent;
+/// every daemon/client entry point calls it.
+void ignoreSigpipe();
+
+/// Binds and listens on a unix-domain socket at \p Path (unlinking a
+/// stale file first). Invalid Fd with \p Err set on failure.
+Fd listenUnix(const std::string &Path, std::string &Err);
+Fd connectUnix(const std::string &Path, std::string &Err);
+
+/// Binds and listens on 127.0.0.1:\p Port (0 picks a free port); the
+/// bound port comes back in \p PortOut.
+Fd listenTcp(uint16_t Port, uint16_t &PortOut, std::string &Err);
+Fd connectTcp(uint16_t Port, std::string &Err);
+
+/// Writes all of \p Data, retrying on EINTR and partial writes.
+bool writeAll(int RawFd, const void *Data, size_t Len);
+bool writeAll(int RawFd, const std::string &S);
+
+/// Buffered reader over a connected socket for the line-framed protocol:
+/// '\n'-terminated command lines interleaved with exact-length binary
+/// payloads.
+class SocketReader {
+public:
+  explicit SocketReader(int RawFd) : RawFd(RawFd) {}
+
+  /// Reads up to the next '\n' (consumed, not returned). False on EOF or
+  /// error with nothing buffered.
+  bool readLine(std::string &Line);
+  /// Reads exactly \p Len bytes into \p Out.
+  bool readExact(std::string &Out, size_t Len);
+
+private:
+  bool fill();
+
+  int RawFd;
+  std::string Buf;
+  size_t Pos = 0;
+};
+
+} // namespace serve
+} // namespace lud
+
+#endif // LUD_SERVICE_SOCKET_H

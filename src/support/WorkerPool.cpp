@@ -1,0 +1,60 @@
+//===- support/WorkerPool.cpp - Persistent worker-thread pool --------------===//
+
+#include "support/WorkerPool.h"
+
+using namespace lud;
+
+WorkerPool::WorkerPool(unsigned Threads) {
+  NumThreads = Threads ? Threads : 1;
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.emplace_back([this] { workerMain(); });
+}
+
+WorkerPool::~WorkerPool() { stop(); }
+
+void WorkerPool::submit(std::function<void()> Job) {
+  {
+    std::lock_guard<std::mutex> Lk(Mu);
+    if (Stopping)
+      return;
+    Queue.push_back(std::move(Job));
+  }
+  WorkCV.notify_one();
+}
+
+void WorkerPool::waitIdle() {
+  std::unique_lock<std::mutex> Lk(Mu);
+  IdleCV.wait(Lk, [this] { return Queue.empty() && Running == 0; });
+}
+
+void WorkerPool::stop() {
+  {
+    std::lock_guard<std::mutex> Lk(Mu);
+    Stopping = true;
+    Queue.clear();
+  }
+  WorkCV.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+  Workers.clear();
+  IdleCV.notify_all();
+}
+
+void WorkerPool::workerMain() {
+  std::unique_lock<std::mutex> Lk(Mu);
+  for (;;) {
+    WorkCV.wait(Lk, [this] { return Stopping || !Queue.empty(); });
+    if (Stopping)
+      return;
+    std::function<void()> Job = std::move(Queue.front());
+    Queue.pop_front();
+    ++Running;
+    Lk.unlock();
+    Job();
+    Lk.lock();
+    --Running;
+    if (Queue.empty() && Running == 0)
+      IdleCV.notify_all();
+  }
+}

@@ -1,0 +1,88 @@
+//===- support/WorkerPool.h - Persistent worker-thread pool ----*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one worker pool behind both the batch drivers and the profiling
+/// service, generalized from the ad-hoc claim-counter loop that
+/// workloads/ParallelDriver used to spawn per call. A WorkerPool owns N
+/// long-lived threads draining a FIFO queue of type-erased jobs; batch
+/// callers use the forEachJob() wrapper, which keeps the old contract
+/// exactly (indexed jobs, arbitrary completion order, Threads <= 1 runs
+/// inline on the calling thread — the reference every merged result is
+/// tested against), while the service submits open-ended per-session
+/// drain jobs and relies on FIFO start order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_SUPPORT_WORKERPOOL_H
+#define LUD_SUPPORT_WORKERPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lud {
+
+class WorkerPool {
+public:
+  /// Spawns max(1, Threads) worker threads immediately.
+  explicit WorkerPool(unsigned Threads);
+  /// stop()s: running jobs finish, queued jobs are discarded.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  /// Enqueues \p Job; jobs start in FIFO order. After stop() the job is
+  /// silently dropped — the pool is shutting down and its owner has
+  /// already unwound whatever the job would have updated.
+  void submit(std::function<void()> Job);
+
+  /// Blocks until the queue is empty and no job is running.
+  void waitIdle();
+
+  /// Discards queued jobs, waits for running jobs, joins the workers.
+  /// Idempotent.
+  void stop();
+
+  unsigned threads() const { return NumThreads; }
+
+private:
+  void workerMain();
+
+  std::mutex Mu;
+  std::condition_variable WorkCV; // workers wait here for jobs
+  std::condition_variable IdleCV; // waitIdle() waits here for the drain
+  std::deque<std::function<void()>> Queue;
+  unsigned Running = 0;
+  unsigned NumThreads = 0;
+  bool Stopping = false;
+  std::vector<std::thread> Workers;
+};
+
+/// Runs \p Body(Job) for every Job in [0, Jobs), at most \p Threads at a
+/// time. Jobs complete in arbitrary order — callers index results by job
+/// id to stay deterministic. Threads <= 1 (or a single job) runs the whole
+/// batch inline on the calling thread, with no pool.
+template <class Fn> void forEachJob(unsigned Jobs, unsigned Threads, Fn Body) {
+  if (Threads <= 1 || Jobs <= 1) {
+    for (unsigned J = 0; J != Jobs; ++J)
+      Body(J);
+    return;
+  }
+  WorkerPool Pool(Threads < Jobs ? Threads : Jobs);
+  for (unsigned J = 0; J != Jobs; ++J)
+    Pool.submit([&Body, J] { Body(J); });
+  Pool.waitIdle();
+}
+
+} // namespace lud
+
+#endif // LUD_SUPPORT_WORKERPOOL_H

@@ -113,6 +113,17 @@ bool OptionSet::parse(int argc, char **argv) {
   return true;
 }
 
+void cli::clientsOption(OptionSet &P, ClientSet &Set, std::string Help) {
+  P.custom("--clients", ValueMode::Required, std::move(Help),
+           [&Set](const std::string &List) {
+             std::string Err;
+             if (parseClientSet(List, Set, Err))
+               return true;
+             errs() << Err << "\n";
+             return false;
+           });
+}
+
 void cli::engineOption(OptionSet &P, EngineKind &E, std::string Help) {
   P.custom("--engine", ValueMode::Required, std::move(Help),
            [&E](const std::string &V) {

@@ -22,6 +22,7 @@
 #ifndef LUD_TOOLS_CLIOPTIONS_H
 #define LUD_TOOLS_CLIOPTIONS_H
 
+#include "profiling/ClientSet.h"
 #include "runtime/Engine.h"
 
 #include <cstdint>
@@ -37,7 +38,7 @@ class OutStream;
 namespace cli {
 
 /// One version string for every lud tool; --version prints it.
-inline constexpr char kVersionString[] = "0.4.0";
+inline constexpr char kVersionString[] = "0.5.0";
 
 /// Whether and how an option consumes a value.
 enum class ValueMode : uint8_t {
@@ -126,6 +127,16 @@ void engineOption(OptionSet &P, EngineKind &E,
                   std::string Help = "E  execution backend: interp "
                                      "(reference) or threaded (fast; "
                                      "default from LUD_ENGINE)");
+
+/// Declares the shared `--clients` option on \p P: parses the value with
+/// parseClientSet (grammar: "all" or a comma list of copy, nullness,
+/// typestate), OR-ing into \p Set. Every tool that selects client
+/// analyses — lud-run, lud-replay, lud-fuzz, lud-serve — declares it
+/// through this helper.
+void clientsOption(OptionSet &P, ClientSet &Set,
+                   std::string Help = "LIST  client analyses, "
+                                      "comma-separated: copy, nullness, "
+                                      "typestate, or all");
 
 } // namespace cli
 } // namespace lud

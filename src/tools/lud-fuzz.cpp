@@ -145,15 +145,15 @@ int main(int argc, char **argv) {
   }
 
   if (!ClientsSpec.empty() && ClientsSpec != "none") {
-    uint32_t Mask = 0;
+    ClientSet Set;
     std::string Err;
-    if (!parseClientMask(ClientsSpec, Mask, Err)) {
+    if (!parseClientSet(ClientsSpec, Set, Err)) {
       errs() << Err << "\n";
       return 2;
     }
-    Check.Clients = Mask;
+    Check.Clients = Set;
   } else if (ClientsSpec == "none") {
-    Check.Clients = 0;
+    Check.Clients = ClientSet::none();
   }
 
   if (!CheckFile.empty()) {

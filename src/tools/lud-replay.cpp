@@ -20,15 +20,14 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "analysis/CacheCost.h"
 #include "analysis/Clients.h"
-#include "analysis/DeadValues.h"
-#include "analysis/Report.h"
 #include "ir/Parser.h"
+#include "profiling/FrozenGraph.h"
 #include "profiling/GraphIO.h"
+#include "service/Render.h"
+#include "service/SessionManager.h"
 #include "support/OutStream.h"
 #include "tools/CliOptions.h"
-#include "workloads/ParallelDriver.h"
 
 #include <cstdio>
 #include <string>
@@ -46,7 +45,7 @@ struct Options {
   bool Report = false;
   bool Dead = false;
   bool Caches = false;
-  uint32_t Clients = 0;
+  ClientSet Clients;
   int64_t Slots = 16;
   int64_t Threads = 1;
   ClientOptions Client;
@@ -60,16 +59,9 @@ void declareOptions(cli::OptionSet &P, Options &O) {
   P.flag("--report", O.Report, "rank data structures by cost/benefit");
   P.flag("--dead", O.Dead, "print IPD/IPP/NLD bloat metrics");
   P.flag("--caches", O.Caches, "rank structures by cache effectiveness");
-  P.custom("--clients", cli::ValueMode::Required,
-           "LIST  client analyses to re-drive from the trace: copy, "
-           "nullness, typestate, or all",
-           [&O](const std::string &List) {
-             std::string Err;
-             if (parseClientMask(List, O.Clients, Err))
-               return true;
-             errs() << Err << "\n";
-             return false;
-           });
+  cli::clientsOption(P, O.Clients,
+                     "LIST  client analyses to re-drive from the trace: "
+                     "copy, nullness, typestate, or all");
   P.number("--slots", O.Slots, "N  context slots s (default 16)", /*Min=*/1);
   cli::engineOption(P, O.Engine,
                     "E  execution backend name (validated for symmetry "
@@ -193,22 +185,15 @@ int main(int argc, char **argv) {
 
   OutStream &OS = outs();
   ProfileSession &Session = *SR.Session;
-  const SlicingProfiler &Prof = *Session.slicing();
-  const DepGraph &G = Prof.graph();
-  OS << "replayed " << SR.Events << " events from "
-     << uint64_t(O.Traces.size())
-     << (O.Traces.size() == 1 ? " trace\n" : " traces\n");
-  OS << "Gcost: " << uint64_t(G.numNodes()) << " nodes, "
-     << uint64_t(G.numEdges()) << " edges, ";
-  OS.printFixed(double(G.memoryFootprint().total()) / 1024.0, 1);
-  OS << " KB, CR ";
-  OS.printFixed(Prof.averageCR(), 3);
-  OS << "\n";
-
-  // Replay is done mutating the graph: seal once for every read path.
-  FrozenGraph FG(G);
+  // Replay is done mutating the graph: seal once for every read path —
+  // the summary line included, so the printed footprint is the sealed
+  // form's, same as the daemon serves for the same streams.
+  FrozenGraph FG(Session.slicing()->graph());
   if (obs::MetricsRegistry *Stats = Session.stats())
     FG.accountStats(*Stats);
+
+  serve::renderReplaySummary(Session, FG, SR.Events,
+                             uint64_t(O.Traces.size()), OS);
 
   if (!O.DumpGraph.empty()) {
     std::FILE *F = std::fopen(O.DumpGraph.c_str(), "wb");
@@ -222,29 +207,12 @@ int main(int argc, char **argv) {
     OS << "Gcost written to " << O.DumpGraph << "\n";
   }
 
-  CostModel CM(FG);
-  if (O.Report) {
-    ReportOptions Opts;
-    Opts.Depth = O.Client.Depth;
-    LowUtilityReport Report(CM, *M, Opts);
-    OS << "\n=== low-utility data structures ===\n";
-    Report.print(OS, O.Client.TopK);
-  }
-  if (O.Caches) {
-    OS << "\n=== cache effectiveness (least effective first) ===\n";
-    printCacheScores(rankCacheEffectiveness(CM, *M), OS, O.Client.TopK);
-  }
-  Session.printClientReports(*M, OS, O.Client.TopK);
-  if (O.Dead) {
-    DeadValueAnalysis DV = computeDeadValues(FG, FG.totalFreq());
-    OS << "\n=== bloat metrics ===\nIPD ";
-    OS.printFixed(100.0 * DV.Metrics.ipd(), 1);
-    OS << "%   IPP ";
-    OS.printFixed(100.0 * DV.Metrics.ipp(), 1);
-    OS << "%   NLD ";
-    OS.printFixed(100.0 * DV.Metrics.nld(), 1);
-    OS << "%\n";
-  }
+  serve::ReportSpec Spec;
+  Spec.Report = O.Report;
+  Spec.Dead = O.Dead;
+  Spec.Caches = O.Caches;
+  Spec.Client = O.Client;
+  serve::renderReportSections(*M, Session, FG, Spec, OS);
   if (!emitStats(Session, O))
     return 1;
   return 0;

@@ -29,6 +29,7 @@
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "profiling/GraphIO.h"
+#include "service/SessionManager.h"
 #include "support/OutStream.h"
 #include "tools/CliOptions.h"
 #include "workloads/Composed.h"
@@ -58,7 +59,7 @@ struct Options {
   bool Caches = false;
   bool PrintIR = false;
   bool Baseline = false;
-  uint32_t Clients = 0;
+  ClientSet Clients;
   int64_t Slots = 16;
   ClientOptions Client;
   std::string DumpGraph;
@@ -88,16 +89,9 @@ void declareOptions(cli::OptionSet &P, Options &O) {
                  O.Caches = true;
              return true;
            });
-  P.custom("--clients", cli::ValueMode::Required,
-           "LIST  client analyses to run in the same pass, comma-separated: "
-           "copy, nullness, typestate, or all",
-           [&O](const std::string &List) {
-             std::string Err;
-             if (parseClientMask(List, O.Clients, Err))
-               return true;
-             errs() << Err << "\n";
-             return false;
-           });
+  cli::clientsOption(P, O.Clients,
+                     "LIST  client analyses to run in the same pass, "
+                     "comma-separated: copy, nullness, typestate, or all");
   P.flag("--baseline", O.Baseline, "run without instrumentation (timing)");
   cli::engineOption(P, O.Engine);
   P.str("--record", O.RecordPath,
@@ -158,7 +152,7 @@ bool parseArgs(cli::OptionSet &P, int argc, char **argv, Options &O) {
            << " is not a power of two; contexts fold by modulo either "
               "way, but results won't line up with the paper's s = 2^k "
               "sweeps\n";
-  if (O.Baseline && O.Clients) {
+  if (O.Baseline && O.Clients.any()) {
     errs() << "--baseline runs without instrumentation; it cannot be "
               "combined with --clients\n";
     return false;
@@ -406,7 +400,8 @@ int main(int argc, char **argv) {
   if (!O.OptimizeOut.empty()) {
     DeadValueAnalysis DV = computeDeadValues(FG, P.Run.ExecutedInstrs);
     OptimizeResult R = removeProfiledDeadCode(*M, FG, DV);
-    TimedRun Check = runBaseline(*R.M);
+    ProfileSession CheckSession(SessionConfig::baseline());
+    TimedRun Check = CheckSession.run(*R.M);
     std::FILE *F = std::fopen(O.OptimizeOut.c_str(), "wb");
     if (!F) {
       errs() << "cannot write '" << O.OptimizeOut << "'\n";

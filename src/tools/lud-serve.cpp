@@ -1,0 +1,279 @@
+//===- tools/lud-serve.cpp - Always-on profiling service -------*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profiling daemon and its command-line client, in one binary:
+///
+///   # Serve: accept streamed lud.trace.v1 sessions for program.lud over
+///   # a unix socket, answer reports over local HTTP.
+///   lud-serve --socket=/tmp/lud.sock --report --clients=all program.lud
+///   lud-serve --workload=composed --scale=60 --workers=4
+///
+///   # Stream recorded traces into a running daemon, one session per
+///   # trace, frames interleaved round-robin across the sessions.
+///   lud-serve --send --socket=/tmp/lud.sock a.trace b.trace
+///
+///   # Fetch a report / telemetry from a running daemon.
+///   lud-serve --get=/report --http-port=8844
+///
+/// GET /report is byte-identical to `lud-replay <flags> program.lud
+/// a.trace b.trace` with the matching report flags — the daemon folds its
+/// closed sessions with the same deterministic merge, whatever the worker
+/// count or frame interleaving. Protocol details: docs/SERVICE.md.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "service/Client.h"
+#include "service/Daemon.h"
+#include "support/OutStream.h"
+#include "tools/CliOptions.h"
+#include "trace/TraceIO.h"
+#include "workloads/Composed.h"
+#include "workloads/DaCapo.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace lud;
+
+namespace {
+
+struct Options {
+  std::string File;
+  std::string WorkloadName;
+  int64_t WorkloadScale = 2000;
+  std::string SocketPath = "/tmp/lud-serve.sock";
+  int64_t HttpPort = 0;
+  int64_t Workers = 4;
+  bool Report = false;
+  bool Dead = false;
+  bool Caches = false;
+  ClientSet Clients;
+  int64_t Slots = 16;
+  ClientOptions Client;
+  int64_t MaxSessionBytes = int64_t(serve::SessionLimits().MaxSessionBytes);
+  int64_t MaxPendingBytes = int64_t(serve::SessionLimits().MaxPendingBytes);
+  int64_t IdleTimeout = 0;
+  bool Send = false;
+  std::string GetPath;
+};
+
+void declareOptions(cli::OptionSet &P, Options &O) {
+  P.str("--socket", O.SocketPath,
+        "PATH  unix socket for trace ingest (default /tmp/lud-serve.sock)");
+  P.number("--http-port", O.HttpPort,
+           "N  HTTP port on 127.0.0.1 (default 0 = pick a free port)",
+           /*Min=*/0);
+  P.number("--workers", O.Workers, "N  replay worker threads (default 4)",
+           /*Min=*/1);
+  P.flag("--report", O.Report, "serve the cost/benefit ranking in /report");
+  P.flag("--dead", O.Dead, "serve IPD/IPP/NLD bloat metrics in /report");
+  P.flag("--caches", O.Caches, "serve cache effectiveness in /report");
+  cli::clientsOption(P, O.Clients,
+                     "LIST  default client analyses per session: copy, "
+                     "nullness, typestate, or all");
+  P.number("--slots", O.Slots, "N  context slots s (default 16)", /*Min=*/1);
+  P.number("--depth", O.Client.Depth,
+           "N  reference-tree height n (default 4)");
+  P.number("--top", O.Client.TopK, "K  rows per report (default 15)");
+  P.number("--max-session-bytes", O.MaxSessionBytes,
+           "N  per-session ingest quota in bytes", /*Min=*/1);
+  P.number("--max-pending-bytes", O.MaxPendingBytes,
+           "N  per-session backpressure watermark in bytes", /*Min=*/1);
+  P.number("--idle-timeout", O.IdleTimeout,
+           "SEC  evict sessions idle this long (default 0 = never)",
+           /*Min=*/0);
+  P.str("--workload", O.WorkloadName,
+        "NAME  serve a generated workload instead of a program file");
+  P.number("--scale", O.WorkloadScale,
+           "N  scale for --workload (default 2000)", /*Min=*/1);
+  P.flag("--send", O.Send,
+         "stream the trace operands into a running daemon and exit");
+  P.str("--get", O.GetPath,
+        "PATH  fetch PATH (e.g. /report) from a running daemon and exit");
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  std::fclose(F);
+  return true;
+}
+
+/// --send: one session per trace operand, whole-segment frames fed
+/// round-robin across the sessions so the daemon demonstrably does not
+/// care about interleaving.
+int sendMain(const Options &O, const std::vector<std::string> &Traces) {
+  struct Stream {
+    std::string Path;
+    std::vector<std::string> Segments;
+    size_t Next = 0;
+    serve::ServeClient Client;
+    bool Dead = false;
+    std::string Err;
+  };
+  std::vector<Stream> Streams(Traces.size());
+  for (size_t I = 0; I != Traces.size(); ++I) {
+    Stream &S = Streams[I];
+    S.Path = Traces[I];
+    std::string Bytes;
+    if (!readFile(S.Path, Bytes)) {
+      errs() << "cannot read '" << S.Path << "'\n";
+      return 1;
+    }
+    std::string Err;
+    serve::splitSegments(Bytes, S.Segments, Err);
+    if (!S.Client.connect(O.SocketPath, Err) ||
+        (O.Clients.any() ? !S.Client.open(O.Clients, Err)
+                         : !S.Client.open(Err))) {
+      errs() << S.Path << ": " << Err << "\n";
+      return 1;
+    }
+  }
+  // Round-robin until every stream has shipped all its segments; a
+  // session the daemon failed stops eating frames but the others
+  // continue — per-session isolation, observed from the client side.
+  for (bool Progress = true; Progress;) {
+    Progress = false;
+    for (Stream &S : Streams) {
+      if (S.Dead || S.Next >= S.Segments.size())
+        continue;
+      Progress = true;
+      if (!S.Client.feed(S.Segments[S.Next++], S.Err))
+        S.Dead = true;
+    }
+  }
+  int Rc = 0;
+  for (Stream &S : Streams) {
+    std::string Err;
+    if (!S.Dead && S.Client.done(Err)) {
+      outs() << S.Path << ": session " << S.Client.id() << " closed, "
+             << S.Client.events() << " events, " << S.Client.segments()
+             << " segments\n";
+    } else {
+      errs() << S.Path << ": " << (S.Dead ? S.Err : Err) << "\n";
+      Rc = 1;
+    }
+    S.Client.close();
+  }
+  return Rc;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options O;
+  cli::OptionSet Cli("lud-serve", "<program.lud> | --send <trace>...");
+  declareOptions(Cli, O);
+  if (!Cli.parse(argc, argv)) {
+    Cli.usage();
+    return 2;
+  }
+  if (Cli.exitRequested())
+    return 0;
+
+  if (!O.GetPath.empty()) {
+    if (O.HttpPort == 0) {
+      errs() << "--get needs --http-port\n";
+      return 2;
+    }
+    std::string Body, Err;
+    if (!serve::httpGet(uint16_t(O.HttpPort), O.GetPath, Body, Err)) {
+      errs() << "lud-serve: " << Err << "\n";
+      return 1;
+    }
+    outs() << Body;
+    return 0;
+  }
+
+  if (O.Send) {
+    if (Cli.positionals().empty()) {
+      errs() << "--send expects at least one trace file\n";
+      return 2;
+    }
+    return sendMain(O, Cli.positionals());
+  }
+
+  // Daemon mode: the module every session replays against.
+  std::unique_ptr<Module> M;
+  if (!O.WorkloadName.empty()) {
+    if (!Cli.positionals().empty()) {
+      errs() << "--workload generates the program; it cannot be combined "
+                "with an input file\n";
+      return 2;
+    }
+    const std::vector<std::string> &Names = dacapoNames();
+    if (O.WorkloadName == "composed") {
+      M = std::move(buildComposedWorkload(O.WorkloadScale).M);
+    } else if (std::find(Names.begin(), Names.end(), O.WorkloadName) !=
+               Names.end()) {
+      M = std::move(buildWorkload(O.WorkloadName, O.WorkloadScale).M);
+    } else {
+      errs() << "unknown workload '" << O.WorkloadName
+             << "' (expected a DaCapo analogue or 'composed')\n";
+      return 2;
+    }
+  } else {
+    if (Cli.positionals().size() != 1) {
+      errs() << "expected exactly one program file (or --workload)\n";
+      Cli.usage();
+      return 2;
+    }
+    O.File = Cli.positionals()[0];
+    std::string Text;
+    if (!readFile(O.File, Text)) {
+      errs() << "cannot read '" << O.File << "'\n";
+      return 1;
+    }
+    std::vector<std::string> Errors;
+    M = parseModule(Text, Errors);
+    if (!M) {
+      for (const std::string &E : Errors)
+        errs() << O.File << ": " << E << "\n";
+      return 1;
+    }
+  }
+
+  serve::DaemonConfig DCfg;
+  DCfg.SocketPath = O.SocketPath;
+  DCfg.HttpPort = uint16_t(O.HttpPort);
+  DCfg.Workers = unsigned(O.Workers);
+  DCfg.Base.Clients = O.Clients;
+  DCfg.Base.Slicing.ContextSlots = uint32_t(O.Slots);
+  DCfg.Limits.MaxSessionBytes = uint64_t(O.MaxSessionBytes);
+  DCfg.Limits.MaxPendingBytes = uint64_t(O.MaxPendingBytes);
+  DCfg.Limits.IdleEvictSeconds = double(O.IdleTimeout);
+  DCfg.Spec.Report = O.Report;
+  DCfg.Spec.Dead = O.Dead;
+  DCfg.Spec.Caches = O.Caches;
+  DCfg.Spec.Client = O.Client;
+
+  serve::Daemon D(*M, std::move(DCfg));
+  std::string Err;
+  if (!D.start(Err)) {
+    errs() << "lud-serve: " << Err << "\n";
+    return 1;
+  }
+  outs() << "lud-serve: ingest on " << D.socketPath() << "\n";
+  outs() << "lud-serve: http on 127.0.0.1:" << uint64_t(D.httpPort())
+         << "\n";
+  std::fflush(stdout); // Smoke scripts tail the log for these lines.
+  if (!D.serveForever(Err)) {
+    errs() << "lud-serve: " << Err << "\n";
+    return 1;
+  }
+  outs() << "lud-serve: shutting down\n";
+  return 0;
+}

@@ -273,7 +273,7 @@ bool TraceReader::varint32(uint32_t &V, const char *What) {
   return true;
 }
 
-bool TraceReader::readHeader(const Module &M) {
+bool TraceReader::readHeader() {
   if (!Err.empty())
     return false;
   if (Buf.size() - Pos < kTraceMagicLen ||
@@ -282,8 +282,11 @@ bool TraceReader::readHeader(const Module &M) {
   Pos += kTraceMagicLen;
   if (!varint(NumInstrs) || !varint(NumFuncs))
     return false;
-  uint64_t NumGlobals;
-  if (!varint(NumGlobals))
+  return varint(NumGlobals);
+}
+
+bool TraceReader::readHeader(const Module &M) {
+  if (!readHeader())
     return false;
   if (NumInstrs != M.getNumInstrs() || NumFuncs != M.functions().size() ||
       NumGlobals != M.globals().size())

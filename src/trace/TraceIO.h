@@ -96,6 +96,13 @@ public:
   /// downstream.
   bool readHeader(const Module &M);
 
+  /// Module-free header read: validates the magic and consumes the
+  /// fingerprint without checking it against a module. For framing scans
+  /// (the service client splitting a stream into whole segments) that must
+  /// locate segment boundaries before any module is in hand; replay always
+  /// uses the module-checked overload.
+  bool readHeader();
+
   /// Decodes the next event into \p E. Returns false with error() set on
   /// malformed input; E.Kind == EventKind::End signals the segment
   /// terminator. Payload ids are validated against the header fingerprint
@@ -124,6 +131,7 @@ private:
   std::string Err;
   uint64_t NumInstrs = 0;
   uint64_t NumFuncs = 0;
+  uint64_t NumGlobals = 0;
 };
 
 /// Reads a whole file into \p Out. Returns false (leaving \p Out untouched

@@ -10,8 +10,10 @@
 #include "trace/TraceRecorder.h"
 #include "trace/TraceReplayer.h"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 using namespace lud;
 
@@ -53,15 +55,15 @@ void ProfileSession::ensureProfilers(const Module &M) {
     if (Sink)
       Recorder = std::make_unique<trace::TraceRecorder>(*Sink);
   }
-  if (Cfg.Clients)
+  if (Cfg.Clients.any())
     Cfg.Instrument = true; // Clients read the substrate's heap tags.
   if (Cfg.Instrument && !Slicing)
     Slicing = std::make_unique<SlicingProfiler>(Cfg.Slicing);
-  if ((Cfg.Clients & kClientCopy) && !Copy)
+  if (Cfg.Clients.hasCopy() && !Copy)
     Copy = std::make_unique<CopyProfiler>(*Slicing);
-  if ((Cfg.Clients & kClientNullness) && !Null)
+  if (Cfg.Clients.hasNullness() && !Null)
     Null = std::make_unique<NullnessProfiler>();
-  if ((Cfg.Clients & kClientTypestate) && !Type) {
+  if (Cfg.Clients.hasTypestate() && !Type) {
     TypestateSpec Spec =
         Cfg.Typestate.NumStates ? Cfg.Typestate : lifecycleSpec(M);
     Type = std::make_unique<TypestateProfiler>(std::move(Spec), *Slicing);
@@ -91,7 +93,7 @@ TimedRun ProfileSession::run(const Module &M) {
     // the old NoopProfiler path.
     ComposedProfiler<> P;
     Out.Run = runWithEngine(Cfg.Engine, M, H, P, Cfg.Run);
-  } else if (!Cfg.Clients) {
+  } else if (Cfg.Clients.empty()) {
     // Substrate only: keep the single-profiler instantiation so Table 1
     // overhead numbers measure the substrate, not pipeline dispatch.
     Out.Run = runWithEngine(Cfg.Engine, M, H, *Slicing, Cfg.Run);
@@ -137,7 +139,7 @@ ReplayRun ProfileSession::replay(const Module &M, std::string_view Bytes) {
   if (!Slicing) {
     ComposedProfiler<> P;
     Out.Ok = trace::replayTrace(M, Bytes, P, Out.Error, &RS);
-  } else if (!Cfg.Clients) {
+  } else if (Cfg.Clients.empty()) {
     Out.Ok = trace::replayTrace(M, Bytes, *Slicing, Out.Error, &RS);
   } else {
     using Pipeline = ComposedProfiler<SlicingProfiler, CopyProfiler,
@@ -165,7 +167,8 @@ ReplayRun ProfileSession::replayFile(const Module &M,
   std::string Bytes;
   if (!trace::readFileBytes(Path, Bytes)) {
     ReplayRun Out;
-    Out.Error = "cannot read '" + Path + "'";
+    Out.Error = "cannot read '" + Path + "': " +
+                (errno ? std::strerror(errno) : "unknown error");
     return Out;
   }
   return replay(M, Bytes);
@@ -206,60 +209,41 @@ void ProfileSession::mergeFrom(const ProfileSession &O) {
 
 void ProfileSession::printClientReports(const Module &M, OutStream &OS,
                                         size_t TopK) const {
-  if (Copy) {
-    OS << "\n=== copy chains ===\n";
-    printCopyChains(*Copy, M, OS, TopK);
-  }
-  if (Null) {
-    OS << "\n=== null propagation ===\n";
-    printNullPropagation(*Null, M, OS);
-  }
-  if (Type) {
-    OS << "\n=== typestate history ===\n";
-    printTypestateFindings(*Type, M, OS, TopK);
-  }
+  printClientSections(Cfg.Clients, Copy.get(), Null.get(), Type.get(), M, OS,
+                      TopK);
+}
+
+SessionConfig SessionConfig::baseline(RunConfig RC) {
+  SessionConfig SC;
+  SC.Instrument = false;
+  SC.Run = RC;
+  return SC;
+}
+
+SessionConfig SessionConfig::profiled(SlicingConfig SCfg, RunConfig RC) {
+  SessionConfig SC;
+  SC.Slicing = SCfg;
+  SC.Run = RC;
+  return SC;
 }
 
 bool lud::parseClientMask(const std::string &List, uint32_t &Mask,
                           std::string &Err) {
-  size_t Pos = 0;
-  while (Pos <= List.size()) {
-    size_t Comma = List.find(',', Pos);
-    if (Comma == std::string::npos)
-      Comma = List.size();
-    std::string Name = List.substr(Pos, Comma - Pos);
-    if (Name == "copy")
-      Mask |= kClientCopy;
-    else if (Name == "nullness")
-      Mask |= kClientNullness;
-    else if (Name == "typestate")
-      Mask |= kClientTypestate;
-    else if (Name == "all")
-      Mask |= kClientCopy | kClientNullness | kClientTypestate;
-    else {
-      Err = "unknown client '" + Name +
-            "' (valid: copy, nullness, typestate, all)";
-      return false;
-    }
-    Pos = Comma + 1;
-  }
+  ClientSet Set(Mask);
+  if (!parseClientSet(List, Set, Err))
+    return false;
+  Mask = Set.bits();
   return true;
 }
 
 TimedRun lud::runBaseline(const Module &M, RunConfig Cfg) {
-  SessionConfig SC;
-  SC.Instrument = false;
-  SC.Run = Cfg;
-  ProfileSession S(std::move(SC));
+  ProfileSession S(SessionConfig::baseline(Cfg));
   return S.run(M);
 }
 
 ProfiledRun lud::runProfiled(const Module &M, SlicingConfig SCfg,
                              RunConfig Cfg) {
-  SessionConfig SC;
-  SC.Slicing = SCfg;
-  SC.Run = Cfg;
-  ProfileSession S(std::move(SC));
+  ProfileSession S(SessionConfig::profiled(SCfg, Cfg));
   TimedRun T = S.run(M);
   ProfiledRun Out;
   Out.Run = T.Run;

@@ -15,9 +15,13 @@
 /// covers client state, and render their clients' report sections through
 /// the uniform analysis/Report printers.
 ///
-/// runBaseline/runProfiled remain as thin wrappers over a session: the
-/// overhead factors of Table 1 are still profiled-time / baseline-time on
-/// the identical engine.
+/// The session lifecycle is open (prepare) → feed (run/replay) → fold
+/// (mergeFrom) → report; every frontend — single batch run, the sharded
+/// drivers, lud-replay, and the lud-serve daemon's streamed sessions —
+/// composes those same verbs rather than owning a parallel code path.
+/// The runBaseline/runProfiled free functions are deprecated wrappers
+/// kept for one release; the overhead factors of Table 1 are still
+/// profiled-time / baseline-time on the identical engine.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +29,7 @@
 #define LUD_WORKLOADS_DRIVER_H
 
 #include "obs/Metrics.h"
+#include "profiling/ClientSet.h"
 #include "profiling/CopyProfiler.h"
 #include "profiling/NullnessProfiler.h"
 #include "profiling/SlicingProfiler.h"
@@ -52,11 +57,14 @@ struct TimedRun {
   double Seconds = 0;
 };
 
-/// Client-analysis selection bits for SessionConfig::Clients.
+/// Deprecated pre-ClientSet spellings of the client-selection bits; the
+/// values are ClientSet's bit layout, so the implicit uint32_t bridge
+/// keeps old `Cfg.Clients = kClientCopy | ...` code compiling (with a
+/// deprecation warning) for one release.
 enum : uint32_t {
-  kClientCopy = 1u << 0,
-  kClientNullness = 1u << 1,
-  kClientTypestate = 1u << 2,
+  kClientCopy [[deprecated("use ClientSet::copy()")]] = 1u << 0,
+  kClientNullness [[deprecated("use ClientSet::nullness()")]] = 1u << 1,
+  kClientTypestate [[deprecated("use ClientSet::typestate()")]] = 1u << 2,
 };
 
 struct SessionConfig {
@@ -71,8 +79,8 @@ struct SessionConfig {
   /// uninstrumented baseline; any enabled client forces the substrate on,
   /// since clients read the heap tags it writes.
   bool Instrument = true;
-  /// kClient* mask of client analyses to run in the same pass.
-  uint32_t Clients = 0;
+  /// Client analyses to run in the same pass.
+  ClientSet Clients;
   SlicingConfig Slicing;
   RunConfig Run;
   /// Protocol for the typestate client; when empty (NumStates == 0) the
@@ -92,6 +100,12 @@ struct SessionConfig {
   /// Record into a caller-owned stream instead of RecordPath (tests; takes
   /// precedence). Must outlive the session.
   OutStream *RecordSink = nullptr;
+
+  /// The uninstrumented stock-JVM baseline configuration: empty pipeline,
+  /// nothing measured but the run itself.
+  static SessionConfig baseline(RunConfig RC = {});
+  /// The substrate-only profiled configuration (Gcost, no clients).
+  static SessionConfig profiled(SlicingConfig SCfg = {}, RunConfig RC = {});
 };
 
 /// Outcome of re-driving the session's profilers from a recorded trace.
@@ -112,6 +126,13 @@ class ProfileSession {
 public:
   explicit ProfileSession(SessionConfig Cfg = {});
   ~ProfileSession();
+
+  /// Instantiates the configured profilers against \p M without running
+  /// anything — the lifecycle's "open" step. run() and replay() prepare
+  /// implicitly; explicit preparation exists for sessions that only ever
+  /// mergeFrom() others (the service's report fold target) and must have
+  /// live profilers for the fold to land in.
+  void prepare(const Module &M) { ensureProfilers(M); }
 
   /// Executes \p M once with every enabled profiler attached to the single
   /// interpreter pass.
@@ -188,22 +209,29 @@ private:
   std::string RecordErr;
 };
 
-/// Parses a --clients specification — "all" or a comma-separated list of
-/// copy, nullness, typestate — OR-ing the kClient* bits into \p Mask.
-/// Returns false with \p Err set on an unknown name.
+/// Deprecated spelling of parseClientSet (profiling/ClientSet.h), kept for
+/// one release: same grammar, OR-ing the parsed bits into \p Mask.
+[[deprecated("use parseClientSet (profiling/ClientSet.h)")]]
 bool parseClientMask(const std::string &List, uint32_t &Mask,
                      std::string &Err);
 
 /// Executes with the empty profiler pipeline (the stock-JVM stand-in).
+/// Deprecated: construct a ProfileSession over SessionConfig::baseline().
+[[deprecated("run a ProfileSession over SessionConfig::baseline()")]]
 TimedRun runBaseline(const Module &M, RunConfig Cfg = {});
 
-/// Executes under a SlicingProfiler; the profiler (holding Gcost) is
-/// returned for analysis.
+/// A substrate-only run's outcome plus its profiler (holding Gcost),
+/// released from the session that produced it.
 struct ProfiledRun {
   RunResult Run;
   double Seconds = 0;
   std::unique_ptr<SlicingProfiler> Prof;
 };
+
+/// Executes under a SlicingProfiler and returns it for analysis.
+/// Deprecated: construct a ProfileSession over SessionConfig::profiled()
+/// and takeSlicing().
+[[deprecated("run a ProfileSession over SessionConfig::profiled()")]]
 ProfiledRun runProfiled(const Module &M, SlicingConfig SCfg = {},
                         RunConfig Cfg = {});
 

@@ -3,11 +3,10 @@
 #include "workloads/ParallelDriver.h"
 
 #include "obs/PhaseTimer.h"
+#include "support/WorkerPool.h"
 #include "trace/TraceRecorder.h"
 
-#include <atomic>
 #include <chrono>
-#include <thread>
 
 using namespace lud;
 
@@ -16,31 +15,6 @@ namespace {
 double secondsSince(std::chrono::steady_clock::time_point T0) {
   auto T1 = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(T1 - T0).count();
-}
-
-/// Runs \p Body(Job) for every Job in [0, Jobs), at most \p Threads at a
-/// time. Jobs are claimed from a shared counter, so completion order is
-/// arbitrary — callers index results by job id to stay deterministic.
-template <class Fn> void forEachJob(unsigned Jobs, unsigned Threads, Fn Body) {
-  if (Threads <= 1 || Jobs <= 1) {
-    for (unsigned J = 0; J != Jobs; ++J)
-      Body(J);
-    return;
-  }
-  if (Threads > Jobs)
-    Threads = Jobs;
-  std::atomic<unsigned> Next{0};
-  auto Work = [&] {
-    for (unsigned J; (J = Next.fetch_add(1)) < Jobs;)
-      Body(J);
-  };
-  std::vector<std::thread> Pool;
-  Pool.reserve(Threads - 1);
-  for (unsigned T = 1; T != Threads; ++T)
-    Pool.emplace_back(Work);
-  Work();
-  for (std::thread &T : Pool)
-    T.join();
 }
 
 } // namespace
@@ -84,41 +58,6 @@ ShardedSession lud::runShardedSession(const Module &M, unsigned Shards,
   Out.Run = Results[0];
   for (const RunResult &R : Results)
     Out.TotalInstrs += R.ExecutedInstrs;
-  return Out;
-}
-
-ShardedSession
-lud::replayShardedSession(const Module &M,
-                          const std::vector<std::string> &TracePaths,
-                          SessionConfig Cfg, unsigned Threads) {
-  ShardedSession Out;
-  unsigned Shards = unsigned(TracePaths.size());
-  if (Shards == 0)
-    return Out;
-  Cfg.RecordPath.clear(); // Replay sessions never record.
-  Cfg.RecordSink = nullptr;
-  std::vector<std::unique_ptr<ProfileSession>> Sessions(Shards);
-  std::vector<ReplayRun> Results(Shards);
-  auto T0 = std::chrono::steady_clock::now();
-  forEachJob(Shards, Threads, [&](unsigned S) {
-    Sessions[S] = std::make_unique<ProfileSession>(Cfg);
-    Results[S] = Sessions[S]->replayFile(M, TracePaths[S]);
-  });
-  for (unsigned S = 0; S != Shards; ++S) {
-    Out.Events += Results[S].Events;
-    if (Out.Error.empty() && !Results[S].Ok)
-      Out.Error = TracePaths[S] + ": " + Results[S].Error;
-  }
-  Out.Seconds = secondsSince(T0);
-  if (!Out.Error.empty())
-    return Out; // A half-replayed shard must not fold into the result.
-  Out.Session = std::move(Sessions[0]);
-  {
-    obs::PhaseTimer Span(Out.Session->stats(), "merge");
-    for (unsigned S = 1; S != Shards; ++S)
-      Out.Session->mergeFrom(*Sessions[S]);
-  }
-  Out.Seconds = secondsSince(T0);
   return Out;
 }
 

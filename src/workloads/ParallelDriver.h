@@ -90,14 +90,10 @@ struct ShardedSession {
 ShardedSession runShardedSession(const Module &M, unsigned Shards,
                                  SessionConfig Cfg = {}, unsigned Threads = 4);
 
-/// Re-drives a sharded recording: one session per trace file in
-/// \p TracePaths, replayed Threads at a time, folded in index order —
-/// the same deterministic fold as the live sharded run, so the result is
-/// identical to it (and independent of Threads).
-ShardedSession replayShardedSession(const Module &M,
-                                    const std::vector<std::string> &TracePaths,
-                                    SessionConfig Cfg = {},
-                                    unsigned Threads = 4);
+// replayShardedSession — the replay twin of runShardedSession — lives in
+// service/SessionManager.h now: it is a batch frontend over the service's
+// SessionManager, so the sharded replay, lud-replay, and the lud-serve
+// daemon all fold through one session-lifecycle API.
 
 /// Per-shard trace file name: \p Path itself for a single shard, otherwise
 /// "<Path>.shardN". Both the recording and replaying sides derive names

@@ -6,11 +6,32 @@
 #include "profiling/FrozenGraph.h"
 #include "profiling/SlicingProfiler.h"
 #include "runtime/Interpreter.h"
+#include "workloads/Driver.h"
 
 #include <vector>
 
 namespace lud {
 namespace test {
+
+/// Uninstrumented run through the session lifecycle — the spelling of the
+/// retired runBaseline() free function.
+inline TimedRun baselineRun(const Module &M, RunConfig RC = {}) {
+  ProfileSession S(SessionConfig::baseline(RC));
+  return S.run(M);
+}
+
+/// Substrate-only profiled run through the session lifecycle — the
+/// spelling of the retired runProfiled() free function.
+inline ProfiledRun profiledRun(const Module &M, SlicingConfig SCfg = {},
+                               RunConfig RC = {}) {
+  ProfileSession S(SessionConfig::profiled(SCfg, RC));
+  TimedRun T = S.run(M);
+  ProfiledRun Out;
+  Out.Run = T.Run;
+  Out.Seconds = T.Seconds;
+  Out.Prof = S.takeSlicing();
+  return Out;
+}
 
 /// Runs \p M under a SlicingProfiler and returns the profiler (plus the run
 /// result through \p ResOut when non-null).

@@ -10,13 +10,16 @@
 
 #include <gtest/gtest.h>
 
+#include "../TestUtil.h"
+
 using namespace lud;
+using namespace lud::test;
 
 namespace {
 
 /// Profiles M, optimizes, validates observability, returns the result.
 OptimizeResult optimizeChecked(const Module &M) {
-  ProfiledRun P = runProfiled(M);
+  ProfiledRun P = profiledRun(M);
   EXPECT_EQ(P.Run.Status, RunStatus::Finished);
   DeadValueAnalysis DV =
       computeDeadValues(P.Prof->graph(), P.Run.ExecutedInstrs);
@@ -31,8 +34,8 @@ OptimizeResult optimizeChecked(const Module &M) {
 TEST(CloneModuleTest, IdentityCloneBehavesIdentically) {
   Workload W = buildWorkload("eclipse", 48);
   std::unique_ptr<Module> C = cloneModule(*W.M);
-  TimedRun R1 = runBaseline(*W.M);
-  TimedRun R2 = runBaseline(*C);
+  TimedRun R1 = baselineRun(*W.M);
+  TimedRun R2 = baselineRun(*C);
   EXPECT_EQ(R1.Run.ExecutedInstrs, R2.Run.ExecutedInstrs);
   EXPECT_EQ(R1.Run.SinkHash, R2.Run.SinkHash);
   EXPECT_EQ(C->getNumInstrs(), W.M->getNumInstrs());
@@ -42,11 +45,11 @@ TEST(OptimizerTest, RemovesChartEntryConstruction) {
   // The intro example: entries boxed into a list that is only size-checked
   // — the optimizer should delete the boxing and the value computation.
   Workload W = buildWorkload("chart", 100);
-  TimedRun Before = runBaseline(*W.M);
+  TimedRun Before = baselineRun(*W.M);
   OptimizeResult R = optimizeChecked(*W.M);
   EXPECT_GT(R.Stats.RemovedStores, 0u);
   EXPECT_GT(R.Stats.RemovedPure, 0u);
-  TimedRun After = runBaseline(*R.M);
+  TimedRun After = baselineRun(*R.M);
   ASSERT_EQ(After.Run.Status, RunStatus::Finished);
   // Observable output preserved, work reduced.
   EXPECT_EQ(After.Run.SinkHash, Before.Run.SinkHash);
@@ -96,7 +99,7 @@ TEST(OptimizerTest, DeadChainCascades) {
   EXPECT_EQ(R.Stats.RemovedStores, 1u);
   // mul, add, alloc all cascade away.
   EXPECT_EQ(R.Stats.RemovedPure, 3u);
-  TimedRun After = runBaseline(*R.M);
+  TimedRun After = baselineRun(*R.M);
   EXPECT_EQ(After.Run.Status, RunStatus::Finished);
   // Remaining: iconst, ncall, ret.
   EXPECT_EQ(After.Run.ExecutedInstrs, 3u);
@@ -122,9 +125,9 @@ TEST(OptimizerTest, KeepsPredicateFeeders) {
   B.ret();
   B.endFunction();
   M.finalize();
-  TimedRun Before = runBaseline(M);
+  TimedRun Before = baselineRun(M);
   OptimizeResult R = optimizeChecked(M);
-  TimedRun After = runBaseline(*R.M);
+  TimedRun After = baselineRun(*R.M);
   EXPECT_EQ(After.Run.SinkHash, Before.Run.SinkHash);
   EXPECT_EQ(After.Run.ExecutedInstrs, Before.Run.ExecutedInstrs);
 }
@@ -136,10 +139,10 @@ TEST_P(OptimizerPropertyTest, ObservableBehaviourPreserved) {
   Opts.Seed = GetParam();
   Opts.OpsPerFunction = 28;
   std::unique_ptr<Module> M = generateRandomProgram(Opts);
-  TimedRun Before = runBaseline(*M);
+  TimedRun Before = baselineRun(*M);
   ASSERT_EQ(Before.Run.Status, RunStatus::Finished);
   OptimizeResult R = optimizeChecked(*M);
-  TimedRun After = runBaseline(*R.M);
+  TimedRun After = baselineRun(*R.M);
   ASSERT_EQ(After.Run.Status, RunStatus::Finished);
   EXPECT_EQ(After.Run.SinkHash, Before.Run.SinkHash);
   EXPECT_EQ(After.Run.ReturnValue.asInt(), Before.Run.ReturnValue.asInt());
@@ -152,9 +155,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerPropertyTest,
 TEST(OptimizerTest, WorksAcrossAllWorkloads) {
   for (const std::string &Name : dacapoNames()) {
     Workload W = buildWorkload(Name, 48);
-    TimedRun Before = runBaseline(*W.M);
+    TimedRun Before = baselineRun(*W.M);
     OptimizeResult R = optimizeChecked(*W.M);
-    TimedRun After = runBaseline(*R.M);
+    TimedRun After = baselineRun(*R.M);
     ASSERT_EQ(After.Run.Status, RunStatus::Finished) << Name;
     EXPECT_EQ(After.Run.SinkHash, Before.Run.SinkHash) << Name;
     EXPECT_LE(After.Run.ExecutedInstrs, Before.Run.ExecutedInstrs) << Name;

@@ -23,7 +23,10 @@
 #include <string>
 #include <vector>
 
+#include "../TestUtil.h"
+
 using namespace lud;
+using namespace lud::test;
 
 namespace {
 
@@ -90,7 +93,7 @@ TEST(FuzzOracleTest, AggressiveGeneratorOptionsStillTerminate) {
     std::unique_ptr<Module> M = generateRandomProgram(P);
     std::vector<std::string> Errors;
     EXPECT_TRUE(verifyGeneratedModule(*M, Errors)) << "seed " << Seed;
-    TimedRun T = runBaseline(*M);
+    TimedRun T = baselineRun(*M);
     EXPECT_EQ(T.Run.Status, RunStatus::Finished) << "seed " << Seed;
   }
 }
@@ -130,10 +133,14 @@ TEST(FuzzOracleTest, ConfigFlagsSpellOutEveryKnob) {
   EXPECT_NE(Flags.find("--context-sensitive="), std::string::npos) << Flags;
   EXPECT_NE(Flags.find("--caches="), std::string::npos) << Flags;
 
-  EXPECT_EQ(fuzz::clientMaskName(0), "none");
-  EXPECT_EQ(fuzz::clientMaskName(kClientCopy | kClientNullness |
-                                 kClientTypestate),
-            "copy,nullness,typestate");
+  EXPECT_EQ(clientSetName(ClientSet::none()), "none");
+  EXPECT_EQ(clientSetName(ClientSet::all()), "all");
+  EXPECT_EQ(clientSetName(ClientSet::copy() | ClientSet::typestate()),
+            "copy,typestate");
+  // The typed set keeps the legacy bit layout, so recorded uint32_t
+  // configurations keep their meaning through the bridge constructor.
+  EXPECT_EQ(ClientSet(0x7u), ClientSet::all());
+  EXPECT_EQ(ClientSet(uint32_t(1)), ClientSet::copy());
 }
 
 } // namespace

@@ -18,7 +18,10 @@
 #include <string>
 #include <vector>
 
+#include "../TestUtil.h"
+
 using namespace lud;
+using namespace lud::test;
 
 namespace {
 
@@ -70,7 +73,7 @@ std::unique_ptr<Module> plantedModule() {
 bool plantedFailure(const Module &C) {
   if (countStoreStatics(C) < 2)
     return false;
-  return runBaseline(C).Run.Status == RunStatus::Finished;
+  return baselineRun(C).Run.Status == RunStatus::Finished;
 }
 
 TEST(MinimizerTest, ReducesPlantedFailureToItsCore) {

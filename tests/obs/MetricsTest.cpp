@@ -166,7 +166,7 @@ TEST(PhaseTimerTest, RecordsSpansAndToleratesNullRegistry) {
 TEST(StatsDeterminismTest, ShardFoldIndependentOfThreadCount) {
   Workload W = buildWorkload("eclipse", 60);
   SessionConfig Cfg;
-  Cfg.Clients = kClientCopy | kClientNullness | kClientTypestate;
+  Cfg.Clients = ClientSet::all();
   Cfg.CollectStats = true;
 
   std::string Ref;

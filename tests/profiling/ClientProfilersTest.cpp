@@ -561,7 +561,7 @@ TEST(ProfileSessionTest, SinglePassMatchesSeparatePasses) {
   TripleProgram Prog = buildTripleProgram();
 
   SessionConfig All;
-  All.Clients = kClientCopy | kClientNullness | kClientTypestate;
+  All.Clients = ClientSet::all();
   All.Typestate = Prog.Spec;
   ProfileSession SAll(All);
   RunResult R = SAll.run(*Prog.M).Run;
@@ -572,8 +572,8 @@ TEST(ProfileSessionTest, SinglePassMatchesSeparatePasses) {
   // concatenate in the same copy/nullness/typestate order the session
   // prints them in.
   std::string Separate;
-  for (uint32_t Client :
-       {kClientCopy, kClientNullness, kClientTypestate}) {
+  for (ClientSet Client : {ClientSet::copy(), ClientSet::nullness(),
+                           ClientSet::typestate()}) {
     SessionConfig One;
     One.Clients = Client;
     One.Typestate = Prog.Spec;
@@ -593,7 +593,7 @@ TEST(ProfileSessionTest, SinglePassMatchesSeparatePasses) {
 TEST(ProfileSessionTest, ShardedFoldIsThreadCountInvariant) {
   TripleProgram Prog = buildTripleProgram();
   SessionConfig Cfg;
-  Cfg.Clients = kClientCopy | kClientNullness | kClientTypestate;
+  Cfg.Clients = ClientSet::all();
   Cfg.Typestate = Prog.Spec;
 
   ShardedSession Seq = runShardedSession(*Prog.M, 4, Cfg, /*Threads=*/1);

@@ -11,7 +11,10 @@
 #include <algorithm>
 #include <chrono>
 
+#include "../TestUtil.h"
+
 using namespace lud;
+using namespace lud::test;
 
 namespace {
 
@@ -133,7 +136,7 @@ TEST(FlatProfilerTest, IsMuchCheaperThanSlicing) {
                                 .count());
     }
     {
-      ProfiledRun P = runProfiled(*W.M);
+      ProfiledRun P = profiledRun(*W.M);
       Slicing = std::min(Slicing, P.Seconds);
     }
   }

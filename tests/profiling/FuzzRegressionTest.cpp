@@ -25,8 +25,7 @@ using namespace lud;
 
 namespace {
 
-constexpr uint32_t kAllClients =
-    kClientCopy | kClientNullness | kClientTypestate;
+constexpr ClientSet kAllClients = ClientSet::all();
 
 struct Artifacts {
   RunResult Run;

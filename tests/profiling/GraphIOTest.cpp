@@ -30,7 +30,7 @@ std::unique_ptr<DepGraph> roundTrip(const DepGraph &G) {
 
 TEST(GraphIOTest, RoundTripPreservesStructure) {
   Workload W = buildWorkload("eclipse", 64);
-  ProfiledRun P = runProfiled(*W.M);
+  ProfiledRun P = profiledRun(*W.M);
   const DepGraph &G = P.Prof->graph();
   std::unique_ptr<DepGraph> G2 = roundTrip(G);
   ASSERT_TRUE(G2);
@@ -62,7 +62,7 @@ TEST(GraphIOTest, OfflineAnalysesMatchOnline) {
   // The Section 3.2 workflow: serialize Gcost, reload it "offline", and
   // get identical analysis results.
   Workload W = buildWorkload("chart", 100);
-  ProfiledRun P = runProfiled(*W.M);
+  ProfiledRun P = profiledRun(*W.M);
   std::unique_ptr<DepGraph> G2 = roundTrip(P.Prof->graph());
   ASSERT_TRUE(G2);
 
@@ -90,8 +90,8 @@ TEST(GraphIOTest, MergedGraphRoundTripsByteIdentical) {
   // the merged form must survive a serialize -> parse -> serialize cycle
   // byte for byte, or offline analyses of sharded runs drift.
   Workload W = buildWorkload("eclipse", 48);
-  ProfiledRun A = runProfiled(*W.M);
-  ProfiledRun B = runProfiled(*W.M);
+  ProfiledRun A = profiledRun(*W.M);
+  ProfiledRun B = profiledRun(*W.M);
   A.Prof->mergeFrom(*B.Prof);
 
   StringOutStream First;
@@ -176,7 +176,7 @@ TEST(GraphIOTest, ClippedDumpFailsWithDiagnostic) {
   // Truncating a real dump at any line boundary must produce an error (a
   // diagnostic, never a crash or a silently smaller graph).
   Workload W = buildWorkload("chart", 64);
-  ProfiledRun P = runProfiled(*W.M);
+  ProfiledRun P = profiledRun(*W.M);
   StringOutStream OS;
   writeGraph(P.Prof->graph(), OS);
   const std::string &Full = OS.str();
@@ -196,7 +196,7 @@ TEST(GraphIOTest, BitFlippedDumpNeverCrashes) {
   // Deterministically corrupt single characters across the dump: parsing
   // must either succeed (the flip hit a don't-care byte) or fail cleanly.
   Workload W = buildWorkload("fop", 48);
-  ProfiledRun P = runProfiled(*W.M);
+  ProfiledRun P = profiledRun(*W.M);
   StringOutStream OS;
   writeGraph(P.Prof->graph(), OS);
   std::string Text = OS.str();

@@ -77,7 +77,7 @@ Snap snapshot(const ProfileSession &S, const Module &M, const RunResult &R) {
 SessionConfig fullClientConfig(EngineKind E) {
   SessionConfig SC;
   SC.Engine = E;
-  SC.Clients = kClientCopy | kClientNullness | kClientTypestate;
+  SC.Clients = ClientSet::all();
   return SC;
 }
 

@@ -15,6 +15,7 @@
 #include "support/OutStream.h"
 #include "trace/TraceRecorder.h"
 #include "workloads/DaCapo.h"
+#include "service/SessionManager.h"
 #include "workloads/Driver.h"
 #include "workloads/ParallelDriver.h"
 
@@ -28,8 +29,7 @@ using namespace lud;
 
 namespace {
 
-constexpr uint32_t kAllClients =
-    kClientCopy | kClientNullness | kClientTypestate;
+constexpr ClientSet kAllClients = ClientSet::all();
 
 std::string graphBytes(const DepGraph &G) {
   StringOutStream OS;
@@ -103,14 +103,14 @@ TEST(RecordReplayTest, RepeatedRunsAppendSegmentsThatReplayAsOneSession) {
   Workload W = buildWorkload("fop", 32);
   StringOutStream Sink;
   SessionConfig RecCfg;
-  RecCfg.Clients = kClientNullness;
+  RecCfg.Clients = ClientSet::nullness();
   RecCfg.RecordSink = &Sink;
   ProfileSession Live(RecCfg);
   Live.run(*W.M);
   Live.run(*W.M);
 
   SessionConfig RepCfg;
-  RepCfg.Clients = kClientNullness;
+  RepCfg.Clients = ClientSet::nullness();
   ProfileSession Replayed(RepCfg);
   ReplayRun R = Replayed.replay(*W.M, Sink.str());
   ASSERT_TRUE(R.Ok) << R.Error;

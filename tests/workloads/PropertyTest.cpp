@@ -20,7 +20,10 @@
 
 #include <gtest/gtest.h>
 
+#include "../TestUtil.h"
+
 using namespace lud;
+using namespace lud::test;
 
 namespace {
 
@@ -38,8 +41,8 @@ protected:
 
 TEST_P(RandomProgramTest, RunsToCompletionDeterministically) {
   auto M = makeProgram();
-  TimedRun R1 = runBaseline(*M);
-  TimedRun R2 = runBaseline(*M);
+  TimedRun R1 = baselineRun(*M);
+  TimedRun R2 = baselineRun(*M);
   ASSERT_EQ(R1.Run.Status, RunStatus::Finished)
       << "trap: " << trapKindName(R1.Run.Trap);
   EXPECT_EQ(R1.Run.ExecutedInstrs, R2.Run.ExecutedInstrs);
@@ -49,8 +52,8 @@ TEST_P(RandomProgramTest, RunsToCompletionDeterministically) {
 
 TEST_P(RandomProgramTest, ProfilingIsSemanticallyTransparent) {
   auto M = makeProgram();
-  TimedRun Base = runBaseline(*M);
-  ProfiledRun Prof = runProfiled(*M);
+  TimedRun Base = baselineRun(*M);
+  ProfiledRun Prof = profiledRun(*M);
   ASSERT_EQ(Prof.Run.Status, Base.Run.Status);
   EXPECT_EQ(Prof.Run.ExecutedInstrs, Base.Run.ExecutedInstrs);
   EXPECT_EQ(Prof.Run.SinkHash, Base.Run.SinkHash);
@@ -59,7 +62,7 @@ TEST_P(RandomProgramTest, ProfilingIsSemanticallyTransparent) {
 
 TEST_P(RandomProgramTest, GraphStructuralInvariants) {
   auto M = makeProgram();
-  ProfiledRun P = runProfiled(*M);
+  ProfiledRun P = profiledRun(*M);
   const DepGraph &G = P.Prof->graph();
 
   // Node count bounded by |I| x (|D| + 1) (the +1 covers the context-free
@@ -91,7 +94,7 @@ TEST_P(RandomProgramTest, GraphStructuralInvariants) {
 
 TEST_P(RandomProgramTest, CostModelMonotonicity) {
   auto M = makeProgram();
-  ProfiledRun P = runProfiled(*M);
+  ProfiledRun P = profiledRun(*M);
   const DepGraph &G = P.Prof->graph();
   CostModel CM(G);
   for (NodeId N = 0; N != NodeId(G.numNodes()); ++N) {
@@ -107,7 +110,7 @@ TEST_P(RandomProgramTest, CostModelMonotonicity) {
 
 TEST_P(RandomProgramTest, DeadValueMetricsAreFractions) {
   auto M = makeProgram();
-  ProfiledRun P = runProfiled(*M);
+  ProfiledRun P = profiledRun(*M);
   DeadValueAnalysis DV =
       computeDeadValues(P.Prof->graph(), P.Run.ExecutedInstrs);
   EXPECT_GE(DV.Metrics.ipd(), 0.0);
@@ -126,8 +129,8 @@ TEST_P(RandomProgramTest, ThinSlicingNeverAddsEdges) {
   SlicingConfig Thin;
   SlicingConfig Trad;
   Trad.ThinSlicing = false;
-  ProfiledRun PThin = runProfiled(*M, Thin);
-  ProfiledRun PTrad = runProfiled(*M, Trad);
+  ProfiledRun PThin = profiledRun(*M, Thin);
+  ProfiledRun PTrad = profiledRun(*M, Trad);
   EXPECT_LE(PThin.Prof->graph().numEdges(), PTrad.Prof->graph().numEdges());
   EXPECT_EQ(PThin.Prof->graph().numNodes(), PTrad.Prof->graph().numNodes());
 }
@@ -137,8 +140,8 @@ TEST_P(RandomProgramTest, ContextInsensitivityNeverAddsNodes) {
   SlicingConfig Sens;
   SlicingConfig Insens;
   Insens.ContextSensitive = false;
-  ProfiledRun PS = runProfiled(*M, Sens);
-  ProfiledRun PI = runProfiled(*M, Insens);
+  ProfiledRun PS = profiledRun(*M, Sens);
+  ProfiledRun PI = profiledRun(*M, Insens);
   EXPECT_GE(PS.Prof->graph().numNodes(), PI.Prof->graph().numNodes());
   EXPECT_GE(PS.Prof->averageCR(), 0.0);
   EXPECT_LE(PS.Prof->averageCR(), 1.0);
@@ -157,15 +160,15 @@ TEST_P(RandomProgramTest, PrinterParserRoundTrip) {
   printModule(*M2, Text2);
   EXPECT_EQ(Text1.str(), Text2.str());
   // And the reparsed program behaves identically.
-  TimedRun R1 = runBaseline(*M);
-  TimedRun R2 = runBaseline(*M2);
+  TimedRun R1 = baselineRun(*M);
+  TimedRun R2 = baselineRun(*M2);
   EXPECT_EQ(R1.Run.ExecutedInstrs, R2.Run.ExecutedInstrs);
   EXPECT_EQ(R1.Run.SinkHash, R2.Run.SinkHash);
 }
 
 TEST_P(RandomProgramTest, ReportIsWellFormed) {
   auto M = makeProgram();
-  ProfiledRun P = runProfiled(*M);
+  ProfiledRun P = profiledRun(*M);
   CostModel CM(P.Prof->graph());
   LowUtilityReport Report(CM, *M);
   double PrevRatio = -1;
@@ -184,7 +187,7 @@ TEST_P(RandomProgramTest, ReportIsWellFormed) {
 
 TEST_P(RandomProgramTest, MultiHopIsMonotoneAndAnchoredAtDefinition5) {
   auto M = makeProgram();
-  ProfiledRun P = runProfiled(*M);
+  ProfiledRun P = profiledRun(*M);
   FrozenGraph G(P.Prof->graph());
   CostModel CM(G);
   for (NodeId N = 0; N != NodeId(G.numNodes()); ++N) {
@@ -202,7 +205,7 @@ TEST_P(RandomProgramTest, MultiHopIsMonotoneAndAnchoredAtDefinition5) {
 
 TEST_P(RandomProgramTest, CacheScoresAreWellFormed) {
   auto M = makeProgram();
-  ProfiledRun P = runProfiled(*M);
+  ProfiledRun P = profiledRun(*M);
   CostModel CM(P.Prof->graph());
   CacheOptions Opts;
   Opts.MinWrites = 1;

@@ -26,8 +26,7 @@ using namespace lud;
 
 namespace {
 
-constexpr uint32_t kAllClients =
-    kClientCopy | kClientNullness | kClientTypestate;
+constexpr ClientSet kAllClients = ClientSet::all();
 
 SessionConfig sessionConfig() {
   SessionConfig Cfg;

@@ -14,7 +14,10 @@
 
 #include <algorithm>
 
+#include "../TestUtil.h"
+
 using namespace lud;
+using namespace lud::test;
 
 namespace {
 
@@ -28,7 +31,7 @@ TEST_P(WorkloadParamTest, BuildsVerifiesAndRuns) {
   for (const std::string &E : Errors)
     ADD_FAILURE() << E;
 
-  TimedRun R = runBaseline(*W.M);
+  TimedRun R = baselineRun(*W.M);
   EXPECT_EQ(R.Run.Status, RunStatus::Finished)
       << "trap: " << trapKindName(R.Run.Trap);
   EXPECT_GT(R.Run.ExecutedInstrs, 1000u);
@@ -37,8 +40,8 @@ TEST_P(WorkloadParamTest, BuildsVerifiesAndRuns) {
 
 TEST_P(WorkloadParamTest, DeterministicAcrossRuns) {
   Workload W = buildWorkload(GetParam(), 64);
-  TimedRun R1 = runBaseline(*W.M);
-  TimedRun R2 = runBaseline(*W.M);
+  TimedRun R1 = baselineRun(*W.M);
+  TimedRun R2 = baselineRun(*W.M);
   EXPECT_EQ(R1.Run.ExecutedInstrs, R2.Run.ExecutedInstrs);
   EXPECT_EQ(R1.Run.SinkHash, R2.Run.SinkHash);
   EXPECT_EQ(R1.Run.ReturnValue.asInt(), R2.Run.ReturnValue.asInt());
@@ -46,8 +49,8 @@ TEST_P(WorkloadParamTest, DeterministicAcrossRuns) {
 
 TEST_P(WorkloadParamTest, ProfiledRunMatchesBaselineSemantics) {
   Workload W = buildWorkload(GetParam(), 64);
-  TimedRun Base = runBaseline(*W.M);
-  ProfiledRun Prof = runProfiled(*W.M);
+  TimedRun Base = baselineRun(*W.M);
+  ProfiledRun Prof = profiledRun(*W.M);
   EXPECT_EQ(Prof.Run.Status, RunStatus::Finished);
   EXPECT_EQ(Prof.Run.ExecutedInstrs, Base.Run.ExecutedInstrs);
   EXPECT_EQ(Prof.Run.SinkHash, Base.Run.SinkHash);
@@ -58,8 +61,8 @@ TEST_P(WorkloadParamTest, GraphSizeIsAbstractionBounded) {
   // bounded by static instructions x context slots.
   Workload Small = buildWorkload(GetParam(), 64);
   Workload Large = buildWorkload(GetParam(), 256);
-  ProfiledRun PS = runProfiled(*Small.M);
-  ProfiledRun PL = runProfiled(*Large.M);
+  ProfiledRun PS = profiledRun(*Small.M);
+  ProfiledRun PL = profiledRun(*Large.M);
   EXPECT_GT(PL.Run.ExecutedInstrs, PS.Run.ExecutedInstrs);
   const size_t Bound =
       size_t(Large.M->getNumInstrs()) * (PL.Prof->config().ContextSlots + 1);
@@ -81,8 +84,8 @@ class CaseStudyTest : public ::testing::TestWithParam<std::string> {};
 TEST_P(CaseStudyTest, OptimizedVariantDoesLessWork) {
   Workload Orig = buildWorkload(GetParam(), 200, /*Optimized=*/false);
   Workload Opt = buildWorkload(GetParam(), 200, /*Optimized=*/true);
-  TimedRun RO = runBaseline(*Orig.M);
-  TimedRun RF = runBaseline(*Opt.M);
+  TimedRun RO = baselineRun(*Orig.M);
+  TimedRun RF = baselineRun(*Opt.M);
   ASSERT_EQ(RO.Run.Status, RunStatus::Finished);
   ASSERT_EQ(RF.Run.Status, RunStatus::Finished);
   EXPECT_LT(RF.Run.ExecutedInstrs, RO.Run.ExecutedInstrs)
@@ -92,7 +95,7 @@ TEST_P(CaseStudyTest, OptimizedVariantDoesLessWork) {
 TEST_P(CaseStudyTest, PlantedStructuresRankHigh) {
   Workload W = buildWorkload(GetParam(), 200);
   ASSERT_FALSE(W.PlantedSites.empty());
-  ProfiledRun P = runProfiled(*W.M);
+  ProfiledRun P = profiledRun(*W.M);
   CostModel CM(P.Prof->graph());
   LowUtilityReport Report(CM, *W.M);
   ASSERT_FALSE(Report.sites().empty());
@@ -132,8 +135,8 @@ TEST(WorkloadTest, UnoptimizedOutranksOptimizedInDeadWork) {
   for (const char *Name : {"bloat", "derby", "tomcat"}) {
     Workload Orig = buildWorkload(Name, 150, false);
     Workload Opt = buildWorkload(Name, 150, true);
-    ProfiledRun PO = runProfiled(*Orig.M);
-    ProfiledRun PF = runProfiled(*Opt.M);
+    ProfiledRun PO = profiledRun(*Orig.M);
+    ProfiledRun PF = profiledRun(*Opt.M);
     BloatMetrics MO =
         computeDeadValues(PO.Prof->graph(), PO.Run.ExecutedInstrs).Metrics;
     BloatMetrics MF =
@@ -147,8 +150,8 @@ TEST(WorkloadTest, PhaseMaskingShrinksTracking) {
   SlicingConfig Full;
   SlicingConfig LoadOnly;
   LoadOnly.TrackedPhaseMask = 1ull << 1; // Track only the load phase.
-  ProfiledRun PF = runProfiled(*W.M, Full);
-  ProfiledRun PL = runProfiled(*W.M, LoadOnly);
+  ProfiledRun PF = profiledRun(*W.M, Full);
+  ProfiledRun PL = profiledRun(*W.M, LoadOnly);
   EXPECT_LT(PL.Prof->graph().totalFreq(), PF.Prof->graph().totalFreq());
   EXPECT_LT(PL.Prof->graph().numNodes(), PF.Prof->graph().numNodes());
   // Identical program behaviour regardless of tracking.
@@ -179,8 +182,8 @@ TEST(WorkloadTest, TextRoundTripPreservesBehaviour) {
     StringOutStream Text2;
     printModule(*M2, Text2);
     EXPECT_EQ(Text1.str(), Text2.str()) << Name;
-    TimedRun R1 = runBaseline(*W.M);
-    TimedRun R2 = runBaseline(*M2);
+    TimedRun R1 = baselineRun(*W.M);
+    TimedRun R2 = baselineRun(*M2);
     EXPECT_EQ(R1.Run.ExecutedInstrs, R2.Run.ExecutedInstrs) << Name;
     EXPECT_EQ(R1.Run.SinkHash, R2.Run.SinkHash) << Name;
   }
@@ -191,7 +194,7 @@ TEST(WorkloadTest, CollectionRankingClientFiltersContainers) {
   // to the stdlib container classes and check every row is a container
   // and the order is preserved.
   Workload W = buildWorkload("eclipse", 150);
-  ProfiledRun P = runProfiled(*W.M);
+  ProfiledRun P = profiledRun(*W.M);
   CostModel CM(P.Prof->graph());
   LowUtilityReport Report(CM, *W.M);
   std::vector<ClassId> Containers = {W.M->findClass("IntVec"),
