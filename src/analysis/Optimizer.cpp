@@ -4,121 +4,11 @@
 
 #include "ir/Clone.h"
 #include "ir/Module.h"
+#include "ir/Rewrite.h"
 
 #include <vector>
 
 using namespace lud;
-
-namespace {
-
-/// Appends the registers \p I reads to \p Out.
-void usedRegs(const Instruction &I, std::vector<Reg> &Out) {
-  switch (I.getKind()) {
-  case Instruction::Kind::Const:
-  case Instruction::Kind::Alloc:
-  case Instruction::Kind::Br:
-    break;
-  case Instruction::Kind::Assign:
-    Out.push_back(cast<AssignInst>(&I)->Src);
-    break;
-  case Instruction::Kind::Bin: {
-    const auto *B = cast<BinInst>(&I);
-    Out.push_back(B->Lhs);
-    Out.push_back(B->Rhs);
-    break;
-  }
-  case Instruction::Kind::Un:
-    Out.push_back(cast<UnInst>(&I)->Src);
-    break;
-  case Instruction::Kind::AllocArray:
-    Out.push_back(cast<AllocArrayInst>(&I)->Len);
-    break;
-  case Instruction::Kind::LoadField: {
-    const auto *L = cast<LoadFieldInst>(&I);
-    Out.push_back(L->Base);
-    break;
-  }
-  case Instruction::Kind::StoreField: {
-    const auto *S = cast<StoreFieldInst>(&I);
-    Out.push_back(S->Base);
-    Out.push_back(S->Src);
-    break;
-  }
-  case Instruction::Kind::LoadStatic:
-    break;
-  case Instruction::Kind::StoreStatic:
-    Out.push_back(cast<StoreStaticInst>(&I)->Src);
-    break;
-  case Instruction::Kind::LoadElem: {
-    const auto *L = cast<LoadElemInst>(&I);
-    Out.push_back(L->Base);
-    Out.push_back(L->Index);
-    break;
-  }
-  case Instruction::Kind::StoreElem: {
-    const auto *S = cast<StoreElemInst>(&I);
-    Out.push_back(S->Base);
-    Out.push_back(S->Index);
-    Out.push_back(S->Src);
-    break;
-  }
-  case Instruction::Kind::ArrayLen:
-    Out.push_back(cast<ArrayLenInst>(&I)->Base);
-    break;
-  case Instruction::Kind::Call:
-    for (Reg A : cast<CallInst>(&I)->Args)
-      Out.push_back(A);
-    break;
-  case Instruction::Kind::NativeCall:
-    for (Reg A : cast<NativeCallInst>(&I)->Args)
-      Out.push_back(A);
-    break;
-  case Instruction::Kind::CondBr: {
-    const auto *C = cast<CondBrInst>(&I);
-    Out.push_back(C->Lhs);
-    Out.push_back(C->Rhs);
-    break;
-  }
-  case Instruction::Kind::Return:
-    if (cast<ReturnInst>(&I)->Src != kNoReg)
-      Out.push_back(cast<ReturnInst>(&I)->Src);
-    break;
-  }
-}
-
-/// Destination register of a pure value-producing instruction that may be
-/// dropped when its result is unused; kNoReg for everything else (calls
-/// and consumers have effects and always stay).
-Reg droppableDst(const Instruction &I) {
-  switch (I.getKind()) {
-  case Instruction::Kind::Const:
-    return cast<ConstInst>(&I)->Dst;
-  case Instruction::Kind::Assign:
-    return cast<AssignInst>(&I)->Dst;
-  case Instruction::Kind::Bin:
-    return cast<BinInst>(&I)->Dst;
-  case Instruction::Kind::Un:
-    return cast<UnInst>(&I)->Dst;
-  case Instruction::Kind::Alloc:
-    return cast<AllocInst>(&I)->Dst;
-  case Instruction::Kind::AllocArray:
-    return cast<AllocArrayInst>(&I)->Dst;
-  // Loads are pure value producers too; their only side effect is a
-  // potential trap, which the profile showed does not fire.
-  case Instruction::Kind::LoadField:
-    return cast<LoadFieldInst>(&I)->Dst;
-  case Instruction::Kind::LoadStatic:
-    return cast<LoadStaticInst>(&I)->Dst;
-  case Instruction::Kind::LoadElem:
-    return cast<LoadElemInst>(&I)->Dst;
-  case Instruction::Kind::ArrayLen:
-    return cast<ArrayLenInst>(&I)->Dst;
-  default:
-    return kNoReg;
-  }
-}
-
-} // namespace
 
 OptimizeResult lud::removeProfiledDeadCode(const Module &M,
                                            const FrozenGraph &G,
@@ -169,7 +59,7 @@ OptimizeResult lud::removeProfiledDeadCode(const Module &M,
           if (!Kept[I->getId()])
             continue;
           Scratch.clear();
-          usedRegs(*I, Scratch);
+          appendUsedRegs(*I, Scratch);
           for (Reg R : Scratch)
             if (R != kNoReg)
               Used[R] = true;
@@ -179,7 +69,7 @@ OptimizeResult lud::removeProfiledDeadCode(const Module &M,
         for (const auto &I : BB->insts()) {
           if (!Kept[I->getId()] || I->isTerminator())
             continue;
-          Reg Dst = droppableDst(*I);
+          Reg Dst = pureProducerDst(*I);
           if (Dst == kNoReg || Used[Dst])
             continue;
           Kept[I->getId()] = false;

@@ -1,0 +1,312 @@
+//===- analysis/PassManager.cpp - Evidence-driven rewrite pipeline ---------===//
+
+#include "analysis/PassManager.h"
+
+#include "ir/Module.h"
+#include "obs/Metrics.h"
+#include "runtime/ComposedProfiler.h"
+#include "runtime/ThreadedEngine.h"
+#include "support/OutStream.h"
+
+#include <cstring>
+
+using namespace lud;
+using namespace lud::opt;
+
+RewritePass::~RewritePass() = default;
+
+namespace {
+
+const char *statusName(RunStatus S) {
+  switch (S) {
+  case RunStatus::Finished:
+    return "finished";
+  case RunStatus::Trapped:
+    return "trapped";
+  case RunStatus::BudgetExceeded:
+    return "budget-exceeded";
+  }
+  return "unknown";
+}
+
+/// Uninstrumented run — the observable behaviour a rewrite must preserve.
+RunResult plainRun(const Module &M, EngineKind E, const RunConfig &RC) {
+  Heap H;
+  ComposedProfiler<> P;
+  return runWithEngine(E, M, H, P, RC);
+}
+
+/// Bit pattern of a return value for exact comparison (floats compare
+/// bitwise: validation wants identity, not numeric equivalence).
+uint64_t valueBits(const Value &V) {
+  switch (V.Kind) {
+  case ValueKind::Int:
+    return uint64_t(V.I);
+  case ValueKind::Float: {
+    uint64_t B;
+    std::memcpy(&B, &V.F, sizeof B);
+    return B;
+  }
+  case ValueKind::Ref:
+    return V.R;
+  }
+  return 0;
+}
+
+/// The differential-oracle observable contract (fuzz/Oracle.h): status,
+/// sink hash, and the returned value must survive the rewrite.
+bool sameObservables(const RunResult &Ref, const RunResult &Got,
+                     const char *Engine, std::string &Why) {
+  if (Got.Status != Ref.Status) {
+    Why = std::string("status diverged on ") + Engine + " (" +
+          statusName(Ref.Status) + " -> " + statusName(Got.Status) + ")";
+    return false;
+  }
+  if (Got.SinkHash != Ref.SinkHash) {
+    Why = std::string("sink hash diverged on ") + Engine;
+    return false;
+  }
+  if (Got.ReturnValue.Kind != Ref.ReturnValue.Kind ||
+      valueBits(Got.ReturnValue) != valueBits(Ref.ReturnValue)) {
+    Why = std::string("return value diverged on ") + Engine;
+    return false;
+  }
+  return true;
+}
+
+/// One profiled snapshot of the current module: the evidence every pass
+/// reads. Rebuilt after each committed rewrite so later proposals see
+/// the structure landscape they actually face.
+struct ProfileState {
+  FrozenGraph G;
+  HeapLocMap<LocationActivity> Activity;
+  DeadValueAnalysis DV;
+  UsageEvidence Usage;
+  std::vector<uint64_t> InstrFreq;
+  RunResult Run;
+};
+
+ProfileState profileModule(const Module &M, const PipelineOptions &Opts) {
+  ProfileState P;
+  Heap H;
+  SlicingProfiler SP(Opts.Slicing);
+  RunConfig RC = Opts.Run;
+  RC.PrintStream = nullptr;
+  P.Run = runWithEngine(Opts.Engine, M, H, SP, RC);
+  P.G = FrozenGraph(SP.graph());
+  P.Activity = SP.locationActivity();
+  P.DV = computeDeadValues(P.G, P.Run.ExecutedInstrs);
+  P.Usage = summarizeUsage(M, P.G, P.Activity, &P.DV);
+  P.InstrFreq.assign(M.getNumInstrs(), 0);
+  for (size_t N = 0; N != P.G.numNodes(); ++N)
+    P.InstrFreq[P.G.instr(NodeId(N))] += P.G.freq(NodeId(N));
+  return P;
+}
+
+} // namespace
+
+bool lud::opt::isKnownPassName(const std::string &Name) {
+  return Name == "dead-stores" || Name == "map-to-array" ||
+         Name == "clone-per-op" || Name == "once-read-memo" ||
+         Name == "dead-stores-final";
+}
+
+PassManager::PassManager(PipelineOptions Opts) : Opts(std::move(Opts)) {}
+
+PassManager::~PassManager() = default;
+
+void PassManager::addPass(std::unique_ptr<RewritePass> P) {
+  Passes.push_back(std::move(P));
+}
+
+void PassManager::addDefaultPasses() {
+  auto AddByName = [&](const std::string &Name) {
+    if (Name == "dead-stores")
+      addPass(createDeadStorePass("dead-stores"));
+    else if (Name == "map-to-array")
+      addPass(createMapToArrayPass());
+    else if (Name == "clone-per-op")
+      addPass(createClonePerOpPass());
+    else if (Name == "once-read-memo")
+      addPass(createOnceReadMemoPass());
+    else if (Name == "dead-stores-final")
+      addPass(createDeadStorePass("dead-stores-final"));
+  };
+  if (!Opts.Passes.empty()) {
+    for (const std::string &Name : Opts.Passes)
+      AddByName(Name);
+    return;
+  }
+  // Dead-store deletion runs first (rewrites then face less noise) and
+  // once more last to sweep the stores the structure rewrites orphaned.
+  addPass(createDeadStorePass("dead-stores"));
+  addPass(createMapToArrayPass());
+  addPass(createClonePerOpPass());
+  addPass(createOnceReadMemoPass());
+  addPass(createDeadStorePass("dead-stores-final"));
+}
+
+PipelineResult PassManager::run(const Module &M) {
+  PipelineResult R;
+  if (Passes.empty())
+    addDefaultPasses();
+
+  RunConfig RefCfg = Opts.Run;
+  RefCfg.PrintStream = nullptr;
+  RunResult Ref = plainRun(M, Opts.Engine, RefCfg);
+  R.ReferenceStatus = Ref.Status;
+  R.InstrsBefore = R.InstrsAfter = Ref.ExecutedInstrs;
+  R.AllocsBefore = R.AllocsAfter = Ref.ObjectsAllocated;
+  for (const auto &P : Passes)
+    R.PerPass.emplace_back(P->name(), PassStats{});
+  // A trapped or budget-capped reference run gives no baseline to
+  // validate rewrites against; leave the module alone.
+  if (Ref.Status != RunStatus::Finished)
+    return R;
+
+  EngineKind Other = Opts.Engine == EngineKind::Interp ? EngineKind::Threaded
+                                                       : EngineKind::Interp;
+
+  // Candidate runs get a hard budget: a rewrite that quadruples the work
+  // (or loops) is broken regardless of what it would eventually output.
+  RunConfig ValCfg = RefCfg;
+  uint64_t Guard = Ref.ExecutedInstrs < (~uint64_t(0) >> 3)
+                       ? Ref.ExecutedInstrs * 4 + 10000
+                       : ~uint64_t(0);
+  if (Guard < ValCfg.MaxInstructions)
+    ValCfg.MaxInstructions = Guard;
+
+  ProfileState P = profileModule(M, Opts);
+  std::unique_ptr<Module> Owned;
+  const Module *Cur = &M;
+  std::set<std::string> Attempted;
+  size_t Applications = 0;
+
+  for (size_t PI = 0;
+       PI != Passes.size() && Applications < Opts.MaxApplications; ++PI) {
+    RewritePass &Pass = *Passes[PI];
+    PassStats &PS = R.PerPass[PI].second;
+    while (Applications < Opts.MaxApplications) {
+      PassEvidence E;
+      E.M = Cur;
+      E.G = &P.G;
+      E.Usage = &P.Usage;
+      E.DV = &P.DV;
+      E.ExecutedInstrs = P.Run.ExecutedInstrs;
+      E.Attempted = &Attempted;
+      E.InstrFreq = &P.InstrFreq;
+      std::optional<RewriteCandidate> Cand = Pass.next(E);
+      if (!Cand)
+        break;
+      Attempted.insert(Cand->Target);
+
+      PassOutcome O;
+      O.Pass = Pass.name();
+      O.Target = Cand->Target;
+      O.Rationale = Cand->Rationale;
+
+      std::string Why;
+      RunResult A = plainRun(*Cand->M, Opts.Engine, ValCfg);
+      bool OK = sameObservables(Ref, A, engineKindName(Opts.Engine), Why);
+      if (OK && Opts.ValidateBothEngines)
+        OK = sameObservables(Ref, plainRun(*Cand->M, Other, ValCfg),
+                             engineKindName(Other), Why);
+      if (!OK) {
+        O.Reason = Why;
+        ++PS.RolledBack;
+        R.Outcomes.push_back(std::move(O));
+        continue;
+      }
+
+      O.Applied = true;
+      ++PS.Applied;
+      PS.RemovedStores += Cand->RemovedStores;
+      PS.RemovedPure += Cand->RemovedPure;
+      PS.RewrittenInstrs += Cand->RewrittenInstrs;
+      R.Stats.RemovedStores += Cand->RemovedStores;
+      R.Stats.RemovedPure += Cand->RemovedPure;
+      R.Outcomes.push_back(std::move(O));
+      Owned = std::move(Cand->M);
+      Cur = Owned.get();
+      R.InstrsAfter = A.ExecutedInstrs;
+      R.AllocsAfter = A.ObjectsAllocated;
+      ++Applications;
+      if (Applications >= Opts.MaxApplications)
+        break;
+      P = profileModule(*Cur, Opts);
+    }
+  }
+
+  R.Changed = Applications != 0;
+  R.Stats.Iterations = unsigned(Applications);
+  R.M = std::move(Owned);
+  return R;
+}
+
+namespace {
+
+/// Metric names stay in lud.stats.v1's snake_case vocabulary.
+std::string metricName(const std::string &Pass) {
+  std::string Out = "opt.rewrites.";
+  for (char C : Pass)
+    Out += C == '-' ? '_' : C;
+  return Out;
+}
+
+} // namespace
+
+void PassManager::accountStats(const PipelineResult &R,
+                               obs::MetricsRegistry &Reg) {
+  Reg.add(Reg.counter("opt.removed_stores"), R.Stats.RemovedStores);
+  Reg.add(Reg.counter("opt.removed_pure"), R.Stats.RemovedPure);
+  size_t Applied = 0, Rolled = 0;
+  for (const auto &[Name, S] : R.PerPass) {
+    Applied += S.Applied;
+    Rolled += S.RolledBack;
+    Reg.add(Reg.counter(metricName(Name)), S.Applied);
+  }
+  Reg.add(Reg.counter("opt.passes_applied"), Applied);
+  Reg.add(Reg.counter("opt.passes_rolled_back"), Rolled);
+  Reg.set(Reg.gauge("opt.executed_before"), R.InstrsBefore);
+  Reg.set(Reg.gauge("opt.executed_after"), R.InstrsAfter);
+  Reg.set(Reg.gauge("opt.allocs_before"), R.AllocsBefore);
+  Reg.set(Reg.gauge("opt.allocs_after"), R.AllocsAfter);
+}
+
+void lud::opt::renderOptimizeReport(const PipelineResult &R, OutStream &OS) {
+  OS << "=== Optimizer ===\n";
+  OS << "reference: status=" << statusName(R.ReferenceStatus)
+     << " instrs=" << R.InstrsBefore << " allocs=" << R.AllocsBefore << "\n";
+  for (const auto &[Name, S] : R.PerPass) {
+    OS << "pass " << Name << ": applied=" << uint64_t(S.Applied)
+       << " rolled-back=" << uint64_t(S.RolledBack);
+    if (S.RemovedStores || S.RemovedPure)
+      OS << " removed-stores=" << uint64_t(S.RemovedStores)
+         << " removed-pure=" << uint64_t(S.RemovedPure);
+    if (S.RewrittenInstrs)
+      OS << " rewritten=" << uint64_t(S.RewrittenInstrs);
+    OS << "\n";
+  }
+  for (const PassOutcome &O : R.Outcomes) {
+    if (O.Applied)
+      OS << "[applied] ";
+    else
+      OS << "[rolled-back: " << O.Reason << "] ";
+    OS << O.Pass << " " << O.Target << ": " << O.Rationale << "\n";
+  }
+  if (R.Changed) {
+    OS << "executed instrs: " << R.InstrsBefore << " -> " << R.InstrsAfter;
+    if (R.InstrsBefore && R.InstrsAfter <= R.InstrsBefore) {
+      double Saved = 100.0 * double(R.InstrsBefore - R.InstrsAfter) /
+                     double(R.InstrsBefore);
+      OS << " (";
+      OS.printFixed(Saved, 1);
+      OS << "% saved)";
+    }
+    OS << "\n";
+    OS << "allocations: " << R.AllocsBefore << " -> " << R.AllocsAfter
+       << "\n";
+  } else {
+    OS << "no rewrites applied\n";
+  }
+}

@@ -1,0 +1,201 @@
+//===- analysis/PassManager.h - Evidence-driven rewrite pipeline -*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The rewrite-pass pipeline: an automatic consumer of the analysis that
+/// goes beyond deleting profiled-dead stores to *replacing* low-utility
+/// data structures, closing the loop described in "Automated
+/// Profile-Guided Replacement of Data Structures" (PAPERS.md). Each
+/// RewritePass proposes one candidate module at a time from shared
+/// PassEvidence (the sealed graph, the per-structure UsageSummary records,
+/// the dead-value classification); the PassManager validates every
+/// candidate against the original module's observables — run status, sink
+/// hash, return value, on both execution engines — and either commits it
+/// (re-profiling so later passes see fresh evidence) or rolls it back.
+/// Every decision carries a machine-checkable rationale into the report.
+///
+/// The transformations are profile-guided and speculative exactly like
+/// the dead-store deleter (analysis/Optimizer.h): sound for executions
+/// exercising the profiled behaviour, enforced here by differential
+/// validation and downstream by the fuzzer's `optimize` oracle mode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_ANALYSIS_PASSMANAGER_H
+#define LUD_ANALYSIS_PASSMANAGER_H
+
+#include "analysis/Evidence.h"
+#include "analysis/Optimizer.h"
+#include "profiling/SlicingProfiler.h"
+#include "runtime/Engine.h"
+#include "runtime/Interpreter.h"
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lud {
+
+namespace obs {
+class MetricsRegistry;
+}
+
+namespace opt {
+
+/// Everything a pass may consult when proposing a rewrite. All pointers
+/// borrow from the PassManager's current iteration state and are valid
+/// only during next().
+struct PassEvidence {
+  const Module *M = nullptr;
+  const FrozenGraph *G = nullptr;
+  const UsageEvidence *Usage = nullptr;
+  const DeadValueAnalysis *DV = nullptr;
+  uint64_t ExecutedInstrs = 0;
+  /// Stable target keys already proposed (applied *or* rolled back);
+  /// passes must not re-propose them, or rollback would loop forever.
+  const std::set<std::string> *Attempted = nullptr;
+  /// Summed node frequency per static instruction (index InstrId).
+  const std::vector<uint64_t> *InstrFreq = nullptr;
+};
+
+/// One proposed rewrite: the candidate module plus its audit trail.
+struct RewriteCandidate {
+  std::unique_ptr<Module> M;
+  /// Stable identity of the rewritten structure — survives re-profiling
+  /// (function names + ordinals, never raw InstrIds).
+  std::string Target;
+  /// Machine-checkable evidence line for the report: what was rewritten
+  /// and the counter values that gated it.
+  std::string Rationale;
+  size_t RemovedStores = 0;
+  size_t RemovedPure = 0;
+  /// Instructions the rewrite replaced or synthesized.
+  size_t RewrittenInstrs = 0;
+};
+
+/// A rewrite pass proposes candidates one at a time; the manager
+/// validates, commits or rolls back, and calls next() again with
+/// refreshed evidence until the pass returns nullopt.
+class RewritePass {
+public:
+  virtual ~RewritePass();
+  virtual const char *name() const = 0;
+  virtual std::optional<RewriteCandidate> next(const PassEvidence &E) = 0;
+};
+
+/// The profiled-dead-store deleter re-homed as a pipeline pass (it runs
+/// first, and once more last to sweep stores the structure rewrites
+/// orphaned). \p Label distinguishes the two placements in stats.
+std::unique_ptr<RewritePass> createDeadStorePass(const char *Label);
+/// Linear map scans over build-once-read-many arrays become binary
+/// searches over the (already sorted) data.
+std::unique_ptr<RewritePass> createMapToArrayPass();
+/// Clone-per-operation chains: hoists loop-invariant fresh-structure
+/// call chains out of loops, then specializes clone-then-update callees
+/// to update in place.
+std::unique_ptr<RewritePass> createClonePerOpPass();
+/// Memo tables whose values are read at most once: loads recompute the
+/// value locally, leaving the table to the final dead-store sweep.
+std::unique_ptr<RewritePass> createOnceReadMemoPass();
+
+/// True for the pass names the default pipeline understands
+/// ("dead-stores", "map-to-array", "clone-per-op", "once-read-memo",
+/// "dead-stores-final") — CLI validation uses this.
+bool isKnownPassName(const std::string &Name);
+
+struct PassStats {
+  size_t Applied = 0;
+  size_t RolledBack = 0;
+  size_t RemovedStores = 0;
+  size_t RemovedPure = 0;
+  size_t RewrittenInstrs = 0;
+};
+
+/// Audit record of one candidate's fate.
+struct PassOutcome {
+  std::string Pass;
+  std::string Target;
+  std::string Rationale;
+  bool Applied = false;
+  /// Why the candidate was rejected (empty when applied).
+  std::string Reason;
+};
+
+struct PipelineOptions {
+  EngineKind Engine = defaultEngineKind();
+  SlicingConfig Slicing;
+  RunConfig Run;
+  /// Validate candidates on the other engine too (the oracle contract);
+  /// disable only in tests probing single-engine behaviour.
+  bool ValidateBothEngines = true;
+  /// Pass names to run, in order. Empty = the default pipeline:
+  /// dead-stores, map-to-array, clone-per-op, once-read-memo,
+  /// dead-stores-final.
+  std::vector<std::string> Passes;
+  /// Ceiling on committed rewrites (each one re-profiles).
+  size_t MaxApplications = 32;
+};
+
+struct PipelineResult {
+  /// The rewritten module; null when no candidate survived validation.
+  std::unique_ptr<Module> M;
+  bool Changed = false;
+  /// Aggregated legacy stats (dead-store passes feed these).
+  OptimizerStats Stats;
+  /// Per-pass stats in pipeline order.
+  std::vector<std::pair<std::string, PassStats>> PerPass;
+  /// Every candidate's fate, in decision order.
+  std::vector<PassOutcome> Outcomes;
+  uint64_t InstrsBefore = 0;
+  uint64_t InstrsAfter = 0;
+  uint64_t AllocsBefore = 0;
+  uint64_t AllocsAfter = 0;
+  /// Status of the reference run; passes only run when it Finished.
+  RunStatus ReferenceStatus = RunStatus::Finished;
+
+  size_t applied() const {
+    size_t N = 0;
+    for (const auto &[Name, S] : PerPass)
+      N += S.Applied;
+    return N;
+  }
+};
+
+/// Drives the pipeline: profile, propose, validate, commit-or-rollback.
+class PassManager {
+public:
+  explicit PassManager(PipelineOptions Opts = {});
+  ~PassManager();
+
+  void addPass(std::unique_ptr<RewritePass> P);
+  /// Installs the default pipeline (or Opts.Passes when set). Unknown
+  /// pass names are ignored by name resolution in Opts handling.
+  void addDefaultPasses();
+
+  /// Runs every pass over \p M. The input module is never mutated.
+  PipelineResult run(const Module &M);
+
+  /// Publishes opt.* counters/gauges for \p R into \p Reg
+  /// (opt.removed_stores, opt.rewrites.<pass>, ... — lud.stats.v1).
+  static void accountStats(const PipelineResult &R, obs::MetricsRegistry &Reg);
+
+private:
+  PipelineOptions Opts;
+  std::vector<std::unique_ptr<RewritePass>> Passes;
+};
+
+/// Renders the "=== Optimizer ===" report section: per-pass stats and
+/// every outcome's rationale.
+void renderOptimizeReport(const PipelineResult &R, OutStream &OS);
+
+} // namespace opt
+} // namespace lud
+
+#endif // LUD_ANALYSIS_PASSMANAGER_H

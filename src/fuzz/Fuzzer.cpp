@@ -64,6 +64,9 @@ OracleConfig fuzz::randomOracleConfig(RNG &R) {
   // Either backend may be the reference; the engines mode always runs the
   // other one, so both orderings of the cross-check get fuzzed.
   C.Engine = R.nextBelow(2) != 0 ? EngineKind::Threaded : EngineKind::Interp;
+  // The optimize mode re-profiles per committed rewrite, so it rides on a
+  // quarter of the runs rather than all of them.
+  C.CheckOptimize = R.nextBelow(4) == 0;
   return C;
 }
 

@@ -2,10 +2,16 @@
 
 #include "fuzz/Oracle.h"
 
+#include "analysis/PassManager.h"
 #include "ir/Module.h"
+#include "ir/Verifier.h"
 #include "profiling/GraphIO.h"
+#include "runtime/ComposedProfiler.h"
+#include "runtime/ThreadedEngine.h"
 #include "support/OutStream.h"
 #include "workloads/ParallelDriver.h"
+
+#include <cstring>
 
 using namespace lud;
 using namespace lud::fuzz;
@@ -92,6 +98,22 @@ std::string diffSnapshots(const Snapshot &Ref, const Snapshot &Got) {
   if (Ref.Reports != Got.Reports)
     return firstDiff("client reports", Ref.Reports, Got.Reports);
   return "";
+}
+
+/// Bit pattern of a return value for exact comparison (floats bitwise).
+uint64_t valueBits(const Value &V) {
+  switch (V.Kind) {
+  case ValueKind::Int:
+    return uint64_t(V.I);
+  case ValueKind::Float: {
+    uint64_t B;
+    std::memcpy(&B, &V.F, sizeof B);
+    return B;
+  }
+  case ValueKind::Ref:
+    return V.R;
+  }
+  return 0;
 }
 
 SessionConfig sessionConfig(const OracleConfig &Cfg) {
@@ -218,26 +240,48 @@ OracleResult fuzz::runOracle(const Module &M, const OracleConfig &Cfg) {
                   firstDiff("re-serialized graph", RefSnap.Graph, OS.str()));
   }
 
-  return Out;
-}
+  // Mode 6: the rewrite-pass pipeline. The pipeline promises that every
+  // committed rewrite preserves the observable contract; re-check it from
+  // the outside so a broken commit/rollback path (not just a broken pass)
+  // is caught. The rewritten module must also still verify.
+  if (Cfg.CheckOptimize) {
+    opt::PipelineOptions PO;
+    PO.Engine = Cfg.Engine;
+    PO.Slicing = Cfg.Slicing;
+    PO.Run.MaxInstructions = Cfg.MaxInstructions;
+    opt::PassManager PM(PO);
+    opt::PipelineResult PR = PM.run(M);
+    if (PR.Changed) {
+      if (!PR.M)
+        return Fail("optimize", "pipeline reported Changed without a module");
+      std::vector<std::string> Errors;
+      if (!verifyModule(*PR.M, Errors)) {
+        std::string D = "rewritten module failed the verifier";
+        for (const std::string &E : Errors)
+          D += "\n  " + E;
+        return Fail("optimize", D);
+      }
+      RunConfig RC;
+      RC.MaxInstructions = Cfg.MaxInstructions;
+      for (EngineKind E : {EngineKind::Interp, EngineKind::Threaded}) {
+        Heap HA, HB;
+        ComposedProfiler<> PA, PB;
+        RunResult A = runWithEngine(E, M, HA, PA, RC);
+        RunResult B = runWithEngine(E, *PR.M, HB, PB, RC);
+        std::string Mode = std::string("optimize(") + engineKindName(E) + ")";
+        if (A.Status != B.Status)
+          return Fail(Mode, "status " + std::to_string(int(A.Status)) +
+                                " vs " + std::to_string(int(B.Status)));
+        if (A.SinkHash != B.SinkHash)
+          return Fail(Mode, "sink-hash " + std::to_string(A.SinkHash) +
+                                " vs " + std::to_string(B.SinkHash));
+        if (A.ReturnValue.Kind != B.ReturnValue.Kind ||
+            valueBits(A.ReturnValue) != valueBits(B.ReturnValue))
+          return Fail(Mode, "return value diverged");
+      }
+    }
+  }
 
-// Deprecated alias; spelled over raw bits (the ClientSet layout) so the
-// definition itself does not trip the kClient* deprecation warnings.
-std::string fuzz::clientMaskName(uint32_t Mask) {
-  if (!Mask)
-    return "none";
-  std::string Out;
-  auto Add = [&](const char *Name) {
-    if (!Out.empty())
-      Out += ",";
-    Out += Name;
-  };
-  if (Mask & (1u << 0))
-    Add("copy");
-  if (Mask & (1u << 1))
-    Add("nullness");
-  if (Mask & (1u << 2))
-    Add("typestate");
   return Out;
 }
 
@@ -250,5 +294,6 @@ std::string fuzz::configFlags(const OracleConfig &Cfg) {
   Out += " --caches=" + std::to_string(int(Cfg.Slicing.HotPathCaches));
   Out += std::string(" --engine=") + engineKindName(Cfg.Engine);
   Out += " --engines=" + std::to_string(int(Cfg.CheckEngines));
+  Out += " --optimize=" + std::to_string(int(Cfg.CheckOptimize));
   return Out;
 }

@@ -21,7 +21,12 @@
 ///     run()s the module Shards times — the fold invariant the parallel
 ///     driver documents,
 ///   - a GraphIO round trip: writeGraph -> readGraph -> writeGraph must
-///     reproduce the exact bytes.
+///     reproduce the exact bytes,
+///   - the rewrite-pass pipeline (analysis/PassManager.h): when it commits
+///     rewrites, the rewritten module must verify and reproduce the
+///     original's observables (status, sink hash, return value) on both
+///     engines — an independent re-check of the validation the pipeline
+///     already performed internally.
 ///
 /// Compared artifacts: the canonical Gcost serialization, every client
 /// report section, and the RunResult facts of the execution (status,
@@ -65,12 +70,17 @@ struct OracleConfig {
   bool CheckReplay = true;
   bool CheckSharded = true;
   bool CheckGraphIO = true;
+  /// Run the rewrite-pass pipeline and re-check its output-preservation
+  /// contract. Costs several extra executions per candidate, so the
+  /// fuzzing loop enables it on a fraction of runs.
+  bool CheckOptimize = false;
 };
 
 struct OracleResult {
   bool Ok = true;
   /// The cross-check that diverged, e.g. "caches-flip", "engines(threaded)",
-  /// "replay", "sharded(4, threads=4)", "graphio-roundtrip", "verifier".
+  /// "replay", "sharded(4, threads=4)", "graphio-roundtrip", "verifier",
+  /// "optimize(interp)".
   std::string Mode;
   /// First-difference diagnostic: artifact, byte offset, excerpts.
   std::string Detail;
@@ -82,12 +92,6 @@ OracleResult runOracle(const Module &M, const OracleConfig &Cfg);
 /// Renders \p Cfg as the `lud-fuzz --check` flags that reproduce it, e.g.
 /// "--slots=8 --clients=copy,nullness --thin-slicing=1 ...".
 std::string configFlags(const OracleConfig &Cfg);
-
-/// Renders a client mask as the --clients spelling ("none" when empty).
-/// Deprecated spelling of clientSetName (profiling/ClientSet.h); unlike
-/// it, this never abbreviates the full set to "all".
-[[deprecated("use clientSetName (profiling/ClientSet.h)")]]
-std::string clientMaskName(uint32_t Mask);
 
 } // namespace fuzz
 } // namespace lud

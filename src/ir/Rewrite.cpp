@@ -1,0 +1,280 @@
+//===- ir/Rewrite.cpp - Instruction-level module rewriting -----------------===//
+
+#include "ir/Rewrite.h"
+
+#include "ir/Clone.h"
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+#include <limits>
+
+using namespace lud;
+
+ModuleRewriter::ModuleRewriter(const Module &M) : M(M) {
+  assert(M.isFinalized() && "rewriter needs the dense InstrId numbering");
+}
+
+ModuleRewriter::~ModuleRewriter() {
+  if (Applied)
+    return;
+  for (auto &[Id, E] : Edits) {
+    (void)Id;
+    for (Instruction *I : E.Before)
+      delete I;
+    for (Instruction *I : E.New)
+      delete I;
+  }
+}
+
+void ModuleRewriter::drop(InstrId Id) {
+  assert(!Applied && "rewriter already applied");
+  assert(!M.getInstr(Id)->isTerminator() &&
+         "terminators cannot be dropped; replace them instead");
+  Edit &E = Edits[Id];
+  assert(!E.Replaced && "instruction already replaced");
+  E.Dropped = true;
+}
+
+void ModuleRewriter::replaceWith(InstrId Id, std::vector<Instruction *> New) {
+  assert(!Applied && "rewriter already applied");
+  Edit &E = Edits[Id];
+  assert(!E.Dropped && !E.Replaced && "instruction already edited");
+  assert(!New.empty() && "use drop() to delete an instruction");
+  if (M.getInstr(Id)->isTerminator())
+    assert(New.back()->isTerminator() &&
+           "replacing a terminator requires a terminator sequence");
+  E.Replaced = true;
+  E.New = std::move(New);
+}
+
+void ModuleRewriter::insertBefore(InstrId Id, std::vector<Instruction *> New) {
+  assert(!Applied && "rewriter already applied");
+  Edit &E = Edits[Id];
+  E.Before.insert(E.Before.end(), New.begin(), New.end());
+}
+
+Reg ModuleRewriter::newReg(FuncId F) {
+  assert(!Applied && "rewriter already applied");
+  uint32_t &Extra = ExtraRegs[F];
+  uint32_t R = M.getFunction(F)->getNumRegs() + Extra;
+  assert(R < std::numeric_limits<Reg>::max() && "register frame overflow");
+  ++Extra;
+  return Reg(R);
+}
+
+GlobalId ModuleRewriter::addGlobal(std::string Name, Type Ty) {
+  assert(!Applied && "rewriter already applied");
+  NewGlobals.push_back(GlobalDecl{std::move(Name), Ty});
+  return GlobalId(M.globals().size() + NewGlobals.size() - 1);
+}
+
+FuncId ModuleRewriter::nextFuncId() const {
+  return FuncId(M.functions().size() + NewFuncs.size());
+}
+
+FuncId ModuleRewriter::addFunction(std::function<void(Module &)> Emit) {
+  assert(!Applied && "rewriter already applied");
+  FuncId Id = nextFuncId();
+  NewFuncs.push_back(std::move(Emit));
+  return Id;
+}
+
+bool ModuleRewriter::changed() const {
+  return !Edits.empty() || !NewGlobals.empty() || !NewFuncs.empty() ||
+         !ExtraRegs.empty();
+}
+
+std::unique_ptr<Module> ModuleRewriter::apply() {
+  assert(!Applied && "rewriter is single-shot");
+  Applied = true;
+
+  auto Out = std::make_unique<Module>();
+
+  // Interned names first so MethodNameId / NativeId values carry over,
+  // then classes and globals in declaration order (same order => same
+  // ids) — the same recipe as cloneModule.
+  for (const std::string &Name : M.methodNames())
+    Out->internMethodName(Name);
+  for (const std::string &Name : M.nativeNames())
+    Out->internNativeName(Name);
+  for (const auto &C : M.classes()) {
+    ClassDecl *NC = Out->addClass(C->getName(), C->getSuper());
+    for (const FieldDecl &F : C->ownFields())
+      NC->addField(F.Name, F.Ty);
+    for (const auto &[Method, Func] : C->ownMethods())
+      NC->addMethod(Method, Func);
+  }
+  for (const GlobalDecl &G : M.globals())
+    Out->addGlobal(G.Name, G.Ty);
+  for (GlobalDecl &G : NewGlobals)
+    Out->addGlobal(std::move(G.Name), G.Ty);
+
+  for (const auto &F : M.functions()) {
+    unsigned Extra = 0;
+    if (auto It = ExtraRegs.find(F->getId()); It != ExtraRegs.end())
+      Extra = It->second;
+    Function *NF = Out->addFunction(F->getName(), F->getNumParams(),
+                                    F->getNumRegs() + Extra, F->getOwner());
+    for (const auto &BB : F->blocks()) {
+      BasicBlock *NB = NF->addBlock();
+      for (const auto &I : BB->insts()) {
+        auto It = Edits.find(I->getId());
+        if (It == Edits.end()) {
+          NB->append(cloneInstr(*I));
+          continue;
+        }
+        Edit &E = It->second;
+        for (Instruction *NI : E.Before)
+          NB->append(NI);
+        E.Before.clear();
+        if (E.Replaced) {
+          for (Instruction *NI : E.New)
+            NB->append(NI);
+          E.New.clear();
+        } else if (!E.Dropped) {
+          NB->append(cloneInstr(*I));
+        }
+      }
+    }
+  }
+
+  for (auto &Emit : NewFuncs)
+    Emit(*Out);
+
+  if (M.getEntry() != kNoFunc)
+    Out->setEntry(M.getEntry());
+  Out->finalize();
+  return Out;
+}
+
+//===----------------------------------------------------------------------===
+// Shared instruction-shape helpers.
+//===----------------------------------------------------------------------===
+
+Reg lud::definedReg(const Instruction &I) {
+  switch (I.getKind()) {
+  case Instruction::Kind::Const:
+    return cast<ConstInst>(&I)->Dst;
+  case Instruction::Kind::Assign:
+    return cast<AssignInst>(&I)->Dst;
+  case Instruction::Kind::Bin:
+    return cast<BinInst>(&I)->Dst;
+  case Instruction::Kind::Un:
+    return cast<UnInst>(&I)->Dst;
+  case Instruction::Kind::Alloc:
+    return cast<AllocInst>(&I)->Dst;
+  case Instruction::Kind::AllocArray:
+    return cast<AllocArrayInst>(&I)->Dst;
+  case Instruction::Kind::LoadField:
+    return cast<LoadFieldInst>(&I)->Dst;
+  case Instruction::Kind::LoadStatic:
+    return cast<LoadStaticInst>(&I)->Dst;
+  case Instruction::Kind::LoadElem:
+    return cast<LoadElemInst>(&I)->Dst;
+  case Instruction::Kind::ArrayLen:
+    return cast<ArrayLenInst>(&I)->Dst;
+  case Instruction::Kind::Call:
+    return cast<CallInst>(&I)->Dst;
+  case Instruction::Kind::NativeCall:
+    return cast<NativeCallInst>(&I)->Dst;
+  case Instruction::Kind::StoreField:
+  case Instruction::Kind::StoreStatic:
+  case Instruction::Kind::StoreElem:
+  case Instruction::Kind::Br:
+  case Instruction::Kind::CondBr:
+  case Instruction::Kind::Return:
+    return kNoReg;
+  }
+  lud_unreachable("unknown instruction kind");
+}
+
+Reg lud::pureProducerDst(const Instruction &I) {
+  switch (I.getKind()) {
+  case Instruction::Kind::Const:
+  case Instruction::Kind::Assign:
+  case Instruction::Kind::Bin:
+  case Instruction::Kind::Un:
+  case Instruction::Kind::Alloc:
+  case Instruction::Kind::AllocArray:
+  // Loads are pure value producers too; their only side effect is a
+  // potential trap, which profile evidence shows does not fire.
+  case Instruction::Kind::LoadField:
+  case Instruction::Kind::LoadStatic:
+  case Instruction::Kind::LoadElem:
+  case Instruction::Kind::ArrayLen:
+    return definedReg(I);
+  default:
+    return kNoReg;
+  }
+}
+
+void lud::appendUsedRegs(const Instruction &I, std::vector<Reg> &Out) {
+  switch (I.getKind()) {
+  case Instruction::Kind::Const:
+  case Instruction::Kind::Alloc:
+  case Instruction::Kind::LoadStatic:
+  case Instruction::Kind::Br:
+    break;
+  case Instruction::Kind::Assign:
+    Out.push_back(cast<AssignInst>(&I)->Src);
+    break;
+  case Instruction::Kind::Bin: {
+    const auto *B = cast<BinInst>(&I);
+    Out.push_back(B->Lhs);
+    Out.push_back(B->Rhs);
+    break;
+  }
+  case Instruction::Kind::Un:
+    Out.push_back(cast<UnInst>(&I)->Src);
+    break;
+  case Instruction::Kind::AllocArray:
+    Out.push_back(cast<AllocArrayInst>(&I)->Len);
+    break;
+  case Instruction::Kind::LoadField:
+    Out.push_back(cast<LoadFieldInst>(&I)->Base);
+    break;
+  case Instruction::Kind::StoreField: {
+    const auto *S = cast<StoreFieldInst>(&I);
+    Out.push_back(S->Base);
+    Out.push_back(S->Src);
+    break;
+  }
+  case Instruction::Kind::StoreStatic:
+    Out.push_back(cast<StoreStaticInst>(&I)->Src);
+    break;
+  case Instruction::Kind::LoadElem: {
+    const auto *L = cast<LoadElemInst>(&I);
+    Out.push_back(L->Base);
+    Out.push_back(L->Index);
+    break;
+  }
+  case Instruction::Kind::StoreElem: {
+    const auto *S = cast<StoreElemInst>(&I);
+    Out.push_back(S->Base);
+    Out.push_back(S->Index);
+    Out.push_back(S->Src);
+    break;
+  }
+  case Instruction::Kind::ArrayLen:
+    Out.push_back(cast<ArrayLenInst>(&I)->Base);
+    break;
+  case Instruction::Kind::Call:
+    for (Reg A : cast<CallInst>(&I)->Args)
+      Out.push_back(A);
+    break;
+  case Instruction::Kind::NativeCall:
+    for (Reg A : cast<NativeCallInst>(&I)->Args)
+      Out.push_back(A);
+    break;
+  case Instruction::Kind::CondBr: {
+    const auto *C = cast<CondBrInst>(&I);
+    Out.push_back(C->Lhs);
+    Out.push_back(C->Rhs);
+    break;
+  }
+  case Instruction::Kind::Return:
+    if (cast<ReturnInst>(&I)->Src != kNoReg)
+      Out.push_back(cast<ReturnInst>(&I)->Src);
+    break;
+  }
+}

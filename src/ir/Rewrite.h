@@ -1,0 +1,117 @@
+//===- ir/Rewrite.h - Instruction-level module rewriting -------*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ModuleRewriter: builder-based structure substitution over ir/Clone.h.
+/// A rewriter records edits against a finalized source module — drop an
+/// instruction, replace it with a fresh sequence, insert before it, add
+/// registers/globals/functions — and apply() materializes them as a fresh
+/// finalized module, leaving the source untouched. This is the mechanical
+/// substrate the profile-guided rewrite passes (analysis/PassManager.h)
+/// stand on: passes decide *what* to substitute from profile evidence, the
+/// rewriter guarantees the surgery itself is shape-preserving (terminators
+/// stay terminators, ids renumber densely through Module::finalize()).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_IR_REWRITE_H
+#define LUD_IR_REWRITE_H
+
+#include "ir/Module.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace lud {
+
+/// Records instruction-level edits against a finalized module and builds
+/// the rewritten module on demand. Edits are keyed by the source module's
+/// dense InstrIds, which stay valid until apply() — the output module
+/// renumbers densely via finalize(), exactly like cloneModule.
+class ModuleRewriter {
+public:
+  explicit ModuleRewriter(const Module &M);
+  ~ModuleRewriter();
+  ModuleRewriter(const ModuleRewriter &) = delete;
+  ModuleRewriter &operator=(const ModuleRewriter &) = delete;
+
+  /// Drops instruction \p Id from the output. Terminators cannot be
+  /// dropped — replace them with another terminator sequence instead.
+  void drop(InstrId Id);
+
+  /// Replaces instruction \p Id with \p New (ownership transfers). If the
+  /// original is a terminator, the last replacement instruction must be a
+  /// terminator too.
+  void replaceWith(InstrId Id, std::vector<Instruction *> New);
+
+  /// Inserts \p New (ownership transfers) immediately before instruction
+  /// \p Id; composes with drop/replaceWith on the same id.
+  void insertBefore(InstrId Id, std::vector<Instruction *> New);
+
+  /// Allocates a fresh virtual register in function \p F of the output.
+  Reg newReg(FuncId F);
+
+  /// Declares a module-level static in the output; the returned id is
+  /// valid in replacement instructions (it numbers after the source's
+  /// globals in declaration order).
+  GlobalId addGlobal(std::string Name, Type Ty);
+
+  /// Id the next addFunction() body will receive in the output module
+  /// (source functions keep their ids; synthesized ones append).
+  FuncId nextFuncId() const;
+
+  /// Schedules \p Emit to run against the output module after the source
+  /// functions are cloned: build exactly one function per callback (via
+  /// Module::addFunction + BasicBlock::append or an IRBuilder). Returns
+  /// the function id the body will receive.
+  FuncId addFunction(std::function<void(Module &)> Emit);
+
+  /// True once any edit or addition has been recorded.
+  bool changed() const;
+
+  /// Materializes the rewritten module (single-shot; the rewriter is
+  /// spent afterwards). The output is finalized.
+  std::unique_ptr<Module> apply();
+
+private:
+  struct Edit {
+    bool Dropped = false;
+    bool Replaced = false;
+    std::vector<Instruction *> Before;
+    std::vector<Instruction *> New;
+  };
+
+  const Module &M;
+  bool Applied = false;
+  std::map<InstrId, Edit> Edits;
+  std::map<FuncId, uint32_t> ExtraRegs;
+  std::vector<GlobalDecl> NewGlobals;
+  std::vector<std::function<void(Module &)>> NewFuncs;
+};
+
+//===----------------------------------------------------------------------===
+// Shared instruction-shape helpers (used by the optimizer passes and the
+// dead-code eliminator; every switch below covers all 18 kinds).
+//===----------------------------------------------------------------------===
+
+/// Register defined by \p I, or kNoReg for pure consumers (stores,
+/// branches, returns, void calls).
+Reg definedReg(const Instruction &I);
+
+/// Dst of a *pure producer* — an instruction that only computes a value
+/// and may be dropped when that value is unused (Const/Assign/Bin/Un/
+/// Alloc/AllocArray/loads). kNoReg for calls, stores and terminators.
+Reg pureProducerDst(const Instruction &I);
+
+/// Appends every register \p I reads to \p Out (Dst excluded).
+void appendUsedRegs(const Instruction &I, std::vector<Reg> &Out);
+
+} // namespace lud
+
+#endif // LUD_IR_REWRITE_H

@@ -10,8 +10,8 @@
 /// slicing substrate in a profiling session. The value type replaces the
 /// raw `uint32_t Clients` bitmask + loose `kClient*` enum that used to live
 /// in workloads/Driver.h, keeping the exact bit layout (copy = bit 0,
-/// nullness = bit 1, typestate = bit 2) so recorded configurations, fuzzer
-/// repro lines, and the uint32_t-bridging constructor all stay meaningful.
+/// nullness = bit 1, typestate = bit 2) so recorded configurations and
+/// fuzzer repro lines stay meaningful across the migration.
 /// SessionConfig, the cli option parsing, the Report printers, and the
 /// service's per-session client selection all speak this one type.
 ///
@@ -36,11 +36,11 @@ public:
 
   constexpr ClientSet() = default;
   constexpr ClientSet(Client C) : Mask(uint32_t(C)) {}
-  /// Bridge from the legacy bitmask spelling (same bit values); unknown
-  /// bits are dropped so every ClientSet is canonical. Intentionally
-  /// implicit for one release, so `Cfg.Clients = kClientCopy | ...` keeps
-  /// compiling while the deprecated aliases last.
-  constexpr ClientSet(uint32_t Bits) : Mask(Bits & kAllBits) {}
+  /// Bridge from the raw bitmask encoding (same bit values as the wire
+  /// and CLI forms); unknown bits are dropped so every ClientSet is
+  /// canonical. Explicit: the deprecated kClient* aliases that needed the
+  /// implicit bridge are gone.
+  constexpr explicit ClientSet(uint32_t Bits) : Mask(Bits & kAllBits) {}
 
   static constexpr ClientSet none() { return ClientSet(); }
   static constexpr ClientSet copy() { return Client::Copy; }

@@ -1,0 +1,25 @@
+//===- profiling/PhaseSummary.cpp - Per-location phase summaries -----------===//
+
+#include "profiling/PhaseSummary.h"
+
+using namespace lud;
+
+std::vector<LocPhaseSummary>
+lud::buildPhaseSummaries(const FrozenGraph &G,
+                         const HeapLocMap<LocationActivity> &Activity) {
+  std::vector<LocPhaseSummary> Out;
+  Out.reserve(G.numLocs());
+  for (size_t I = 0; I != G.numLocs(); ++I) {
+    LocPhaseSummary S;
+    S.Loc = G.loc(I);
+    if (auto It = Activity.find(S.Loc); It != Activity.end()) {
+      const LocationActivity &A = It->second;
+      S.Writes = A.Writes;
+      S.Reads = A.Reads;
+      S.Overwrites = A.Overwrites;
+      S.ReadsAfterLastWrite = A.ReadsAfterLastWrite;
+    }
+    Out.push_back(S);
+  }
+  return Out;
+}

@@ -1,0 +1,52 @@
+//===- profiling/PhaseSummary.h - Per-location phase summaries -*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-heap-location lifecycle summaries off the sealed graph: the raw
+/// write/read/overwrite counters the substrate keeps per abstract location
+/// (SlicingProfiler::locationActivity), joined against the FrozenGraph's
+/// sorted location universe so every consumer sees locations in one
+/// canonical order. The ReadsAfterLastWrite tail distinguishes a
+/// build-phase structure (reads ≈ tail reads: built once, then only
+/// consulted) from a churning one (tail ≈ 0: every read preceded a later
+/// write). analysis/Evidence.h folds these into per-structure records.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_PROFILING_PHASESUMMARY_H
+#define LUD_PROFILING_PHASESUMMARY_H
+
+#include "profiling/FrozenGraph.h"
+#include "profiling/SlicingProfiler.h"
+
+#include <vector>
+
+namespace lud {
+
+/// One abstract heap location's lifecycle counters.
+struct LocPhaseSummary {
+  HeapLoc Loc;
+  uint64_t Writes = 0;
+  uint64_t Reads = 0;
+  /// Stores that clobbered a value no load observed (Section 3.2).
+  uint64_t Overwrites = 0;
+  /// Reads after the location's final write — its read-only tail.
+  uint64_t ReadsAfterLastWrite = 0;
+};
+
+/// Joins the profiler's activity counters against \p G's sealed location
+/// universe, in the universe's sorted order. Locations the graph knows but
+/// the activity map does not (pure spine locations) appear with zero
+/// counters; activity on locations outside the universe cannot happen by
+/// construction (both derive from the same noteStore/noteLoad stream).
+std::vector<LocPhaseSummary>
+buildPhaseSummaries(const FrozenGraph &G,
+                    const HeapLocMap<LocationActivity> &Activity);
+
+} // namespace lud
+
+#endif // LUD_PROFILING_PHASESUMMARY_H

@@ -230,7 +230,9 @@ void SlicingProfiler::noteStore(NodeId N, uint64_t Tag, FieldSlot Slot,
         G.addRefEdge(N, Alloc);
     }
   }
-  ++activityRef(N, L, Same).Writes;
+  LocationActivity &A = activityRef(N, L, Same);
+  ++A.Writes;
+  A.ReadsAfterLastWrite = 0;
   if (Stored.isRef()) {
     Node.StoredRef = true;
     if (!Stored.isNullRef()) {
@@ -253,7 +255,9 @@ void SlicingProfiler::noteLoad(NodeId N, uint64_t Tag, FieldSlot Slot) {
     Node.EffectLoc = L;
     G.noteReader(L, N);
   }
-  ++activityRef(N, L, Same).Reads;
+  LocationActivity &A = activityRef(N, L, Same);
+  ++A.Reads;
+  ++A.ReadsAfterLastWrite;
 }
 
 LocationActivity &SlicingProfiler::activityRef(NodeId N, const HeapLoc &L,
@@ -584,6 +588,11 @@ void SlicingProfiler::mergeFrom(const SlicingProfiler &O) {
   }
   for (const auto &[Loc, Act] : O.Activity) {
     LocationActivity &Mine = Activity[Loc];
+    // Sequential-concatenation semantics: a write in the later shard
+    // resets the tail-read counter, so its tail count stands alone.
+    Mine.ReadsAfterLastWrite =
+        Act.Writes != 0 ? Act.ReadsAfterLastWrite
+                        : Mine.ReadsAfterLastWrite + Act.ReadsAfterLastWrite;
     Mine.Writes += Act.Writes;
     Mine.Reads += Act.Reads;
     Mine.Overwrites += Act.Overwrites;

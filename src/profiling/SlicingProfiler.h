@@ -65,6 +65,11 @@ struct LocationActivity {
   uint64_t Reads = 0;
   /// Stores that clobbered a value no load ever observed.
   uint64_t Overwrites = 0;
+  /// Reads since the location's most recent write — the build/read phase
+  /// split the evidence layer classifies on: a build-once-read-many
+  /// structure keeps Reads ≈ ReadsAfterLastWrite, an overwrite-dominated
+  /// one keeps it near zero.
+  uint64_t ReadsAfterLastWrite = 0;
 };
 
 class SlicingProfiler {

@@ -2,6 +2,7 @@
 
 #include "service/Daemon.h"
 
+#include "analysis/PassManager.h"
 #include "profiling/FrozenGraph.h"
 #include "support/OutStream.h"
 
@@ -75,6 +76,22 @@ bool Daemon::start(std::string &Err) {
   if (Started)
     return true;
   ignoreSigpipe();
+  if (Cfg.Optimize && OptimizerSection.empty()) {
+    // One pipeline run over the served module, before the listeners bind:
+    // /report then appends the cached section and /stats carries opt.*
+    // from the first request on.
+    opt::PipelineOptions PO;
+    PO.Engine = Cfg.Base.Engine;
+    PO.Slicing = Cfg.Base.Slicing;
+    opt::PassManager PM(std::move(PO));
+    opt::PipelineResult PR = PM.run(Mod);
+    StringOutStream OS;
+    renderOptimizeReport(PR, OS);
+    OptimizerSection = OS.str();
+    Mgr->withStats([&PR](obs::MetricsRegistry &Reg) {
+      opt::PassManager::accountStats(PR, Reg);
+    });
+  }
   IngestListen = listenUnix(Cfg.SocketPath, Err);
   if (!IngestListen)
     return false;
@@ -317,6 +334,8 @@ void Daemon::handleHttp(Fd Conn) {
       FG.accountStats(*Stats);
     StringOutStream OS;
     renderReplayReport(Mod, *Folded, FG, Events, NumSessions, Cfg.Spec, OS);
+    if (!OptimizerSection.empty())
+      OS << "\n" << OptimizerSection;
     httpReply(Conn.get(), 200, "OK", "text/plain", OS.str());
     return;
   }

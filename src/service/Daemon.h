@@ -62,6 +62,9 @@ struct DaemonConfig {
   SessionLimits Limits;
   /// Sections GET /report renders.
   ReportSpec Spec;
+  /// Run the rewrite-pass pipeline over the module at startup: /report
+  /// gains the "=== Optimizer ===" section and /stats the opt.* metrics.
+  bool Optimize = false;
   /// Idle-eviction sweep cadence, seconds.
   double SweepSeconds = 1.0;
 };
@@ -107,6 +110,9 @@ private:
   const Module &Mod;
   DaemonConfig Cfg;
   std::unique_ptr<SessionManager> Mgr;
+  /// Rendered "=== Optimizer ===" section, cached at start() when
+  /// Cfg.Optimize is set; appended to every /report.
+  std::string OptimizerSection;
 
   Fd IngestListen;
   Fd HttpListen;

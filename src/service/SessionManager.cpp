@@ -320,6 +320,12 @@ void SessionManager::statsJson(OutStream &OS) {
   ServeStats.writeJson(OS);
 }
 
+void SessionManager::withStats(
+    const std::function<void(obs::MetricsRegistry &)> &Fn) {
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  Fn(ServeStats);
+}
+
 //===----------------------------------------------------------------------===//
 // replayShardedSession — the batch frontend
 //===----------------------------------------------------------------------===//

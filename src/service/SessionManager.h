@@ -40,6 +40,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -177,6 +178,9 @@ public:
   void bump(const char *Counter, uint64_t Delta = 1);
   /// Lock-guarded `lud.stats.v1` JSON snapshot of the serve.* registry.
   void statsJson(OutStream &OS);
+  /// Lock-guarded direct access to the registry for publishers that emit
+  /// whole metric families (e.g. the optimizer's opt.* block).
+  void withStats(const std::function<void(obs::MetricsRegistry &)> &Fn);
 
 private:
   friend class SessionHandle;

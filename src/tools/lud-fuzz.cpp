@@ -8,9 +8,10 @@
 /// \file
 /// Randomized differential testing of every execution mode: live
 /// single-thread, HotPathCaches flipped, threaded vs interpreted execution,
-/// sharded at 2/4/8 shards and several thread counts, record -> replay, and
-/// the GraphIO round trip, all cross-checked for byte-identical Gcost and
-/// client reports.
+/// sharded at 2/4/8 shards and several thread counts, record -> replay, the
+/// GraphIO round trip, and (on a fraction of runs) the rewrite-pass
+/// pipeline's output-preservation contract, all cross-checked for
+/// byte-identical Gcost and client reports.
 ///
 ///   lud-fuzz --runs=500 --seed=1                     # fuzz, exit 1 on bug
 ///   lud-fuzz --runs=200 --time-budget=120s           # bounded nightly job
@@ -131,6 +132,12 @@ int main(int argc, char **argv) {
            "0|1  cross-check threaded vs interpreted execution (default 1)",
            [&](const std::string &S) {
              return parseBool("--engines", S, Check.CheckEngines);
+           });
+  P.custom("--optimize", cli::ValueMode::Required,
+           "0|1  re-check the rewrite-pass pipeline's output preservation "
+           "(default 0 for --check; fuzzing enables it on 1/4 of runs)",
+           [&](const std::string &S) {
+             return parseBool("--optimize", S, Check.CheckOptimize);
            });
   if (!P.parse(argc, argv)) {
     P.usage();

@@ -18,11 +18,14 @@
 ///   lud-run --stats=json --stats-out=s.json --report program.lud
 ///   lud-run --record=p.trace program.lud      # record the hook stream
 ///   lud-run --replay=p.trace --report program.lud  # same reports, no run
+///   lud-run --optimize --optimize-out=o.lud program.lud
+///                                             # rewrite-pass pipeline
 ///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/CacheCost.h"
 #include "analysis/Optimizer.h"
+#include "analysis/PassManager.h"
 #include "analysis/Clients.h"
 #include "analysis/DeadValues.h"
 #include "analysis/Report.h"
@@ -63,6 +66,8 @@ struct Options {
   int64_t Slots = 16;
   ClientOptions Client;
   std::string DumpGraph;
+  bool Optimize = false;
+  std::vector<std::string> OptimizePasses;
   std::string OptimizeOut;
   std::string RecordPath;
   std::string ReplayPath;
@@ -106,8 +111,34 @@ void declareOptions(cli::OptionSet &P, Options &O) {
            "N  scale for --workload (default 2000)", /*Min=*/1);
   P.str("--dump-graph", O.DumpGraph,
         "F  serialize Gcost to file F (offline use)");
-  P.str("--optimize", O.OptimizeOut,
-        "F  write a profile-optimized program to F");
+  P.custom("--optimize", cli::ValueMode::Optional,
+           "[=LIST]  run the rewrite-pass pipeline (dead-stores, "
+           "map-to-array, clone-per-op, once-read-memo, dead-stores-final) "
+           "and print its report; LIST restricts to those passes, in order",
+           [&O](const std::string &V) {
+             O.Optimize = true;
+             std::string Cur;
+             for (size_t I = 0; I <= V.size(); ++I) {
+               if (I == V.size() || V[I] == ',') {
+                 if (!Cur.empty()) {
+                   if (!opt::isKnownPassName(Cur)) {
+                     errs() << "unknown pass '" << Cur
+                            << "' (expected dead-stores, map-to-array, "
+                               "clone-per-op, once-read-memo, or "
+                               "dead-stores-final)\n";
+                     return false;
+                   }
+                   O.OptimizePasses.push_back(Cur);
+                   Cur.clear();
+                 }
+               } else {
+                 Cur += V[I];
+               }
+             }
+             return true;
+           });
+  P.str("--optimize-out", O.OptimizeOut,
+        "F  write the rewritten program to F (implies --optimize)");
   P.number("--slots", O.Slots, "N  context slots s (default 16)", /*Min=*/1);
   P.number("--depth", O.Client.Depth,
            "N  reference-tree height n (default 4)");
@@ -157,13 +188,15 @@ bool parseArgs(cli::OptionSet &P, int argc, char **argv, Options &O) {
               "combined with --clients\n";
     return false;
   }
+  if (!O.OptimizeOut.empty())
+    O.Optimize = true;
   if (!O.ReplayPath.empty()) {
     if (O.Baseline || !O.RecordPath.empty()) {
       errs() << "--replay re-drives a recorded run; it cannot be combined "
                 "with --baseline or --record\n";
       return false;
     }
-    if (!O.OptimizeOut.empty()) {
+    if (O.Optimize) {
       errs() << "--optimize validates against the live run's output; it "
                 "cannot be combined with --replay\n";
       return false;
@@ -293,7 +326,8 @@ int main(int argc, char **argv) {
                                                : trapKindName(R.Run.Trap))
        << ", " << R.Run.ExecutedInstrs << " instructions, ";
     OS.printFixed(R.Seconds * 1e3, 2);
-    OS << " ms, result " << R.Run.ReturnValue.asInt() << "\n";
+    OS << " ms, result " << R.Run.ReturnValue.asInt() << ", sink "
+       << R.Run.SinkHash << "\n";
     if (!emitStats(Session, O))
       return 1;
     return R.Run.Status == RunStatus::Finished ? 0 : 1;
@@ -397,26 +431,32 @@ int main(int argc, char **argv) {
     printCacheScores(rankCacheEffectiveness(CM, *M), OS, O.Client.TopK);
   }
   Session.printClientReports(*M, OS, O.Client.TopK);
-  if (!O.OptimizeOut.empty()) {
-    DeadValueAnalysis DV = computeDeadValues(FG, P.Run.ExecutedInstrs);
-    OptimizeResult R = removeProfiledDeadCode(*M, FG, DV);
-    ProfileSession CheckSession(SessionConfig::baseline());
-    TimedRun Check = CheckSession.run(*R.M);
-    std::FILE *F = std::fopen(O.OptimizeOut.c_str(), "wb");
-    if (!F) {
-      errs() << "cannot write '" << O.OptimizeOut << "'\n";
-      return 1;
+  if (O.Optimize) {
+    // The pipeline profiles, proposes, validates (both engines) and
+    // commits or rolls back each candidate on its own; the session above
+    // only supplied the human-facing reports.
+    opt::PipelineOptions PO;
+    PO.Engine = O.Engine;
+    PO.Slicing.ContextSlots = uint32_t(O.Slots);
+    PO.Passes = O.OptimizePasses;
+    opt::PassManager PM(std::move(PO));
+    opt::PipelineResult R = PM.run(*M);
+    OS << "\n";
+    opt::renderOptimizeReport(R, OS);
+    if (obs::MetricsRegistry *Stats = Session.stats())
+      opt::PassManager::accountStats(R, *Stats);
+    if (!O.OptimizeOut.empty()) {
+      const Module &Out = R.M ? *R.M : *M;
+      std::FILE *F = std::fopen(O.OptimizeOut.c_str(), "wb");
+      if (!F) {
+        errs() << "cannot write '" << O.OptimizeOut << "'\n";
+        return 1;
+      }
+      FileOutStream FOS(F);
+      printModule(Out, FOS);
+      std::fclose(F);
+      OS << "rewritten program written to " << O.OptimizeOut << "\n";
     }
-    FileOutStream FOS(F);
-    printModule(*R.M, FOS);
-    std::fclose(F);
-    OS << "\noptimized program written to " << O.OptimizeOut << ": removed "
-       << uint64_t(R.Stats.RemovedStores) << " dead stores + "
-       << uint64_t(R.Stats.RemovedPure) << " feeding instructions ("
-       << P.Run.ExecutedInstrs << " -> " << Check.Run.ExecutedInstrs
-       << " executed instances; output "
-       << (Check.Run.SinkHash == P.Run.SinkHash ? "preserved" : "CHANGED")
-       << ")\n";
   }
   if (O.Dead) {
     // Under --replay there is no RunResult; the graph's own frequency total

@@ -55,6 +55,7 @@ struct Options {
   bool Report = false;
   bool Dead = false;
   bool Caches = false;
+  bool Optimize = false;
   ClientSet Clients;
   int64_t Slots = 16;
   ClientOptions Client;
@@ -76,6 +77,9 @@ void declareOptions(cli::OptionSet &P, Options &O) {
   P.flag("--report", O.Report, "serve the cost/benefit ranking in /report");
   P.flag("--dead", O.Dead, "serve IPD/IPP/NLD bloat metrics in /report");
   P.flag("--caches", O.Caches, "serve cache effectiveness in /report");
+  P.flag("--optimize", O.Optimize,
+         "run the rewrite-pass pipeline at startup; /report gains the "
+         "optimizer section and /stats the opt.* metrics");
   cli::clientsOption(P, O.Clients,
                      "LIST  default client analyses per session: copy, "
                      "nullness, typestate, or all");
@@ -259,6 +263,7 @@ int main(int argc, char **argv) {
   DCfg.Spec.Dead = O.Dead;
   DCfg.Spec.Caches = O.Caches;
   DCfg.Spec.Client = O.Client;
+  DCfg.Optimize = O.Optimize;
 
   serve::Daemon D(*M, std::move(DCfg));
   std::string Err;

@@ -227,27 +227,3 @@ SessionConfig SessionConfig::profiled(SlicingConfig SCfg, RunConfig RC) {
   return SC;
 }
 
-bool lud::parseClientMask(const std::string &List, uint32_t &Mask,
-                          std::string &Err) {
-  ClientSet Set(Mask);
-  if (!parseClientSet(List, Set, Err))
-    return false;
-  Mask = Set.bits();
-  return true;
-}
-
-TimedRun lud::runBaseline(const Module &M, RunConfig Cfg) {
-  ProfileSession S(SessionConfig::baseline(Cfg));
-  return S.run(M);
-}
-
-ProfiledRun lud::runProfiled(const Module &M, SlicingConfig SCfg,
-                             RunConfig Cfg) {
-  ProfileSession S(SessionConfig::profiled(SCfg, Cfg));
-  TimedRun T = S.run(M);
-  ProfiledRun Out;
-  Out.Run = T.Run;
-  Out.Seconds = T.Seconds;
-  Out.Prof = S.takeSlicing();
-  return Out;
-}

@@ -19,9 +19,8 @@
 /// (mergeFrom) → report; every frontend — single batch run, the sharded
 /// drivers, lud-replay, and the lud-serve daemon's streamed sessions —
 /// composes those same verbs rather than owning a parallel code path.
-/// The runBaseline/runProfiled free functions are deprecated wrappers
-/// kept for one release; the overhead factors of Table 1 are still
-/// profiled-time / baseline-time on the identical engine.
+/// The overhead factors of Table 1 are profiled-time / baseline-time on
+/// the identical engine (SessionConfig::profiled vs ::baseline).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -55,16 +54,6 @@ class TraceRecorder;
 struct TimedRun {
   RunResult Run;
   double Seconds = 0;
-};
-
-/// Deprecated pre-ClientSet spellings of the client-selection bits; the
-/// values are ClientSet's bit layout, so the implicit uint32_t bridge
-/// keeps old `Cfg.Clients = kClientCopy | ...` code compiling (with a
-/// deprecation warning) for one release.
-enum : uint32_t {
-  kClientCopy [[deprecated("use ClientSet::copy()")]] = 1u << 0,
-  kClientNullness [[deprecated("use ClientSet::nullness()")]] = 1u << 1,
-  kClientTypestate [[deprecated("use ClientSet::typestate()")]] = 1u << 2,
 };
 
 struct SessionConfig {
@@ -188,7 +177,8 @@ public:
   void printClientReports(const Module &M, OutStream &OS,
                           size_t TopK = 15) const;
 
-  /// Releases the substrate (for the runProfiled wrapper).
+  /// Releases the substrate to a caller that outlives the session (the
+  /// parallel driver's per-shard ProfiledRun results).
   std::unique_ptr<SlicingProfiler> takeSlicing() { return std::move(Slicing); }
 
 private:
@@ -209,31 +199,14 @@ private:
   std::string RecordErr;
 };
 
-/// Deprecated spelling of parseClientSet (profiling/ClientSet.h), kept for
-/// one release: same grammar, OR-ing the parsed bits into \p Mask.
-[[deprecated("use parseClientSet (profiling/ClientSet.h)")]]
-bool parseClientMask(const std::string &List, uint32_t &Mask,
-                     std::string &Err);
-
-/// Executes with the empty profiler pipeline (the stock-JVM stand-in).
-/// Deprecated: construct a ProfileSession over SessionConfig::baseline().
-[[deprecated("run a ProfileSession over SessionConfig::baseline()")]]
-TimedRun runBaseline(const Module &M, RunConfig Cfg = {});
-
 /// A substrate-only run's outcome plus its profiler (holding Gcost),
-/// released from the session that produced it.
+/// released from the session that produced it (takeSlicing) — the
+/// parallel driver's per-shard result shape.
 struct ProfiledRun {
   RunResult Run;
   double Seconds = 0;
   std::unique_ptr<SlicingProfiler> Prof;
 };
-
-/// Executes under a SlicingProfiler and returns it for analysis.
-/// Deprecated: construct a ProfileSession over SessionConfig::profiled()
-/// and takeSlicing().
-[[deprecated("run a ProfileSession over SessionConfig::profiled()")]]
-ProfiledRun runProfiled(const Module &M, SlicingConfig SCfg = {},
-                        RunConfig Cfg = {});
 
 } // namespace lud
 
