@@ -37,6 +37,20 @@ bool writeModuleFile(const std::string &Path, const Module &M) {
   return true;
 }
 
+std::string describeObfuscation(const RandomProgramOptions &P) {
+  std::string S;
+  if (P.ObfJunk)
+    S += "junk,";
+  if (P.ObfOpaque)
+    S += "opaque,";
+  if (P.ObfStrings)
+    S += "strings,";
+  if (S.empty())
+    return "none";
+  S.pop_back();
+  return S;
+}
+
 std::string describeProgram(const RandomProgramOptions &P) {
   return "seed=" + std::to_string(P.Seed) +
          " classes=" + std::to_string(P.NumClasses) +
@@ -47,7 +61,8 @@ std::string describeProgram(const RandomProgramOptions &P) {
          " recursion=" + std::to_string(int(P.Recursion)) +
          " aliasing=" + std::to_string(int(P.Aliasing)) +
          " nullflows=" + std::to_string(int(P.NullFlows)) +
-         " deadstores=" + std::to_string(int(P.DeadStores));
+         " deadstores=" + std::to_string(int(P.DeadStores)) +
+         " obf=" + describeObfuscation(P);
 }
 
 } // namespace
@@ -82,6 +97,14 @@ RandomProgramOptions fuzz::randomProgramOptions(RNG &R) {
   P.Aliasing = R.nextBelow(2) != 0;
   P.NullFlows = R.nextBelow(2) != 0;
   P.DeadStores = R.nextBelow(2) != 0;
+  // Obfuscated shapes ride on a quarter of the runs. Both values are drawn
+  // unconditionally so the stream position (and thus every later draw) is
+  // stable whether or not the shape is enabled.
+  bool Obf = R.nextBelow(4) == 0;
+  uint64_t Bits = R.nextBelow(8);
+  P.ObfJunk = Obf && (Bits & 1) != 0;
+  P.ObfOpaque = Obf && (Bits & 2) != 0;
+  P.ObfStrings = Obf && (Bits & 4) != 0;
   return P;
 }
 
@@ -113,6 +136,11 @@ FuzzReport fuzz::runFuzz(const FuzzOptions &Opts) {
     RNG R = Base.split(Run);
     RandomProgramOptions P = randomProgramOptions(R);
     OracleConfig OC = randomOracleConfig(R);
+    // Obfuscated shapes exist to exercise the strip path: always run the
+    // optimize oracle on them so every junk/opaque/strings program checks
+    // that rewriting preserves observables.
+    if (P.ObfJunk || P.ObfOpaque || P.ObfStrings)
+      OC.CheckOptimize = true;
     std::unique_ptr<Module> M = generateRandomProgram(P);
 
     std::string Tag =

@@ -1,0 +1,216 @@
+//===- ir/Obfuscate.cpp - Adversarial obfuscation pass layer ---------------===//
+
+#include "ir/Obfuscate.h"
+
+#include "ir/Clone.h"
+#include "ir/ObfuscateImpl.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace lud;
+using namespace lud::detail;
+
+const char *lud::obfKindName(ObfKind K) {
+  switch (K) {
+  case ObfKind::Junk:
+    return "junk";
+  case ObfKind::Opaque:
+    return "opaque";
+  case ObfKind::StringTable:
+    return "strings";
+  }
+  lud_unreachable("unknown obfuscation kind");
+}
+
+bool lud::parseObfuscatePasses(const std::string &Spec, ObfuscateOptions &Opts,
+                               std::string &Err) {
+  bool Any = false;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    std::string Name = Spec.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    if (Name == "all") {
+      Opts.Junk = Opts.Opaque = Opts.Strings = true;
+      Any = true;
+    } else if (Name == "junk") {
+      Opts.Junk = true;
+      Any = true;
+    } else if (Name == "opaque") {
+      Opts.Opaque = true;
+      Any = true;
+    } else if (Name == "strings") {
+      Opts.Strings = true;
+      Any = true;
+    } else if (!Name.empty()) {
+      Err = "unknown obfuscation pass '" + Name +
+            "' (expected junk, opaque, strings, or all)";
+      return false;
+    }
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  if (!Any) {
+    Err = "empty obfuscation pass list (expected junk, opaque, strings, "
+          "or all)";
+    return false;
+  }
+  return true;
+}
+
+bool Obfuscator::inScope(const Function &F) const {
+  const std::string &Name = F.getName();
+  for (const std::string &E : Opts.Exclude)
+    if (Name == E)
+      return false;
+  if (Opts.Include.empty())
+    return true;
+  return std::find(Opts.Include.begin(), Opts.Include.end(), Name) !=
+         Opts.Include.end();
+}
+
+ObfuscationResult Obfuscator::run() {
+  Out = std::make_unique<Module>();
+
+  // Mirror the source declarations in order, so every id carries over
+  // (the cloneModule invariant; see ir/Clone.cpp).
+  for (const std::string &Name : Src.methodNames())
+    Out->internMethodName(Name);
+  for (const std::string &Name : Src.nativeNames())
+    Out->internNativeName(Name);
+  for (const auto &C : Src.classes()) {
+    ClassDecl *NC = Out->addClass(C->getName(), C->getSuper());
+    for (const FieldDecl &F : C->ownFields())
+      NC->addField(F.Name, F.Ty);
+    for (const auto &[Method, Func] : C->ownMethods())
+      NC->addMethod(Method, Func);
+  }
+  for (const GlobalDecl &G : Src.globals())
+    Out->addGlobal(G.Name, G.Ty);
+
+  // Injected declarations come after every mirrored one, with names
+  // uniquified against the source module. Module-level draws happen
+  // before any per-function split and have a fixed count per enabled
+  // transform, keeping the whole rebuild deterministic.
+  FuncId EntryFn = Src.getEntry();
+  // Junk needs the entry function to install the accumulator the write
+  // sites load; a module without one simply gets no junk.
+  bool Junk = Opts.Junk && EntryFn != kNoFunc;
+  if (Junk) {
+    std::string Name = "ObfJunk";
+    while (Src.findClass(Name) != kNoClass)
+      Name += "_";
+    ClassDecl *JC = Out->addClass(Name);
+    JunkClass = JC->getId();
+    std::string SinkName = "obf_sink";
+    while (Src.findGlobal(SinkName) != kNoGlobal)
+      SinkName += "_";
+    JunkSink = Out->addGlobal(SinkName, Type::makeRef(JunkClass));
+  }
+  if (Opts.Opaque) {
+    std::string Name = "obf_opaque";
+    while (Src.findGlobal(Name) != kNoGlobal)
+      Name += "_";
+    OpaqueGlobal = Out->addGlobal(Name, Type::makeInt());
+    OpaqueKey = int64_t(Root.nextBelow(1u << 20)) + 3;
+  }
+  if (Opts.Strings)
+    StringKey = int64_t(Root.nextBelow(255)) + 1;
+
+  for (const auto &F : Src.functions()) {
+    Function *NF = Out->addFunction(F->getName(), F->getNumParams(),
+                                    F->getNumRegs(), F->getOwner());
+    unsigned NextReg = F->getNumRegs();
+    RNG R = Root.split(F->getId());
+    bool Scoped = inScope(*F);
+
+    // Mirror blocks first so ids align; diversion blocks appended later
+    // get ids past the original count and existing branch targets stay
+    // valid unchanged.
+    for (size_t I = 0; I != F->blocks().size(); ++I)
+      NF->addBlock();
+
+    Reg TabReg = kNoReg;
+    bool Table = Opts.Strings && Scoped && !F->blocks().empty() &&
+                 NextReg + 32 < 0xFF00u &&
+                 R.nextBelow(100) < Opts.StringChance;
+    if (Table)
+      TabReg = Reg(NextReg++);
+
+    for (size_t BI = 0; BI != F->blocks().size(); ++BI) {
+      const BasicBlock &OB = *F->blocks()[BI];
+      BasicBlock &NB = *NF->getBlock(uint32_t(BI));
+
+      if (BI == 0) {
+        // The accumulator install comes first: the entry block runs
+        // before anything else, so every later junk write finds a live
+        // object in the sink global.
+        if (Junk && F->getId() == EntryFn)
+          emitJunkAccumulator(NB, NextReg, F->getId());
+        // The opaque global is established at the very top of the entry
+        // function, before any guard can load it: the profiler observes a
+        // genuinely invariant value it must prove constant.
+        if (Opts.Opaque && F->getId() == EntryFn) {
+          Reg K = Reg(NextReg++);
+          NB.append(ConstInst::makeInt(K, OpaqueKey));
+          NB.append(new StoreStaticInst(OpaqueGlobal, K));
+          Injected += 2;
+        }
+        if (Table)
+          emitStringTableBuild(NB, NextReg, TabReg, F->getName(),
+                               F->getId());
+      }
+
+      for (const auto &I : OB.insts()) {
+        if (I->isTerminator()) {
+          // Injections land just before the terminator: the payload runs
+          // exactly as often as the block does.
+          if (Junk && Scoped && R.nextBelow(100) < Opts.JunkChance)
+            emitJunk(NB, R, NextReg, F->getId());
+          if (Table && R.nextBelow(100) < 70)
+            emitStringDecode(NB, R, NextReg, TabReg);
+          if (Opts.Opaque && Scoped && isa<BrInst>(I.get()) &&
+              NextReg + 8 < kNoReg && R.nextBelow(100) < Opts.OpaqueChance) {
+            Instruction *CB = emitOpaqueGuard(
+                NB, *NF, R, NextReg, cast<BrInst>(I.get())->Target);
+            Pending.push_back({ObfKind::Opaque, CB, F->getId()});
+            continue; // the guard replaced this terminator
+          }
+        }
+        NB.append(cloneInstr(*I));
+      }
+    }
+    NF->setNumRegs(NextReg);
+  }
+
+  if (EntryFn != kNoFunc)
+    Out->setEntry(EntryFn);
+  Out->finalize();
+
+  ObfuscationResult Res;
+  for (const PendingTag &T : Pending) {
+    ObfSiteTag Tag;
+    Tag.Kind = T.Kind;
+    Tag.Function = Src.getFunction(T.Func)->getName();
+    Tag.Instr = T.I->getId();
+    if (T.Kind == ObfKind::Opaque) {
+      Tag.Description = "opaque predicate @ " + Tag.Function + " #" +
+                        std::to_string(T.I->getId());
+    } else {
+      Tag.Site = isa<AllocInst>(T.I) ? cast<AllocInst>(T.I)->Site
+                                     : cast<AllocArrayInst>(T.I)->Site;
+      Tag.Description = Out->describeAllocSite(Tag.Site);
+    }
+    Res.Manifest.push_back(std::move(Tag));
+  }
+  Res.M = std::move(Out);
+  Res.InjectedInstrs = Injected;
+  return Res;
+}
+
+ObfuscationResult lud::obfuscateModule(const Module &M,
+                                       const ObfuscateOptions &Opts) {
+  return Obfuscator(M, Opts).run();
+}

@@ -1,0 +1,86 @@
+//===- ir/ObfuscateImpl.h - Obfuscator rebuild state (internal) -*- C++ -*-===//
+//
+// Part of the lud project: a reproduction of "Finding Low-Utility Data
+// Structures" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal state shared between the obfuscation driver (Obfuscate.cpp)
+/// and the per-transform emitters (ObfuscatePasses.cpp). Not a public
+/// header; include Obfuscate.h instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LUD_IR_OBFUSCATEIMPL_H
+#define LUD_IR_OBFUSCATEIMPL_H
+
+#include "ir/Module.h"
+#include "ir/Obfuscate.h"
+#include "support/RNG.h"
+
+namespace lud {
+namespace detail {
+
+/// A manifest entry recorded during the rebuild. Instruction pointers are
+/// resolved to dense ids only after the output module's finalize().
+struct PendingTag {
+  ObfKind Kind;
+  const Instruction *I; // alloc (Junk/StringTable) or CondBr (Opaque)
+  FuncId Func;          // function ids carry over from the source module
+};
+
+/// One obfuscation run: clone-with-injection rebuild of a source module.
+/// The driver walks the source; the emitters append injected code.
+class Obfuscator {
+public:
+  Obfuscator(const Module &Src, const ObfuscateOptions &Opts)
+      : Src(Src), Opts(Opts), Root(Opts.Seed) {}
+
+  ObfuscationResult run();
+
+private:
+  bool inScope(const Function &F) const;
+
+  // Transform emitters (ObfuscatePasses.cpp). All append to \p B with
+  // fresh registers from \p NextReg and bump Injected.
+  /// Allocates the module-wide junk accumulator at the top of the entry
+  /// function and publishes its ref through JunkSink.
+  void emitJunkAccumulator(BasicBlock &B, unsigned &NextReg, FuncId F);
+  void emitJunk(BasicBlock &B, RNG &R, unsigned &NextReg, FuncId F);
+  Reg emitJunkChain(BasicBlock &B, RNG &R, unsigned &NextReg);
+  /// Replaces a Br terminator: emits the guard loads plus the CondBr into
+  /// \p B and a never-taken diversion block branching back to \p Target.
+  /// Returns the CondBr for the manifest.
+  Instruction *emitOpaqueGuard(BasicBlock &B, Function &NF, RNG &R,
+                               unsigned &NextReg, uint32_t Target);
+  void emitDiversionPayload(BasicBlock &B, unsigned &NextReg);
+  void emitStringTableBuild(BasicBlock &B, unsigned &NextReg, Reg TabReg,
+                            const std::string &FuncName, FuncId F);
+  void emitStringDecode(BasicBlock &B, RNG &R, unsigned &NextReg, Reg TabReg);
+
+  const Module &Src;
+  const ObfuscateOptions &Opts;
+  RNG Root;
+  std::unique_ptr<Module> Out;
+
+  ClassId JunkClass = kNoClass;
+  /// Fields declared on the junk class so far. Each injection writes its
+  /// own fresh field: one writer per abstract location, so the site's
+  /// n-RAC sums the injections instead of averaging hot writers away
+  /// against cold ones (RAC is the mean over a location's writers).
+  uint32_t NumJunkFields = 0;
+  /// The accumulator object's ref lives here; every junk write loads it.
+  GlobalId JunkSink = kNoGlobal;
+  GlobalId OpaqueGlobal = kNoGlobal;
+  int64_t OpaqueKey = 0;
+  int64_t StringKey = 0;
+
+  std::vector<PendingTag> Pending;
+  size_t Injected = 0;
+};
+
+} // namespace detail
+} // namespace lud
+
+#endif // LUD_IR_OBFUSCATEIMPL_H

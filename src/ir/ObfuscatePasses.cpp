@@ -1,0 +1,165 @@
+//===- ir/ObfuscatePasses.cpp - The three obfuscation emitters -------------===//
+//
+// Each emitter plants one of the adversarial shapes of Section 3.2, built
+// so the closed loop holds by construction:
+//
+//  - junk payloads write int chains into one module-wide accumulator
+//    object nothing ever reads: the whole program's junk cost lands on a
+//    single allocation site whose pure n-RAC / zero n-RAB "dead" ratio is
+//    guaranteed to outrank every genuine structure, and the profiled-dead-
+//    store sweep plus pure-producer DCE (analysis/Optimizer.cpp) strips
+//    every payload, leaving only the two-instruction accumulator spine
+//    (its ref store is structure spine, which the sweep rightly keeps);
+//  - opaque guards compare a never-varying global against its only stored
+//    value: control flow is unchanged at run time, the diversion arm never
+//    executes, and the constant-predicate client must prove the invariance;
+//  - string tables fill an int array with XOR-encoded function-name bytes
+//    and re-decode elements in place at use sites (rewrite-per-read); the
+//    whole closed subgraph reaches no consumer, so dead-value analysis
+//    classifies every node D* and the sweep removes table, fill, and
+//    decode together.
+//
+// Trap freedom: no Div/Rem, constant indices below constant lengths, all
+// bases are fresh local allocations, and no transform adds a back edge.
+// Chain constants stay below 2^16 so Add/Sub chains cannot overflow.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ObfuscateImpl.h"
+
+using namespace lud;
+using namespace lud::detail;
+
+namespace {
+/// Register-frame headroom guard: Reg is 16 bits; stop injecting into a
+/// function whose frame approaches the sentinel instead of wrapping.
+constexpr unsigned kRegHeadroom = 0xFF00;
+} // namespace
+
+Reg Obfuscator::emitJunkChain(BasicBlock &B, RNG &R, unsigned &NextReg) {
+  Reg P = Reg(NextReg++);
+  B.append(ConstInst::makeInt(P, int64_t(R.nextBelow(1u << 16))));
+  ++Injected;
+  // Overflow-free opcode mix only (no Mul: chained products of 16-bit
+  // values would leave int64 range).
+  static const BinOp Ops[] = {BinOp::Add, BinOp::Sub, BinOp::Xor, BinOp::And,
+                              BinOp::Or};
+  unsigned Len = 2 + unsigned(R.nextBelow(3));
+  for (unsigned I = 0; I != Len; ++I) {
+    Reg C = Reg(NextReg++);
+    Reg Q = Reg(NextReg++);
+    B.append(ConstInst::makeInt(C, int64_t(R.nextBelow(1u << 16))));
+    B.append(new BinInst(Ops[R.nextBelow(5)], Q, P, C));
+    Injected += 2;
+    P = Q;
+  }
+  return P;
+}
+
+void Obfuscator::emitJunkAccumulator(BasicBlock &B, unsigned &NextReg,
+                                     FuncId F) {
+  Reg D = Reg(NextReg++);
+  Instruction *A = B.append(new AllocInst(D, JunkClass));
+  Pending.push_back({ObfKind::Junk, A, F});
+  B.append(new StoreStaticInst(JunkSink, D));
+  Injected += 2;
+}
+
+void Obfuscator::emitJunk(BasicBlock &B, RNG &R, unsigned &NextReg,
+                          FuncId F) {
+  (void)F;
+  if (NextReg + 16 >= kRegHeadroom)
+    return;
+  // Every injection writes its own fresh field of the module's single
+  // accumulator object (see emitJunkAccumulator): the whole program's
+  // junk cost lands on ONE allocation site, summed field by field, so the
+  // site's n-RAC is a large share of total execution cost and outranks
+  // every genuine structure. Per-block fresh allocations would instead
+  // let a cold-path junk site rank below a hot genuine dead structure,
+  // and a shared field would average the hot writers away against the
+  // cold ones.
+  Reg S = Reg(NextReg++);
+  B.append(new LoadStaticInst(S, JunkSink));
+  ++Injected;
+  Reg P = emitJunkChain(B, R, NextReg);
+  // ObfJunk has no superclass, so layout slot == own-field index.
+  FieldSlot Slot = FieldSlot(NumJunkFields++);
+  Out->getClass(JunkClass)->addField("j" + std::to_string(Slot),
+                                     Type::makeInt());
+  B.append(new StoreFieldInst(S, JunkClass, Slot, P));
+  ++Injected;
+}
+
+void Obfuscator::emitDiversionPayload(BasicBlock &B, unsigned &NextReg) {
+  Reg A = Reg(NextReg++);
+  Reg C = Reg(NextReg++);
+  Reg D = Reg(NextReg++);
+  B.append(ConstInst::makeInt(A, 0x5eed));
+  B.append(ConstInst::makeInt(C, 0x0bf));
+  B.append(new BinInst(BinOp::Xor, D, A, C));
+  Injected += 3;
+}
+
+Instruction *Obfuscator::emitOpaqueGuard(BasicBlock &B, Function &NF, RNG &R,
+                                         unsigned &NextReg, uint32_t Target) {
+  Reg V = Reg(NextReg++);
+  Reg C = Reg(NextReg++);
+  B.append(new LoadStaticInst(V, OpaqueGlobal));
+  B.append(ConstInst::makeInt(C, OpaqueKey));
+  Injected += 2;
+  BasicBlock *J = NF.addBlock();
+  Instruction *CB;
+  if (R.nextBelow(2) == 0) {
+    // Always true: fall through to the real target on the taken arm.
+    CB = new CondBrInst(CmpOp::Eq, V, C, Target, J->getId());
+  } else {
+    // Always false: the real target sits on the not-taken arm.
+    CB = new CondBrInst(CmpOp::Ne, V, C, J->getId(), Target);
+  }
+  B.append(CB);
+  ++Injected;
+  emitDiversionPayload(*J, NextReg);
+  J->append(new BrInst(Target));
+  ++Injected;
+  return CB;
+}
+
+void Obfuscator::emitStringTableBuild(BasicBlock &B, unsigned &NextReg,
+                                      Reg TabReg, const std::string &FuncName,
+                                      FuncId F) {
+  constexpr unsigned kTableLen = 8;
+  Reg L = Reg(NextReg++);
+  B.append(ConstInst::makeInt(L, kTableLen));
+  Instruction *A = B.append(new AllocArrayInst(TabReg, TypeKind::Int, L));
+  Pending.push_back({ObfKind::StringTable, A, F});
+  Injected += 2;
+  for (unsigned I = 0; I != kTableLen; ++I) {
+    int64_t Byte =
+        I < FuncName.size() ? int64_t(uint8_t(FuncName[I])) : int64_t(I);
+    Reg Idx = Reg(NextReg++);
+    Reg V = Reg(NextReg++);
+    B.append(ConstInst::makeInt(Idx, I));
+    B.append(ConstInst::makeInt(V, Byte ^ StringKey));
+    B.append(new StoreElemInst(TabReg, Idx, V));
+    Injected += 3;
+  }
+}
+
+void Obfuscator::emitStringDecode(BasicBlock &B, RNG &R, unsigned &NextReg,
+                                  Reg TabReg) {
+  if (NextReg + 8 >= kRegHeadroom)
+    return;
+  // Decode one element in place each time the block runs — the paper's
+  // rewrite-per-read pattern (XOR is involutive, so repeated visits just
+  // toggle the encoding; nothing ever consumes the value).
+  Reg Idx = Reg(NextReg++);
+  Reg E = Reg(NextReg++);
+  Reg K = Reg(NextReg++);
+  Reg D = Reg(NextReg++);
+  B.append(ConstInst::makeInt(Idx, int64_t(R.nextBelow(8))));
+  B.append(new LoadElemInst(E, TabReg, Idx));
+  B.append(ConstInst::makeInt(K, StringKey));
+  B.append(new BinInst(BinOp::Xor, D, E, K));
+  B.append(new StoreElemInst(TabReg, Idx, D));
+  Injected += 5;
+}

@@ -5,6 +5,7 @@
 
 #include "support/ErrorHandling.h"
 
+#include <cstdio>
 #include <cstdlib>
 
 using namespace lud;
@@ -36,8 +37,15 @@ bool lud::parseEngineKind(const std::string &Name, EngineKind &Out) {
 EngineKind lud::defaultEngineKind() {
   static const EngineKind Cached = [] {
     EngineKind K = EngineKind::Interp;
+    // A typo here must not silently re-select the default engine (it made
+    // a mis-spelled CI leg re-test the interpreter); warn once, naming the
+    // bad value and the accepted spellings. An empty value means unset.
     if (const char *Env = std::getenv("LUD_ENGINE"))
-      parseEngineKind(Env, K);
+      if (*Env && !parseEngineKind(Env, K))
+        std::fprintf(stderr,
+                     "warning: LUD_ENGINE='%s' is not a known engine "
+                     "(valid: %s); using %s\n",
+                     Env, validEngineNames(), engineKindName(K));
     return K;
   }();
   return Cached;

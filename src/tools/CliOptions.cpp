@@ -4,7 +4,8 @@
 
 #include "support/OutStream.h"
 
-#include <cstdlib>
+#include <charconv>
+#include <system_error>
 
 using namespace lud;
 using namespace lud::cli;
@@ -36,7 +37,21 @@ void OptionSet::addNumber(std::string Name, std::string Help, int64_t Min,
   Options.push_back(
       {std::move(Name), std::move(Help), ValueMode::Required,
        [N, Min, Store = std::move(Store)](const std::string &S) {
-         int64_t V = std::strtoll(S.c_str(), nullptr, 10);
+         // Full-consumption parse: "12abc", "abc", and "" are errors, not
+         // silent prefixes, and out-of-range values are diagnosed rather
+         // than saturated.
+         int64_t V = 0;
+         auto [Ptr, Ec] = std::from_chars(S.data(), S.data() + S.size(), V);
+         if (Ec == std::errc::result_out_of_range) {
+           errs() << "option '" << N << "' value '" << S
+                  << "' is out of range\n";
+           return false;
+         }
+         if (Ec != std::errc() || Ptr != S.data() + S.size()) {
+           errs() << "option '" << N << "' wants an integer, got '" << S
+                  << "'\n";
+           return false;
+         }
          if (V < Min) {
            if (Min == 1)
              errs() << "option '" << N << "' requires a positive value\n";

@@ -11,10 +11,12 @@
 ///
 ///   lud-gen chart 500 > chart.lud
 ///   lud-gen --random 42 > fuzz.lud
+///   lud-gen --obfuscate=junk,opaque --obfuscate-seed=7 chart 400 > adv.lud
 ///   lud-run --report chart.lud
 ///
 //===----------------------------------------------------------------------===//
 
+#include "ir/Obfuscate.h"
 #include "ir/Printer.h"
 #include "support/OutStream.h"
 #include "tools/CliOptions.h"
@@ -22,6 +24,7 @@
 #include "workloads/RandomProgram.h"
 
 #include <charconv>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
@@ -36,12 +39,36 @@ void listWorkloads() {
   errs() << "\n";
 }
 
+/// Obfuscates *M in place per Opts, writing the manifest (one
+/// "<kind>\t<description>" line per injected site) to ManifestPath when
+/// non-empty. Returns false on a manifest-file error.
+bool applyObfuscation(std::unique_ptr<Module> &M, const ObfuscateOptions &Opts,
+                      const std::string &ManifestPath) {
+  ObfuscationResult Res = obfuscateModule(*M, Opts);
+  if (!ManifestPath.empty()) {
+    std::FILE *F = std::fopen(ManifestPath.c_str(), "w");
+    if (!F) {
+      errs() << "cannot write manifest file '" << ManifestPath << "'\n";
+      return false;
+    }
+    FileOutStream OS(F);
+    for (const ObfSiteTag &T : Res.Manifest)
+      OS << obfKindName(T.Kind) << "\t" << T.Description << "\n";
+    std::fclose(F);
+  }
+  M = std::move(Res.M);
+  return true;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   bool Random = false;
   uint64_t Seed = 0;
   bool Optimized = false;
+  bool Obfuscate = false;
+  ObfuscateOptions ObfOpts;
+  std::string ObfManifest;
   cli::OptionSet P("lud-gen", "<workload> [scale]");
   P.custom("--random", cli::ValueMode::Required,
            "SEED  generate a random program from SEED instead",
@@ -67,6 +94,25 @@ int main(int argc, char **argv) {
            });
   P.flag("--optimized", Optimized,
          "emit the workload's hand-optimized variant");
+  P.custom("--obfuscate", cli::ValueMode::Optional,
+           "[PASSES]  apply obfuscation passes (junk,opaque,strings or all; "
+           "default all)",
+           [&](const std::string &S) {
+             Obfuscate = true;
+             if (S.empty()) {
+               ObfOpts.Junk = ObfOpts.Opaque = ObfOpts.Strings = true;
+               return true;
+             }
+             std::string Err;
+             if (parseObfuscatePasses(S, ObfOpts, Err))
+               return true;
+             errs() << Err << "\n";
+             return false;
+           });
+  P.number("--obfuscate-seed", ObfOpts.Seed,
+           "N  seed of the obfuscation transform stream (default 1)", 0);
+  P.str("--obfuscate-manifest", ObfManifest,
+        "FILE  write injected-site manifest to FILE");
   if (!P.parse(argc, argv)) {
     P.usage();
     listWorkloads();
@@ -74,11 +120,17 @@ int main(int argc, char **argv) {
   }
   if (P.exitRequested())
     return 0;
+  if (!ObfManifest.empty() && !Obfuscate) {
+    errs() << "--obfuscate-manifest requires --obfuscate\n";
+    return 2;
+  }
 
   if (Random) {
     RandomProgramOptions Opts;
     Opts.Seed = Seed;
     std::unique_ptr<Module> M = generateRandomProgram(Opts);
+    if (Obfuscate && !applyObfuscation(M, ObfOpts, ObfManifest))
+      return 2;
     printModule(*M, outs());
     return 0;
   }
@@ -96,14 +148,28 @@ int main(int argc, char **argv) {
     errs() << "unknown workload '" << Name << "'\n";
     return 2;
   }
-  int64_t Scale = P.positionals().size() > 1
-                      ? std::strtoll(P.positionals()[1].c_str(), nullptr, 10)
-                      : 500;
+  int64_t Scale = 500;
+  if (P.positionals().size() > 1) {
+    // Same full-consumption contract as every numeric option: a mistyped
+    // scale is an error, not a silently truncated prefix.
+    const std::string &S = P.positionals()[1];
+    auto [Ptr, Ec] = std::from_chars(S.data(), S.data() + S.size(), Scale);
+    if (Ec == std::errc::result_out_of_range) {
+      errs() << "scale '" << S << "' is out of range\n";
+      return 2;
+    }
+    if (Ec != std::errc() || Ptr != S.data() + S.size() || Scale < 1) {
+      errs() << "scale wants a positive integer, got '" << S << "'\n";
+      return 2;
+    }
+  }
   if (Optimized && !hasOptimizedVariant(Name)) {
     errs() << "'" << Name << "' has no optimized variant\n";
     return 2;
   }
   Workload W = buildWorkload(Name, Scale, Optimized);
+  if (Obfuscate && !applyObfuscation(W.M, ObfOpts, ObfManifest))
+    return 2;
   printModule(*W.M, outs());
   return 0;
 }

@@ -29,6 +29,7 @@
 #include "analysis/Clients.h"
 #include "analysis/DeadValues.h"
 #include "analysis/Report.h"
+#include "ir/Obfuscate.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "profiling/GraphIO.h"
@@ -66,6 +67,9 @@ struct Options {
   int64_t Slots = 16;
   ClientOptions Client;
   std::string DumpGraph;
+  bool Obfuscate = false;
+  ObfuscateOptions Obf;
+  std::string ObfManifest;
   bool Optimize = false;
   std::vector<std::string> OptimizePasses;
   std::string OptimizeOut;
@@ -111,6 +115,26 @@ void declareOptions(cli::OptionSet &P, Options &O) {
            "N  scale for --workload (default 2000)", /*Min=*/1);
   P.str("--dump-graph", O.DumpGraph,
         "F  serialize Gcost to file F (offline use)");
+  P.custom("--obfuscate", cli::ValueMode::Optional,
+           "[=LIST]  obfuscate the program before running (junk, opaque, "
+           "strings, or all; default all)",
+           [&O](const std::string &V) {
+             O.Obfuscate = true;
+             if (V.empty()) {
+               O.Obf.Junk = O.Obf.Opaque = O.Obf.Strings = true;
+               return true;
+             }
+             std::string Err;
+             if (parseObfuscatePasses(V, O.Obf, Err))
+               return true;
+             errs() << Err << "\n";
+             return false;
+           });
+  P.number("--obfuscate-seed", O.Obf.Seed,
+           "N  seed of the obfuscation transform stream (default 1)",
+           /*Min=*/0);
+  P.str("--obfuscate-manifest", O.ObfManifest,
+        "F  write the injected-site manifest to F (implies --obfuscate)");
   P.custom("--optimize", cli::ValueMode::Optional,
            "[=LIST]  run the rewrite-pass pipeline (dead-stores, "
            "map-to-array, clone-per-op, once-read-memo, dead-stores-final) "
@@ -190,6 +214,10 @@ bool parseArgs(cli::OptionSet &P, int argc, char **argv, Options &O) {
   }
   if (!O.OptimizeOut.empty())
     O.Optimize = true;
+  if (!O.ObfManifest.empty() && !O.Obfuscate) {
+    O.Obfuscate = true;
+    O.Obf.Junk = O.Obf.Opaque = O.Obf.Strings = true;
+  }
   if (!O.ReplayPath.empty()) {
     if (O.Baseline || !O.RecordPath.empty()) {
       errs() << "--replay re-drives a recorded run; it cannot be combined "
@@ -297,6 +325,36 @@ int main(int argc, char **argv) {
         errs() << O.File << ": " << E << "\n";
       return 1;
     }
+  }
+
+  if (O.Obfuscate) {
+    // Obfuscation happens before anything looks at the module, so
+    // --print-ir shows the obfuscated program and every analysis below
+    // sees the adversarial shapes. The summary goes to stderr to keep the
+    // report streams stable.
+    ObfuscationResult Res = obfuscateModule(*M, O.Obf);
+    size_t NumJunk = 0, NumOpaque = 0, NumTables = 0;
+    for (const ObfSiteTag &T : Res.Manifest) {
+      NumJunk += T.Kind == ObfKind::Junk;
+      NumOpaque += T.Kind == ObfKind::Opaque;
+      NumTables += T.Kind == ObfKind::StringTable;
+    }
+    errs() << "obfuscated: " << uint64_t(NumJunk) << " junk sites, "
+           << uint64_t(NumOpaque) << " opaque predicates, "
+           << uint64_t(NumTables) << " string tables (seed "
+           << O.Obf.Seed << ")\n";
+    if (!O.ObfManifest.empty()) {
+      std::FILE *F = std::fopen(O.ObfManifest.c_str(), "w");
+      if (!F) {
+        errs() << "cannot write manifest file '" << O.ObfManifest << "'\n";
+        return 1;
+      }
+      FileOutStream FOS(F);
+      for (const ObfSiteTag &T : Res.Manifest)
+        FOS << obfKindName(T.Kind) << "\t" << T.Description << "\n";
+      std::fclose(F);
+    }
+    M = std::move(Res.M);
   }
 
   OutStream &OS = outs();

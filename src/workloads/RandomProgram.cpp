@@ -3,6 +3,7 @@
 #include "workloads/RandomProgram.h"
 
 #include "ir/IRBuilder.h"
+#include "ir/Obfuscate.h"
 #include "ir/Verifier.h"
 #include "support/ErrorHandling.h"
 #include "support/RNG.h"
@@ -357,5 +358,20 @@ std::unique_ptr<Module> lud::generateRandomProgram(RandomProgramOptions O) {
   std::vector<std::string> Errors;
   if (!verifyGeneratedModule(*M, Errors))
     lud_unreachable("random program failed verification");
+
+  if (O.ObfJunk || O.ObfOpaque || O.ObfStrings) {
+    ObfuscateOptions Obf;
+    // Decorrelate from the generator's own draws without widening the
+    // options surface: any fixed mix works, it just must be deterministic.
+    Obf.Seed = O.Seed ^ 0x0bf5caf3ull;
+    Obf.Junk = O.ObfJunk;
+    Obf.Opaque = O.ObfOpaque;
+    Obf.Strings = O.ObfStrings;
+    ObfuscationResult Res = obfuscateModule(*M, Obf);
+    M = std::move(Res.M);
+    Errors.clear();
+    if (!verifyGeneratedModule(*M, Errors))
+      lud_unreachable("obfuscated random program failed verification");
+  }
   return M;
 }

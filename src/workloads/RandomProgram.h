@@ -54,6 +54,15 @@ struct RandomProgramOptions {
   /// Immediately-overwritten field/global stores — dead writes the cost
   /// model should discount.
   bool DeadStores = true;
+  /// Post-generation obfuscation passes (ir/Obfuscate.h), applied to the
+  /// finished program with a seed derived from Seed. The fuzzer flips
+  /// these to explore adversarial shapes: junk structures the report must
+  /// rank top and the optimizer must strip, opaque predicates the
+  /// constant-predicate client must prove, rewrite-per-read string
+  /// tables. The obfuscated module is re-verified before return.
+  bool ObfJunk = false;
+  bool ObfOpaque = false;
+  bool ObfStrings = false;
 };
 
 /// Generates a finalized module whose entry runs to completion. The result
